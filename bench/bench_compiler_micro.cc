@@ -1,0 +1,134 @@
+// Compiler micro-benchmarks (google-benchmark): throughput of the
+// compilation pipeline itself — lowering, the pipelining transformation,
+// functional execution, trace building + discrete-event simulation, the
+// analytical model, feature extraction and GBT fitting. These bound the
+// cost of one tuning trial, which is what makes the Fig. 12/13 experiments
+// tractable.
+#include <benchmark/benchmark.h>
+
+#include "perfmodel/analytical.h"
+#include "pipeline/detect.h"
+#include "pipeline/transform.h"
+#include "schedule/lower.h"
+#include "sim/executor.h"
+#include "sim/launch.h"
+#include "support/rng.h"
+#include "target/gpu_spec.h"
+#include "tuner/feature.h"
+#include "tuner/gbt.h"
+#include "tuner/space.h"
+
+namespace {
+
+using namespace alcop;  // NOLINT(build/namespaces) - bench driver
+
+schedule::GemmOp BenchOp() {
+  return schedule::MakeMatmul("mm", 2048, 2048, 2048);
+}
+
+schedule::ScheduleConfig BenchConfig() {
+  schedule::ScheduleConfig config;
+  config.tile = {.tb_m = 128, .tb_n = 128, .tb_k = 32,
+                 .warp_m = 64, .warp_n = 64, .warp_k = 16};
+  config.smem_stages = 3;
+  config.reg_stages = 2;
+  return config;
+}
+
+void BM_LowerSchedule(benchmark::State& state) {
+  schedule::GemmOp op = BenchOp();
+  target::GpuSpec spec = target::AmpereSpec();
+  for (auto _ : state) {
+    schedule::Schedule sched(op, BenchConfig());
+    pipeline::AutoPipeline(sched, spec);
+    benchmark::DoNotOptimize(schedule::LowerSchedule(sched).stmt);
+  }
+}
+BENCHMARK(BM_LowerSchedule);
+
+void BM_PipelineTransform(benchmark::State& state) {
+  schedule::GemmOp op = BenchOp();
+  target::GpuSpec spec = target::AmpereSpec();
+  schedule::Schedule sched(op, BenchConfig());
+  pipeline::AutoPipeline(sched, spec);
+  schedule::LoweredKernel kernel = schedule::LowerSchedule(sched);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline::ApplyPipelineTransform(kernel.stmt).stmt);
+  }
+}
+BENCHMARK(BM_PipelineTransform);
+
+void BM_FunctionalExecution(benchmark::State& state) {
+  schedule::GemmOp op = schedule::MakeMatmul("mm", 64, 64, 64);
+  schedule::ScheduleConfig config;
+  config.tile = {.tb_m = 32, .tb_n = 32, .tb_k = 16,
+                 .warp_m = 16, .warp_n = 16, .warp_k = 8};
+  config.smem_stages = 3;
+  config.reg_stages = 2;
+  target::GpuSpec spec = target::AmpereSpec();
+  sim::CompiledKernel compiled = sim::CompileKernel(op, config, spec);
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(op.m * op.k));
+  std::vector<float> b(static_cast<size_t>(op.n * op.k));
+  for (float& v : a) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (float& v : b) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto _ : state) {
+    sim::Executor exec;
+    exec.Bind(compiled.kernel.a, a);
+    exec.Bind(compiled.kernel.b, b);
+    exec.Run(compiled.transformed.stmt);
+    benchmark::DoNotOptimize(exec.Data(compiled.kernel.c));
+  }
+}
+BENCHMARK(BM_FunctionalExecution);
+
+void BM_TimingSimulation(benchmark::State& state) {
+  schedule::GemmOp op = BenchOp();
+  target::GpuSpec spec = target::AmpereSpec();
+  schedule::ScheduleConfig config = BenchConfig();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::CompileAndSimulate(op, config, spec).cycles);
+  }
+}
+BENCHMARK(BM_TimingSimulation);
+
+void BM_AnalyticalModel(benchmark::State& state) {
+  schedule::GemmOp op = BenchOp();
+  target::GpuSpec spec = target::AmpereSpec();
+  schedule::ScheduleConfig config = BenchConfig();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perfmodel::PredictCycles(op, config, spec));
+  }
+}
+BENCHMARK(BM_AnalyticalModel);
+
+void BM_SpaceEnumeration(benchmark::State& state) {
+  schedule::GemmOp op = BenchOp();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner::EnumerateSpace(op).size());
+  }
+}
+BENCHMARK(BM_SpaceEnumeration);
+
+void BM_GbtFit(benchmark::State& state) {
+  schedule::GemmOp op = BenchOp();
+  target::GpuSpec spec = target::AmpereSpec();
+  std::vector<schedule::ScheduleConfig> space = tuner::EnumerateSpace(op);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (size_t i = 0; i < space.size() && i < 200; ++i) {
+    x.push_back(tuner::ExtractFeatures(op, space[i], spec));
+    y.push_back(perfmodel::PredictCycles(op, space[i], spec));
+  }
+  for (auto _ : state) {
+    tuner::GbtModel model;
+    model.Fit(x, y);
+    benchmark::DoNotOptimize(model.Predict(x[0]));
+  }
+}
+BENCHMARK(BM_GbtFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Extension study: automatic pipelining across GPU generations.
+//
+// The paper motivates pipelining by the widening gap between Tensor-Core
+// throughput and memory bandwidth; it evaluates on Ampere because earlier
+// GPUs lack asynchronous copies. This bench runs the same automatic flow
+// on three device models:
+//   - Volta-like : no cp.async. Detection (rule 1) refuses shared-memory
+//     pipelining; only register-level pipelining survives.
+//   - Ampere     : the paper's platform (cp.async).
+//   - Hopper-like: TMA-style bulk copies, ~3x compute per byte of
+//     bandwidth — pipelining becomes more valuable, not less.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "target/gpu_spec.h"
+#include "workloads/ops.h"
+
+using namespace alcop;  // NOLINT(build/namespaces) - bench driver
+
+namespace {
+
+double PipeliningSpeedup(const schedule::GemmOp& op,
+                         const target::GpuSpec& spec) {
+  tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
+  tuner::TuningResult exhaustive = tuner::ExhaustiveSearch(task);
+  double baseline = bench::BestWhere(task, exhaustive, [](const auto& c) {
+    return c.smem_stages == 1 && c.reg_stages == 1;
+  });
+  double alcop = exhaustive.BestInFirstK(exhaustive.trials.size());
+  return baseline / alcop;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: automatic pipelining speedup across GPU "
+              "generations (exhaustive schedules)\n\n");
+  std::printf("%-16s | %12s %12s %12s\n", "operator", "volta-like", "ampere",
+              "hopper-like");
+  bench::PrintRule(60);
+
+  target::GpuSpec volta = target::VoltaLikeSpec();
+  target::GpuSpec ampere = target::AmpereSpec();
+  target::GpuSpec hopper = target::HopperLikeSpec();
+
+  double log_sum[3] = {0, 0, 0};
+  int count = 0;
+  for (const char* name : {"MM_BERT_QKV", "MM_BERT_FC2", "MM_RN50_FC",
+                           "BMM_BERT_SV", "Conv_VGG_3x3"}) {
+    const schedule::GemmOp& op = workloads::FindOp(name);
+    double speedup[3] = {PipeliningSpeedup(op, volta),
+                         PipeliningSpeedup(op, ampere),
+                         PipeliningSpeedup(op, hopper)};
+    std::printf("%-16s | %11.2fx %11.2fx %11.2fx\n", name, speedup[0],
+                speedup[1], speedup[2]);
+    for (int i = 0; i < 3; ++i) log_sum[i] += std::log(speedup[i]);
+    ++count;
+  }
+
+  bench::PrintRule(60);
+  std::printf("%-16s | %11.2fx %11.2fx %11.2fx   (geomean)\n", "average",
+              std::exp(log_sum[0] / count), std::exp(log_sum[1] / count),
+              std::exp(log_sum[2] / count));
+  std::printf("\nexpected shape: ~1.0x on Volta-like hardware (rule 1 "
+              "refuses shared-memory pipelining without cp.async),\n"
+              "substantial on Ampere, and at least as large on the "
+              "Hopper-like device (higher compute-to-byte ratio).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Experiment E4 — Fig. 11: ALCOP versus vendor libraries (cuBLAS/cuDNN
+// stand-in). Libraries pick from a fixed hand-written kernel menu with an
+// instruction-scheduling edge; ALCOP searches its whole schedule space.
+// The paper reports on-par performance (93% average) with compiler wins on
+// unusual shapes.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "target/gpu_spec.h"
+#include "workloads/library.h"
+#include "workloads/ops.h"
+
+using namespace alcop;  // NOLINT(build/namespaces) - bench driver
+
+int main() {
+  target::GpuSpec spec = target::AmpereSpec();
+
+  std::printf("Fig. 11: single-operator performance normalized to library "
+              "kernels (%s)\n\n",
+              spec.name.c_str());
+  std::printf("%-16s %12s %12s | %10s\n", "operator", "library(cyc)",
+              "ALCOP(cyc)", "normalized");
+  bench::PrintRule(58);
+
+  double log_sum = 0.0;
+  int count = 0;
+  for (const schedule::GemmOp& op : workloads::BenchmarkOps()) {
+    double library = workloads::LibraryKernelCycles(op, spec);
+
+    tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
+    tuner::TuningResult exhaustive = tuner::ExhaustiveSearch(task);
+    double alcop = exhaustive.BestInFirstK(exhaustive.trials.size());
+
+    double normalized = library / alcop;  // >1: ALCOP faster than library
+    std::printf("%-16s %12.0f %12.0f | %10.2f%s\n", op.name.c_str(), library,
+                alcop, normalized, normalized > 1.0 ? "  (ALCOP wins)" : "");
+    log_sum += std::log(normalized);
+    ++count;
+  }
+
+  bench::PrintRule(58);
+  std::printf("%-16s %25s | %10.2f   (geomean)\n", "average", "",
+              std::exp(log_sum / count));
+  std::printf("\npaper reference: on-par with libraries, 93%% normalized on "
+              "average; compiler wins on shapes like BMM_BERT_QK\n");
+  return 0;
+}

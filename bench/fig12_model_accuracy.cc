@@ -1,0 +1,83 @@
+// Experiment E5 — Fig. 12: best-in-top-k accuracy of the pipeline-aware
+// analytical performance model versus bottleneck-based analysis.
+//
+// Both models rank the entire schedule space by predicted cycles; the
+// best *measured* performance among the model's top-k picks is reported,
+// normalized to the exhaustive-search optimum. "compile fail" marks an
+// operator whose first k model picks all fail to compile/fit — the
+// bottleneck model, blind to occupancy, is prone to this.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "target/gpu_spec.h"
+#include "workloads/ops.h"
+
+using namespace alcop;  // NOLINT(build/namespaces) - bench driver
+
+namespace {
+
+// Best measured cycles among the first k entries of a ranking; infinity if
+// none compiled.
+double BestInTopK(const tuner::TuningResult& ranked, size_t k) {
+  return ranked.BestInFirstK(k);
+}
+
+void PrintCell(double best, double exhaustive_best) {
+  if (!std::isfinite(best)) {
+    std::printf(" %9s", "fail");
+  } else {
+    std::printf(" %8.0f%%", 100.0 * exhaustive_best / best);
+  }
+}
+
+}  // namespace
+
+int main() {
+  target::GpuSpec spec = target::AmpereSpec();
+
+  std::printf("Fig. 12: best-in-top-k of the ALCOP analytical model vs "
+              "bottleneck analysis\n(normalized to exhaustive search, %s)\n\n",
+              spec.name.c_str());
+  std::printf("%-16s | %9s %9s | %9s %9s\n", "operator", "anal k=10",
+              "botl k=10", "anal k=50", "botl k=50");
+  bench::PrintRule(64);
+
+  double sums[4] = {0, 0, 0, 0};
+  int counts[4] = {0, 0, 0, 0};
+  for (const schedule::GemmOp& op : workloads::BenchmarkOps()) {
+    tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
+    bench::Memoize(task);
+    tuner::TuningResult exhaustive = tuner::ExhaustiveSearch(task);
+    double best = exhaustive.BestInFirstK(exhaustive.trials.size());
+
+    tuner::TuningResult analytical =
+        tuner::AnalyticalRanking(task, task.space.size());
+    tuner::TuningResult bottleneck =
+        tuner::BottleneckRanking(task, task.space.size());
+
+    double cells[4] = {BestInTopK(analytical, 10), BestInTopK(bottleneck, 10),
+                       BestInTopK(analytical, 50), BestInTopK(bottleneck, 50)};
+    std::printf("%-16s |", op.name.c_str());
+    for (int c = 0; c < 4; ++c) {
+      PrintCell(cells[c], best);
+      if (c == 1) std::printf(" |");
+      if (std::isfinite(cells[c])) {
+        sums[c] += best / cells[c];
+        ++counts[c];
+      }
+    }
+    std::printf("\n");
+  }
+
+  bench::PrintRule(64);
+  std::printf("%-16s |", "average");
+  for (int c = 0; c < 4; ++c) {
+    std::printf(" %8.0f%%", 100.0 * sums[c] / counts[c]);
+    if (c == 1) std::printf(" |");
+  }
+  std::printf("\n\npaper reference: top-10 analytical 79%% vs bottleneck "
+              "75%%; top-50 analytical 92%% vs bottleneck 88%%; >95%% on all "
+              "MatMuls\n");
+  return 0;
+}

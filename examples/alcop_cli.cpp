@@ -1,0 +1,189 @@
+// alcop_cli — command-line driver for the whole stack.
+//
+//   alcop_cli compile  M N K [batch]   compile + print pipelined IR & timing
+//   alcop_cli tune     M N K [trials]  model-assisted tuning, print winner
+//   alcop_cli timeline M N K           render the execution timeline
+//   alcop_cli ops                      list the benchmark operator suite
+//   alcop_cli models                   list the end-to-end model graphs
+//   alcop_cli parse    FILE            parse a textual IR file, validate by
+//                                      re-printing it (round-trip check)
+//
+// Shapes use the best schedule found by a 16-trial analytical ranking.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "support/check.h"
+#include "sim/launch.h"
+#include "sim/timeline.h"
+#include "sim/traffic_report.h"
+#include "target/gpu_spec.h"
+#include "tuner/strategy.h"
+#include "workloads/models.h"
+#include "workloads/ops.h"
+
+using namespace alcop;  // NOLINT(build/namespaces) - CLI driver
+
+namespace {
+
+schedule::ScheduleConfig BestConfig(const schedule::GemmOp& op,
+                                    const target::GpuSpec& spec,
+                                    size_t trials) {
+  tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
+  if (task.space.empty()) {
+    std::fprintf(stderr, "no valid schedule for %ldx%ldx%ld\n", op.m, op.n,
+                 op.k);
+    std::exit(1);
+  }
+  tuner::TuningResult result = tuner::AnalyticalRanking(task, trials);
+  size_t best = result.BestIndex(task);
+  if (best >= task.space.size()) best = 0;
+  return task.space[best];
+}
+
+schedule::GemmOp OpFromArgs(int argc, char** argv, int base) {
+  if (argc < base + 3) {
+    std::fprintf(stderr, "expected M N K [batch]\n");
+    std::exit(1);
+  }
+  int64_t m = std::atoll(argv[base]);
+  int64_t n = std::atoll(argv[base + 1]);
+  int64_t k = std::atoll(argv[base + 2]);
+  int64_t batch = argc > base + 3 ? std::atoll(argv[base + 3]) : 1;
+  return batch > 1 ? schedule::MakeBatchMatmul("cli", batch, m, n, k)
+                   : schedule::MakeMatmul("cli", m, n, k);
+}
+
+int CmdCompile(int argc, char** argv) {
+  target::GpuSpec spec = target::AmpereSpec();
+  schedule::GemmOp op = OpFromArgs(argc, argv, 2);
+  schedule::ScheduleConfig config = BestConfig(op, spec, 16);
+  sim::CompiledKernel compiled = sim::CompileKernel(op, config, spec);
+  sim::KernelTiming timing = sim::SimulateKernel(compiled, spec);
+
+  std::printf("schedule: %s\n", config.ToString().c_str());
+  for (const pipeline::DetectionEntry& entry : compiled.detection.entries) {
+    int stages = entry.buffer.find("shared") != std::string::npos
+                     ? config.smem_stages
+                     : config.reg_stages;
+    std::string status;
+    if (!entry.eligible) {
+      status = "not pipelinable (" + entry.reason + ")";
+    } else if (stages < 2) {
+      status = "pipelinable, 1 stage selected";
+    } else {
+      status = "pipelined with " + std::to_string(stages) + " stages";
+    }
+    std::printf("  %-10s %s\n", entry.buffer.c_str(), status.c_str());
+  }
+  std::printf("timing: %.0f cycles, %.1f us, %.1f TFLOP/s, %d tb/SM, %ld "
+              "batches\n",
+              timing.cycles, timing.microseconds, timing.tflops,
+              timing.threadblocks_per_sm, timing.batches);
+  std::printf("%s\n\n",
+              sim::AnalyzeKernelTraffic(compiled, spec).ToString().c_str());
+  std::printf("%s", ir::ToString(compiled.transformed.stmt).c_str());
+  return 0;
+}
+
+int CmdTune(int argc, char** argv) {
+  target::GpuSpec spec = target::AmpereSpec();
+  schedule::GemmOp op = OpFromArgs(argc, argv, 2);
+  size_t trials = argc > 5 ? static_cast<size_t>(std::atoll(argv[5])) : 50;
+
+  tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
+  tuner::XgbOptions options;
+  options.pretrain_with_analytical = true;
+  tuner::TuningResult result = tuner::XgbTuner(task, trials, options);
+  size_t best = result.BestIndex(task);
+  std::printf("space: %zu schedules; %zu trials\n", task.space.size(),
+              result.trials.size());
+  std::printf("best: %s  (%.0f cycles)\n",
+              task.space[best].ToString().c_str(),
+              result.BestInFirstK(result.trials.size()));
+  return 0;
+}
+
+int CmdTimeline(int argc, char** argv) {
+  target::GpuSpec spec = target::AmpereSpec();
+  schedule::GemmOp op = OpFromArgs(argc, argv, 2);
+  schedule::ScheduleConfig config = BestConfig(op, spec, 16);
+  sim::CompiledKernel compiled = sim::CompileKernel(op, config, spec);
+  sim::BatchTimeline batch = sim::CaptureTimeline(compiled, spec);
+  std::printf("schedule: %s\n%s", config.ToString().c_str(),
+              sim::RenderTimeline(batch.timeline, batch.num_warps).c_str());
+  return 0;
+}
+
+int CmdOps() {
+  std::printf("%-16s %-12s %8s %8s %8s %8s\n", "name", "family", "batch", "M",
+              "N", "K");
+  for (const schedule::GemmOp& op : workloads::BenchmarkOps()) {
+    std::printf("%-16s %-12s %8ld %8ld %8ld %8ld\n", op.name.c_str(),
+                schedule::OpFamilyName(op.family), op.batch, op.m, op.n, op.k);
+  }
+  return 0;
+}
+
+int CmdModels() {
+  for (const workloads::ModelGraph& model : workloads::Models()) {
+    int64_t flops = 0;
+    for (const workloads::LayerOp& layer : model.ops) {
+      flops += layer.count * layer.op.Flops();
+    }
+    std::printf("%-12s %3zu distinct ops, %6.1f GFLOP, %5.1f MB elementwise "
+                "traffic (fused)\n",
+                model.name.c_str(), model.ops.size(),
+                static_cast<double>(flops) / 1e9,
+                model.ewise_bytes_fused / 1e6);
+  }
+  return 0;
+}
+
+int CmdParse(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "expected a file path\n");
+    return 1;
+  }
+  std::ifstream file(argv[2]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  try {
+    ir::Stmt program = ir::ParseStmt(content.str());
+    std::string reprinted = ir::ToString(program);
+    std::printf("%s", reprinted.c_str());
+    std::fprintf(stderr, "round-trip: %s\n",
+                 reprinted == content.str() ? "exact" : "normalized");
+    return 0;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: alcop_cli compile|tune|timeline|ops|models|parse ...\n");
+    return 1;
+  }
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "compile") == 0) return CmdCompile(argc, argv);
+  if (std::strcmp(cmd, "tune") == 0) return CmdTune(argc, argv);
+  if (std::strcmp(cmd, "timeline") == 0) return CmdTimeline(argc, argv);
+  if (std::strcmp(cmd, "ops") == 0) return CmdOps();
+  if (std::strcmp(cmd, "models") == 0) return CmdModels();
+  if (std::strcmp(cmd, "parse") == 0) return CmdParse(argc, argv);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd);
+  return 1;
+}

@@ -1,0 +1,102 @@
+// Example: pipelining a custom, non-GEMM operator.
+//
+// The paper's case for ALCOP over libraries like CUTLASS is extensibility:
+// pipelining is a *program transformation*, so it applies to any tensor
+// program with a load-and-use loop — not just the kernels a library ships.
+// This example writes a custom two-buffer streaming operator in textual
+// IR (a dual-stream elementwise transform over row blocks — the shape of a
+// fused data-layout/activation kernel), attaches pipeline hints, runs the
+// transformation, validates the result numerically under the
+// async-semantics checker, and compares simulated latency.
+#include <cstdio>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "pipeline/transform.h"
+#include "sim/desim.h"
+#include "sim/executor.h"
+#include "sim/trace.h"
+#include "target/gpu_spec.h"
+
+using namespace alcop;  // NOLINT(build/namespaces) - example code
+
+namespace {
+
+constexpr const char* kCustomOperator =
+    R"(pragma pipeline_stages(x_buf) = 3 {
+  pragma pipeline_stages(y_buf) = 3 {
+    alloc x_buf: shared fp16[256]
+    alloc y_buf: shared fp16[256]
+    for t in 0..32 serial {
+      copy x_buf[0][256] <- X[t, 0][1, 256]
+      copy y_buf[0][256] <- Y[t, 0][1, 256]
+      barrier
+      copy Out[t, 0][1, 256] <- scale[0.125](x_buf[0][256])
+      copy Out2[t, 0][1, 256] <- gelu(y_buf[0][256])
+      barrier
+    }
+  }
+}
+)";
+
+double Simulate(const ir::Stmt& program,
+                const pipeline::TransformResult& transformed,
+                const target::GpuSpec& spec) {
+  sim::ThreadblockTrace trace = sim::BuildTrace(program, /*num_warps=*/1);
+  sim::DesimParams params;
+  params.threadblocks = 2;
+  for (const pipeline::PipelineGroupInfo& group : transformed.groups) {
+    params.groups.push_back(
+        {group.stages, group.scope == ir::MemScope::kShared});
+  }
+  return sim::SimulateBatch(trace, spec, params);
+}
+
+}  // namespace
+
+int main() {
+  target::GpuSpec spec = target::AmpereSpec();
+
+  // External tensors referenced by the textual program.
+  ir::Buffer x = ir::MakeBuffer("X", ir::MemScope::kGlobal, {32, 256});
+  ir::Buffer y = ir::MakeBuffer("Y", ir::MemScope::kGlobal, {32, 256});
+  ir::Buffer out = ir::MakeBuffer("Out", ir::MemScope::kGlobal, {32, 256});
+  ir::Buffer out2 = ir::MakeBuffer("Out2", ir::MemScope::kGlobal, {32, 256});
+
+  ir::Stmt program = ir::ParseStmt(kCustomOperator, {x, y, out, out2});
+  std::printf("== custom streaming operator (hand-written IR) ==\n\n%s\n",
+              ir::ToString(program).c_str());
+
+  pipeline::TransformResult transformed =
+      pipeline::ApplyPipelineTransform(program);
+  std::printf("== after automatic pipelining ==\n\n%s\n",
+              ir::ToString(transformed.stmt).c_str());
+  for (const pipeline::PipelineGroupInfo& group : transformed.groups) {
+    std::printf("group %d: %zu buffer(s), %ld stages over loop '%s' (%s)\n",
+                group.id, group.buffer_names.size(), group.stages,
+                group.loop_var.c_str(), PipelineModeName(group.mode));
+  }
+
+  // Numerical validation under the async-visibility checker.
+  std::vector<float> x_data(32 * 256), y_data(32 * 256);
+  for (size_t i = 0; i < x_data.size(); ++i) {
+    x_data[i] = static_cast<float>(i % 97);
+    y_data[i] = static_cast<float>(i % 31);
+  }
+  sim::Executor exec;
+  exec.Bind(x, x_data);
+  exec.Bind(y, y_data);
+  exec.Run(transformed.stmt);
+  bool correct = true;
+  for (size_t i = 0; i < x_data.size(); ++i) {
+    if (exec.Data(out)[i] != 0.125f * x_data[i]) correct = false;
+  }
+  std::printf("\nnumerical check vs reference: %s\n",
+              correct ? "PASS" : "FAIL");
+
+  double before = Simulate(program, {}, spec);
+  double after = Simulate(transformed.stmt, transformed, spec);
+  std::printf("simulated latency: %.0f cycles -> %.0f cycles (%.2fx)\n",
+              before, after, before / after);
+  return correct ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Example: end-to-end model latency estimation.
+//
+// Walks a model graph (GPT-2 here), tunes every distinct GEMM-family
+// operator with and without pipelining, and prints the per-operator and
+// end-to-end latency breakdown — the workflow behind Table III.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "target/gpu_spec.h"
+#include "tuner/strategy.h"
+#include "workloads/models.h"
+
+using namespace alcop;  // NOLINT(build/namespaces) - example code
+
+namespace {
+
+double Tuned(const schedule::GemmOp& op, const target::GpuSpec& spec,
+             const tuner::SpaceOptions& options) {
+  tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec, options);
+  if (task.space.empty()) return 0.0;
+  double best = tuner::AnalyticalRanking(task, 12).BestInFirstK(12);
+  return std::isfinite(best) ? best : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  target::GpuSpec spec = target::AmpereSpec();
+  const workloads::ModelGraph& model = workloads::FindModel("GPT-2");
+
+  std::printf("== %s inference on %s ==\n\n", model.name.c_str(),
+              spec.name.c_str());
+  std::printf("%-14s %6s | %12s %12s %9s\n", "operator", "count",
+              "TVM (us)", "ALCOP (us)", "speedup");
+
+  double tvm_total = 0.0, alcop_total = 0.0;
+  for (const workloads::LayerOp& layer : model.ops) {
+    double tvm =
+        Tuned(layer.op, spec, tuner::SpaceOptions::NoPipelining());
+    double alcop = std::min(tvm, Tuned(layer.op, spec, tuner::SpaceOptions()));
+    tvm_total += layer.count * tvm;
+    alcop_total += layer.count * alcop;
+    std::printf("%-14s %6d | %12.1f %12.1f %8.2fx\n",
+                layer.op.name.c_str(), layer.count,
+                spec.CyclesToUs(layer.count * tvm),
+                spec.CyclesToUs(layer.count * alcop), tvm / alcop);
+  }
+
+  double ewise = model.ewise_bytes_fused / spec.dram_bw_bytes_per_cycle;
+  double launches = model.launches_fused * spec.launch_overhead_cycles;
+  std::printf("%-14s %6s | %12.1f %12.1f\n", "non-GEMM", "",
+              spec.CyclesToUs(ewise + launches),
+              spec.CyclesToUs(ewise + launches));
+
+  double tvm_e2e = tvm_total + ewise + launches;
+  double alcop_e2e = alcop_total + ewise + launches;
+  std::printf("\nend-to-end: TVM %.0f us, ALCOP %.0f us -> %.2fx\n",
+              spec.CyclesToUs(tvm_e2e), spec.CyclesToUs(alcop_e2e),
+              tvm_e2e / alcop_e2e);
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "ir/analysis.h"
+
+#include "support/check.h"
+
+namespace alcop {
+namespace ir {
+
+namespace {
+
+void WalkImpl(const Stmt& s, std::vector<const ForNode*>& loops,
+              const std::function<void(const Stmt&,
+                                       const std::vector<const ForNode*>&)>& fn) {
+  switch (s->kind) {
+    case StmtKind::kBlock: {
+      const auto* op = static_cast<const BlockNode*>(s.get());
+      for (const Stmt& child : op->seq) WalkImpl(child, loops, fn);
+      return;
+    }
+    case StmtKind::kFor: {
+      const auto* op = static_cast<const ForNode*>(s.get());
+      fn(s, loops);
+      loops.push_back(op);
+      WalkImpl(op->body, loops, fn);
+      loops.pop_back();
+      return;
+    }
+    case StmtKind::kPragma: {
+      const auto* op = static_cast<const PragmaNode*>(s.get());
+      fn(s, loops);
+      WalkImpl(op->body, loops, fn);
+      return;
+    }
+    case StmtKind::kIfThenElse: {
+      const auto* op = static_cast<const IfThenElseNode*>(s.get());
+      fn(s, loops);
+      WalkImpl(op->then_case, loops, fn);
+      if (op->else_case != nullptr) WalkImpl(op->else_case, loops, fn);
+      return;
+    }
+    default:
+      fn(s, loops);
+      return;
+  }
+}
+
+}  // namespace
+
+void WalkWithLoops(
+    const Stmt& s,
+    const std::function<void(const Stmt&, const std::vector<const ForNode*>&)>&
+        fn) {
+  std::vector<const ForNode*> loops;
+  WalkImpl(s, loops, fn);
+}
+
+std::vector<Buffer> CollectAllocatedBuffers(const Stmt& s) {
+  std::vector<Buffer> buffers;
+  WalkWithLoops(s, [&](const Stmt& stmt, const std::vector<const ForNode*>&) {
+    if (stmt->kind == StmtKind::kAlloc) {
+      buffers.push_back(static_cast<const AllocNode*>(stmt.get())->buffer);
+    }
+  });
+  return buffers;
+}
+
+std::vector<PipelineHint> CollectPipelineHints(const Stmt& s) {
+  std::vector<PipelineHint> hints;
+  WalkWithLoops(s, [&](const Stmt& stmt, const std::vector<const ForNode*>&) {
+    if (stmt->kind != StmtKind::kPragma) return;
+    const auto* pragma = static_cast<const PragmaNode*>(stmt.get());
+    if (pragma->key != kPipelinePragma) return;
+    ALCOP_CHECK(pragma->buffer != nullptr)
+        << "pipeline_stages pragma must name a buffer";
+    ALCOP_CHECK_GE(pragma->value, 2)
+        << "pipeline of buffer '" << pragma->buffer->name
+        << "' needs at least 2 stages";
+    hints.push_back({pragma->buffer, pragma->value});
+  });
+  return hints;
+}
+
+std::unordered_map<const BufferNode*, std::vector<ProducerInfo>> MapProducers(
+    const Stmt& s) {
+  std::unordered_map<const BufferNode*, std::vector<ProducerInfo>> producers;
+  WalkWithLoops(s, [&](const Stmt& stmt, const std::vector<const ForNode*>& loops) {
+    if (stmt->kind != StmtKind::kCopy) return;
+    const auto* copy = static_cast<const CopyNode*>(stmt.get());
+    producers[copy->dst.buffer.get()].push_back({copy, loops});
+  });
+  return producers;
+}
+
+std::unordered_map<const BufferNode*, std::vector<ConsumerInfo>> MapConsumers(
+    const Stmt& s) {
+  std::unordered_map<const BufferNode*, std::vector<ConsumerInfo>> consumers;
+  WalkWithLoops(s, [&](const Stmt& stmt, const std::vector<const ForNode*>& loops) {
+    switch (stmt->kind) {
+      case StmtKind::kCopy: {
+        const auto* copy = static_cast<const CopyNode*>(stmt.get());
+        consumers[copy->src.buffer.get()].push_back({stmt.get(), loops});
+        return;
+      }
+      case StmtKind::kMma: {
+        const auto* mma = static_cast<const MmaNode*>(stmt.get());
+        consumers[mma->a.buffer.get()].push_back({stmt.get(), loops});
+        consumers[mma->b.buffer.get()].push_back({stmt.get(), loops});
+        return;
+      }
+      default:
+        return;
+    }
+  });
+  return consumers;
+}
+
+bool RegionUsesVar(const BufferRegion& region, const Var& v) {
+  for (const Expr& offset : region.offsets) {
+    if (UsesVar(offset, v)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+int64_t CountFlopsImpl(const Stmt& s) {
+  switch (s->kind) {
+    case StmtKind::kBlock: {
+      const auto* op = static_cast<const BlockNode*>(s.get());
+      int64_t total = 0;
+      for (const Stmt& child : op->seq) total += CountFlopsImpl(child);
+      return total;
+    }
+    case StmtKind::kFor: {
+      const auto* op = static_cast<const ForNode*>(s.get());
+      int64_t extent = 0;
+      ALCOP_CHECK(AsConst(op->extent, &extent))
+          << "CountFlops requires constant loop extents";
+      return extent * CountFlopsImpl(op->body);
+    }
+    case StmtKind::kPragma:
+      return CountFlopsImpl(static_cast<const PragmaNode*>(s.get())->body);
+    case StmtKind::kIfThenElse: {
+      // Conservative: count the then-branch only (prologue guards etc. are
+      // not part of steady-state FLOPs accounting).
+      const auto* op = static_cast<const IfThenElseNode*>(s.get());
+      return CountFlopsImpl(op->then_case);
+    }
+    case StmtKind::kMma:
+      return static_cast<const MmaNode*>(s.get())->Flops();
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+int64_t CountFlops(const Stmt& s) { return CountFlopsImpl(s); }
+
+}  // namespace ir
+}  // namespace alcop

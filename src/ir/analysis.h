@@ -1,0 +1,70 @@
+// Shared IR analyses used by the pipeline detection and transformation
+// passes (Sec. III-A of the paper): walking statements with their enclosing
+// loop-nest stack, collecting allocations and pipeline-hint pragmas, and
+// reconstructing producer/consumer relations of buffers.
+#ifndef ALCOP_IR_ANALYSIS_H_
+#define ALCOP_IR_ANALYSIS_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace ir {
+
+// Calls `fn` for every non-block statement, passing the stack of enclosing
+// For nodes (outermost first). Pragma bodies are walked through.
+void WalkWithLoops(
+    const Stmt& s,
+    const std::function<void(const Stmt&, const std::vector<const ForNode*>&)>&
+        fn);
+
+// All buffers declared by Alloc statements, in program order.
+std::vector<Buffer> CollectAllocatedBuffers(const Stmt& s);
+
+// A pipeline hint attached by the schedule transformation
+// (pragma pipeline_stages(buffer) = n).
+struct PipelineHint {
+  Buffer buffer;
+  int64_t stages;
+};
+
+// First analysis step: collect the pipelining hints, in program order of
+// the pragma nodes.
+std::vector<PipelineHint> CollectPipelineHints(const Stmt& s);
+
+// A copy that writes into a buffer, with its enclosing loops.
+struct ProducerInfo {
+  const CopyNode* copy;
+  std::vector<const ForNode*> loops;  // outermost first
+};
+
+// A statement that reads from a buffer (Copy src or Mma a/b operand).
+struct ConsumerInfo {
+  const StmtNode* stmt;
+  std::vector<const ForNode*> loops;  // outermost first
+};
+
+// Second analysis step: producer reconstruction. Keyed by buffer node.
+std::unordered_map<const BufferNode*, std::vector<ProducerInfo>> MapProducers(
+    const Stmt& s);
+
+// Second analysis step: consumer reconstruction. Accumulator read-modify-
+// write by Mma is not counted as a consumption (the accumulator is never a
+// pipelined buffer).
+std::unordered_map<const BufferNode*, std::vector<ConsumerInfo>> MapConsumers(
+    const Stmt& s);
+
+// True if any offset of `region` uses `v`.
+bool RegionUsesVar(const BufferRegion& region, const Var& v);
+
+// Total FLOPs of all Mma statements, with loop extents multiplied through
+// (extents must be constant). Used by the perf model and the workloads.
+int64_t CountFlops(const Stmt& s);
+
+}  // namespace ir
+}  // namespace alcop
+
+#endif  // ALCOP_IR_ANALYSIS_H_

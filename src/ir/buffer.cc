@@ -1,0 +1,79 @@
+#include "ir/buffer.h"
+
+#include "support/check.h"
+
+namespace alcop {
+namespace ir {
+
+const char* MemScopeName(MemScope scope) {
+  switch (scope) {
+    case MemScope::kGlobal: return "global";
+    case MemScope::kShared: return "shared";
+    case MemScope::kRegister: return "register";
+    case MemScope::kAccumulator: return "accumulator";
+  }
+  return "?";
+}
+
+BufferNode::BufferNode(std::string name, MemScope scope,
+                       std::vector<int64_t> shape, int64_t elem_bytes)
+    : name(std::move(name)),
+      scope(scope),
+      shape(std::move(shape)),
+      elem_bytes(elem_bytes) {
+  ALCOP_CHECK(!this->shape.empty()) << "buffer '" << this->name << "' has no dims";
+  for (int64_t dim : this->shape) {
+    ALCOP_CHECK_GT(dim, 0) << "buffer '" << this->name << "' has non-positive dim";
+  }
+  ALCOP_CHECK_GT(elem_bytes, 0);
+}
+
+int64_t BufferNode::NumElements() const {
+  int64_t total = 1;
+  for (int64_t dim : shape) total *= dim;
+  return total;
+}
+
+std::vector<int64_t> BufferNode::Strides() const {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (size_t i = shape.size(); i-- > 1;) {
+    strides[i - 1] = strides[i] * shape[i];
+  }
+  return strides;
+}
+
+Buffer MakeBuffer(const std::string& name, MemScope scope,
+                  std::vector<int64_t> shape, int64_t elem_bytes) {
+  return std::make_shared<BufferNode>(name, scope, std::move(shape), elem_bytes);
+}
+
+int64_t BufferRegion::NumElements() const {
+  int64_t total = 1;
+  for (int64_t size : sizes) total *= size;
+  return total;
+}
+
+BufferRegion FullRegion(const Buffer& buffer) {
+  BufferRegion region;
+  region.buffer = buffer;
+  region.offsets.assign(buffer->shape.size(), Int(0));
+  region.sizes = buffer->shape;
+  return region;
+}
+
+void ValidateRegion(const BufferRegion& region) {
+  ALCOP_CHECK(region.buffer != nullptr) << "region has no buffer";
+  ALCOP_CHECK_EQ(region.offsets.size(), region.buffer->shape.size())
+      << "region offsets rank mismatch for '" << region.buffer->name << "'";
+  ALCOP_CHECK_EQ(region.sizes.size(), region.buffer->shape.size())
+      << "region sizes rank mismatch for '" << region.buffer->name << "'";
+  for (size_t d = 0; d < region.sizes.size(); ++d) {
+    ALCOP_CHECK_GT(region.sizes[d], 0)
+        << "region of '" << region.buffer->name << "' has empty dim " << d;
+    ALCOP_CHECK_LE(region.sizes[d], region.buffer->shape[d])
+        << "region of '" << region.buffer->name << "' exceeds dim " << d;
+  }
+}
+
+}  // namespace ir
+}  // namespace alcop

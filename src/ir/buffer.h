@@ -1,0 +1,88 @@
+// Buffers and buffer regions.
+//
+// A Buffer is a statically-shaped array living in one level of the GPU
+// memory hierarchy. The pipeline transformation's first step (Sec. III-B)
+// expands a pipelined buffer by the number of stages, which here creates a
+// new Buffer with an extra leading "stage" dimension.
+//
+// A BufferRegion addresses a rectangular sub-block of a buffer: per-dim
+// element offsets (index expressions) plus static per-dim extents. Copies
+// and MMA operations act on regions; this keeps the IR at the same tile
+// granularity as the paper's Fig. 7.
+#ifndef ALCOP_IR_BUFFER_H_
+#define ALCOP_IR_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace alcop {
+namespace ir {
+
+// Which level of the memory hierarchy a buffer lives in. Accumulator is
+// the tensor-core accumulator register file (paper: C fragments); it is
+// never pipelined but participates in occupancy accounting.
+enum class MemScope {
+  kGlobal,
+  kShared,
+  kRegister,
+  kAccumulator,
+};
+
+const char* MemScopeName(MemScope scope);
+
+class BufferNode;
+using Buffer = std::shared_ptr<const BufferNode>;
+
+// Immutable buffer declaration. Identity is the node pointer (like Var).
+class BufferNode final {
+ public:
+  BufferNode(std::string name, MemScope scope, std::vector<int64_t> shape,
+             int64_t elem_bytes);
+
+  // Total element count (product of shape).
+  int64_t NumElements() const;
+
+  // Total byte footprint; this is what occupancy calculations use.
+  int64_t NumBytes() const { return NumElements() * elem_bytes; }
+
+  // Row-major strides in elements.
+  std::vector<int64_t> Strides() const;
+
+  std::string name;
+  MemScope scope;
+  std::vector<int64_t> shape;
+  int64_t elem_bytes;
+};
+
+Buffer MakeBuffer(const std::string& name, MemScope scope,
+                  std::vector<int64_t> shape, int64_t elem_bytes = 2);
+
+// A rectangular region of a buffer: `offsets[d]` is the element offset of
+// the region origin along dim d (an index expression over loop variables),
+// `sizes[d]` the static extent. offsets.size() == sizes.size() ==
+// buffer->shape.size().
+struct BufferRegion {
+  Buffer buffer;
+  std::vector<Expr> offsets;
+  std::vector<int64_t> sizes;
+
+  // Number of elements / bytes the region covers.
+  int64_t NumElements() const;
+  int64_t NumBytes() const { return NumElements() * buffer->elem_bytes; }
+};
+
+// Builds a region covering the whole buffer (all offsets zero).
+BufferRegion FullRegion(const Buffer& buffer);
+
+// Validates internal consistency (dim counts, positive sizes, sizes within
+// shape). Throws CheckError on violation.
+void ValidateRegion(const BufferRegion& region);
+
+}  // namespace ir
+}  // namespace alcop
+
+#endif  // ALCOP_IR_BUFFER_H_

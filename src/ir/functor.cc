@@ -1,0 +1,243 @@
+#include "ir/functor.h"
+
+#include "support/check.h"
+
+namespace alcop {
+namespace ir {
+
+// ---- ExprVisitor ----
+
+void ExprVisitor::VisitExpr(const Expr& e) {
+  ALCOP_CHECK(e != nullptr);
+  switch (e->kind) {
+    case ExprKind::kIntImm:
+      VisitIntImm(static_cast<const IntImmNode*>(e.get()));
+      return;
+    case ExprKind::kVar:
+      VisitVar(static_cast<const VarNode*>(e.get()));
+      return;
+    default:
+      VisitBinary(static_cast<const BinaryNode*>(e.get()));
+      return;
+  }
+}
+
+void ExprVisitor::VisitIntImm(const IntImmNode*) {}
+void ExprVisitor::VisitVar(const VarNode*) {}
+void ExprVisitor::VisitBinary(const BinaryNode* op) {
+  VisitExpr(op->a);
+  VisitExpr(op->b);
+}
+
+// ---- ExprMutator ----
+
+Expr ExprMutator::MutateExpr(const Expr& e) {
+  ALCOP_CHECK(e != nullptr);
+  switch (e->kind) {
+    case ExprKind::kIntImm:
+      return MutateIntImm(e, static_cast<const IntImmNode*>(e.get()));
+    case ExprKind::kVar:
+      return MutateVar(e, static_cast<const VarNode*>(e.get()));
+    default:
+      return MutateBinary(e, static_cast<const BinaryNode*>(e.get()));
+  }
+}
+
+Expr ExprMutator::MutateIntImm(const Expr& e, const IntImmNode*) { return e; }
+Expr ExprMutator::MutateVar(const Expr& e, const VarNode*) { return e; }
+Expr ExprMutator::MutateBinary(const Expr& e, const BinaryNode* op) {
+  Expr a = MutateExpr(op->a);
+  Expr b = MutateExpr(op->b);
+  if (a.get() == op->a.get() && b.get() == op->b.get()) return e;
+  return Binary(e->kind, std::move(a), std::move(b));
+}
+
+// ---- StmtVisitor ----
+
+void StmtVisitor::VisitStmt(const Stmt& s) {
+  ALCOP_CHECK(s != nullptr);
+  switch (s->kind) {
+    case StmtKind::kBlock:
+      VisitBlock(static_cast<const BlockNode*>(s.get()));
+      return;
+    case StmtKind::kFor:
+      VisitFor(static_cast<const ForNode*>(s.get()));
+      return;
+    case StmtKind::kAlloc:
+      VisitAlloc(static_cast<const AllocNode*>(s.get()));
+      return;
+    case StmtKind::kCopy:
+      VisitCopy(static_cast<const CopyNode*>(s.get()));
+      return;
+    case StmtKind::kFill:
+      VisitFill(static_cast<const FillNode*>(s.get()));
+      return;
+    case StmtKind::kMma:
+      VisitMma(static_cast<const MmaNode*>(s.get()));
+      return;
+    case StmtKind::kSync:
+      VisitSync(static_cast<const SyncNode*>(s.get()));
+      return;
+    case StmtKind::kPragma:
+      VisitPragma(static_cast<const PragmaNode*>(s.get()));
+      return;
+    case StmtKind::kIfThenElse:
+      VisitIfThenElse(static_cast<const IfThenElseNode*>(s.get()));
+      return;
+  }
+  ALCOP_CHECK(false) << "unhandled statement kind";
+}
+
+void StmtVisitor::VisitBlock(const BlockNode* op) {
+  for (const Stmt& s : op->seq) VisitStmt(s);
+}
+
+void StmtVisitor::VisitFor(const ForNode* op) {
+  VisitExpr(op->extent);
+  VisitStmt(op->body);
+}
+
+void StmtVisitor::VisitAlloc(const AllocNode*) {}
+
+void StmtVisitor::VisitCopy(const CopyNode* op) {
+  VisitRegion(op->dst);
+  VisitRegion(op->src);
+}
+
+void StmtVisitor::VisitFill(const FillNode* op) { VisitRegion(op->dst); }
+
+void StmtVisitor::VisitMma(const MmaNode* op) {
+  VisitRegion(op->c);
+  VisitRegion(op->a);
+  VisitRegion(op->b);
+}
+
+void StmtVisitor::VisitSync(const SyncNode*) {}
+
+void StmtVisitor::VisitPragma(const PragmaNode* op) { VisitStmt(op->body); }
+
+void StmtVisitor::VisitIfThenElse(const IfThenElseNode* op) {
+  VisitExpr(op->cond);
+  VisitStmt(op->then_case);
+  if (op->else_case != nullptr) VisitStmt(op->else_case);
+}
+
+void StmtVisitor::VisitRegion(const BufferRegion& region) {
+  for (const Expr& offset : region.offsets) VisitExpr(offset);
+}
+
+// ---- StmtMutator ----
+
+Stmt StmtMutator::MutateStmt(const Stmt& s) {
+  ALCOP_CHECK(s != nullptr);
+  switch (s->kind) {
+    case StmtKind::kBlock:
+      return MutateBlock(s, static_cast<const BlockNode*>(s.get()));
+    case StmtKind::kFor:
+      return MutateFor(s, static_cast<const ForNode*>(s.get()));
+    case StmtKind::kAlloc:
+      return MutateAlloc(s, static_cast<const AllocNode*>(s.get()));
+    case StmtKind::kCopy:
+      return MutateCopy(s, static_cast<const CopyNode*>(s.get()));
+    case StmtKind::kFill:
+      return MutateFill(s, static_cast<const FillNode*>(s.get()));
+    case StmtKind::kMma:
+      return MutateMma(s, static_cast<const MmaNode*>(s.get()));
+    case StmtKind::kSync:
+      return MutateSync(s, static_cast<const SyncNode*>(s.get()));
+    case StmtKind::kPragma:
+      return MutatePragma(s, static_cast<const PragmaNode*>(s.get()));
+    case StmtKind::kIfThenElse:
+      return MutateIfThenElse(s, static_cast<const IfThenElseNode*>(s.get()));
+  }
+  ALCOP_CHECK(false) << "unhandled statement kind";
+  return s;
+}
+
+Stmt StmtMutator::MutateBlock(const Stmt& s, const BlockNode* op) {
+  std::vector<Stmt> seq;
+  seq.reserve(op->seq.size());
+  bool changed = false;
+  for (const Stmt& child : op->seq) {
+    Stmt mutated = MutateStmt(child);
+    changed = changed || mutated.get() != child.get();
+    seq.push_back(std::move(mutated));
+  }
+  if (!changed) return s;
+  return Block(std::move(seq));
+}
+
+Stmt StmtMutator::MutateFor(const Stmt& s, const ForNode* op) {
+  Expr extent = MutateExpr(op->extent);
+  Stmt body = MutateStmt(op->body);
+  if (extent.get() == op->extent.get() && body.get() == op->body.get()) return s;
+  return For(op->var, std::move(extent), op->for_kind, std::move(body));
+}
+
+Stmt StmtMutator::MutateAlloc(const Stmt& s, const AllocNode*) { return s; }
+
+Stmt StmtMutator::MutateCopy(const Stmt& s, const CopyNode* op) {
+  bool changed = false;
+  BufferRegion dst = MutateRegion(op->dst, &changed);
+  BufferRegion src = MutateRegion(op->src, &changed);
+  if (!changed) return s;
+  auto copy = std::make_shared<CopyNode>(std::move(dst), std::move(src), op->op,
+                                         op->op_param);
+  copy->is_async = op->is_async;
+  copy->accumulate = op->accumulate;
+  copy->pipeline_group = op->pipeline_group;
+  return copy;
+}
+
+Stmt StmtMutator::MutateFill(const Stmt& s, const FillNode* op) {
+  bool changed = false;
+  BufferRegion dst = MutateRegion(op->dst, &changed);
+  if (!changed) return s;
+  return Fill(std::move(dst), op->value);
+}
+
+Stmt StmtMutator::MutateMma(const Stmt& s, const MmaNode* op) {
+  bool changed = false;
+  BufferRegion c = MutateRegion(op->c, &changed);
+  BufferRegion a = MutateRegion(op->a, &changed);
+  BufferRegion b = MutateRegion(op->b, &changed);
+  if (!changed) return s;
+  return Mma(std::move(c), std::move(a), std::move(b));
+}
+
+Stmt StmtMutator::MutateSync(const Stmt& s, const SyncNode*) { return s; }
+
+Stmt StmtMutator::MutatePragma(const Stmt& s, const PragmaNode* op) {
+  Stmt body = MutateStmt(op->body);
+  if (body.get() == op->body.get()) return s;
+  return Pragma(op->key, op->buffer, op->value, std::move(body));
+}
+
+Stmt StmtMutator::MutateIfThenElse(const Stmt& s, const IfThenElseNode* op) {
+  Expr cond = MutateExpr(op->cond);
+  Stmt then_case = MutateStmt(op->then_case);
+  Stmt else_case =
+      op->else_case == nullptr ? nullptr : MutateStmt(op->else_case);
+  if (cond.get() == op->cond.get() && then_case.get() == op->then_case.get() &&
+      else_case.get() == op->else_case.get()) {
+    return s;
+  }
+  return IfThenElse(std::move(cond), std::move(then_case), std::move(else_case));
+}
+
+BufferRegion StmtMutator::MutateRegion(const BufferRegion& region,
+                                       bool* changed) {
+  BufferRegion out;
+  out.buffer = region.buffer;
+  out.sizes = region.sizes;
+  out.offsets.reserve(region.offsets.size());
+  for (const Expr& offset : region.offsets) {
+    Expr mutated = MutateExpr(offset);
+    *changed = *changed || mutated.get() != offset.get();
+    out.offsets.push_back(std::move(mutated));
+  }
+  return out;
+}
+
+}  // namespace ir
+}  // namespace alcop

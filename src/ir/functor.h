@@ -1,0 +1,77 @@
+// Visitor and mutator base classes for the statement/expression IR.
+//
+// StmtVisitor walks a statement tree read-only; StmtMutator rebuilds it,
+// structurally sharing unchanged subtrees. Both dispatch on StmtKind (no
+// RTTI). Derived passes override the Visit*_ hooks they care about and
+// call the base implementation for default traversal.
+#ifndef ALCOP_IR_FUNCTOR_H_
+#define ALCOP_IR_FUNCTOR_H_
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace ir {
+
+class ExprVisitor {
+ public:
+  virtual ~ExprVisitor() = default;
+  void VisitExpr(const Expr& e);
+
+ protected:
+  virtual void VisitIntImm(const IntImmNode* op);
+  virtual void VisitVar(const VarNode* op);
+  virtual void VisitBinary(const BinaryNode* op);
+};
+
+class ExprMutator {
+ public:
+  virtual ~ExprMutator() = default;
+  Expr MutateExpr(const Expr& e);
+
+ protected:
+  virtual Expr MutateIntImm(const Expr& e, const IntImmNode* op);
+  virtual Expr MutateVar(const Expr& e, const VarNode* op);
+  virtual Expr MutateBinary(const Expr& e, const BinaryNode* op);
+};
+
+class StmtVisitor : public ExprVisitor {
+ public:
+  void VisitStmt(const Stmt& s);
+
+ protected:
+  virtual void VisitBlock(const BlockNode* op);
+  virtual void VisitFor(const ForNode* op);
+  virtual void VisitAlloc(const AllocNode* op);
+  virtual void VisitCopy(const CopyNode* op);
+  virtual void VisitFill(const FillNode* op);
+  virtual void VisitMma(const MmaNode* op);
+  virtual void VisitSync(const SyncNode* op);
+  virtual void VisitPragma(const PragmaNode* op);
+  virtual void VisitIfThenElse(const IfThenElseNode* op);
+  // Default traversal visits every offset expression of a region.
+  virtual void VisitRegion(const BufferRegion& region);
+};
+
+class StmtMutator : public ExprMutator {
+ public:
+  Stmt MutateStmt(const Stmt& s);
+
+ protected:
+  virtual Stmt MutateBlock(const Stmt& s, const BlockNode* op);
+  virtual Stmt MutateFor(const Stmt& s, const ForNode* op);
+  virtual Stmt MutateAlloc(const Stmt& s, const AllocNode* op);
+  virtual Stmt MutateCopy(const Stmt& s, const CopyNode* op);
+  virtual Stmt MutateFill(const Stmt& s, const FillNode* op);
+  virtual Stmt MutateMma(const Stmt& s, const MmaNode* op);
+  virtual Stmt MutateSync(const Stmt& s, const SyncNode* op);
+  virtual Stmt MutatePragma(const Stmt& s, const PragmaNode* op);
+  virtual Stmt MutateIfThenElse(const Stmt& s, const IfThenElseNode* op);
+  // Rewrites every offset expression of a region; `changed` is set if any
+  // offset node was replaced.
+  BufferRegion MutateRegion(const BufferRegion& region, bool* changed);
+};
+
+}  // namespace ir
+}  // namespace alcop
+
+#endif  // ALCOP_IR_FUNCTOR_H_

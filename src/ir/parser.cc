@@ -1,0 +1,561 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+#include "support/check.h"
+
+namespace alcop {
+namespace ir {
+
+namespace {
+
+// ---- Tokenizer ----
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kSymbol,  // one of ( ) [ ] { } , : . / = < > ! % * + - & |
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int64_t value = 0;
+  size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Next() {
+    Token token = current_;
+    Advance();
+    return token;
+  }
+
+  bool AtEnd() const { return current_.kind == TokKind::kEnd; }
+
+  size_t line() const { return line_; }
+
+ private:
+  void Advance() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    current_ = Token{};
+    current_.line = line_;
+    if (pos_ >= text_.size()) {
+      current_.kind = TokKind::kEnd;
+      return;
+    }
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t begin = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokKind::kIdent;
+      current_.text = text_.substr(begin, pos_ - begin);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t begin = pos_;
+      while (pos_ < text_.size()) {
+        char d = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d)) != 0) {
+          ++pos_;
+          continue;
+        }
+        // A decimal point only if followed by a digit, so the range token
+        // "0..64" stays three tokens.
+        if (d == '.' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) != 0) {
+          pos_ += 2;
+          continue;
+        }
+        break;
+      }
+      current_.kind = TokKind::kInt;
+      current_.text = text_.substr(begin, pos_ - begin);
+      current_.value = std::stoll(current_.text);
+      return;
+    }
+    // Multi-character operators the printer emits.
+    for (const char* op : {"<-", "+=", "==", "!=", "<=", ">=", "&&", "||",
+                           ".."}) {
+      size_t len = 2;
+      if (text_.compare(pos_, len, op) == 0) {
+        current_.kind = TokKind::kSymbol;
+        current_.text = op;
+        pos_ += len;
+        return;
+      }
+    }
+    current_.kind = TokKind::kSymbol;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  Token current_;
+};
+
+// ---- Parser ----
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::vector<Buffer>& externals)
+      : lexer_(text) {
+    for (const Buffer& buffer : externals) {
+      buffers_[buffer->name] = buffer;
+    }
+  }
+
+  Stmt ParseProgram() {
+    std::vector<Stmt> seq;
+    while (!lexer_.AtEnd() && lexer_.Peek().text != "}") {
+      seq.push_back(ParseOne());
+    }
+    ALCOP_CHECK(!seq.empty()) << "empty program";
+    return FlatBlock(std::move(seq));
+  }
+
+  Expr ParseTopLevelExpr() { return ParseOr(); }
+
+  void BindVar(const Var& var) { vars_[var->name] = var; }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) {
+    ALCOP_CHECK(false) << "parse error at line " << lexer_.Peek().line << ": "
+                       << message << " (near '" << lexer_.Peek().text << "')";
+    throw CheckError("unreachable");
+  }
+
+  Token Expect(TokKind kind, const std::string& what) {
+    if (lexer_.Peek().kind != kind) Fail("expected " + what);
+    return lexer_.Next();
+  }
+
+  void ExpectSymbol(const std::string& symbol) {
+    if (lexer_.Peek().kind != TokKind::kSymbol ||
+        lexer_.Peek().text != symbol) {
+      Fail("expected '" + symbol + "'");
+    }
+    lexer_.Next();
+  }
+
+  bool ConsumeSymbol(const std::string& symbol) {
+    if (lexer_.Peek().kind == TokKind::kSymbol &&
+        lexer_.Peek().text == symbol) {
+      lexer_.Next();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeIdent(const std::string& ident) {
+    if (lexer_.Peek().kind == TokKind::kIdent &&
+        lexer_.Peek().text == ident) {
+      lexer_.Next();
+      return true;
+    }
+    return false;
+  }
+
+  Buffer LookupBuffer(const std::string& name) {
+    auto it = buffers_.find(name);
+    if (it == buffers_.end()) Fail("unknown buffer '" + name + "'");
+    return it->second;
+  }
+
+  // ---- Statements ----
+
+  Stmt ParseOne() {
+    const Token& tok = lexer_.Peek();
+    if (tok.kind != TokKind::kIdent) Fail("expected a statement");
+    if (tok.text == "alloc") return ParseAlloc();
+    if (tok.text == "for") return ParseFor();
+    if (tok.text == "copy") return ParseCopy();
+    if (tok.text == "fill") return ParseFill();
+    if (tok.text == "mma") return ParseMma();
+    if (tok.text == "barrier") {
+      lexer_.Next();
+      return Barrier();
+    }
+    if (tok.text == "pragma") return ParsePragma();
+    if (tok.text == "if") return ParseIf();
+    return ParseSync();  // NAME[/NAME].kind @groupN
+  }
+
+  Stmt ParseAlloc() {
+    lexer_.Next();  // alloc
+    std::string name = Expect(TokKind::kIdent, "buffer name").text;
+    ExpectSymbol(":");
+    std::string scope_name = Expect(TokKind::kIdent, "memory scope").text;
+    MemScope scope;
+    if (scope_name == "global") scope = MemScope::kGlobal;
+    else if (scope_name == "shared") scope = MemScope::kShared;
+    else if (scope_name == "register") scope = MemScope::kRegister;
+    else if (scope_name == "accumulator") scope = MemScope::kAccumulator;
+    else { Fail("unknown memory scope '" + scope_name + "'"); }
+    std::string fp = Expect(TokKind::kIdent, "element type").text;
+    ALCOP_CHECK(fp.size() > 2 && fp.substr(0, 2) == "fp")
+        << "expected fpNN element type, got '" << fp << "'";
+    int64_t bits = std::stoll(fp.substr(2));
+    ExpectSymbol("[");
+    std::vector<int64_t> shape;
+    while (true) {
+      shape.push_back(Expect(TokKind::kInt, "dimension").value);
+      if (!ConsumeSymbol(",")) break;
+    }
+    ExpectSymbol("]");
+    Buffer buffer = MakeBuffer(name, scope, std::move(shape), bits / 8);
+    buffers_[name] = buffer;
+    return Alloc(buffer);
+  }
+
+  Stmt ParseFor() {
+    lexer_.Next();  // for
+    std::string var_name = Expect(TokKind::kIdent, "loop variable").text;
+    if (!ConsumeIdent("in")) Fail("expected 'in'");
+    if (lexer_.Peek().kind == TokKind::kInt) lexer_.Next();  // the 0
+    ExpectSymbol("..");
+    Expr extent = ParsePrimary();
+    std::string kind_name = Expect(TokKind::kIdent, "loop kind").text;
+    ForKind kind;
+    if (kind_name == "serial") kind = ForKind::kSerial;
+    else if (kind_name == "unrolled") kind = ForKind::kUnrolled;
+    else if (kind_name == "blockIdx") kind = ForKind::kBlockIdx;
+    else if (kind_name == "warp") kind = ForKind::kWarp;
+    else { Fail("unknown loop kind '" + kind_name + "'"); }
+
+    Var var = MakeVar(var_name);
+    // Shadowing: restore the previous binding after the body.
+    auto previous = vars_.find(var_name);
+    std::optional<Var> saved;
+    if (previous != vars_.end()) saved = previous->second;
+    vars_[var_name] = var;
+
+    ExpectSymbol("{");
+    Stmt body = ParseProgram();
+    ExpectSymbol("}");
+
+    if (saved.has_value()) {
+      vars_[var_name] = *saved;
+    } else {
+      vars_.erase(var_name);
+    }
+    return For(var, extent, kind, body);
+  }
+
+  Stmt ParseCopy() {
+    lexer_.Next();  // copy
+    bool is_async = false;
+    if (ConsumeSymbol(".")) {
+      if (!ConsumeIdent("async")) Fail("expected 'async'");
+      is_async = true;
+    }
+    BufferRegion dst = ParseRegion();
+    bool accumulate = false;
+    if (ConsumeSymbol("+=")) {
+      accumulate = true;
+    } else {
+      ExpectSymbol("<-");
+    }
+    // Optional elementwise wrapper: op[param](region).
+    EwiseOp op = EwiseOp::kNone;
+    double param = 0.0;
+    if (lexer_.Peek().kind == TokKind::kIdent) {
+      std::string ident = lexer_.Peek().text;
+      if (ident == "relu" || ident == "gelu" || ident == "scale" ||
+          ident == "add_const") {
+        lexer_.Next();
+        if (ident == "relu") op = EwiseOp::kRelu;
+        if (ident == "gelu") op = EwiseOp::kGelu;
+        if (ident == "scale") op = EwiseOp::kScale;
+        if (ident == "add_const") op = EwiseOp::kAddConst;
+        if (ConsumeSymbol("[")) {
+          bool negative = ConsumeSymbol("-");
+          param = std::stod(Expect(TokKind::kInt, "op parameter").text);
+          if (negative) param = -param;
+          ExpectSymbol("]");
+        }
+        ExpectSymbol("(");
+      }
+    }
+    BufferRegion src = ParseRegion();
+    if (op != EwiseOp::kNone) ExpectSymbol(")");
+    int group = ParseOptionalGroup();
+
+    Stmt stmt = Copy(std::move(dst), std::move(src), op, param);
+    auto node =
+        std::make_shared<CopyNode>(*static_cast<const CopyNode*>(stmt.get()));
+    node->is_async = is_async;
+    node->accumulate = accumulate;
+    node->pipeline_group = group;
+    return node;
+  }
+
+  Stmt ParseFill() {
+    lexer_.Next();  // fill
+    BufferRegion dst = ParseRegion();
+    ExpectSymbol("=");
+    bool negative = ConsumeSymbol("-");
+    Token value = Expect(TokKind::kInt, "fill value");
+    double v = std::stod(value.text);
+    return Fill(std::move(dst), negative ? -v : v);
+  }
+
+  Stmt ParseMma() {
+    lexer_.Next();  // mma
+    BufferRegion c = ParseRegion();
+    ExpectSymbol("+=");
+    BufferRegion a = ParseRegion();
+    ExpectSymbol("*");
+    BufferRegion b = ParseRegion();
+    return Mma(std::move(c), std::move(a), std::move(b));
+  }
+
+  Stmt ParsePragma() {
+    lexer_.Next();  // pragma
+    std::string key = Expect(TokKind::kIdent, "pragma key").text;
+    Buffer buffer;
+    if (ConsumeSymbol("(")) {
+      buffer = LookupOrDeclareForward(
+          Expect(TokKind::kIdent, "buffer name").text);
+      ExpectSymbol(")");
+    }
+    ExpectSymbol("=");
+    int64_t value = Expect(TokKind::kInt, "pragma value").value;
+    ExpectSymbol("{");
+    Stmt body = ParseProgram();
+    ExpectSymbol("}");
+    // Forward-declared pragma buffers resolve to the alloc inside the body.
+    if (buffer != nullptr && buffers_.count(buffer->name) != 0 &&
+        buffers_[buffer->name].get() != buffer.get()) {
+      buffer = buffers_[buffer->name];
+    }
+    return Pragma(key, buffer, value, body);
+  }
+
+  // Pragmas may name a buffer whose alloc appears inside their body; use a
+  // placeholder resolved after the body parses.
+  Buffer LookupOrDeclareForward(const std::string& name) {
+    auto it = buffers_.find(name);
+    if (it != buffers_.end()) return it->second;
+    return MakeBuffer(name, MemScope::kShared, {1});
+  }
+
+  Stmt ParseIf() {
+    lexer_.Next();  // if
+    Expr cond = ParseOr();
+    ExpectSymbol("{");
+    Stmt then_case = ParseProgram();
+    ExpectSymbol("}");
+    Stmt else_case;
+    if (ConsumeIdent("else")) {
+      ExpectSymbol("{");
+      else_case = ParseProgram();
+      ExpectSymbol("}");
+    }
+    return IfThenElse(cond, then_case, else_case);
+  }
+
+  Stmt ParseSync() {
+    std::vector<Buffer> buffers;
+    buffers.push_back(
+        LookupBuffer(Expect(TokKind::kIdent, "buffer name").text));
+    while (ConsumeSymbol("/")) {
+      buffers.push_back(
+          LookupBuffer(Expect(TokKind::kIdent, "buffer name").text));
+    }
+    ExpectSymbol(".");
+    std::string kind_name = Expect(TokKind::kIdent, "sync kind").text;
+    SyncKind kind;
+    if (kind_name == "producer_acquire") kind = SyncKind::kProducerAcquire;
+    else if (kind_name == "producer_commit") kind = SyncKind::kProducerCommit;
+    else if (kind_name == "consumer_wait") kind = SyncKind::kConsumerWait;
+    else if (kind_name == "consumer_release") kind = SyncKind::kConsumerRelease;
+    else { Fail("unknown sync kind '" + kind_name + "'"); }
+    int wait_ahead = 0;
+    if (ConsumeSymbol("(")) {
+      if (!ConsumeIdent("ahead")) Fail("expected 'ahead'");
+      ExpectSymbol("=");
+      wait_ahead = static_cast<int>(Expect(TokKind::kInt, "ahead").value);
+      ExpectSymbol(")");
+    }
+    int group = ParseOptionalGroup();
+    ALCOP_CHECK_GE(group, 0) << "sync primitive requires @groupN";
+    return Sync(kind, group, std::move(buffers), wait_ahead);
+  }
+
+  int ParseOptionalGroup() {
+    if (!ConsumeSymbol("@")) return -1;
+    std::string ident = Expect(TokKind::kIdent, "group tag").text;
+    ALCOP_CHECK(ident.size() > 5 && ident.substr(0, 5) == "group")
+        << "expected @groupN, got @" << ident;
+    return std::stoi(ident.substr(5));
+  }
+
+  BufferRegion ParseRegion() {
+    Buffer buffer =
+        LookupBuffer(Expect(TokKind::kIdent, "buffer name").text);
+    BufferRegion region;
+    region.buffer = buffer;
+    ExpectSymbol("[");
+    while (true) {
+      region.offsets.push_back(ParseOr());
+      if (!ConsumeSymbol(",")) break;
+    }
+    ExpectSymbol("]");
+    ExpectSymbol("[");
+    while (true) {
+      region.sizes.push_back(Expect(TokKind::kInt, "region size").value);
+      if (!ConsumeSymbol(",")) break;
+    }
+    ExpectSymbol("]");
+    return region;
+  }
+
+  // ---- Expressions (precedence mirrors the printer) ----
+
+  Expr ParseOr() {
+    Expr lhs = ParseAnd();
+    while (ConsumeSymbol("||")) {
+      lhs = Binary(ExprKind::kOr, lhs, ParseAnd());
+    }
+    return lhs;
+  }
+
+  Expr ParseAnd() {
+    Expr lhs = ParseEquality();
+    while (ConsumeSymbol("&&")) {
+      lhs = Binary(ExprKind::kAnd, lhs, ParseEquality());
+    }
+    return lhs;
+  }
+
+  Expr ParseEquality() {
+    Expr lhs = ParseComparison();
+    while (true) {
+      if (ConsumeSymbol("==")) {
+        lhs = Binary(ExprKind::kEQ, lhs, ParseComparison());
+      } else if (ConsumeSymbol("!=")) {
+        lhs = Binary(ExprKind::kNE, lhs, ParseComparison());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Expr ParseComparison() {
+    Expr lhs = ParseAdditive();
+    while (true) {
+      if (ConsumeSymbol("<=")) {
+        lhs = Binary(ExprKind::kLE, lhs, ParseAdditive());
+      } else if (ConsumeSymbol(">=")) {
+        lhs = Binary(ExprKind::kGE, lhs, ParseAdditive());
+      } else if (ConsumeSymbol("<")) {
+        lhs = Binary(ExprKind::kLT, lhs, ParseAdditive());
+      } else if (ConsumeSymbol(">")) {
+        lhs = Binary(ExprKind::kGT, lhs, ParseAdditive());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Expr ParseAdditive() {
+    Expr lhs = ParseMultiplicative();
+    while (true) {
+      if (ConsumeSymbol("+")) {
+        lhs = Add(lhs, ParseMultiplicative());
+      } else if (ConsumeSymbol("-")) {
+        lhs = Sub(lhs, ParseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Expr ParseMultiplicative() {
+    Expr lhs = ParsePrimary();
+    while (true) {
+      if (ConsumeSymbol("*")) {
+        lhs = Mul(lhs, ParsePrimary());
+      } else if (ConsumeSymbol("/")) {
+        lhs = FloorDiv(lhs, ParsePrimary());
+      } else if (ConsumeSymbol("%")) {
+        lhs = FloorMod(lhs, ParsePrimary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Expr ParsePrimary() {
+    if (ConsumeSymbol("(")) {
+      Expr inner = ParseOr();
+      ExpectSymbol(")");
+      return inner;
+    }
+    if (ConsumeSymbol("-")) {
+      return Sub(Int(0), ParsePrimary());
+    }
+    const Token& tok = lexer_.Peek();
+    if (tok.kind == TokKind::kInt) {
+      return Int(lexer_.Next().value);
+    }
+    if (tok.kind == TokKind::kIdent) {
+      if (tok.text == "min" || tok.text == "max") {
+        bool is_min = tok.text == "min";
+        lexer_.Next();
+        ExpectSymbol("(");
+        Expr a = ParseOr();
+        ExpectSymbol(",");
+        Expr b = ParseOr();
+        ExpectSymbol(")");
+        return is_min ? Min(a, b) : Max(a, b);
+      }
+      std::string name = lexer_.Next().text;
+      auto it = vars_.find(name);
+      if (it == vars_.end()) Fail("unbound variable '" + name + "'");
+      return it->second;
+    }
+    Fail("expected an expression");
+  }
+
+  Lexer lexer_;
+  std::map<std::string, Buffer> buffers_;
+  std::map<std::string, Var> vars_;
+};
+
+}  // namespace
+
+Stmt ParseStmt(const std::string& text,
+               const std::vector<Buffer>& external_buffers) {
+  Parser parser(text, external_buffers);
+  Stmt program = parser.ParseProgram();
+  return program;
+}
+
+Expr ParseExpr(const std::string& text, const std::vector<Var>& vars) {
+  Parser parser(text, {});
+  for (const Var& var : vars) parser.BindVar(var);
+  return parser.ParseTopLevelExpr();
+}
+
+}  // namespace ir
+}  // namespace alcop

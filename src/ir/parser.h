@@ -1,0 +1,45 @@
+// Parser for the textual IR the printer emits.
+//
+// Round-trips with ir::ToString: Parse(ToString(stmt)) is structurally
+// equal to stmt. Useful for textual test fixtures, tooling, and dumping/
+// reloading transformed kernels.
+//
+// Grammar (one construct per line, two-space indentation is decorative):
+//   alloc NAME: SCOPE fpBITS[D1, D2, ...]
+//   for VAR in 0..EXTENT KIND { ... }
+//   copy[.async] REGION (<-|+=) [EWISE(]REGION[)] [@groupN]
+//   fill REGION = VALUE
+//   mma REGION += REGION * REGION
+//   barrier
+//   NAME[/NAME...].SYNCKIND[(ahead=N)]  @groupN
+//   pragma KEY(NAME) = VALUE { ... }
+//   if EXPR { ... } [else { ... }]
+// where REGION is NAME[EXPR, ...][INT, ...], and EXPR supports
+// + - * / % min() max() comparisons && || and parentheses with the
+// printer's precedence.
+//
+// Buffers referenced before their alloc (graph inputs/outputs) must be
+// supplied in `external_buffers`; loop variables are bound by their `for`.
+#ifndef ALCOP_IR_PARSER_H_
+#define ALCOP_IR_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace ir {
+
+// Parses a program. Throws CheckError with line/column context on syntax
+// errors, unknown buffers, or unbound variables.
+Stmt ParseStmt(const std::string& text,
+               const std::vector<Buffer>& external_buffers = {});
+
+// Parses a single index expression over the given variables.
+Expr ParseExpr(const std::string& text, const std::vector<Var>& vars);
+
+}  // namespace ir
+}  // namespace alcop
+
+#endif  // ALCOP_IR_PARSER_H_

@@ -1,0 +1,247 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace alcop {
+namespace ir {
+
+namespace {
+
+// Operator precedence for minimal parenthesization.
+int Precedence(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kIntImm:
+    case ExprKind::kVar:
+      return 100;
+    case ExprKind::kMul:
+    case ExprKind::kFloorDiv:
+    case ExprKind::kFloorMod:
+      return 5;
+    case ExprKind::kAdd:
+    case ExprKind::kSub:
+      return 4;
+    case ExprKind::kLT:
+    case ExprKind::kLE:
+    case ExprKind::kGT:
+    case ExprKind::kGE:
+      return 3;
+    case ExprKind::kEQ:
+    case ExprKind::kNE:
+      return 2;
+    case ExprKind::kAnd:
+      return 1;
+    case ExprKind::kOr:
+      return 0;
+    case ExprKind::kMin:
+    case ExprKind::kMax:
+      return 100;  // printed as function calls
+  }
+  return 0;
+}
+
+void PrintExpr(const Expr& e, int parent_prec, std::ostringstream& out) {
+  switch (e->kind) {
+    case ExprKind::kIntImm:
+      out << static_cast<const IntImmNode*>(e.get())->value;
+      return;
+    case ExprKind::kVar:
+      out << static_cast<const VarNode*>(e.get())->name;
+      return;
+    case ExprKind::kMin:
+    case ExprKind::kMax: {
+      const auto* bin = static_cast<const BinaryNode*>(e.get());
+      out << (e->kind == ExprKind::kMin ? "min(" : "max(");
+      PrintExpr(bin->a, 0, out);
+      out << ", ";
+      PrintExpr(bin->b, 0, out);
+      out << ")";
+      return;
+    }
+    default: {
+      const auto* bin = static_cast<const BinaryNode*>(e.get());
+      int prec = Precedence(e->kind);
+      bool parens = prec < parent_prec;
+      if (parens) out << "(";
+      PrintExpr(bin->a, prec, out);
+      out << " " << ExprKindToken(e->kind) << " ";
+      // Right operand binds one tighter so "a - b - c" parenthesizes
+      // correctly when rebuilt as a - (b - c).
+      PrintExpr(bin->b, prec + 1, out);
+      if (parens) out << ")";
+      return;
+    }
+  }
+}
+
+class Printer final {
+ public:
+  std::string Print(const Stmt& s) {
+    PrintStmt(s);
+    return out_.str();
+  }
+
+ private:
+  void Indent() {
+    for (int i = 0; i < indent_; ++i) out_ << "  ";
+  }
+
+  void PrintRegion(const BufferRegion& region) {
+    out_ << region.buffer->name << "[";
+    for (size_t d = 0; d < region.offsets.size(); ++d) {
+      if (d > 0) out_ << ", ";
+      PrintExpr(region.offsets[d], 0, out_);
+    }
+    out_ << "][";
+    for (size_t d = 0; d < region.sizes.size(); ++d) {
+      if (d > 0) out_ << ", ";
+      out_ << region.sizes[d];
+    }
+    out_ << "]";
+  }
+
+  void PrintStmt(const Stmt& s) {
+    switch (s->kind) {
+      case StmtKind::kBlock: {
+        const auto* op = static_cast<const BlockNode*>(s.get());
+        for (const Stmt& child : op->seq) PrintStmt(child);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto* op = static_cast<const ForNode*>(s.get());
+        Indent();
+        out_ << "for " << op->var->name << " in 0..";
+        PrintExpr(op->extent, 100, out_);
+        out_ << " " << ForKindName(op->for_kind) << " {\n";
+        ++indent_;
+        PrintStmt(op->body);
+        --indent_;
+        Indent();
+        out_ << "}\n";
+        return;
+      }
+      case StmtKind::kAlloc: {
+        const auto* op = static_cast<const AllocNode*>(s.get());
+        Indent();
+        out_ << "alloc " << op->buffer->name << ": "
+             << MemScopeName(op->buffer->scope) << " fp" << op->buffer->elem_bytes * 8
+             << "[";
+        for (size_t d = 0; d < op->buffer->shape.size(); ++d) {
+          if (d > 0) out_ << ", ";
+          out_ << op->buffer->shape[d];
+        }
+        out_ << "]\n";
+        return;
+      }
+      case StmtKind::kCopy: {
+        const auto* op = static_cast<const CopyNode*>(s.get());
+        Indent();
+        out_ << (op->is_async ? "copy.async " : "copy ");
+        PrintRegion(op->dst);
+        out_ << (op->accumulate ? " += " : " <- ");
+        if (op->op != EwiseOp::kNone) {
+          out_ << EwiseOpName(op->op);
+          // Parameterized ops carry their constant for round-tripping.
+          if (op->op == EwiseOp::kScale || op->op == EwiseOp::kAddConst) {
+            out_ << "[" << op->op_param << "]";
+          }
+          out_ << "(";
+        }
+        PrintRegion(op->src);
+        if (op->op != EwiseOp::kNone) out_ << ")";
+        if (op->pipeline_group >= 0) out_ << "  @group" << op->pipeline_group;
+        out_ << "\n";
+        return;
+      }
+      case StmtKind::kFill: {
+        const auto* op = static_cast<const FillNode*>(s.get());
+        Indent();
+        out_ << "fill ";
+        PrintRegion(op->dst);
+        out_ << " = " << op->value << "\n";
+        return;
+      }
+      case StmtKind::kMma: {
+        const auto* op = static_cast<const MmaNode*>(s.get());
+        Indent();
+        out_ << "mma ";
+        PrintRegion(op->c);
+        out_ << " += ";
+        PrintRegion(op->a);
+        out_ << " * ";
+        PrintRegion(op->b);
+        out_ << "\n";
+        return;
+      }
+      case StmtKind::kSync: {
+        const auto* op = static_cast<const SyncNode*>(s.get());
+        Indent();
+        if (op->sync_kind == SyncKind::kBarrier) {
+          out_ << "barrier\n";
+          return;
+        }
+        for (size_t i = 0; i < op->buffers.size(); ++i) {
+          if (i > 0) out_ << "/";
+          out_ << op->buffers[i]->name;
+        }
+        out_ << "." << SyncKindName(op->sync_kind);
+        if (op->wait_ahead > 0) out_ << "(ahead=" << op->wait_ahead << ")";
+        out_ << "  @group" << op->group << "\n";
+        return;
+      }
+      case StmtKind::kPragma: {
+        const auto* op = static_cast<const PragmaNode*>(s.get());
+        Indent();
+        out_ << "pragma " << op->key;
+        if (op->buffer != nullptr) out_ << "(" << op->buffer->name << ")";
+        out_ << " = " << op->value << " {\n";
+        ++indent_;
+        PrintStmt(op->body);
+        --indent_;
+        Indent();
+        out_ << "}\n";
+        return;
+      }
+      case StmtKind::kIfThenElse: {
+        const auto* op = static_cast<const IfThenElseNode*>(s.get());
+        Indent();
+        out_ << "if ";
+        PrintExpr(op->cond, 0, out_);
+        out_ << " {\n";
+        ++indent_;
+        PrintStmt(op->then_case);
+        --indent_;
+        Indent();
+        out_ << "}";
+        if (op->else_case != nullptr) {
+          out_ << " else {\n";
+          ++indent_;
+          PrintStmt(op->else_case);
+          --indent_;
+          Indent();
+          out_ << "}";
+        }
+        out_ << "\n";
+        return;
+      }
+    }
+    ALCOP_CHECK(false) << "unhandled statement kind in printer";
+  }
+
+  std::ostringstream out_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string ToString(const Expr& e) {
+  std::ostringstream out;
+  PrintExpr(e, 0, out);
+  return out.str();
+}
+
+std::string ToString(const Stmt& s) { return Printer().Print(s); }
+
+}  // namespace ir
+}  // namespace alcop

@@ -1,0 +1,30 @@
+// Human-readable IR printing, in the spirit of the paper's Fig. 7 listings.
+// Used by the examples, by test diagnostics, and for golden-text tests of
+// the pipeline transformation.
+#ifndef ALCOP_IR_PRINTER_H_
+#define ALCOP_IR_PRINTER_H_
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace ir {
+
+// Renders an index expression, e.g. "(ko + 2) % 3".
+std::string ToString(const Expr& e);
+
+// Renders a statement tree with two-space indentation, e.g.
+//   alloc A_shared: shared fp16[3, 128, 32]
+//   for ko in 0..64 serial {
+//     A_shared.producer_acquire  @group0
+//     copy.async A_shared[(ko + 2) % 3, 0, 0][1, 128, 32] <-
+//         A[by * 128, ((ko + 2) % 64) * 32][128, 32]  @group0
+//     ...
+//   }
+std::string ToString(const Stmt& s);
+
+}  // namespace ir
+}  // namespace alcop
+
+#endif  // ALCOP_IR_PRINTER_H_

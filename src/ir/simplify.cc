@@ -1,0 +1,188 @@
+#include "ir/simplify.h"
+
+#include <algorithm>
+
+#include "ir/functor.h"
+#include "support/check.h"
+
+namespace alcop {
+namespace ir {
+
+namespace {
+
+int64_t FloorDivInt(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t FloorModInt(int64_t a, int64_t b) {
+  int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) r += b;
+  return r;
+}
+
+Expr SimplifyBinary(ExprKind kind, const Expr& a, const Expr& b) {
+  int64_t ca = 0, cb = 0;
+  bool const_a = AsConst(a, &ca);
+  bool const_b = AsConst(b, &cb);
+
+  if (const_a && const_b) {
+    switch (kind) {
+      case ExprKind::kAdd: return Int(ca + cb);
+      case ExprKind::kSub: return Int(ca - cb);
+      case ExprKind::kMul: return Int(ca * cb);
+      case ExprKind::kFloorDiv:
+        ALCOP_CHECK_NE(cb, 0) << "constant division by zero";
+        return Int(FloorDivInt(ca, cb));
+      case ExprKind::kFloorMod:
+        ALCOP_CHECK_NE(cb, 0) << "constant modulo by zero";
+        return Int(FloorModInt(ca, cb));
+      case ExprKind::kMin: return Int(std::min(ca, cb));
+      case ExprKind::kMax: return Int(std::max(ca, cb));
+      case ExprKind::kLT: return Int(ca < cb);
+      case ExprKind::kLE: return Int(ca <= cb);
+      case ExprKind::kGT: return Int(ca > cb);
+      case ExprKind::kGE: return Int(ca >= cb);
+      case ExprKind::kEQ: return Int(ca == cb);
+      case ExprKind::kNE: return Int(ca != cb);
+      case ExprKind::kAnd: return Int(ca != 0 && cb != 0);
+      case ExprKind::kOr: return Int(ca != 0 || cb != 0);
+      default: break;
+    }
+  }
+
+  switch (kind) {
+    case ExprKind::kAdd:
+      if (const_a && ca == 0) return b;
+      if (const_b && cb == 0) return a;
+      // Canonicalize constant to the right: (c + x) -> (x + c).
+      if (const_a) return Binary(ExprKind::kAdd, b, a);
+      // Re-associate ((x + c1) + c2) -> x + (c1+c2).
+      if (const_b && a->kind == ExprKind::kAdd) {
+        const auto* inner = static_cast<const BinaryNode*>(a.get());
+        int64_t c1 = 0;
+        if (AsConst(inner->b, &c1)) {
+          return SimplifyBinary(ExprKind::kAdd, inner->a, Int(c1 + cb));
+        }
+      }
+      break;
+    case ExprKind::kSub:
+      if (const_b && cb == 0) return a;
+      break;
+    case ExprKind::kMul:
+      if ((const_a && ca == 0) || (const_b && cb == 0)) return Int(0);
+      if (const_a && ca == 1) return b;
+      if (const_b && cb == 1) return a;
+      if (const_a) return Binary(ExprKind::kMul, b, a);
+      break;
+    case ExprKind::kFloorDiv:
+      if (const_b && cb == 1) return a;
+      if (const_a && ca == 0) return Int(0);
+      break;
+    case ExprKind::kFloorMod:
+      if (const_b && cb == 1) return Int(0);
+      if (const_a && ca == 0) return Int(0);
+      // (x % n) % n -> x % n
+      if (const_b && a->kind == ExprKind::kFloorMod) {
+        const auto* inner = static_cast<const BinaryNode*>(a.get());
+        int64_t n = 0;
+        if (AsConst(inner->b, &n) && n == cb) return a;
+      }
+      break;
+    case ExprKind::kMin:
+    case ExprKind::kMax:
+      if (a.get() == b.get()) return a;
+      break;
+    case ExprKind::kAnd:
+      if (const_a) return ca != 0 ? b : Int(0);
+      if (const_b) return cb != 0 ? a : Int(0);
+      break;
+    case ExprKind::kOr:
+      if (const_a) return ca != 0 ? Int(1) : b;
+      if (const_b) return cb != 0 ? Int(1) : a;
+      break;
+    default:
+      break;
+  }
+  return Binary(kind, a, b);
+}
+
+class ExprSimplifier final : public ExprMutator {
+ protected:
+  Expr MutateBinary(const Expr& e, const BinaryNode* op) override {
+    Expr a = MutateExpr(op->a);
+    Expr b = MutateExpr(op->b);
+    Expr simplified = SimplifyBinary(e->kind, a, b);
+    // Keep the original node when nothing changed, preserving sharing.
+    if (simplified->kind == e->kind) {
+      const auto* bin = static_cast<const BinaryNode*>(simplified.get());
+      if (bin->a.get() == op->a.get() && bin->b.get() == op->b.get()) return e;
+    }
+    return simplified;
+  }
+};
+
+class StmtSimplifier final : public StmtMutator {
+ protected:
+  // Canonicalizes block structure: nested blocks are spliced into their
+  // parent and empty blocks dropped, so structurally-equal programs have
+  // identical trees regardless of how passes grouped their statements.
+  Stmt MutateBlock(const Stmt& s, const BlockNode* op) override {
+    Stmt base = StmtMutator::MutateBlock(s, op);
+    const auto* block = static_cast<const BlockNode*>(base.get());
+    bool needs_flatten = false;
+    for (const Stmt& child : block->seq) {
+      if (child->kind == StmtKind::kBlock) {
+        needs_flatten = true;
+        break;
+      }
+    }
+    if (!needs_flatten) return base;
+    std::vector<Stmt> flat;
+    for (const Stmt& child : block->seq) {
+      if (child->kind == StmtKind::kBlock) {
+        const auto* nested = static_cast<const BlockNode*>(child.get());
+        flat.insert(flat.end(), nested->seq.begin(), nested->seq.end());
+      } else {
+        flat.push_back(child);
+      }
+    }
+    if (flat.empty()) return Block({});
+    if (flat.size() == 1) return flat[0];
+    return Block(std::move(flat));
+  }
+
+  Expr MutateBinary(const Expr& e, const BinaryNode* op) override {
+    Expr a = MutateExpr(op->a);
+    Expr b = MutateExpr(op->b);
+    Expr simplified = SimplifyBinary(e->kind, a, b);
+    if (simplified->kind == e->kind) {
+      const auto* bin = static_cast<const BinaryNode*>(simplified.get());
+      if (bin->a.get() == op->a.get() && bin->b.get() == op->b.get()) return e;
+    }
+    return simplified;
+  }
+
+  Stmt MutateIfThenElse(const Stmt& s, const IfThenElseNode* op) override {
+    Stmt mutated = StmtMutator::MutateIfThenElse(s, op);
+    const auto* node = static_cast<const IfThenElseNode*>(mutated.get());
+    int64_t cond = 0;
+    if (AsConst(node->cond, &cond)) {
+      if (cond != 0) return node->then_case;
+      if (node->else_case != nullptr) return node->else_case;
+      // A statically-false branch with no else collapses to an empty block.
+      return Block({});
+    }
+    return mutated;
+  }
+};
+
+}  // namespace
+
+Expr Simplify(const Expr& e) { return ExprSimplifier().MutateExpr(e); }
+
+Stmt SimplifyStmt(const Stmt& s) { return StmtSimplifier().MutateStmt(s); }
+
+}  // namespace ir
+}  // namespace alcop

@@ -1,0 +1,23 @@
+// Index-expression simplifier: constant folding plus the algebraic
+// identities that keep the pipeline transformation's rewritten indices
+// readable and cheap (x+0, x*1, x*0, x%1, x/1, const folding through
+// min/max/comparisons, and (a % n) when a is provably in [0, n)).
+#ifndef ALCOP_IR_SIMPLIFY_H_
+#define ALCOP_IR_SIMPLIFY_H_
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace ir {
+
+// Simplifies a single expression.
+Expr Simplify(const Expr& e);
+
+// Simplifies every expression embedded in a statement tree and prunes
+// `if` statements with constant conditions.
+Stmt SimplifyStmt(const Stmt& s);
+
+}  // namespace ir
+}  // namespace alcop
+
+#endif  // ALCOP_IR_SIMPLIFY_H_

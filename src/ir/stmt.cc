@@ -1,0 +1,169 @@
+#include "ir/stmt.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace alcop {
+namespace ir {
+
+const char* ForKindName(ForKind kind) {
+  switch (kind) {
+    case ForKind::kSerial: return "serial";
+    case ForKind::kUnrolled: return "unrolled";
+    case ForKind::kBlockIdx: return "blockIdx";
+    case ForKind::kWarp: return "warp";
+  }
+  return "?";
+}
+
+const char* SyncKindName(SyncKind kind) {
+  switch (kind) {
+    case SyncKind::kBarrier: return "barrier";
+    case SyncKind::kProducerAcquire: return "producer_acquire";
+    case SyncKind::kProducerCommit: return "producer_commit";
+    case SyncKind::kConsumerWait: return "consumer_wait";
+    case SyncKind::kConsumerRelease: return "consumer_release";
+  }
+  return "?";
+}
+
+const char* EwiseOpName(EwiseOp op) {
+  switch (op) {
+    case EwiseOp::kNone: return "none";
+    case EwiseOp::kRelu: return "relu";
+    case EwiseOp::kGelu: return "gelu";
+    case EwiseOp::kScale: return "scale";
+    case EwiseOp::kAddConst: return "add_const";
+  }
+  return "?";
+}
+
+double ApplyEwise(EwiseOp op, double param, double x) {
+  switch (op) {
+    case EwiseOp::kNone: return x;
+    case EwiseOp::kRelu: return x > 0.0 ? x : 0.0;
+    case EwiseOp::kGelu:
+      // tanh approximation, same as most DL frameworks.
+      return 0.5 * x *
+             (1.0 + std::tanh(0.7978845608028654 * (x + 0.044715 * x * x * x)));
+    case EwiseOp::kScale: return x * param;
+    case EwiseOp::kAddConst: return x + param;
+  }
+  return x;
+}
+
+Stmt Block(std::vector<Stmt> seq) {
+  return std::make_shared<BlockNode>(std::move(seq));
+}
+
+namespace {
+
+void FlattenInto(const Stmt& stmt, std::vector<Stmt>& out) {
+  if (stmt == nullptr) return;
+  if (stmt->kind == StmtKind::kBlock) {
+    for (const Stmt& child : static_cast<const BlockNode*>(stmt.get())->seq) {
+      FlattenInto(child, out);
+    }
+    return;
+  }
+  out.push_back(stmt);
+}
+
+}  // namespace
+
+Stmt FlatBlock(std::vector<Stmt> seq) {
+  std::vector<Stmt> flat;
+  for (const Stmt& stmt : seq) FlattenInto(stmt, flat);
+  ALCOP_CHECK(!flat.empty()) << "FlatBlock produced an empty statement";
+  if (flat.size() == 1) return flat[0];
+  return Block(std::move(flat));
+}
+
+Stmt For(Var var, Expr extent, ForKind kind, Stmt body) {
+  ALCOP_CHECK(var != nullptr && extent != nullptr && body != nullptr);
+  return std::make_shared<ForNode>(std::move(var), std::move(extent), kind,
+                                   std::move(body));
+}
+
+Stmt For(Var var, int64_t extent, ForKind kind, Stmt body) {
+  return For(std::move(var), Int(extent), kind, std::move(body));
+}
+
+Stmt Alloc(Buffer buffer) { return std::make_shared<AllocNode>(std::move(buffer)); }
+
+Stmt Copy(BufferRegion dst, BufferRegion src, EwiseOp op, double op_param) {
+  ValidateRegion(dst);
+  ValidateRegion(src);
+  ALCOP_CHECK_EQ(dst.NumElements(), src.NumElements())
+      << "copy region element-count mismatch: " << dst.buffer->name << " <- "
+      << src.buffer->name;
+  // A trivial op carries no parameter; normalizing keeps structurally
+  // identical copies identical regardless of how callers filled the field.
+  if (op == EwiseOp::kNone || op == EwiseOp::kRelu || op == EwiseOp::kGelu) {
+    op_param = 0.0;
+  }
+  return std::make_shared<CopyNode>(std::move(dst), std::move(src), op, op_param);
+}
+
+Stmt AccumulateCopy(BufferRegion dst, BufferRegion src) {
+  Stmt stmt = Copy(std::move(dst), std::move(src));
+  auto node = std::make_shared<CopyNode>(
+      *static_cast<const CopyNode*>(stmt.get()));
+  node->accumulate = true;
+  return node;
+}
+
+Stmt Fill(BufferRegion dst, double value) {
+  ValidateRegion(dst);
+  return std::make_shared<FillNode>(std::move(dst), value);
+}
+
+Stmt Mma(BufferRegion c, BufferRegion a, BufferRegion b) {
+  ValidateRegion(c);
+  ValidateRegion(a);
+  ValidateRegion(b);
+  ALCOP_CHECK_GE(c.sizes.size(), 2u);
+  ALCOP_CHECK_GE(a.sizes.size(), 2u);
+  ALCOP_CHECK_GE(b.sizes.size(), 2u);
+  auto leading_ones = [](const BufferRegion& r) {
+    for (size_t d = 0; d + 2 < r.sizes.size(); ++d) {
+      ALCOP_CHECK_EQ(r.sizes[d], 1)
+          << "MMA region leading dim must be 1 in '" << r.buffer->name << "'";
+    }
+  };
+  leading_ones(c);
+  leading_ones(a);
+  leading_ones(b);
+  int64_t m = c.sizes[c.sizes.size() - 2];
+  int64_t n = c.sizes[c.sizes.size() - 1];
+  ALCOP_CHECK_EQ(a.sizes[a.sizes.size() - 2], m) << "MMA m mismatch";
+  ALCOP_CHECK_EQ(b.sizes[b.sizes.size() - 2], n) << "MMA n mismatch";
+  ALCOP_CHECK_EQ(a.sizes[a.sizes.size() - 1], b.sizes[b.sizes.size() - 1])
+      << "MMA k mismatch";
+  return std::make_shared<MmaNode>(std::move(c), std::move(a), std::move(b));
+}
+
+Stmt Sync(SyncKind kind, int group, std::vector<Buffer> buffers,
+          int wait_ahead) {
+  auto node = std::make_shared<SyncNode>(kind, group, std::move(buffers));
+  node->wait_ahead = wait_ahead;
+  return node;
+}
+
+Stmt Barrier() { return Sync(SyncKind::kBarrier, -1, {}); }
+
+Stmt Pragma(std::string key, Buffer buffer, int64_t value, Stmt body) {
+  ALCOP_CHECK(body != nullptr);
+  return std::make_shared<PragmaNode>(std::move(key), std::move(buffer), value,
+                                      std::move(body));
+}
+
+Stmt IfThenElse(Expr cond, Stmt then_case, Stmt else_case) {
+  ALCOP_CHECK(cond != nullptr && then_case != nullptr);
+  return std::make_shared<IfThenElseNode>(std::move(cond), std::move(then_case),
+                                          std::move(else_case));
+}
+
+}  // namespace ir
+}  // namespace alcop

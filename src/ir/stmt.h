@@ -1,0 +1,252 @@
+// Statement IR (tile-granular Tensor-IR).
+//
+// The statement level matches the paper's Fig. 7: for-loops over tile
+// indices, region copies between memory-hierarchy levels, warp-tile MMA
+// operations, and — after the pipelining transformation — asynchronous
+// copies guarded by the four pipeline synchronization primitives
+// (producer_acquire / producer_commit / consumer_wait / consumer_release).
+//
+// Like expressions, statements are immutable shared_ptr nodes; passes
+// rebuild the spine they change and share everything else.
+#ifndef ALCOP_IR_STMT_H_
+#define ALCOP_IR_STMT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/buffer.h"
+#include "ir/expr.h"
+
+namespace alcop {
+namespace ir {
+
+enum class StmtKind {
+  kBlock,
+  kFor,
+  kAlloc,
+  kCopy,
+  kFill,
+  kMma,
+  kSync,
+  kPragma,
+  kIfThenElse,
+};
+
+// Loop annotation. kBlockIdx loops are the threadblock-parallel spatial
+// loops (inter-tile parallelism); kWarp loops are warp-parallel within a
+// threadblock. Pipelining only applies across kSerial loops (Sec. II-A,
+// rule 2).
+enum class ForKind {
+  kSerial,
+  kUnrolled,
+  kBlockIdx,
+  kWarp,
+};
+
+const char* ForKindName(ForKind kind);
+
+// Pipeline synchronization primitives (Sec. III-B, fifth step) plus the
+// plain threadblock barrier used by non-pipelined code.
+enum class SyncKind {
+  kBarrier,
+  kProducerAcquire,
+  kProducerCommit,
+  kConsumerWait,
+  kConsumerRelease,
+};
+
+const char* SyncKindName(SyncKind kind);
+
+// Elementwise function optionally fused into a Copy (paper Fig. 5's f(.)).
+// A non-kNone op on a Global->Shared copy makes the copy non-asynchronous
+// (cp.async cannot apply ALU ops in flight), which is exactly the legality
+// rule the schedule-ordering study exercises.
+enum class EwiseOp {
+  kNone,
+  kRelu,
+  kGelu,
+  kScale,     // x * param
+  kAddConst,  // x + param
+};
+
+const char* EwiseOpName(EwiseOp op);
+double ApplyEwise(EwiseOp op, double param, double x);
+
+class StmtNode;
+using Stmt = std::shared_ptr<const StmtNode>;
+
+class StmtNode {
+ public:
+  explicit StmtNode(StmtKind kind) : kind(kind) {}
+  virtual ~StmtNode() = default;
+
+  StmtKind kind;
+};
+
+// Sequential composition.
+class BlockNode final : public StmtNode {
+ public:
+  explicit BlockNode(std::vector<Stmt> seq)
+      : StmtNode(StmtKind::kBlock), seq(std::move(seq)) {}
+  std::vector<Stmt> seq;
+};
+
+// `for var in 0..extent (kind) { body }` — all loops start at zero.
+class ForNode final : public StmtNode {
+ public:
+  ForNode(Var var, Expr extent, ForKind for_kind, Stmt body)
+      : StmtNode(StmtKind::kFor),
+        var(std::move(var)),
+        extent(std::move(extent)),
+        for_kind(for_kind),
+        body(std::move(body)) {}
+  Var var;
+  Expr extent;
+  ForKind for_kind;
+  Stmt body;
+};
+
+// Buffer declaration. Placed at the top of the scope that owns the buffer;
+// the pipeline transformation rewrites it when expanding stage counts.
+class AllocNode final : public StmtNode {
+ public:
+  explicit AllocNode(Buffer buffer)
+      : StmtNode(StmtKind::kAlloc), buffer(std::move(buffer)) {}
+  Buffer buffer;
+};
+
+// Region copy dst <- op(src). `is_async` is set by the pipeline
+// transformation when the copy is turned into an asynchronous one;
+// `pipeline_group` then links it to its synchronization group.
+// `accumulate` makes the copy add into the destination (dst += op(src)),
+// used by the split-K workspace reduction.
+class CopyNode final : public StmtNode {
+ public:
+  CopyNode(BufferRegion dst, BufferRegion src, EwiseOp op = EwiseOp::kNone,
+           double op_param = 0.0)
+      : StmtNode(StmtKind::kCopy),
+        dst(std::move(dst)),
+        src(std::move(src)),
+        op(op),
+        op_param(op_param) {}
+  BufferRegion dst;
+  BufferRegion src;
+  EwiseOp op;
+  double op_param;
+  bool is_async = false;
+  bool accumulate = false;
+  int pipeline_group = -1;
+};
+
+// Region fill (accumulator zero-initialization).
+class FillNode final : public StmtNode {
+ public:
+  FillNode(BufferRegion dst, double value)
+      : StmtNode(StmtKind::kFill), dst(std::move(dst)), value(value) {}
+  BufferRegion dst;
+  double value;
+};
+
+// Tensor-core warp-tile contraction: C[m,n] += sum_k A[m,k] * B[n,k]
+// (B is stored k-major like the paper's algorithm C[i,j]=sum A[i,k]*B[j,k]).
+// The last two dims of each region carry the tile; leading dims must be
+// size-1 (they address pipeline stages).
+class MmaNode final : public StmtNode {
+ public:
+  MmaNode(BufferRegion c, BufferRegion a, BufferRegion b)
+      : StmtNode(StmtKind::kMma),
+        c(std::move(c)),
+        a(std::move(a)),
+        b(std::move(b)) {}
+  BufferRegion c;
+  BufferRegion a;
+  BufferRegion b;
+
+  int64_t m() const { return c.sizes[c.sizes.size() - 2]; }
+  int64_t n() const { return c.sizes[c.sizes.size() - 1]; }
+  int64_t k() const { return a.sizes[a.sizes.size() - 1]; }
+  // FLOPs performed (multiply-add counted as 2, matching GPU marketing
+  // numbers and the paper's throughput model).
+  int64_t Flops() const { return 2 * m() * n() * k(); }
+};
+
+// Synchronization. kBarrier has group == -1 and no buffers. The pipeline
+// primitives carry the sync-group id and, for readability, the buffers
+// whose pipeline the group guards (all in one memory scope — Sec. II-A
+// rule 3).
+class SyncNode final : public StmtNode {
+ public:
+  SyncNode(SyncKind sync_kind, int group, std::vector<Buffer> buffers)
+      : StmtNode(StmtKind::kSync),
+        sync_kind(sync_kind),
+        group(group),
+        buffers(std::move(buffers)) {}
+  SyncKind sync_kind;
+  int group;
+  std::vector<Buffer> buffers;
+  // For kConsumerWait: how many groups beyond the FIFO cursor must be
+  // complete. 0 waits for the next unconsumed group (cuda::pipeline
+  // semantics); 1 is used by an outer pipeline whose fused inner pipeline
+  // prefetches one chunk ahead (cp.async.wait_group-style slack).
+  int wait_ahead = 0;
+};
+
+// Scoped annotation, e.g. {key="pipeline_stages", buffer=A_shared, value=3}
+// wrapped by the schedule transformation around the code the hint applies
+// to; the program transformation collects these in its first analysis step.
+class PragmaNode final : public StmtNode {
+ public:
+  PragmaNode(std::string key, Buffer buffer, int64_t value, Stmt body)
+      : StmtNode(StmtKind::kPragma),
+        key(std::move(key)),
+        buffer(std::move(buffer)),
+        value(value),
+        body(std::move(body)) {}
+  std::string key;
+  Buffer buffer;
+  int64_t value;
+  Stmt body;
+};
+
+class IfThenElseNode final : public StmtNode {
+ public:
+  IfThenElseNode(Expr cond, Stmt then_case, Stmt else_case = nullptr)
+      : StmtNode(StmtKind::kIfThenElse),
+        cond(std::move(cond)),
+        then_case(std::move(then_case)),
+        else_case(std::move(else_case)) {}
+  Expr cond;
+  Stmt then_case;
+  Stmt else_case;  // may be null
+};
+
+// ---- Construction helpers ----
+
+Stmt Block(std::vector<Stmt> seq);
+// Flattens nested Blocks and drops nulls; returns a single Stmt (possibly
+// the lone child) for tidy IR.
+Stmt FlatBlock(std::vector<Stmt> seq);
+Stmt For(Var var, Expr extent, ForKind kind, Stmt body);
+Stmt For(Var var, int64_t extent, ForKind kind, Stmt body);
+Stmt Alloc(Buffer buffer);
+Stmt Copy(BufferRegion dst, BufferRegion src, EwiseOp op = EwiseOp::kNone,
+          double op_param = 0.0);
+// dst += src (the split-K workspace reduction step).
+Stmt AccumulateCopy(BufferRegion dst, BufferRegion src);
+Stmt Fill(BufferRegion dst, double value);
+Stmt Mma(BufferRegion c, BufferRegion a, BufferRegion b);
+Stmt Sync(SyncKind kind, int group, std::vector<Buffer> buffers,
+          int wait_ahead = 0);
+Stmt Barrier();
+Stmt Pragma(std::string key, Buffer buffer, int64_t value, Stmt body);
+Stmt IfThenElse(Expr cond, Stmt then_case, Stmt else_case = nullptr);
+
+// The canonical pipeline-hint pragma key attached by the schedule pass.
+inline constexpr const char* kPipelinePragma = "pipeline_stages";
+
+}  // namespace ir
+}  // namespace alcop
+
+#endif  // ALCOP_IR_STMT_H_

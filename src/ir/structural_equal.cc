@@ -1,0 +1,154 @@
+#include "ir/structural_equal.h"
+
+#include <vector>
+
+namespace alcop {
+namespace ir {
+
+namespace {
+
+// Pairwise variable correspondence built up while descending matched
+// loop nests.
+class Matcher {
+ public:
+  bool ExprEqual(const Expr& a, const Expr& b) {
+    if (a.get() == b.get()) return true;
+    if (a == nullptr || b == nullptr) return false;
+    if (a->kind != b->kind) return false;
+    switch (a->kind) {
+      case ExprKind::kIntImm:
+        return static_cast<const IntImmNode*>(a.get())->value ==
+               static_cast<const IntImmNode*>(b.get())->value;
+      case ExprKind::kVar: {
+        const VarNode* va = static_cast<const VarNode*>(a.get());
+        const VarNode* vb = static_cast<const VarNode*>(b.get());
+        for (const auto& [ma, mb] : var_map_) {
+          if (ma == va) return mb == vb;
+          if (mb == vb) return false;
+        }
+        // Free variables must be the same node.
+        return va == vb;
+      }
+      default: {
+        const auto* ba = static_cast<const BinaryNode*>(a.get());
+        const auto* bb = static_cast<const BinaryNode*>(b.get());
+        return ExprEqual(ba->a, bb->a) && ExprEqual(ba->b, bb->b);
+      }
+    }
+  }
+
+  bool BufferEqual(const Buffer& a, const Buffer& b) const {
+    if (a.get() == b.get()) return true;
+    if (a == nullptr || b == nullptr) return false;
+    return a->name == b->name && a->scope == b->scope && a->shape == b->shape &&
+           a->elem_bytes == b->elem_bytes;
+  }
+
+  bool RegionEqual(const BufferRegion& a, const BufferRegion& b) {
+    if (!BufferEqual(a.buffer, b.buffer)) return false;
+    if (a.sizes != b.sizes) return false;
+    if (a.offsets.size() != b.offsets.size()) return false;
+    for (size_t d = 0; d < a.offsets.size(); ++d) {
+      if (!ExprEqual(a.offsets[d], b.offsets[d])) return false;
+    }
+    return true;
+  }
+
+  bool StmtEqual(const Stmt& a, const Stmt& b) {  // NOLINT(misc-no-recursion)
+    if (a.get() == b.get()) return true;
+    if (a == nullptr || b == nullptr) return false;
+    if (a->kind != b->kind) return false;
+    switch (a->kind) {
+      case StmtKind::kBlock: {
+        const auto* ba = static_cast<const BlockNode*>(a.get());
+        const auto* bb = static_cast<const BlockNode*>(b.get());
+        if (ba->seq.size() != bb->seq.size()) return false;
+        for (size_t i = 0; i < ba->seq.size(); ++i) {
+          if (!StmtEqual(ba->seq[i], bb->seq[i])) return false;
+        }
+        return true;
+      }
+      case StmtKind::kFor: {
+        const auto* fa = static_cast<const ForNode*>(a.get());
+        const auto* fb = static_cast<const ForNode*>(b.get());
+        if (fa->for_kind != fb->for_kind) return false;
+        if (!ExprEqual(fa->extent, fb->extent)) return false;
+        var_map_.emplace_back(fa->var.get(), fb->var.get());
+        bool body_equal = StmtEqual(fa->body, fb->body);
+        var_map_.pop_back();
+        return body_equal;
+      }
+      case StmtKind::kAlloc:
+        return BufferEqual(static_cast<const AllocNode*>(a.get())->buffer,
+                           static_cast<const AllocNode*>(b.get())->buffer);
+      case StmtKind::kCopy: {
+        const auto* ca = static_cast<const CopyNode*>(a.get());
+        const auto* cb = static_cast<const CopyNode*>(b.get());
+        return ca->op == cb->op && ca->op_param == cb->op_param &&
+               ca->is_async == cb->is_async &&
+               ca->accumulate == cb->accumulate &&
+               ca->pipeline_group == cb->pipeline_group &&
+               RegionEqual(ca->dst, cb->dst) && RegionEqual(ca->src, cb->src);
+      }
+      case StmtKind::kFill: {
+        const auto* fa = static_cast<const FillNode*>(a.get());
+        const auto* fb = static_cast<const FillNode*>(b.get());
+        return fa->value == fb->value && RegionEqual(fa->dst, fb->dst);
+      }
+      case StmtKind::kMma: {
+        const auto* ma = static_cast<const MmaNode*>(a.get());
+        const auto* mb = static_cast<const MmaNode*>(b.get());
+        return RegionEqual(ma->c, mb->c) && RegionEqual(ma->a, mb->a) &&
+               RegionEqual(ma->b, mb->b);
+      }
+      case StmtKind::kSync: {
+        const auto* sa = static_cast<const SyncNode*>(a.get());
+        const auto* sb = static_cast<const SyncNode*>(b.get());
+        if (sa->sync_kind != sb->sync_kind || sa->group != sb->group ||
+            sa->wait_ahead != sb->wait_ahead) {
+          return false;
+        }
+        if (sa->buffers.size() != sb->buffers.size()) return false;
+        for (size_t i = 0; i < sa->buffers.size(); ++i) {
+          if (!BufferEqual(sa->buffers[i], sb->buffers[i])) return false;
+        }
+        return true;
+      }
+      case StmtKind::kPragma: {
+        const auto* pa = static_cast<const PragmaNode*>(a.get());
+        const auto* pb = static_cast<const PragmaNode*>(b.get());
+        if (pa->key != pb->key || pa->value != pb->value) return false;
+        if ((pa->buffer == nullptr) != (pb->buffer == nullptr)) return false;
+        if (pa->buffer != nullptr && !BufferEqual(pa->buffer, pb->buffer)) {
+          return false;
+        }
+        return StmtEqual(pa->body, pb->body);
+      }
+      case StmtKind::kIfThenElse: {
+        const auto* ia = static_cast<const IfThenElseNode*>(a.get());
+        const auto* ib = static_cast<const IfThenElseNode*>(b.get());
+        if (!ExprEqual(ia->cond, ib->cond)) return false;
+        if (!StmtEqual(ia->then_case, ib->then_case)) return false;
+        if ((ia->else_case == nullptr) != (ib->else_case == nullptr)) return false;
+        return ia->else_case == nullptr || StmtEqual(ia->else_case, ib->else_case);
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::pair<const VarNode*, const VarNode*>> var_map_;
+};
+
+}  // namespace
+
+bool StructuralEqual(const Expr& a, const Expr& b) {
+  return Matcher().ExprEqual(a, b);
+}
+
+bool StructuralEqual(const Stmt& a, const Stmt& b) {
+  return Matcher().StmtEqual(a, b);
+}
+
+}  // namespace ir
+}  // namespace alcop

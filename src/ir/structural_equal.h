@@ -1,0 +1,24 @@
+// Structural equality over expressions and statements, with alpha-
+// equivalence of loop variables and optional buffer remapping. Used by the
+// transformation tests to compare pass output against hand-built expected
+// IR without requiring pointer-identical Vars/Buffers.
+#ifndef ALCOP_IR_STRUCTURAL_EQUAL_H_
+#define ALCOP_IR_STRUCTURAL_EQUAL_H_
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace ir {
+
+// Equality of two expressions given no free variables are expected to
+// match by identity; variables must map one-to-one in visit order.
+bool StructuralEqual(const Expr& a, const Expr& b);
+
+// Equality of two statement trees: loop variables are alpha-equivalent,
+// buffers match if their name/scope/shape/elem_bytes match.
+bool StructuralEqual(const Stmt& a, const Stmt& b);
+
+}  // namespace ir
+}  // namespace alcop
+
+#endif  // ALCOP_IR_STRUCTURAL_EQUAL_H_

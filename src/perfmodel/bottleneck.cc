@@ -1,0 +1,43 @@
+#include "perfmodel/bottleneck.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/launch.h"
+
+namespace alcop {
+namespace perfmodel {
+
+double BottleneckPredictCycles(const schedule::GemmOp& op,
+                               const schedule::ScheduleConfig& config,
+                               const target::GpuSpec& spec) {
+  std::string why;
+  if (!schedule::ValidateConfig(op, config, &why)) {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  // Aggregated compute at full throughput — blind to occupancy.
+  double t_compute = static_cast<double>(op.Flops()) /
+                     (spec.tc_flops_per_sm_per_cycle * spec.num_sms);
+
+  // Shared-memory loading: every threadblock pulls its input tiles through
+  // the LLC once per outer iteration.
+  int64_t grid_m = op.m / config.tile.tb_m;
+  int64_t grid_n = op.n / config.tile.tb_n;
+  double smem_bytes =
+      static_cast<double>(op.batch) *
+      (static_cast<double>(grid_n) * op.m * op.k +  // A re-read per bn
+       static_cast<double>(grid_m) * op.n * op.k) *
+      2.0;
+  double t_smem = smem_bytes / spec.llc_bw_bytes_per_cycle;
+
+  // Device-memory loading: distinct tensor bytes only (ideal caching).
+  double dram_bytes = static_cast<double>(op.InputBytes() + op.OutputBytes());
+  double t_dram = dram_bytes / spec.dram_bw_bytes_per_cycle;
+
+  // Blind to pipelining, latency and occupancy: just the max.
+  return std::max({t_compute, t_smem, t_dram});
+}
+
+}  // namespace perfmodel
+}  // namespace alcop

@@ -1,0 +1,25 @@
+// Bottleneck-based analysis: the baseline performance model Fig. 12
+// compares against. It takes the maximum of the computation, shared-memory
+// loading and device-memory loading times, assuming full utilization of
+// throughput and bandwidth. It is deliberately oversimplified: it ignores
+// SM occupancy and is agnostic to latency hiding, so it cannot distinguish
+// pipeline stage counts.
+#ifndef ALCOP_PERFMODEL_BOTTLENECK_H_
+#define ALCOP_PERFMODEL_BOTTLENECK_H_
+
+#include "schedule/schedule.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace perfmodel {
+
+// Predicted kernel cycles under the bottleneck analysis; +inf for invalid
+// schedules.
+double BottleneckPredictCycles(const schedule::GemmOp& op,
+                               const schedule::ScheduleConfig& config,
+                               const target::GpuSpec& spec);
+
+}  // namespace perfmodel
+}  // namespace alcop
+
+#endif  // ALCOP_PERFMODEL_BOTTLENECK_H_

@@ -1,0 +1,495 @@
+#include "pipeline/transform.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/analysis.h"
+#include "ir/functor.h"
+#include "ir/simplify.h"
+#include "support/check.h"
+
+namespace alcop {
+namespace pipeline {
+
+using namespace alcop::ir;  // NOLINT(build/namespaces) - IR rewriting pass
+
+const char* PipelineModeName(PipelineMode mode) {
+  switch (mode) {
+    case PipelineMode::kTop: return "top";
+    case PipelineMode::kFused: return "fused";
+    case PipelineMode::kRecursive: return "recursive";
+  }
+  return "?";
+}
+
+namespace {
+
+// Variable substitution over a whole statement tree.
+class StmtVarSubstituter final : public StmtMutator {
+ public:
+  StmtVarSubstituter(Var var, Expr replacement)
+      : var_(std::move(var)), replacement_(std::move(replacement)) {}
+
+ protected:
+  Expr MutateVar(const Expr& e, const VarNode* op) override {
+    return op == var_.get() ? replacement_ : e;
+  }
+
+ private:
+  Var var_;
+  Expr replacement_;
+};
+
+Stmt SubstituteInStmt(const Stmt& s, const Var& var, const Expr& replacement) {
+  return StmtVarSubstituter(var, replacement).MutateStmt(s);
+}
+
+// Working state of one pipeline group during the transformation.
+struct GroupState {
+  int id = -1;
+  MemScope scope = MemScope::kShared;
+  int64_t stages = 1;
+  PipelineMode mode = PipelineMode::kTop;
+  std::vector<Buffer> buffers;   // original buffers
+  std::vector<Buffer> expanded;  // stage-expanded replacements
+  Var loop_var;
+  int64_t loop_extent = 1;
+  size_t loop_depth = 0;  // number of enclosing loops of the pipeline loop
+  Var outer_var;          // fused mode: outer pipeline loop variable
+  bool has_inner_prefetch = false;
+
+  bool Contains(const BufferNode* buffer) const {
+    for (const Buffer& b : buffers) {
+      if (b.get() == buffer) return true;
+    }
+    return false;
+  }
+
+  const Buffer& ExpandedFor(const BufferNode* buffer) const {
+    for (size_t i = 0; i < buffers.size(); ++i) {
+      if (buffers[i].get() == buffer) return expanded[i];
+    }
+    ALCOP_CHECK(false) << "buffer not in group";
+    return expanded[0];
+  }
+};
+
+// Applies transformation steps 1-5 for a single group over the whole tree.
+class GroupRewriter final : public StmtMutator {
+ public:
+  explicit GroupRewriter(GroupState& group) : g_(group) {}
+
+ protected:
+  Stmt MutateAlloc(const Stmt& s, const AllocNode* op) override {
+    if (!g_.Contains(op->buffer.get())) return s;
+    return Alloc(g_.ExpandedFor(op->buffer.get()));
+  }
+
+  Stmt MutatePragma(const Stmt& s, const PragmaNode* op) override {
+    Stmt base = StmtMutator::MutatePragma(s, op);
+    const auto* pragma = static_cast<const PragmaNode*>(base.get());
+    if (pragma->buffer == nullptr || !g_.Contains(pragma->buffer.get())) {
+      return base;
+    }
+    // Keep the hint pointing at the (stage-expanded) buffer it describes.
+    return Pragma(pragma->key, g_.ExpandedFor(pragma->buffer.get()),
+                  pragma->value, pragma->body);
+  }
+
+  Stmt MutateCopy(const Stmt& s, const CopyNode* op) override {
+    Stmt base = StmtMutator::MutateCopy(s, op);
+    const auto* copy = static_cast<const CopyNode*>(base.get());
+    if (g_.Contains(copy->dst.buffer.get())) return RewriteLoad(copy);
+    if (g_.Contains(copy->src.buffer.get())) {
+      auto rewritten = std::make_shared<CopyNode>(
+          copy->dst, UseRegion(copy->src), copy->op, copy->op_param);
+      rewritten->is_async = copy->is_async;
+      rewritten->pipeline_group = copy->pipeline_group;
+      return rewritten;
+    }
+    return base;
+  }
+
+  Stmt MutateMma(const Stmt& s, const MmaNode* op) override {
+    Stmt base = StmtMutator::MutateMma(s, op);
+    const auto* mma = static_cast<const MmaNode*>(base.get());
+    bool a_in = g_.Contains(mma->a.buffer.get());
+    bool b_in = g_.Contains(mma->b.buffer.get());
+    if (!a_in && !b_in) return base;
+    BufferRegion a = a_in ? UseRegion(mma->a) : mma->a;
+    BufferRegion b = b_in ? UseRegion(mma->b) : mma->b;
+    return Mma(mma->c, std::move(a), std::move(b));
+  }
+
+  Stmt MutateFor(const Stmt& s, const ForNode* op) override {
+    Stmt base = StmtMutator::MutateFor(s, op);
+    const auto* loop = static_cast<const ForNode*>(base.get());
+    if (loop->var.get() != g_.loop_var.get()) return base;
+    return RestructureLoop(loop);
+  }
+
+ private:
+  // The pipeline's rolling iteration index. Top-level and recursive
+  // pipelines restart slot numbering with their loop; a fused inner
+  // pipeline runs continuously across outer iterations, so its slots roll
+  // over the global index (outer*extent + v). The two coincide only when
+  // the stage count divides the inner extent (the case the paper's Fig. 7
+  // example happens to show).
+  Expr RollingIndex() const {
+    if (g_.mode == PipelineMode::kFused) {
+      return Add(Mul(g_.outer_var, g_.loop_extent), g_.loop_var);
+    }
+    return g_.loop_var;
+  }
+
+  // Destination slot of the shifted load: (roll + stages - 1) % stages.
+  Expr LoadStageIndex() const {
+    return Simplify(FloorMod(Add(RollingIndex(), g_.stages - 1),
+                             Int(g_.stages)));
+  }
+
+  // Slot the consumers read: roll % stages.
+  Expr UseStageIndex() const {
+    return Simplify(FloorMod(RollingIndex(), Int(g_.stages)));
+  }
+
+  BufferRegion StagePrepended(const BufferRegion& region, Expr stage_index,
+                              const Buffer& expanded) const {
+    BufferRegion out;
+    out.buffer = expanded;
+    out.offsets.reserve(region.offsets.size() + 1);
+    out.offsets.push_back(std::move(stage_index));
+    out.offsets.insert(out.offsets.end(), region.offsets.begin(),
+                       region.offsets.end());
+    out.sizes.reserve(region.sizes.size() + 1);
+    out.sizes.push_back(1);
+    out.sizes.insert(out.sizes.end(), region.sizes.begin(), region.sizes.end());
+    return out;
+  }
+
+  BufferRegion UseRegion(const BufferRegion& region) const {
+    return StagePrepended(region, UseStageIndex(),
+                          g_.ExpandedFor(region.buffer.get()));
+  }
+
+  // Transformation steps 2 and 3 on a load copy: shift the source indices
+  // forward by stages-1 iterations, wrapping/carrying per the group mode,
+  // and redirect the destination into the shifted stage slot.
+  Stmt RewriteLoad(const CopyNode* copy) {
+    const Var& v = g_.loop_var;
+    Expr shifted = Add(v, g_.stages - 1);
+
+    std::vector<std::pair<Var, Expr>> subs;
+    switch (g_.mode) {
+      case PipelineMode::kTop:
+        // Wrap modulo the loop extent to avoid out-of-bound producer
+        // indexing; the wrapped extra chunks are never consumed.
+        subs.emplace_back(v, FloorMod(shifted, Int(g_.loop_extent)));
+        break;
+      case PipelineMode::kFused:
+        // Wrap the chunk index and carry the overflow into the outer
+        // pipeline variable (paper Fig. 7 line 26).
+        subs.emplace_back(v, FloorMod(shifted, Int(g_.loop_extent)));
+        subs.emplace_back(g_.outer_var,
+                          Add(g_.outer_var,
+                              FloorDiv(shifted, Int(g_.loop_extent))));
+        break;
+      case PipelineMode::kRecursive:
+        // No wrap: the load block gets predicated with v+stages-1 < extent
+        // during loop restructuring, and the pipeline drains.
+        subs.emplace_back(v, shifted);
+        break;
+    }
+
+    BufferRegion src;
+    src.buffer = copy->src.buffer;
+    src.sizes = copy->src.sizes;
+    src.offsets.reserve(copy->src.offsets.size());
+    for (const Expr& offset : copy->src.offsets) {
+      src.offsets.push_back(Simplify(SubstituteSimultaneous(offset, subs)));
+    }
+
+    BufferRegion dst = StagePrepended(copy->dst, LoadStageIndex(),
+                                      g_.ExpandedFor(copy->dst.buffer.get()));
+
+    auto load = std::make_shared<CopyNode>(std::move(dst), std::move(src),
+                                           copy->op, copy->op_param);
+    load->is_async = true;
+    load->pipeline_group = g_.id;
+    loads_.push_back(load);
+    return load;
+  }
+
+  // Transformation steps 4 and 5: rebuild the pipeline loop body as
+  //   producer_acquire; loads; producer_commit; consumer_wait;
+  //   <uses>; consumer_release
+  // and prepend the prologue before the loop.
+  Stmt RestructureLoop(const ForNode* loop) {
+    std::vector<Stmt> body = TopLevelStmts(loop->body);
+
+    std::vector<Stmt> loads;
+    std::vector<Stmt> uses;
+    for (Stmt& stmt : body) {
+      if (stmt->kind == StmtKind::kCopy &&
+          static_cast<const CopyNode*>(stmt.get())->pipeline_group == g_.id) {
+        loads.push_back(std::move(stmt));
+        continue;
+      }
+      // The pipeline primitives subsume the threadblock barriers that
+      // guarded the buffer in the synchronous form.
+      if (g_.scope == MemScope::kShared && stmt->kind == StmtKind::kSync &&
+          static_cast<const SyncNode*>(stmt.get())->sync_kind ==
+              SyncKind::kBarrier) {
+        continue;
+      }
+      uses.push_back(std::move(stmt));
+    }
+    ALCOP_CHECK(!loads.empty())
+        << "pipeline loop over '" << g_.loop_var->name
+        << "' contains no loads of its pipelined buffers at the top level";
+
+    Stmt load_block = FlatBlock(
+        {Sync(SyncKind::kProducerAcquire, g_.id, g_.expanded),
+         FlatBlock(std::move(loads)),
+         Sync(SyncKind::kProducerCommit, g_.id, g_.expanded)});
+    if (g_.mode == PipelineMode::kRecursive) {
+      load_block = IfThenElse(
+          Binary(ExprKind::kLT, Add(g_.loop_var, g_.stages - 1),
+                 Int(g_.loop_extent)),
+          load_block);
+    }
+
+    std::vector<Stmt> new_body;
+    new_body.push_back(std::move(load_block));
+    new_body.push_back(Sync(SyncKind::kConsumerWait, g_.id, g_.expanded,
+                            g_.has_inner_prefetch ? 1 : 0));
+    for (Stmt& use : uses) new_body.push_back(std::move(use));
+    new_body.push_back(Sync(SyncKind::kConsumerRelease, g_.id, g_.expanded));
+
+    Stmt new_loop = For(loop->var, loop->extent, loop->for_kind,
+                        FlatBlock(std::move(new_body)));
+
+    // Prologue: the first stages-1 chunks. Substituting v -> s-(stages-1)
+    // into the transformed load lands chunk s in slot s (see design notes).
+    std::vector<Stmt> prologue;
+    for (int64_t s = 0; s < g_.stages - 1; ++s) {
+      prologue.push_back(Sync(SyncKind::kProducerAcquire, g_.id, g_.expanded));
+      for (const Stmt& load : loads_) {
+        prologue.push_back(SimplifyStmt(
+            SubstituteInStmt(load, g_.loop_var, Int(s - (g_.stages - 1)))));
+      }
+      prologue.push_back(Sync(SyncKind::kProducerCommit, g_.id, g_.expanded));
+    }
+    Stmt prologue_block = FlatBlock(std::move(prologue));
+    if (g_.mode == PipelineMode::kFused) {
+      // Holistic pipeline: the inner prologue runs only on the first outer
+      // iteration; afterwards the wrapped loads keep the pipeline primed.
+      prologue_block = IfThenElse(
+          Binary(ExprKind::kEQ, g_.outer_var, Int(0)), prologue_block);
+    }
+    return FlatBlock({std::move(prologue_block), std::move(new_loop)});
+  }
+
+  static std::vector<Stmt> TopLevelStmts(const Stmt& body) {
+    if (body->kind == StmtKind::kBlock) {
+      return static_cast<const BlockNode*>(body.get())->seq;
+    }
+    return {body};
+  }
+
+  GroupState& g_;
+  std::vector<Stmt> loads_;  // transformed loads, for prologue construction
+};
+
+// Finds the pipeline loop of a producing copy: the first sequential loop,
+// inside-out, whose variable does not index the destination buffer
+// (Sec. III-A, third step).
+const ForNode* FindPipelineLoop(const ProducerInfo& producer) {
+  for (size_t i = producer.loops.size(); i-- > 0;) {
+    const ForNode* loop = producer.loops[i];
+    if (loop->for_kind != ForKind::kSerial) continue;
+    if (RegionUsesVar(producer.copy->dst, loop->var)) continue;
+    return loop;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TransformResult ApplyPipelineTransform(const Stmt& prog, bool inner_fusion) {
+  TransformResult result;
+  result.stmt = prog;
+
+  // ---- Analysis step 1: collect hints ----
+  std::vector<PipelineHint> hints = CollectPipelineHints(prog);
+  if (hints.empty()) return result;
+
+  // ---- Analysis step 2: producers/consumers ----
+  auto producers = MapProducers(prog);
+  auto consumers = MapConsumers(prog);
+
+  struct BufferPlan {
+    PipelineHint hint;
+    ProducerInfo producer;
+    const ForNode* loop = nullptr;
+    size_t depth = 0;
+  };
+  std::vector<BufferPlan> plans;
+  for (const PipelineHint& hint : hints) {
+    auto it = producers.find(hint.buffer.get());
+    ALCOP_CHECK(it != producers.end() && !it->second.empty())
+        << "pipelined buffer '" << hint.buffer->name << "' has no producer";
+    ALCOP_CHECK_EQ(it->second.size(), 1u)
+        << "pipelined buffer '" << hint.buffer->name
+        << "' has multiple producing copies (unsupported)";
+    BufferPlan plan;
+    plan.hint = hint;
+    plan.producer = it->second[0];
+    // ---- Analysis step 3: sequential load-and-use loop ----
+    plan.loop = FindPipelineLoop(plan.producer);
+    ALCOP_CHECK(plan.loop != nullptr)
+        << "no sequential load-and-use loop for buffer '" << hint.buffer->name
+        << "'";
+    for (const ForNode* loop : plan.producer.loops) {
+      ++plan.depth;
+      if (loop == plan.loop) break;
+    }
+    // ---- Analysis step 4: consumers must sit inside the pipeline loop ----
+    auto cons_it = consumers.find(hint.buffer.get());
+    ALCOP_CHECK(cons_it != consumers.end() && !cons_it->second.empty())
+        << "pipelined buffer '" << hint.buffer->name << "' is never consumed";
+    for (const ConsumerInfo& consumer : cons_it->second) {
+      bool inside = std::find(consumer.loops.begin(), consumer.loops.end(),
+                              plan.loop) != consumer.loops.end();
+      ALCOP_CHECK(inside) << "consumer of '" << hint.buffer->name
+                          << "' lies outside its load-and-use loop";
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // ---- Group formation: buffers sharing a pipeline loop ----
+  std::vector<GroupState> groups;
+  std::unordered_map<const ForNode*, size_t> loop_to_group;
+  for (const BufferPlan& plan : plans) {
+    auto it = loop_to_group.find(plan.loop);
+    if (it == loop_to_group.end()) {
+      GroupState group;
+      group.id = static_cast<int>(groups.size());
+      group.scope = plan.hint.buffer->scope;
+      group.stages = plan.hint.stages;
+      group.loop_var = plan.loop->var;
+      int64_t extent = 0;
+      ALCOP_CHECK(AsConst(plan.loop->extent, &extent))
+          << "pipeline loop extent must be constant";
+      group.loop_extent = extent;
+      group.loop_depth = plan.depth;
+      ALCOP_CHECK_GE(extent, group.stages)
+          << "pipeline over '" << group.loop_var->name
+          << "' has fewer iterations than stages";
+      loop_to_group.emplace(plan.loop, groups.size());
+      groups.push_back(std::move(group));
+    }
+    GroupState& group = groups[loop_to_group[plan.loop]];
+    ALCOP_CHECK(group.scope == plan.hint.buffer->scope)
+        << "buffers of mixed scopes share pipeline loop '"
+        << group.loop_var->name << "'";
+    ALCOP_CHECK_EQ(group.stages, plan.hint.stages)
+        << "buffers with different stage counts share pipeline loop '"
+        << group.loop_var->name << "' (scope-based synchronization conflict)";
+    group.buffers.push_back(plan.hint.buffer);
+  }
+
+  // Rule-3 safety net at the IR level: within the shared-memory scope all
+  // pipelined buffers must synchronize at the same loop (the schedule-level
+  // detection refuses these; a hand-built program that slips through is a
+  // hard error).
+  {
+    const ForNode* shared_loop = nullptr;
+    for (const BufferPlan& plan : plans) {
+      if (plan.hint.buffer->scope != MemScope::kShared) continue;
+      if (shared_loop == nullptr) shared_loop = plan.loop;
+      ALCOP_CHECK(shared_loop == plan.loop)
+          << "shared-scope pipelined buffers have conflicting "
+             "synchronization positions";
+    }
+  }
+
+  // ---- Multi-level derivation and mode selection ----
+  auto group_of_buffer = [&](const BufferNode* buffer) -> GroupState* {
+    for (GroupState& group : groups) {
+      if (group.Contains(buffer)) return &group;
+    }
+    return nullptr;
+  };
+  for (const BufferPlan& plan : plans) {
+    GroupState* group = group_of_buffer(plan.hint.buffer.get());
+    const BufferNode* src = plan.producer.copy->src.buffer.get();
+    if (src->scope == MemScope::kGlobal) {
+      group->mode = PipelineMode::kTop;
+      continue;
+    }
+    GroupState* outer = group_of_buffer(src);
+    if (outer != nullptr && inner_fusion) {
+      ALCOP_CHECK(group->mode != PipelineMode::kRecursive)
+          << "buffers of group '" << group->loop_var->name
+          << "' disagree on pipeline mode";
+      group->mode = PipelineMode::kFused;
+      group->outer_var = outer->loop_var;
+      outer->has_inner_prefetch = true;
+    } else {
+      // Source contents change per outer iteration (or fusion disabled):
+      // the inner pipeline must drain and refill (Fig. 3c).
+      ALCOP_CHECK(group->mode != PipelineMode::kFused)
+          << "buffers of group '" << group->loop_var->name
+          << "' disagree on pipeline mode";
+      group->mode = PipelineMode::kRecursive;
+    }
+  }
+
+  // ---- Buffer expansion (transformation step 1) ----
+  for (GroupState& group : groups) {
+    for (const Buffer& buffer : group.buffers) {
+      std::vector<int64_t> shape;
+      shape.reserve(buffer->shape.size() + 1);
+      shape.push_back(group.stages);
+      shape.insert(shape.end(), buffer->shape.begin(), buffer->shape.end());
+      group.expanded.push_back(
+          MakeBuffer(buffer->name, buffer->scope, std::move(shape),
+                     buffer->elem_bytes));
+    }
+  }
+
+  // ---- Apply groups outermost-first ----
+  std::vector<GroupState*> order;
+  for (GroupState& group : groups) order.push_back(&group);
+  std::sort(order.begin(), order.end(),
+            [](const GroupState* a, const GroupState* b) {
+              return a->loop_depth < b->loop_depth;
+            });
+
+  Stmt stmt = prog;
+  for (GroupState* group : order) {
+    stmt = GroupRewriter(*group).MutateStmt(stmt);
+  }
+  result.stmt = SimplifyStmt(stmt);
+
+  for (const GroupState& group : groups) {
+    PipelineGroupInfo info;
+    info.id = group.id;
+    info.scope = group.scope;
+    info.stages = group.stages;
+    info.mode = group.mode;
+    for (const Buffer& buffer : group.buffers) {
+      info.buffer_names.push_back(buffer->name);
+    }
+    info.loop_var = group.loop_var->name;
+    info.loop_extent = group.loop_extent;
+    info.wait_ahead = group.has_inner_prefetch ? 1 : 0;
+    result.groups.push_back(std::move(info));
+  }
+  return result;
+}
+
+}  // namespace pipeline
+}  // namespace alcop

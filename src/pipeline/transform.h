@@ -1,0 +1,84 @@
+// Pipeline program transformation — Sec. III of the paper.
+//
+// Rewrites every load-and-use loop whose buffers carry pipeline_stages
+// pragmas into its pipelined form. Analysis steps (Sec. III-A):
+//   1. collect pipeline hints (buffer, stage count);
+//   2. reconstruct producer/consumer tensors and derive multi-level
+//      relations (a pipelined buffer produced from another pipelined
+//      buffer);
+//   3. find the sequential load-and-use loop of each buffer: the first
+//      sequential loop, inside-out from the producing copy, whose variable
+//      does not index the buffer;
+//   4. record the load and use spans;
+//   5. decide prologue injection points (inner-pipeline prologues go into
+//      the sequential loop of the outermost pipeline, guarded to run once,
+//      building a holistic rather than recursive pipeline — Fig. 3d).
+//
+// Transformation steps (Sec. III-B):
+//   1. expand each buffer by its stage count (new leading dimension);
+//   2. shift load indices to fetch stage-1 iterations ahead;
+//   3. wrap indices for buffer rolling and out-of-bound access, including
+//      the inner-pipeline overflow carrying into the outer pipeline
+//      variable;
+//   4. inject prologues (the first n_stage-1 chunks);
+//   5. inject the four synchronization primitives
+//      (producer_acquire/commit, consumer_wait/release).
+//
+// Modes per pipeline:
+//   - top: the source is global memory; shifted loads wrap modulo the loop
+//     extent (harmless extra loads of wrapped chunks).
+//   - fused: the source buffer is itself pipelined and inner-pipeline
+//     fusion is enabled; loads wrap with an overflow carry into the outer
+//     pipeline variable, the prologue runs only on the first outer
+//     iteration, and the outer consumer_wait gains one group of slack
+//     (wait_ahead=1) because the fused inner pipeline prefetches from the
+//     *next* outer chunk.
+//   - recursive (Fig. 3c): the source buffer's contents change every outer
+//     iteration (not pipelined, or fusion disabled), so the inner pipeline
+//     drains and refills per outer iteration: loads are predicated instead
+//     of wrapped and the prologue is re-injected every outer iteration.
+#ifndef ALCOP_PIPELINE_TRANSFORM_H_
+#define ALCOP_PIPELINE_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace pipeline {
+
+enum class PipelineMode { kTop, kFused, kRecursive };
+
+const char* PipelineModeName(PipelineMode mode);
+
+// Static description of one synchronization group after transformation.
+struct PipelineGroupInfo {
+  int id = -1;
+  ir::MemScope scope = ir::MemScope::kShared;
+  int64_t stages = 1;
+  PipelineMode mode = PipelineMode::kTop;
+  std::vector<std::string> buffer_names;
+  std::string loop_var;
+  int64_t loop_extent = 1;
+  // consumer_wait slack: 1 when a fused inner pipeline prefetches a chunk
+  // of the next outer iteration from this group's buffers.
+  int wait_ahead = 0;
+};
+
+struct TransformResult {
+  ir::Stmt stmt;
+  std::vector<PipelineGroupInfo> groups;
+};
+
+// Applies the transformation to a program. Programs without pipeline
+// pragmas are returned unchanged. `inner_fusion` selects the fused
+// (default) or recursive multi-level form. Throws CheckError on programs
+// that violate the legality conditions the detection pass establishes.
+TransformResult ApplyPipelineTransform(const ir::Stmt& prog,
+                                       bool inner_fusion = true);
+
+}  // namespace pipeline
+}  // namespace alcop
+
+#endif  // ALCOP_PIPELINE_TRANSFORM_H_

@@ -1,0 +1,143 @@
+// Schedule layer: the paper's Sec. II.
+//
+// A Schedule records the result of applying the classic schedule
+// transformations — cache-read, tiling, fusion/inlining — to a GEMM-family
+// operator, as a small stage graph plus a parameter set (tile sizes, stage
+// counts). The pipeline *detection* pass (src/pipeline/detect) inspects
+// this graph to decide which buffers may be pipelined, and the lowering
+// (src/schedule/lower) turns the schedule into Tensor-IR with
+// pipeline-hint pragmas attached for the program transformation.
+//
+// The ordering study of Fig. 5 is expressed through InlineOrder: inlining
+// an elementwise producer *before* pipelining fuses f(.) into the
+// Global->Shared copy and destroys its asynchrony (rule 1); ALCOP's order
+// pipelines first and re-routes the fusion into the Shared->Register copy.
+#ifndef ALCOP_SCHEDULE_SCHEDULE_H_
+#define ALCOP_SCHEDULE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "schedule/tensor.h"
+
+namespace alcop {
+namespace schedule {
+
+// Threadblock and warp tile sizes (Fig. 1a's two tiling levels).
+struct TileConfig {
+  int64_t tb_m = 128;
+  int64_t tb_n = 128;
+  int64_t tb_k = 32;
+  int64_t warp_m = 64;
+  int64_t warp_n = 64;
+  int64_t warp_k = 16;
+};
+
+// Full schedule parameterization — the design space the tuner explores.
+struct ScheduleConfig {
+  TileConfig tile;
+  int smem_stages = 1;  // 1 = no shared-memory pipelining
+  int reg_stages = 1;   // 1 = no register pipelining
+  // Split-K: the reduction axis is divided over `split_k` threadblocks
+  // writing fp32 partial tiles to a global workspace, followed by a
+  // memory-bound reduction pass. Restores inter-tile parallelism for
+  // small-output problems (the alternative remedy to pipelining, which
+  // both our TVM baseline and ALCOP may use).
+  int split_k = 1;
+  // CTA rasterization (CUTLASS threadblock swizzle): co-resident
+  // threadblocks are dispatched in column blocks of this many rows instead
+  // of pure row-major order, balancing A- and B-panel reuse in the LLC.
+  // 1 = row-major.
+  int raster_block = 1;
+  // Inner-pipeline fusion (Fig. 3d vs 3c). When false, a multi-level
+  // pipeline drains and refills the register pipeline every outer
+  // iteration (the recursive form).
+  bool inner_fusion = true;
+  // Shared-memory swizzling to avoid bank conflicts. The paper augments
+  // ALCOP and all baselines with swizzling; the ablation bench flips it.
+  bool swizzle = true;
+  // When false, pipeline copies execute as blocking loads (TVM's manual
+  // double_buffer primitive: duplicated buffers without cp.async). Models
+  // the paper's "TVM DB" baseline.
+  bool async_copies = true;
+
+  int NumWarps() const {
+    return static_cast<int>((tile.tb_m / tile.warp_m) *
+                            (tile.tb_n / tile.warp_n));
+  }
+  std::string ToString() const;
+};
+
+// Where the elementwise producer of A is fused (Fig. 5).
+enum class InlineOrder {
+  kNone,               // f materialized into a standalone tensor A_ew
+  kBeforePipelining,   // case 1: f fused into the Global->Shared copy
+  kAfterPipelining,    // case 2 (ALCOP): f fused into the Shared->Register copy
+};
+
+// One buffer stage created by cache-read (or a graph input).
+struct StageInfo {
+  std::string name;
+  ir::MemScope scope = ir::MemScope::kGlobal;
+  // The tensor this stage copies from ("" for graph inputs).
+  std::string source;
+  // Elementwise op fused into the copy producing this stage.
+  ir::EwiseOp producer_op = ir::EwiseOp::kNone;
+  double producer_param = 0.0;
+  // Rule 2: produced inside a sequential load-and-use loop (set by Tile).
+  bool in_sequential_loop = false;
+  // Rule 3: identifier of the loop level where this stage's load sits
+  // (0 = the ko loop, 1 = the ki loop). Stages in the same scope must
+  // agree to share the scope's synchronization.
+  int sync_position = -1;
+  // Pipelining decision: 1 = not pipelined, >=2 = stage count. Set by
+  // AutoPipeline (via detection) or manually for ablations.
+  int pipeline_stages = 1;
+};
+
+class Schedule {
+ public:
+  // Builds the canonical GEMM schedule: cache-read of A and B into shared
+  // memory and registers, two-level tiling per `config`. Throws CheckError
+  // if the tiles do not evenly divide the problem or each other.
+  Schedule(GemmOp op, ScheduleConfig config,
+           InlineOrder inline_order = InlineOrder::kAfterPipelining);
+
+  const GemmOp& op() const { return op_; }
+  const ScheduleConfig& config() const { return config_; }
+  InlineOrder inline_order() const { return inline_order_; }
+
+  const std::vector<StageInfo>& stages() const { return stages_; }
+  // Mutable access lets tests construct rule-violating stage graphs and
+  // lets the detection pass record pipelining decisions.
+  std::vector<StageInfo>& stages() { return stages_; }
+
+  const StageInfo* FindStage(const std::string& name) const;
+  StageInfo* FindStage(const std::string& name);
+
+  // Manually sets the pipeline stage count of one buffer (the paper's
+  // buffer.pipeline(stage=n) primitive). Throws if the stage is unknown.
+  void SetPipelineStages(const std::string& name, int stages);
+
+  // True if the producer of A is materialized as a standalone elementwise
+  // pass (InlineOrder::kNone with a non-trivial producer op).
+  bool HasStandaloneEwise() const;
+
+ private:
+  GemmOp op_;
+  ScheduleConfig config_;
+  InlineOrder inline_order_;
+  std::vector<StageInfo> stages_;
+};
+
+// Validates that `config` legally tiles `op`; returns false (with a reason
+// in `*why` if non-null) rather than throwing, so the tuner can filter
+// candidate configs cheaply.
+bool ValidateConfig(const GemmOp& op, const ScheduleConfig& config,
+                    std::string* why = nullptr);
+
+}  // namespace schedule
+}  // namespace alcop
+
+#endif  // ALCOP_SCHEDULE_SCHEDULE_H_

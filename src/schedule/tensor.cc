@@ -1,0 +1,64 @@
+#include "schedule/tensor.h"
+
+#include "support/check.h"
+
+namespace alcop {
+namespace schedule {
+
+const char* OpFamilyName(OpFamily family) {
+  switch (family) {
+    case OpFamily::kMatmul: return "matmul";
+    case OpFamily::kBatchMatmul: return "batch_matmul";
+    case OpFamily::kConv1x1: return "conv1x1";
+    case OpFamily::kConv3x3: return "conv3x3";
+  }
+  return "?";
+}
+
+GemmOp MakeMatmul(const std::string& name, int64_t m, int64_t n, int64_t k) {
+  ALCOP_CHECK_GT(m, 0);
+  ALCOP_CHECK_GT(n, 0);
+  ALCOP_CHECK_GT(k, 0);
+  GemmOp op;
+  op.name = name;
+  op.family = OpFamily::kMatmul;
+  op.m = m;
+  op.n = n;
+  op.k = k;
+  return op;
+}
+
+GemmOp MakeBatchMatmul(const std::string& name, int64_t batch, int64_t m,
+                       int64_t n, int64_t k) {
+  GemmOp op = MakeMatmul(name, m, n, k);
+  ALCOP_CHECK_GT(batch, 0);
+  op.family = OpFamily::kBatchMatmul;
+  op.batch = batch;
+  return op;
+}
+
+GemmOp MakeConv(const std::string& name, int64_t batch_images, int64_t out_h,
+                int64_t out_w, int64_t c_in, int64_t c_out, int64_t kernel_hw) {
+  ALCOP_CHECK(kernel_hw == 1 || kernel_hw == 3)
+      << "only 1x1 and 3x3 convolutions are modeled";
+  GemmOp op;
+  op.name = name;
+  op.family = kernel_hw == 1 ? OpFamily::kConv1x1 : OpFamily::kConv3x3;
+  // Spatial output positions are padded up to a tile-friendly multiple, as
+  // implicit-GEMM kernels do (predicated tail threads).
+  int64_t positions = batch_images * out_h * out_w;
+  op.m = ((positions + 255) / 256) * 256;
+  op.n = c_out;
+  // The reduction axis is padded to a multiple of 16 (implicit-GEMM
+  // kernels zero-pad the filter taps), so shallow inputs like the RGB stem
+  // remain schedulable.
+  int64_t k = c_in * kernel_hw * kernel_hw;
+  op.k = ((k + 15) / 16) * 16;
+  ALCOP_CHECK_GT(op.m, 0);
+  ALCOP_CHECK_GT(op.n, 0);
+  ALCOP_CHECK_GT(op.k, 0);
+  return op;
+}
+
+}  // namespace schedule
+}  // namespace alcop

@@ -1,0 +1,69 @@
+// Operator definitions for the GEMM family ALCOP targets.
+//
+// The paper evaluates pipelining on MatMul, batched MatMul and Conv2D
+// (implicit GEMM), all half-precision on Tensor Cores. Every member of the
+// family lowers to the same load-and-use loop nest:
+//
+//   C[b, i, j] = sum_k A[b, i, k] * B[b, j, k]
+//
+// Conv2D is expressed through its im2col view (M = N*P*Q, N = K_out,
+// K = C_in*R*S); see DESIGN.md for the substitution note. An optional
+// elementwise producer on A models the fused-producer case of the paper's
+// Fig. 5 ordering study, and an optional epilogue op models fused bias/
+// activation at the output.
+#ifndef ALCOP_SCHEDULE_TENSOR_H_
+#define ALCOP_SCHEDULE_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace schedule {
+
+enum class OpFamily {
+  kMatmul,
+  kBatchMatmul,
+  kConv1x1,  // 1x1 convolution as GEMM
+  kConv3x3,  // 3x3 convolution via im2col GEMM
+};
+
+const char* OpFamilyName(OpFamily family);
+
+// A GEMM-family operator instance.
+struct GemmOp {
+  std::string name;
+  OpFamily family = OpFamily::kMatmul;
+  int64_t batch = 1;
+  int64_t m = 0;
+  int64_t n = 0;
+  int64_t k = 0;
+
+  // Elementwise producer applied to A before consumption (Fig. 5's f(.)).
+  ir::EwiseOp a_producer_op = ir::EwiseOp::kNone;
+  double a_producer_param = 0.0;
+
+  // Elementwise epilogue fused into the output write-back.
+  ir::EwiseOp epilogue_op = ir::EwiseOp::kNone;
+  double epilogue_param = 0.0;
+
+  int64_t Flops() const { return 2 * batch * m * n * k; }
+  // Bytes of the three operand tensors (fp16 inputs, fp16 output).
+  int64_t InputBytes() const { return 2 * batch * (m * k + n * k); }
+  int64_t OutputBytes() const { return 2 * batch * m * n; }
+};
+
+// Convenience constructors used by workloads and tests.
+GemmOp MakeMatmul(const std::string& name, int64_t m, int64_t n, int64_t k);
+GemmOp MakeBatchMatmul(const std::string& name, int64_t batch, int64_t m,
+                       int64_t n, int64_t k);
+// Conv2D NHWC with `out_h x out_w` spatial output, expressed as implicit
+// GEMM. kernel_hw is 1 or 3.
+GemmOp MakeConv(const std::string& name, int64_t batch_images, int64_t out_h,
+                int64_t out_w, int64_t c_in, int64_t c_out, int64_t kernel_hw);
+
+}  // namespace schedule
+}  // namespace alcop
+
+#endif  // ALCOP_SCHEDULE_TENSOR_H_

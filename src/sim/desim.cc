@@ -1,0 +1,435 @@
+#include "sim/desim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.h"
+
+namespace alcop {
+namespace sim {
+
+namespace {
+
+// FIFO bandwidth server: amounts queue behind each other at a fixed rate.
+struct Server {
+  double free = 0.0;
+  double rate = 1.0;
+
+  // Serves `amount` starting no earlier than `t`; returns completion time
+  // and optionally the service start (for timeline recording).
+  double Serve(double t, double amount, double* start_out = nullptr) {
+    double start = std::max(t, free);
+    if (start_out != nullptr) *start_out = start;
+    free = start + amount / rate;
+    return free;
+  }
+};
+
+// State of one pipeline scope instance (one sync group within one
+// threadblock for shared scope, or one warp for register scope).
+struct Instance {
+  int participants = 1;
+  std::vector<int> commits_seen;      // per group index
+  std::vector<double> partial_max;    // max transfer completion so far
+  std::vector<double> complete;       // completion time once fully committed
+  std::vector<char> is_complete;
+  std::vector<int64_t> releases;      // per participant slot
+
+  struct WaitWaiter {
+    int stream;
+    int64_t group_index;
+    double park_time;
+  };
+  struct AcquireWaiter {
+    int stream;
+    int64_t needed_releases;
+    double park_time;
+  };
+  std::vector<WaitWaiter> wait_waiters;
+  std::vector<AcquireWaiter> acquire_waiters;
+
+  void EnsureGroup(size_t index) {
+    while (commits_seen.size() <= index) {
+      commits_seen.push_back(0);
+      partial_max.push_back(0.0);
+      complete.push_back(0.0);
+      is_complete.push_back(0);
+    }
+  }
+
+  int64_t MinReleases() const {
+    int64_t min_rel = releases.empty() ? 0 : releases[0];
+    for (int64_t r : releases) min_rel = std::min(min_rel, r);
+    return min_rel;
+  }
+};
+
+// Barrier rendezvous state of one threadblock.
+struct BarrierState {
+  int arrived = 0;
+  double max_time = 0.0;
+  // (stream id, arrival time) of waiters, excluding the releaser.
+  std::vector<std::pair<int, double>> parked;
+};
+
+struct Stream {
+  int tb = 0;
+  int warp = 0;
+  double time = 0.0;
+  size_t pc = 0;
+  // Per-group counters (indexed by group id).
+  std::vector<int64_t> acquires, commits, waits;
+  std::vector<double> copy_max;  // max completion of copies since last commit
+  // Outstanding synchronous loads: a warp issues back-to-back loads whose
+  // round-trip latencies overlap; the next dependent event (MMA, barrier,
+  // store) stalls until the last one lands.
+  double pending_sync = 0.0;
+};
+
+class Desim {
+ public:
+  Desim(const ThreadblockTrace& trace, const target::GpuSpec& spec,
+        const DesimParams& params)
+      : trace_(trace), spec_(spec), params_(params) {
+    // Tensor cores sit in four SM sub-partitions; a warp is pinned to one,
+    // so fewer than four resident warps cannot reach the SM's full
+    // throughput.
+    for (Server& partition : tc_) {
+      partition.rate = spec.tc_flops_per_sm_per_cycle / 4.0;
+    }
+    lds_.rate = spec.lds_bytes_per_cycle_per_sm /
+                (params.swizzle ? 1.0 : spec.bank_conflict_factor);
+    int active_sms = params.active_sms > 0 ? params.active_sms : spec.num_sms;
+    llc_.rate = spec.llc_bw_bytes_per_cycle / active_sms;
+    dram_.rate = spec.dram_bw_bytes_per_cycle / active_sms;
+    dram_write_.rate = spec.dram_write_bw_bytes_per_cycle / active_sms;
+
+    int warps = trace.num_warps;
+    size_t num_groups = params.groups.size();
+    streams_.resize(static_cast<size_t>(params.threadblocks * warps));
+    for (int tb = 0; tb < params.threadblocks; ++tb) {
+      for (int w = 0; w < warps; ++w) {
+        Stream& s = streams_[static_cast<size_t>(tb * warps + w)];
+        s.tb = tb;
+        s.warp = w;
+        s.acquires.assign(num_groups, 0);
+        s.commits.assign(num_groups, 0);
+        s.waits.assign(num_groups, 0);
+        s.copy_max.assign(num_groups, 0.0);
+      }
+    }
+    barriers_.resize(static_cast<size_t>(params.threadblocks));
+    // Instances: [tb][group] -> instance (register-scope instances are
+    // per (tb, warp, group)).
+    instances_.resize(static_cast<size_t>(params.threadblocks));
+    for (int tb = 0; tb < params.threadblocks; ++tb) {
+      auto& per_tb = instances_[static_cast<size_t>(tb)];
+      per_tb.resize(num_groups);
+      for (size_t g = 0; g < num_groups; ++g) {
+        if (params.groups[g].tb_scope) {
+          per_tb[g].resize(1);
+          per_tb[g][0].participants = warps;
+          per_tb[g][0].releases.assign(static_cast<size_t>(warps), 0);
+        } else {
+          per_tb[g].resize(static_cast<size_t>(warps));
+          for (Instance& inst : per_tb[g]) {
+            inst.participants = 1;
+            inst.releases.assign(1, 0);
+          }
+        }
+      }
+    }
+  }
+
+  double Run() {
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      Push(static_cast<int>(i));
+    }
+    while (!queue_.empty()) {
+      auto [neg_time, id] = queue_.top();
+      queue_.pop();
+      Step(id);
+    }
+    double makespan = store_completion_;
+    for (const Stream& s : streams_) makespan = std::max(makespan, s.time);
+    if (params_.timeline != nullptr) params_.timeline->makespan = makespan;
+    // Every stream must have drained its trace; anything else is a
+    // synchronization deadlock in the input program.
+    for (const Stream& s : streams_) {
+      ALCOP_CHECK_EQ(s.pc, trace_.warps[static_cast<size_t>(s.warp)].events.size())
+          << "stream deadlocked at event " << s.pc << " (tb " << s.tb
+          << ", warp " << s.warp << ")";
+    }
+    return makespan;
+  }
+
+ private:
+  using QueueEntry = std::pair<double, int>;  // (-time, stream)
+
+  void Push(int id) {
+    queue_.emplace(-streams_[static_cast<size_t>(id)].time, id);
+  }
+
+  Instance& InstanceFor(const Stream& s, int group) {
+    auto& per_group = instances_[static_cast<size_t>(s.tb)][static_cast<size_t>(group)];
+    return per_group.size() == 1 ? per_group[0]
+                                 : per_group[static_cast<size_t>(s.warp)];
+  }
+
+  int ParticipantSlot(const Stream& s, int group) const {
+    return params_.groups[static_cast<size_t>(group)].tb_scope ? s.warp : 0;
+  }
+
+  void Record(int tb, int warp, SpanKind kind, double start, double end) {
+    if (params_.timeline == nullptr || end <= start) return;
+    params_.timeline->spans.push_back({tb, warp, kind, start, end});
+  }
+
+  double TransferCompletion(double t, const TraceEvent& e, int tb) {
+    double completion = TransferCompletionImpl(t, e);
+    Record(tb, -1, SpanKind::kTransfer, t, completion);
+    return completion;
+  }
+
+  double TransferCompletionImpl(double t, const TraceEvent& e) {
+    if (e.src_scope == ir::MemScope::kGlobal) {
+      double fraction = 1.0;
+      auto it = params_.dram_fraction.find(e.src_tensor);
+      if (it != params_.dram_fraction.end()) fraction = it->second;
+      double bytes = static_cast<double>(e.bytes);
+      double t_llc = llc_.Serve(t, bytes);
+      double completion = t_llc;
+      if (fraction > 1e-3) {
+        completion = std::max(completion, dram_.Serve(t, bytes * fraction));
+      }
+      // Round-trip latency of the copy's critical path: mostly-LLC tiles
+      // see LLC latency; the DRAM share of a tile stretches it toward the
+      // DRAM round trip (misses of co-scheduled threadblocks overlap, so
+      // an expected-value blend, not a hard max).
+      double latency =
+          spec_.llc_latency_cycles +
+          std::min(fraction, 1.0) *
+              (spec_.dram_latency_cycles - spec_.llc_latency_cycles);
+      return completion + latency;
+    }
+    // Shared -> register through the LDS pipe.
+    return lds_.Serve(t, static_cast<double>(e.bytes)) +
+           spec_.smem_latency_cycles;
+  }
+
+  // Processes one event of the stream; reinserts the stream unless it
+  // parked or finished.
+  void Step(int id) {
+    Stream& s = streams_[static_cast<size_t>(id)];
+    const std::vector<TraceEvent>& events =
+        trace_.warps[static_cast<size_t>(s.warp)].events;
+    if (s.pc >= events.size()) return;
+    const TraceEvent& e = events[s.pc];
+
+    switch (e.kind) {
+      case EventKind::kFill: {
+        double t0 = s.time;
+        s.time += static_cast<double>(e.bytes) / 256.0;
+        Record(s.tb, s.warp, SpanKind::kFill, t0, s.time);
+        break;
+      }
+      case EventKind::kMma: {
+        DrainSyncLoads(s);
+        // Warps are distributed round-robin over the four sub-partitions.
+        Server& partition =
+            tc_[static_cast<size_t>((s.tb * trace_.num_warps + s.warp) % 4)];
+        double start = 0.0;
+        s.time = partition.Serve(s.time, static_cast<double>(e.flops), &start);
+        Record(s.tb, s.warp, SpanKind::kCompute, start, s.time);
+        break;
+      }
+      case EventKind::kCopyAsync: {
+        double t0 = s.time;
+        s.time += static_cast<double>(e.bytes) / spec_.copy_issue_bytes_per_cycle;
+        Record(s.tb, s.warp, SpanKind::kIssue, t0, s.time);
+        double completion = TransferCompletion(s.time, e, s.tb);
+        ALCOP_CHECK_GE(e.group, 0) << "async copy without a pipeline group";
+        s.copy_max[static_cast<size_t>(e.group)] =
+            std::max(s.copy_max[static_cast<size_t>(e.group)], completion);
+        if (params_.blocking_async) {
+          Record(s.tb, s.warp, SpanKind::kBlockingCopy, s.time, completion);
+          s.time = completion;
+        }
+        break;
+      }
+      case EventKind::kCopySync: {
+        double t0 = s.time;
+        s.time += static_cast<double>(e.bytes) / spec_.copy_issue_bytes_per_cycle;
+        Record(s.tb, s.warp, SpanKind::kIssue, t0, s.time);
+        s.pending_sync =
+            std::max(s.pending_sync, TransferCompletion(s.time, e, s.tb));
+        break;
+      }
+      case EventKind::kStoreGlobal: {
+        DrainSyncLoads(s);
+        double t0 = s.time;
+        s.time += static_cast<double>(e.bytes) / spec_.copy_issue_bytes_per_cycle;
+        Record(s.tb, s.warp, SpanKind::kStore, t0, s.time);
+        double completion =
+            dram_write_.Serve(s.time, static_cast<double>(e.bytes)) +
+            spec_.dram_latency_cycles;
+        store_completion_ = std::max(store_completion_, completion);
+        break;
+      }
+      case EventKind::kAcquire: {
+        Instance& inst = InstanceFor(s, e.group);
+        int64_t n = s.acquires[static_cast<size_t>(e.group)];
+        int64_t needed = n - (params_.groups[static_cast<size_t>(e.group)].stages - 1);
+        if (needed > inst.MinReleases()) {
+          inst.acquire_waiters.push_back({id, needed, s.time});
+          return;  // parked
+        }
+        s.time += spec_.sync_overhead_cycles;
+        ++s.acquires[static_cast<size_t>(e.group)];
+        break;
+      }
+      case EventKind::kCommit: {
+        Instance& inst = InstanceFor(s, e.group);
+        size_t idx = static_cast<size_t>(s.commits[static_cast<size_t>(e.group)]);
+        inst.EnsureGroup(idx);
+        inst.partial_max[idx] =
+            std::max(inst.partial_max[idx], s.copy_max[static_cast<size_t>(e.group)]);
+        s.copy_max[static_cast<size_t>(e.group)] = 0.0;
+        if (++inst.commits_seen[idx] == inst.participants) {
+          inst.complete[idx] = inst.partial_max[idx];
+          inst.is_complete[idx] = 1;
+          WakeWaitWaiters(inst, static_cast<int64_t>(idx));
+        }
+        ++s.commits[static_cast<size_t>(e.group)];
+        s.time += spec_.sync_overhead_cycles * 0.5;
+        break;
+      }
+      case EventKind::kWait: {
+        Instance& inst = InstanceFor(s, e.group);
+        int64_t idx = s.waits[static_cast<size_t>(e.group)] + e.wait_ahead;
+        if (static_cast<size_t>(idx) >= inst.is_complete.size() ||
+            !inst.is_complete[static_cast<size_t>(idx)]) {
+          inst.wait_waiters.push_back({id, idx, s.time});
+          return;  // parked
+        }
+        double t0 = s.time;
+        s.time = std::max(s.time, inst.complete[static_cast<size_t>(idx)]) +
+                 spec_.sync_overhead_cycles;
+        Record(s.tb, s.warp, SpanKind::kSyncStall, t0, s.time);
+        ++s.waits[static_cast<size_t>(e.group)];
+        break;
+      }
+      case EventKind::kRelease: {
+        Instance& inst = InstanceFor(s, e.group);
+        ++inst.releases[static_cast<size_t>(ParticipantSlot(s, e.group))];
+        s.time += spec_.sync_overhead_cycles * 0.5;
+        WakeAcquireWaiters(inst, s.time);
+        break;
+      }
+      case EventKind::kBarrier: {
+        DrainSyncLoads(s);
+        BarrierState& barrier = barriers_[static_cast<size_t>(s.tb)];
+        barrier.max_time = std::max(barrier.max_time, s.time);
+        if (++barrier.arrived < trace_.num_warps) {
+          barrier.parked.emplace_back(id, s.time);
+          ++s.pc;  // the releaser advances everyone past the barrier
+          return;
+        }
+        double resume = barrier.max_time + spec_.sync_overhead_cycles;
+        for (const auto& [parked_id, arrival] : barrier.parked) {
+          Stream& p = streams_[static_cast<size_t>(parked_id)];
+          Record(p.tb, p.warp, SpanKind::kBarrier, arrival, resume);
+          p.time = resume;
+          Push(parked_id);
+        }
+        barrier.parked.clear();
+        barrier.arrived = 0;
+        barrier.max_time = 0.0;
+        Record(s.tb, s.warp, SpanKind::kBarrier, s.time, resume);
+        s.time = resume;
+        break;
+      }
+    }
+
+    ++s.pc;
+    if (s.pc < events.size()) Push(id);
+  }
+
+  void DrainSyncLoads(Stream& s) {
+    if (s.pending_sync > s.time) {
+      Record(s.tb, s.warp, SpanKind::kBlockingCopy, s.time, s.pending_sync);
+      s.time = s.pending_sync;
+    }
+    s.pending_sync = 0.0;
+  }
+
+  void WakeWaitWaiters(Instance& inst, int64_t group_index) {
+    auto it = inst.wait_waiters.begin();
+    while (it != inst.wait_waiters.end()) {
+      if (it->group_index == group_index) {
+        Stream& s = streams_[static_cast<size_t>(it->stream)];
+        const TraceEvent& e =
+            trace_.warps[static_cast<size_t>(s.warp)].events[s.pc];
+        s.time = std::max(it->park_time,
+                          inst.complete[static_cast<size_t>(group_index)]) +
+                 spec_.sync_overhead_cycles;
+        Record(s.tb, s.warp, SpanKind::kSyncStall, it->park_time, s.time);
+        ++s.waits[static_cast<size_t>(e.group)];
+        ++s.pc;
+        if (s.pc < trace_.warps[static_cast<size_t>(s.warp)].events.size()) {
+          Push(it->stream);
+        }
+        it = inst.wait_waiters.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void WakeAcquireWaiters(Instance& inst, double release_time) {
+    int64_t min_rel = inst.MinReleases();
+    auto it = inst.acquire_waiters.begin();
+    while (it != inst.acquire_waiters.end()) {
+      if (it->needed_releases <= min_rel) {
+        Stream& s = streams_[static_cast<size_t>(it->stream)];
+        const TraceEvent& e =
+            trace_.warps[static_cast<size_t>(s.warp)].events[s.pc];
+        s.time = std::max(it->park_time, release_time) +
+                 spec_.sync_overhead_cycles;
+        Record(s.tb, s.warp, SpanKind::kSyncStall, it->park_time, s.time);
+        ++s.acquires[static_cast<size_t>(e.group)];
+        ++s.pc;
+        if (s.pc < trace_.warps[static_cast<size_t>(s.warp)].events.size()) {
+          Push(it->stream);
+        }
+        it = inst.acquire_waiters.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const ThreadblockTrace& trace_;
+  const target::GpuSpec& spec_;
+  const DesimParams& params_;
+
+  Server tc_[4];
+  Server lds_, llc_, dram_, dram_write_;
+  std::vector<Stream> streams_;
+  std::vector<BarrierState> barriers_;
+  // instances_[tb][group] -> one (tb-scope) or num_warps (warp-scope).
+  std::vector<std::vector<std::vector<Instance>>> instances_;
+  std::priority_queue<QueueEntry> queue_;  // (-time, stream): min-time first
+  double store_completion_ = 0.0;
+};
+
+}  // namespace
+
+double SimulateBatch(const ThreadblockTrace& trace,
+                     const target::GpuSpec& spec, const DesimParams& params) {
+  ALCOP_CHECK_GT(params.threadblocks, 0);
+  return Desim(trace, spec, params).Run();
+}
+
+}  // namespace sim
+}  // namespace alcop

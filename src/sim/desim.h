@@ -1,0 +1,67 @@
+// Discrete-event simulation of one SM executing a batch of resident
+// threadblocks (the paper's threadblock-batch).
+//
+// Every warp of every resident threadblock is a stream replaying the
+// threadblock trace. Streams contend for the SM's FIFO resources — the
+// tensor-core pipe, the shared-memory (LDS) pipe, and the SM's share of
+// LLC and DRAM bandwidth — and synchronize through threadblock barriers
+// and the pipeline primitives:
+//   - an asynchronous copy costs only issue time on its warp; its transfer
+//     completes in the background on the memory servers;
+//   - producer_commit seals a commit group; the group is complete when all
+//     participating warps committed and every transfer landed;
+//   - consumer_wait blocks a warp until group (cursor + wait_ahead)
+//     completes;
+//   - producer_acquire enforces the stage capacity: a warp may not reuse a
+//     slot until every warp of the scope released it (this bounds warp
+//     skew to the pipeline depth, as mbarriers do on hardware).
+//
+// This is deliberately more detailed than the Table-I analytical model —
+// warm-up, drain, issue serialization, partial batches and bank-conflict
+// penalties all emerge here — so that the model-accuracy experiment
+// (Fig. 12) measures a real gap.
+#ifndef ALCOP_SIM_DESIM_H_
+#define ALCOP_SIM_DESIM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/timeline.h"
+#include "sim/trace.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace sim {
+
+struct GroupMeta {
+  int64_t stages = 1;
+  bool tb_scope = true;  // shared-memory scope: all warps participate
+};
+
+struct DesimParams {
+  int threadblocks = 1;  // resident threadblocks on the SM
+  bool swizzle = true;
+  // TVM-DB modeling: pipeline copies stall their warp like ordinary loads
+  // (double buffering without cp.async hardware).
+  bool blocking_async = false;
+  // SMs actually hosting threadblocks this batch: small grids leave SMs
+  // idle, and the active ones receive a proportionally larger slice of the
+  // GPU-wide LLC/DRAM bandwidth.
+  int active_sms = 0;  // 0 -> spec.num_sms
+  std::vector<GroupMeta> groups;  // indexed by pipeline group id
+  // Fraction of each global tensor's loads that miss in LLC and pay DRAM
+  // bandwidth (from the launch-level working-set analysis). Default 1.0.
+  std::unordered_map<const ir::BufferNode*, double> dram_fraction;
+  // When non-null, per-warp execution spans are recorded here (see
+  // timeline.h) for visualization.
+  Timeline* timeline = nullptr;
+};
+
+// Simulates one batch; returns the makespan in cycles.
+double SimulateBatch(const ThreadblockTrace& trace,
+                     const target::GpuSpec& spec, const DesimParams& params);
+
+}  // namespace sim
+}  // namespace alcop
+
+#endif  // ALCOP_SIM_DESIM_H_

@@ -1,0 +1,298 @@
+#include "sim/executor.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace alcop {
+namespace sim {
+
+using namespace alcop::ir;  // NOLINT(build/namespaces) - interpreter
+
+namespace {
+
+// One element written by an async copy, remembered until promotion.
+struct PendingElem {
+  TensorData* tensor;
+  int64_t index;
+  uint32_t epoch;
+};
+
+// FIFO state of one pipeline instance (one sync group within one
+// threadblock/warp instance).
+struct PipelineState {
+  int64_t committed = 0;
+  int64_t waited = 0;    // consumer_wait cursor
+  int64_t released = 0;
+  int64_t promoted_upto = -1;  // highest group index made visible
+  std::vector<PendingElem> current;          // copies since last commit
+  std::vector<std::vector<PendingElem>> fifo;  // per committed group
+};
+
+}  // namespace
+
+class Executor::Impl {
+ public:
+  explicit Impl(ExecOptions options) : options_(options) {}
+
+  void Bind(const Buffer& buffer, std::vector<float> data) {
+    TensorData& tensor = Storage(buffer);
+    ALCOP_CHECK_EQ(static_cast<int64_t>(data.size()), buffer->NumElements())
+        << "bind size mismatch for '" << buffer->name << "'";
+    tensor.values = std::move(data);
+  }
+
+  void Run(const Stmt& program) { Exec(program); }
+
+  const std::vector<float>& Data(const Buffer& buffer) const {
+    auto it = storage_.find(buffer.get());
+    ALCOP_CHECK(it != storage_.end())
+        << "buffer '" << buffer->name << "' was never touched";
+    return it->second->values;
+  }
+
+ private:
+  TensorData& Storage(const Buffer& buffer) {
+    auto it = storage_.find(buffer.get());
+    if (it == storage_.end()) {
+      it = storage_
+               .emplace(buffer.get(), std::make_unique<TensorData>(buffer))
+               .first;
+    }
+    return *it->second;
+  }
+
+  // Pipeline instances are scoped per parallel-loop iteration: the key is
+  // the group id plus the current blockIdx/warp loop bindings.
+  std::string InstanceKey(int group) {
+    std::ostringstream key;
+    key << group;
+    for (const auto& [var, value] : parallel_bindings_) {
+      key << "/" << var << "=" << value;
+    }
+    return key.str();
+  }
+
+  void Exec(const Stmt& s) {
+    switch (s->kind) {
+      case StmtKind::kBlock: {
+        for (const Stmt& child : static_cast<const BlockNode*>(s.get())->seq) {
+          Exec(child);
+        }
+        return;
+      }
+      case StmtKind::kPragma:
+        Exec(static_cast<const PragmaNode*>(s.get())->body);
+        return;
+      case StmtKind::kFor: {
+        const auto* op = static_cast<const ForNode*>(s.get());
+        int64_t extent = Evaluate(op->extent, env_);
+        bool parallel = op->for_kind == ForKind::kBlockIdx ||
+                        op->for_kind == ForKind::kWarp;
+        for (int64_t i = 0; i < extent; ++i) {
+          env_.push_back({op->var.get(), i});
+          if (parallel) parallel_bindings_.emplace_back(op->var->name, i);
+          Exec(op->body);
+          if (parallel) parallel_bindings_.pop_back();
+          env_.pop_back();
+        }
+        return;
+      }
+      case StmtKind::kIfThenElse: {
+        const auto* op = static_cast<const IfThenElseNode*>(s.get());
+        if (Evaluate(op->cond, env_) != 0) {
+          Exec(op->then_case);
+        } else if (op->else_case != nullptr) {
+          Exec(op->else_case);
+        }
+        return;
+      }
+      case StmtKind::kAlloc:
+        Storage(static_cast<const AllocNode*>(s.get())->buffer);
+        return;
+      case StmtKind::kCopy:
+        ExecCopy(static_cast<const CopyNode*>(s.get()));
+        return;
+      case StmtKind::kFill:
+        ExecFill(static_cast<const FillNode*>(s.get()));
+        return;
+      case StmtKind::kMma:
+        ExecMma(static_cast<const MmaNode*>(s.get()));
+        return;
+      case StmtKind::kSync:
+        ExecSync(static_cast<const SyncNode*>(s.get()));
+        return;
+    }
+    ALCOP_CHECK(false) << "unhandled statement in executor";
+  }
+
+  float ReadElem(TensorData& tensor, int64_t index) const {
+    if (options_.check_async_semantics) {
+      ALCOP_CHECK(!tensor.pending[static_cast<size_t>(index)])
+          << "read of '" << tensor.buffer->name << "' element " << index
+          << " before its consumer_wait (async data not yet visible)";
+    }
+    return tensor.values[static_cast<size_t>(index)];
+  }
+
+  void ExecCopy(const CopyNode* op) {
+    TensorData& dst = Storage(op->dst.buffer);
+    TensorData& src = Storage(op->src.buffer);
+    ALCOP_CHECK(NonSingletonShape(op->dst) == NonSingletonShape(op->src))
+        << "copy region shape mismatch: " << op->dst.buffer->name << " <- "
+        << op->src.buffer->name;
+    std::vector<int64_t> dst_idx = RegionIndices(op->dst, env_);
+    std::vector<int64_t> src_idx = RegionIndices(op->src, env_);
+
+    PipelineState* pipe = nullptr;
+    if (op->is_async && options_.check_async_semantics) {
+      pipe = &pipelines_[InstanceKey(op->pipeline_group)];
+    }
+    for (size_t i = 0; i < dst_idx.size(); ++i) {
+      float value = ReadElem(src, src_idx[i]);
+      value = static_cast<float>(ApplyEwise(op->op, op->op_param, value));
+      size_t di = static_cast<size_t>(dst_idx[i]);
+      if (op->accumulate) value += dst.values[di];
+      dst.values[di] = value;
+      if (pipe != nullptr) {
+        dst.pending[di] = 1;
+        uint32_t e = ++dst.epoch[di];
+        pipe->current.push_back({&dst, dst_idx[i], e});
+      } else {
+        dst.pending[di] = 0;
+      }
+    }
+  }
+
+  void ExecFill(const FillNode* op) {
+    TensorData& dst = Storage(op->dst.buffer);
+    for (int64_t index : RegionIndices(op->dst, env_)) {
+      dst.values[static_cast<size_t>(index)] = static_cast<float>(op->value);
+      dst.pending[static_cast<size_t>(index)] = 0;
+    }
+  }
+
+  void ExecMma(const MmaNode* op) {
+    TensorData& c = Storage(op->c.buffer);
+    TensorData& a = Storage(op->a.buffer);
+    TensorData& b = Storage(op->b.buffer);
+    std::vector<int64_t> ci = RegionIndices(op->c, env_);
+    std::vector<int64_t> ai = RegionIndices(op->a, env_);
+    std::vector<int64_t> bi = RegionIndices(op->b, env_);
+    int64_t m = op->m(), n = op->n(), k = op->k();
+    // Regions are row-major over [m,k], [n,k], [m,n].
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          acc += ReadElem(a, ai[static_cast<size_t>(i * k + kk)]) *
+                 ReadElem(b, bi[static_cast<size_t>(j * k + kk)]);
+        }
+        c.values[static_cast<size_t>(ci[static_cast<size_t>(i * n + j)])] += acc;
+      }
+    }
+  }
+
+  void ExecSync(const SyncNode* op) {
+    if (op->sync_kind == SyncKind::kBarrier) return;  // no functional effect
+    if (!options_.check_async_semantics) return;
+    PipelineState& pipe = pipelines_[InstanceKey(op->group)];
+    switch (op->sync_kind) {
+      case SyncKind::kProducerAcquire:
+        ALCOP_CHECK_LT(pipe.committed - pipe.released, StagesOf(op))
+            << "producer_acquire of group " << op->group
+            << " without pipeline capacity (missing consumer_release?)";
+        return;
+      case SyncKind::kProducerCommit:
+        pipe.fifo.push_back(std::move(pipe.current));
+        pipe.current.clear();
+        ++pipe.committed;
+        return;
+      case SyncKind::kConsumerWait: {
+        int64_t target = pipe.waited + op->wait_ahead;
+        ALCOP_CHECK_LT(target, pipe.committed)
+            << "consumer_wait of group " << op->group
+            << " targets group " << target << " but only " << pipe.committed
+            << " groups were committed";
+        for (int64_t g = pipe.promoted_upto + 1; g <= target; ++g) {
+          for (const PendingElem& elem : pipe.fifo[static_cast<size_t>(g)]) {
+            // Promote only if the element was not overwritten since.
+            size_t index = static_cast<size_t>(elem.index);
+            if (elem.tensor->epoch[index] == elem.epoch) {
+              elem.tensor->pending[index] = 0;
+            }
+          }
+        }
+        pipe.promoted_upto = std::max(pipe.promoted_upto, target);
+        ++pipe.waited;
+        return;
+      }
+      case SyncKind::kConsumerRelease:
+        ++pipe.released;
+        ALCOP_CHECK_LE(pipe.released, pipe.committed)
+            << "consumer_release of group " << op->group
+            << " exceeds committed groups";
+        return;
+      default:
+        return;
+    }
+  }
+
+  // Stage capacity of the group at this sync: derived from the expanded
+  // buffer's leading dimension.
+  static int64_t StagesOf(const SyncNode* op) {
+    ALCOP_CHECK(!op->buffers.empty())
+        << "pipeline sync without associated buffers";
+    return op->buffers[0]->shape[0];
+  }
+
+  ExecOptions options_;
+  std::vector<VarBinding> env_;
+  std::vector<std::pair<std::string, int64_t>> parallel_bindings_;
+  std::unordered_map<const BufferNode*, std::unique_ptr<TensorData>> storage_;
+  std::unordered_map<std::string, PipelineState> pipelines_;
+};
+
+Executor::Executor(ExecOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+Executor::~Executor() = default;
+
+void Executor::Bind(const Buffer& buffer, std::vector<float> data) {
+  impl_->Bind(buffer, std::move(data));
+}
+
+void Executor::Run(const Stmt& program) { impl_->Run(program); }
+
+const std::vector<float>& Executor::Data(const Buffer& buffer) const {
+  return impl_->Data(buffer);
+}
+
+std::vector<float> ReferenceGemm(const std::vector<float>& a,
+                                 const std::vector<float>& b, int64_t batch,
+                                 int64_t m, int64_t n, int64_t k,
+                                 ir::EwiseOp a_op, double a_param,
+                                 ir::EwiseOp epilogue_op,
+                                 double epilogue_param) {
+  ALCOP_CHECK_EQ(static_cast<int64_t>(a.size()), batch * m * k);
+  ALCOP_CHECK_EQ(static_cast<int64_t>(b.size()), batch * n * k);
+  std::vector<float> c(static_cast<size_t>(batch * m * n), 0.0f);
+  for (int64_t bb = 0; bb < batch; ++bb) {
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          float av = a[static_cast<size_t>((bb * m + i) * k + kk)];
+          av = static_cast<float>(ApplyEwise(a_op, a_param, av));
+          acc += av * b[static_cast<size_t>((bb * n + j) * k + kk)];
+        }
+        acc = static_cast<float>(ApplyEwise(epilogue_op, epilogue_param, acc));
+        c[static_cast<size_t>((bb * m + i) * n + j)] = acc;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace sim
+}  // namespace alcop

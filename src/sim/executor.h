@@ -1,0 +1,69 @@
+// Functional executor: interprets Tensor-IR programs on real data.
+//
+// Serves two purposes:
+//   1. Numerical verification that the pipeline transformation preserves
+//      program semantics (transformed kernel output == reference GEMM).
+//   2. Enforcement of the Ampere asynchronous-copy visibility semantics:
+//      data written by an async copy may only be read after the matching
+//      consumer_wait, producer_acquire must have pipeline capacity, and
+//      commit groups complete in FIFO order. Violations throw CheckError.
+//
+// Parallel loops (blockIdx / warp) are interpreted sequentially; pipeline
+// state is keyed per parallel-loop instance, so each threadblock and each
+// warp carries its own FIFO, exactly as the hardware scopes them.
+#ifndef ALCOP_SIM_EXECUTOR_H_
+#define ALCOP_SIM_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "sim/memory.h"
+
+namespace alcop {
+namespace sim {
+
+struct ExecOptions {
+  // When false, async copies behave like synchronous ones (useful to run
+  // deliberately mis-synchronized IR in tests of the checker itself).
+  bool check_async_semantics = true;
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecOptions options = {});
+  ~Executor();
+
+  // Binds external contents to a (global) buffer before Run. Size must
+  // match the buffer's element count.
+  void Bind(const ir::Buffer& buffer, std::vector<float> data);
+
+  // Interprets the program. Buffers not bound are zero-initialized on
+  // first use. Throws CheckError on semantic violations.
+  void Run(const ir::Stmt& program);
+
+  // Contents of a buffer after Run.
+  const std::vector<float>& Data(const ir::Buffer& buffer) const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Reference GEMM: C[b,i,j] = g(sum_k f(A[b,i,k]) * B[b,j,k]) with the
+// optional producer op f on A and epilogue op g. Row-major contiguous
+// [batch, m, k] / [batch, n, k] / [batch, m, n] layouts.
+std::vector<float> ReferenceGemm(const std::vector<float>& a,
+                                 const std::vector<float>& b, int64_t batch,
+                                 int64_t m, int64_t n, int64_t k,
+                                 ir::EwiseOp a_op = ir::EwiseOp::kNone,
+                                 double a_param = 0.0,
+                                 ir::EwiseOp epilogue_op = ir::EwiseOp::kNone,
+                                 double epilogue_param = 0.0);
+
+}  // namespace sim
+}  // namespace alcop
+
+#endif  // ALCOP_SIM_EXECUTOR_H_

@@ -1,0 +1,86 @@
+// Kernel-level simulation: occupancy, threadblock batching, the LLC
+// working-set analysis, and the end-to-end compile+simulate helper that
+// the tuner and benchmarks use as their "measurement".
+#ifndef ALCOP_SIM_LAUNCH_H_
+#define ALCOP_SIM_LAUNCH_H_
+
+#include <string>
+
+#include "pipeline/detect.h"
+#include "pipeline/transform.h"
+#include "schedule/lower.h"
+#include "sim/desim.h"
+#include "schedule/schedule.h"
+#include "target/gpu_spec.h"
+#include "target/occupancy.h"
+
+namespace alcop {
+namespace sim {
+
+struct KernelTiming {
+  bool feasible = false;
+  std::string reason;  // why infeasible
+  double cycles = 0.0;
+  double microseconds = 0.0;
+  double tflops = 0.0;  // achieved throughput
+  int threadblocks_per_sm = 0;
+  int64_t batches = 0;
+  double batch_cycles = 0.0;  // steady-state full-batch makespan
+};
+
+// A fully compiled kernel: lowering plus pipeline transformation.
+struct CompiledKernel {
+  schedule::LoweredKernel kernel;
+  pipeline::TransformResult transformed;
+  pipeline::DetectionResult detection;
+};
+
+// schedule -> lower -> detect/auto-pipeline -> transform.
+CompiledKernel CompileKernel(
+    const schedule::GemmOp& op, const schedule::ScheduleConfig& config,
+    const target::GpuSpec& spec,
+    schedule::InlineOrder inline_order =
+        schedule::InlineOrder::kAfterPipelining);
+
+// Simulates a compiled kernel on the device.
+KernelTiming SimulateKernel(const CompiledKernel& compiled,
+                            const target::GpuSpec& spec);
+
+// Convenience: compile and simulate in one call. Returns an infeasible
+// timing (instead of throwing) when the config does not validate or does
+// not fit the device.
+KernelTiming CompileAndSimulate(
+    const schedule::GemmOp& op, const schedule::ScheduleConfig& config,
+    const target::GpuSpec& spec,
+    schedule::InlineOrder inline_order =
+        schedule::InlineOrder::kAfterPipelining);
+
+// Records the execution timeline of one steady-state threadblock batch
+// for visualization (see timeline.h).
+struct BatchTimeline {
+  Timeline timeline;
+  int num_warps = 1;
+  int threadblocks = 1;
+};
+BatchTimeline CaptureTimeline(const CompiledKernel& compiled,
+                              const target::GpuSpec& spec);
+
+// LLC working-set analysis of one threadblock-batch: the fraction of each
+// input tensor's loads that must come from DRAM (1/reuse, degraded when
+// the batch working set exceeds the LLC). Exposed for tests and for the
+// analytical model, which shares this estimate.
+struct TrafficAnalysis {
+  double a_dram_fraction = 1.0;
+  double b_dram_fraction = 1.0;
+  int64_t batch_threadblocks = 0;
+  double working_set_bytes = 0.0;
+};
+TrafficAnalysis AnalyzeTraffic(const schedule::GemmOp& op,
+                               const schedule::ScheduleConfig& config,
+                               const target::GpuSpec& spec,
+                               int threadblocks_per_sm);
+
+}  // namespace sim
+}  // namespace alcop
+
+#endif  // ALCOP_SIM_LAUNCH_H_

@@ -1,0 +1,57 @@
+#include "sim/memory.h"
+
+#include "support/check.h"
+
+namespace alcop {
+namespace sim {
+
+TensorData::TensorData(ir::Buffer buf) : buffer(std::move(buf)) {
+  int64_t n = buffer->NumElements();
+  values.assign(static_cast<size_t>(n), 0.0f);
+  pending.assign(static_cast<size_t>(n), 0);
+  epoch.assign(static_cast<size_t>(n), 0);
+}
+
+std::vector<int64_t> RegionIndices(const ir::BufferRegion& region,
+                                   const std::vector<ir::VarBinding>& env) {
+  const ir::Buffer& buffer = region.buffer;
+  size_t rank = buffer->shape.size();
+  std::vector<int64_t> strides = buffer->Strides();
+
+  std::vector<int64_t> base(rank);
+  for (size_t d = 0; d < rank; ++d) {
+    base[d] = ir::Evaluate(region.offsets[d], env);
+    ALCOP_CHECK_GE(base[d], 0) << "negative offset in region of '"
+                               << buffer->name << "' dim " << d;
+    ALCOP_CHECK_LE(base[d] + region.sizes[d], buffer->shape[d])
+        << "out-of-bounds region of '" << buffer->name << "' dim " << d
+        << " (offset " << base[d] << " size " << region.sizes[d] << ")";
+  }
+
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(region.NumElements()));
+  std::vector<int64_t> coord(rank, 0);
+  while (true) {
+    int64_t flat = 0;
+    for (size_t d = 0; d < rank; ++d) flat += (base[d] + coord[d]) * strides[d];
+    out.push_back(flat);
+    // Odometer increment over the region extents.
+    size_t d = rank;
+    while (d-- > 0) {
+      if (++coord[d] < region.sizes[d]) break;
+      coord[d] = 0;
+      if (d == 0) return out;
+    }
+  }
+}
+
+std::vector<int64_t> NonSingletonShape(const ir::BufferRegion& region) {
+  std::vector<int64_t> shape;
+  for (int64_t size : region.sizes) {
+    if (size > 1) shape.push_back(size);
+  }
+  return shape;
+}
+
+}  // namespace sim
+}  // namespace alcop

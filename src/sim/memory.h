@@ -1,0 +1,49 @@
+// Simulated memory: storage for IR buffers plus the per-element visibility
+// state the async-semantics checker tracks.
+//
+// On Ampere, data written by cp.async is not visible until the matching
+// pipeline wait completes. The functional executor models this: an
+// asynchronous copy writes values immediately (the interpreter is
+// sequential) but marks the elements *pending*; reading a pending element
+// is an error until a consumer_wait promotes its commit-group. This turns
+// missing or misplaced synchronization — the hardest bugs in the pipeline
+// transformation — into deterministic test failures.
+#ifndef ALCOP_SIM_MEMORY_H_
+#define ALCOP_SIM_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/buffer.h"
+#include "ir/expr.h"
+
+namespace alcop {
+namespace sim {
+
+// Storage and element states of one buffer.
+struct TensorData {
+  explicit TensorData(ir::Buffer buf);
+
+  ir::Buffer buffer;
+  std::vector<float> values;
+  // Visibility state: pending[i] true while an async write awaits its
+  // consumer_wait. epoch[i] increments per async write so a stale commit
+  // group cannot promote an element that was overwritten since.
+  std::vector<uint8_t> pending;
+  std::vector<uint32_t> epoch;
+};
+
+// Row-major flat indices covered by a region under the given variable
+// bindings. Throws CheckError on out-of-bounds access (this is how the
+// tests prove the transformation's index wrapping works).
+std::vector<int64_t> RegionIndices(const ir::BufferRegion& region,
+                                   const std::vector<ir::VarBinding>& env);
+
+// The region's extent list with size-1 dims dropped; copies require the
+// non-singleton shapes of dst and src to match.
+std::vector<int64_t> NonSingletonShape(const ir::BufferRegion& region);
+
+}  // namespace sim
+}  // namespace alcop
+
+#endif  // ALCOP_SIM_MEMORY_H_

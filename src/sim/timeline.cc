@@ -1,0 +1,125 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace alcop {
+namespace sim {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCompute: return "compute";
+    case SpanKind::kIssue: return "issue";
+    case SpanKind::kSyncStall: return "sync-stall";
+    case SpanKind::kBarrier: return "barrier";
+    case SpanKind::kBlockingCopy: return "blocking-copy";
+    case SpanKind::kTransfer: return "transfer";
+    case SpanKind::kFill: return "fill";
+    case SpanKind::kStore: return "store";
+  }
+  return "?";
+}
+
+char SpanKindGlyph(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCompute: return 'M';
+    case SpanKind::kIssue: return 'i';
+    case SpanKind::kSyncStall: return 'w';
+    case SpanKind::kBarrier: return 'b';
+    case SpanKind::kBlockingCopy: return 'L';
+    case SpanKind::kTransfer: return 'T';
+    case SpanKind::kFill: return 'f';
+    case SpanKind::kStore: return 's';
+  }
+  return '?';
+}
+
+namespace {
+constexpr int kNumSpanKinds = 8;
+}  // namespace
+
+std::string RenderTimeline(const Timeline& timeline, int num_warps,
+                           const RenderOptions& options) {
+  ALCOP_CHECK_GT(num_warps, 0);
+  ALCOP_CHECK_GT(options.width, 10);
+  double horizon = std::max(timeline.makespan, 1.0);
+  double cell = horizon / static_cast<double>(options.width);
+
+  // Per row, per column, time covered by each span kind; the dominant
+  // activity of a cell wins, so stall structure stays visible at any zoom.
+  // Row key: (tb, warp) with warp == num_warps for the background row.
+  std::map<std::pair<int, int>, std::vector<double>> coverage;
+  auto row_of = [&](int tb, int warp) -> std::vector<double>& {
+    auto key = std::make_pair(tb, warp);
+    auto it = coverage.find(key);
+    if (it == coverage.end()) {
+      it = coverage
+               .emplace(key, std::vector<double>(
+                                 static_cast<size_t>(options.width) *
+                                 kNumSpanKinds))
+               .first;
+    }
+    return it->second;
+  };
+
+  for (const TimelineSpan& span : timeline.spans) {
+    if (span.tb >= options.max_threadblocks) continue;
+    int warp = span.warp < 0 ? num_warps : span.warp;
+    std::vector<double>& row = row_of(span.tb, warp);
+    int begin = std::clamp(static_cast<int>(span.start / cell), 0,
+                           options.width - 1);
+    int end = std::clamp(static_cast<int>(span.end / cell), begin,
+                         options.width - 1);
+    for (int col = begin; col <= end; ++col) {
+      double cell_start = col * cell;
+      double overlap = std::min(span.end, cell_start + cell) -
+                       std::max(span.start, cell_start);
+      if (overlap <= 0.0) continue;
+      row[static_cast<size_t>(col) * kNumSpanKinds +
+          static_cast<size_t>(span.kind)] += overlap;
+    }
+  }
+
+  std::map<std::pair<int, int>, std::string> rows;
+  for (const auto& [key, cells] : coverage) {
+    std::string text(static_cast<size_t>(options.width), '.');
+    for (int col = 0; col < options.width; ++col) {
+      double best = 0.0;
+      for (int kind = 0; kind < kNumSpanKinds; ++kind) {
+        double value =
+            cells[static_cast<size_t>(col) * kNumSpanKinds +
+                  static_cast<size_t>(kind)];
+        if (value > best) {
+          best = value;
+          text[static_cast<size_t>(col)] =
+              SpanKindGlyph(static_cast<SpanKind>(kind));
+        }
+      }
+    }
+    rows.emplace(key, std::move(text));
+  }
+
+  std::ostringstream out;
+  out << "time 0.." << static_cast<int64_t>(horizon) << " cycles, '"
+      << SpanKindGlyph(SpanKind::kCompute) << "'=tensor-core '"
+      << SpanKindGlyph(SpanKind::kBlockingCopy) << "'=blocking-load '"
+      << SpanKindGlyph(SpanKind::kSyncStall) << "'=pipeline-wait '"
+      << SpanKindGlyph(SpanKind::kBarrier) << "'=barrier '"
+      << SpanKindGlyph(SpanKind::kIssue) << "'=issue '"
+      << SpanKindGlyph(SpanKind::kTransfer) << "'=async-transfer\n";
+  for (const auto& [key, row] : rows) {
+    auto [tb, warp] = key;
+    if (warp == num_warps) {
+      out << "tb" << tb << " mem   | " << row << "\n";
+    } else {
+      out << "tb" << tb << " warp" << warp << " | " << row << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace sim
+}  // namespace alcop

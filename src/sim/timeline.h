@@ -1,0 +1,61 @@
+// Execution-timeline capture and rendering.
+//
+// The discrete-event simulator can record what every warp was doing over
+// time — tensor-core work, copy issue, synchronization stalls — plus the
+// background async transfers on the memory pipes. RenderTimeline turns the
+// record into an ASCII Gantt chart, reproducing the paper's Fig. 2/3
+// intuition (load/compute overlap, pipeline fill, stall regions) from an
+// actual simulation rather than a sketch.
+#ifndef ALCOP_SIM_TIMELINE_H_
+#define ALCOP_SIM_TIMELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace alcop {
+namespace sim {
+
+enum class SpanKind {
+  kCompute,      // tensor-core MMA
+  kIssue,        // copy-issue cycles on the warp
+  kSyncStall,    // blocked in consumer_wait / producer_acquire
+  kBarrier,      // blocked at a threadblock barrier
+  kBlockingCopy, // synchronous copy latency exposed on the warp
+  kTransfer,     // background async transfer (memory pipe row)
+  kFill,
+  kStore,
+};
+
+const char* SpanKindName(SpanKind kind);
+char SpanKindGlyph(SpanKind kind);
+
+struct TimelineSpan {
+  int tb = 0;
+  int warp = 0;         // -1 for background memory-pipe spans
+  SpanKind kind = SpanKind::kCompute;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct Timeline {
+  std::vector<TimelineSpan> spans;
+  double makespan = 0.0;
+};
+
+struct RenderOptions {
+  int width = 110;        // character columns for the time axis
+  int max_threadblocks = 2;  // rows are per (tb, warp); cap the output
+};
+
+// Renders one row per warp ('M' compute, 'i' issue, 'w' sync stall,
+// 'b' barrier, 'L' blocking copy, 'f' fill, 's' store, '.' idle) plus one
+// background row per threadblock for in-flight async transfers ('T').
+std::string RenderTimeline(const Timeline& timeline, int num_warps,
+                           const RenderOptions& options = {});
+
+}  // namespace sim
+}  // namespace alcop
+
+#endif  // ALCOP_SIM_TIMELINE_H_

@@ -1,0 +1,76 @@
+// Per-warp event traces.
+//
+// The timing simulator does not execute data; it interprets a lowered
+// (possibly pipelined) kernel once for a representative threadblock and
+// records, for every warp, the sequence of timing-relevant events: copy
+// issues, pipeline synchronization, barriers, tensor-core MMAs and global
+// stores. The discrete-event simulator (desim.h) then replays these
+// streams for all threadblocks resident on an SM, contending for the SM's
+// resources.
+//
+// Cooperative operations (shared-memory copies, threadblock barriers,
+// shared-scope pipeline primitives) appear outside warp loops in the IR;
+// the builder broadcasts them to every warp, splitting copy bytes evenly —
+// matching how cp.async and mbarriers are actually issued per warp.
+#ifndef ALCOP_SIM_TRACE_H_
+#define ALCOP_SIM_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace sim {
+
+enum class EventKind {
+  kCopyAsync,    // asynchronous copy: issue cost now, transfer in background
+  kCopySync,     // blocking copy: warp stalls until the transfer completes
+  kAcquire,      // producer_acquire
+  kCommit,       // producer_commit
+  kWait,         // consumer_wait
+  kRelease,      // consumer_release
+  kBarrier,      // threadblock barrier
+  kMma,          // tensor-core work
+  kFill,         // accumulator initialization (cheap register writes)
+  kStoreGlobal,  // epilogue write-back
+};
+
+struct TraceEvent {
+  EventKind kind = EventKind::kBarrier;
+  int64_t bytes = 0;  // copy / store / fill payload
+  int64_t flops = 0;  // kMma
+  int group = -1;     // pipeline group id for copy/sync events
+  int wait_ahead = 0;
+  ir::MemScope src_scope = ir::MemScope::kGlobal;
+  ir::MemScope dst_scope = ir::MemScope::kShared;
+  // Source global tensor of a load (for the LLC working-set model).
+  const ir::BufferNode* src_tensor = nullptr;
+};
+
+struct WarpTrace {
+  std::vector<TraceEvent> events;
+};
+
+struct ThreadblockTrace {
+  int num_warps = 1;
+  std::vector<WarpTrace> warps;
+
+  int64_t TotalEvents() const {
+    int64_t total = 0;
+    for (const WarpTrace& warp : warps) {
+      total += static_cast<int64_t>(warp.events.size());
+    }
+    return total;
+  }
+};
+
+// Builds the trace of one threadblock (blockIdx loops pinned to 0).
+// Global->global copies (standalone elementwise passes) are skipped; their
+// cost is charged at the launch level.
+ThreadblockTrace BuildTrace(const ir::Stmt& program, int num_warps);
+
+}  // namespace sim
+}  // namespace alcop
+
+#endif  // ALCOP_SIM_TRACE_H_

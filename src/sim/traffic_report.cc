@@ -1,0 +1,79 @@
+#include "sim/traffic_report.h"
+
+#include <sstream>
+
+#include "support/check.h"
+#include "target/occupancy.h"
+
+namespace alcop {
+namespace sim {
+
+std::string TrafficReport::ToString() const {
+  auto mb = [](double bytes) { return bytes / (1024.0 * 1024.0); };
+  std::ostringstream out;
+  out.precision(3);
+  out << "traffic: " << mb(dram_read_bytes) << " MB DRAM-read, "
+      << mb(llc_read_bytes) << " MB LLC-read, " << mb(lds_read_bytes)
+      << " MB LDS-read, " << mb(dram_write_bytes) << " MB DRAM-write; "
+      << "intensity " << DramIntensity() << " flop/B (DRAM), "
+      << LlcIntensity() << " (LLC), " << LdsIntensity() << " (LDS)";
+  return out.str();
+}
+
+TrafficReport AnalyzeKernelTraffic(const CompiledKernel& compiled,
+                                   const target::GpuSpec& spec) {
+  const schedule::LoweredKernel& kernel = compiled.kernel;
+  const schedule::GemmOp& op = kernel.op;
+  const schedule::TileConfig& t = kernel.config.tile;
+
+  target::ThreadblockResources res =
+      schedule::ComputeResources(op, kernel.config);
+  target::Occupancy occ = target::ComputeOccupancy(spec, res);
+  ALCOP_CHECK_GT(occ.threadblocks_per_sm, 0)
+      << "traffic analysis requires a device-fitting kernel";
+
+  TrafficReport report;
+  report.flops = static_cast<double>(op.Flops());
+
+  double total_tbs = static_cast<double>(kernel.TotalThreadblocks());
+  // Every threadblock streams its A and B panels into shared memory once
+  // per outer iteration.
+  double tile_bytes_per_iter =
+      static_cast<double>(t.tb_m + t.tb_n) * t.tb_k * 2.0;
+  report.llc_read_bytes =
+      total_tbs * tile_bytes_per_iter * static_cast<double>(kernel.ko_extent);
+  report.smem_write_bytes = report.llc_read_bytes;
+
+  // DRAM reads: the LLC filters cross-threadblock reuse (working-set model
+  // shared with the simulator and the analytical model).
+  TrafficAnalysis traffic =
+      AnalyzeTraffic(op, kernel.config, spec, occ.threadblocks_per_sm);
+  double a_bytes = total_tbs * static_cast<double>(t.tb_m) * t.tb_k * 2.0 *
+                   static_cast<double>(kernel.ko_extent);
+  double b_bytes = total_tbs * static_cast<double>(t.tb_n) * t.tb_k * 2.0 *
+                   static_cast<double>(kernel.ko_extent);
+  report.dram_read_bytes =
+      a_bytes * traffic.a_dram_fraction + b_bytes * traffic.b_dram_fraction;
+
+  // Register loads per warp per inner iteration, for all warps.
+  double reg_bytes_per_warp_iter =
+      static_cast<double>(t.warp_m + t.warp_n) * t.warp_k * 2.0;
+  report.lds_read_bytes = total_tbs * kernel.num_warps *
+                          reg_bytes_per_warp_iter *
+                          static_cast<double>(kernel.ko_extent) *
+                          static_cast<double>(kernel.ki_extent);
+
+  // Output: fp16 store, or fp32 workspace + reduction traffic for split-K.
+  double out_elems = static_cast<double>(op.batch * op.m * op.n);
+  if (kernel.grid_k > 1) {
+    double k = static_cast<double>(kernel.grid_k);
+    report.dram_write_bytes = out_elems * (4.0 * k + 2.0);
+    report.dram_read_bytes += out_elems * 4.0 * k;  // reduction reads
+  } else {
+    report.dram_write_bytes = out_elems * 2.0;
+  }
+  return report;
+}
+
+}  // namespace sim
+}  // namespace alcop

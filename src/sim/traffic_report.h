@@ -1,0 +1,42 @@
+// Per-level memory-traffic report of a compiled kernel — the DELTA-style
+// accounting behind the paper's memory latency model, exposed as a
+// user-facing diagnostic: how many bytes move at each level of the
+// hierarchy per kernel, and the resulting arithmetic intensities. Useful
+// for explaining *why* a schedule is load- or compute-bound.
+#ifndef ALCOP_SIM_TRAFFIC_REPORT_H_
+#define ALCOP_SIM_TRAFFIC_REPORT_H_
+
+#include <string>
+
+#include "sim/launch.h"
+
+namespace alcop {
+namespace sim {
+
+struct TrafficReport {
+  // Whole-kernel byte counts.
+  double dram_read_bytes = 0.0;   // after LLC filtering (working-set model)
+  double llc_read_bytes = 0.0;    // all global loads pass the LLC
+  double smem_write_bytes = 0.0;  // global -> shared (equals llc reads)
+  double lds_read_bytes = 0.0;    // shared -> register
+  double dram_write_bytes = 0.0;  // epilogue stores
+  double flops = 0.0;
+
+  double DramIntensity() const {
+    return flops / (dram_read_bytes + dram_write_bytes);
+  }
+  double LlcIntensity() const { return flops / llc_read_bytes; }
+  double LdsIntensity() const { return flops / lds_read_bytes; }
+
+  std::string ToString() const;
+};
+
+// Computes the report from the kernel's loop structure and the launch
+// traffic analysis. Requires a feasible (device-fitting) kernel.
+TrafficReport AnalyzeKernelTraffic(const CompiledKernel& compiled,
+                                   const target::GpuSpec& spec);
+
+}  // namespace sim
+}  // namespace alcop
+
+#endif  // ALCOP_SIM_TRAFFIC_REPORT_H_

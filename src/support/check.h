@@ -1,0 +1,68 @@
+// Checking / assertion macros used across the ALCOP codebase.
+//
+// ALCOP_CHECK(cond) << "message";   -- fatal invariant check (always on)
+// ALCOP_CHECK_EQ/NE/LT/LE/GT/GE(a, b) << "message";
+//
+// Failures throw alcop::CheckError so tests can assert on misuse of the
+// public API (e.g. illegal schedules) instead of aborting the process.
+#ifndef ALCOP_SUPPORT_CHECK_H_
+#define ALCOP_SUPPORT_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace alcop {
+
+// Error thrown when an ALCOP_CHECK fails. Carries the full formatted
+// message, including the source location and the failed condition.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace support {
+
+// Stream-collecting helper that throws on destruction of the temporary
+// chain; used only via the ALCOP_CHECK macros below.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* cond) {
+    stream_ << file << ":" << line << ": check failed: (" << cond << ") ";
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(T&& value) {
+    stream_ << std::forward<T>(value);
+    return *this;
+  }
+
+  [[noreturn]] ~CheckFailStream() noexcept(false) {
+    throw CheckError(stream_.str());
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace support
+}  // namespace alcop
+
+#define ALCOP_CHECK(cond)                                            \
+  if (!(cond))                                                       \
+  ::alcop::support::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define ALCOP_CHECK_BINARY(a, b, op)                                 \
+  if (!((a)op(b)))                                                   \
+  ::alcop::support::CheckFailStream(__FILE__, __LINE__, #a " " #op " " #b) \
+      << "(" << (a) << " vs " << (b) << ") "
+
+#define ALCOP_CHECK_EQ(a, b) ALCOP_CHECK_BINARY(a, b, ==)
+#define ALCOP_CHECK_NE(a, b) ALCOP_CHECK_BINARY(a, b, !=)
+#define ALCOP_CHECK_LT(a, b) ALCOP_CHECK_BINARY(a, b, <)
+#define ALCOP_CHECK_LE(a, b) ALCOP_CHECK_BINARY(a, b, <=)
+#define ALCOP_CHECK_GT(a, b) ALCOP_CHECK_BINARY(a, b, >)
+#define ALCOP_CHECK_GE(a, b) ALCOP_CHECK_BINARY(a, b, >=)
+
+#endif  // ALCOP_SUPPORT_CHECK_H_

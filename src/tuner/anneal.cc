@@ -1,0 +1,111 @@
+#include "tuner/anneal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace alcop {
+namespace tuner {
+
+bool AreNeighbors(const schedule::ScheduleConfig& a,
+                  const schedule::ScheduleConfig& b) {
+  int diffs = 0;
+  diffs += a.tile.tb_m != b.tile.tb_m;
+  diffs += a.tile.tb_n != b.tile.tb_n;
+  diffs += a.tile.tb_k != b.tile.tb_k;
+  diffs += a.tile.warp_m != b.tile.warp_m;
+  diffs += a.tile.warp_n != b.tile.warp_n;
+  diffs += a.tile.warp_k != b.tile.warp_k;
+  diffs += a.smem_stages != b.smem_stages;
+  diffs += a.reg_stages != b.reg_stages;
+  diffs += a.split_k != b.split_k;
+  diffs += a.raster_block != b.raster_block;
+  return diffs == 1;
+}
+
+std::vector<size_t> ProposeBatch(
+    const std::vector<schedule::ScheduleConfig>& space,
+    const std::function<double(size_t)>& score,
+    const std::unordered_set<size_t>& exclude, size_t batch, Rng& rng,
+    const AnnealOptions& options) {
+  if (space.empty() || batch == 0) return {};
+
+  // Adjacency by single-knob mutation (computed per call; spaces are a few
+  // hundred entries).
+  std::vector<std::vector<size_t>> neighbors(space.size());
+  for (size_t i = 0; i < space.size(); ++i) {
+    for (size_t j = i + 1; j < space.size(); ++j) {
+      if (AreNeighbors(space[i], space[j])) {
+        neighbors[i].push_back(j);
+        neighbors[j].push_back(i);
+      }
+    }
+  }
+
+  // Best-scored unvisited candidates found by the walk.
+  std::map<double, size_t, std::greater<>> best;  // score -> index
+  auto consider = [&](size_t index) {
+    if (exclude.count(index) != 0) return;
+    best.emplace(score(index) + 1e-12 * static_cast<double>(index), index);
+  };
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    size_t current =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(space.size()) - 1));
+    double current_score = score(current);
+    consider(current);
+    for (int step = 0; step < options.walk_steps; ++step) {
+      double progress =
+          static_cast<double>(step) / std::max(options.walk_steps - 1, 1);
+      double temperature = options.start_temperature +
+                           (options.end_temperature - options.start_temperature) *
+                               progress;
+      size_t next;
+      if (!neighbors[current].empty() && rng.Uniform() < 0.85) {
+        const std::vector<size_t>& adjacent = neighbors[current];
+        next = adjacent[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(adjacent.size()) - 1))];
+      } else {
+        next = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(space.size()) - 1));
+      }
+      double next_score = score(next);
+      consider(next);
+      double accept = next_score >= current_score
+                          ? 1.0
+                          : std::exp((next_score - current_score) /
+                                     std::max(temperature, 1e-6));
+      if (rng.Uniform() < accept) {
+        current = next;
+        current_score = next_score;
+      }
+    }
+  }
+
+  std::vector<size_t> proposals;
+  std::unordered_set<size_t> taken;
+  for (const auto& [s, index] : best) {
+    if (taken.insert(index).second) {
+      proposals.push_back(index);
+      if (proposals.size() >= batch) break;
+    }
+  }
+  // Fill any shortfall with random unvisited configs.
+  while (proposals.size() < batch) {
+    bool found = false;
+    for (size_t attempt = 0; attempt < 4 * space.size(); ++attempt) {
+      size_t index = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(space.size()) - 1));
+      if (exclude.count(index) == 0 && taken.insert(index).second) {
+        proposals.push_back(index);
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;  // space exhausted
+  }
+  return proposals;
+}
+
+}  // namespace tuner
+}  // namespace alcop

@@ -1,0 +1,68 @@
+#include "tuner/feature.h"
+
+#include <cmath>
+
+#include "schedule/lower.h"
+#include "support/check.h"
+#include "target/occupancy.h"
+
+namespace alcop {
+namespace tuner {
+
+namespace {
+double Log2(double v) { return std::log2(v > 0 ? v : 1e-9); }
+}  // namespace
+
+std::vector<double> ExtractFeatures(const schedule::GemmOp& op,
+                                    const schedule::ScheduleConfig& config,
+                                    const target::GpuSpec& spec) {
+  const schedule::TileConfig& t = config.tile;
+  target::ThreadblockResources res = schedule::ComputeResources(op, config);
+  target::Occupancy occ = target::ComputeOccupancy(spec, res);
+
+  int64_t grid =
+      op.batch * (op.m / t.tb_m) * (op.n / t.tb_n) * config.split_k;
+  double warps = static_cast<double>(config.NumWarps());
+  // Arithmetic intensity of one threadblock tile: FLOPs per byte moved
+  // into shared memory.
+  double tile_flops = 2.0 * static_cast<double>(t.tb_m) * t.tb_n * op.k;
+  double tile_bytes = static_cast<double>(t.tb_m + t.tb_n) * op.k * 2.0;
+
+  std::vector<double> features = {
+      Log2(static_cast<double>(t.tb_m)),
+      Log2(static_cast<double>(t.tb_n)),
+      Log2(static_cast<double>(t.tb_k)),
+      Log2(static_cast<double>(t.warp_m)),
+      Log2(static_cast<double>(t.warp_n)),
+      Log2(static_cast<double>(t.warp_k)),
+      static_cast<double>(config.smem_stages),
+      static_cast<double>(config.reg_stages),
+      warps,
+      static_cast<double>(occ.threadblocks_per_sm),
+      Log2(static_cast<double>(grid)),
+      Log2(static_cast<double>(grid) / spec.num_sms),
+      Log2(tile_flops / tile_bytes),
+      static_cast<double>(res.smem_bytes) /
+          static_cast<double>(spec.smem_bytes_per_sm),
+      static_cast<double>(res.reg_bytes) /
+          static_cast<double>(spec.regfile_bytes_per_sm),
+      Log2(static_cast<double>(op.k / (t.tb_k * config.split_k))),
+      static_cast<double>(config.split_k),
+  };
+  ALCOP_CHECK_EQ(static_cast<int>(features.size()), kNumFeatures);
+  return features;
+}
+
+const std::vector<std::string>& FeatureNames() {
+  static const std::vector<std::string> names = {
+      "log2_tb_m",      "log2_tb_n",      "log2_tb_k",     "log2_warp_m",
+      "log2_warp_n",    "log2_warp_k",    "smem_stages",   "reg_stages",
+      "warps_per_tb",   "tb_per_sm",      "log2_grid",     "log2_grid_per_sm",
+      "log2_intensity", "smem_pressure",  "reg_pressure",  "log2_ko_extent",
+      "split_k",
+  };
+  return names;
+}
+
+}  // namespace tuner
+}  // namespace alcop

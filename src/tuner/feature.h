@@ -1,0 +1,30 @@
+// Feature extraction for the ML cost model: a fixed-length numeric vector
+// describing one (operator, schedule) pair, mirroring the schedule
+// features TVM's XGBoost tuner consumes plus the occupancy-derived terms
+// our analytical model identifies as load-bearing.
+#ifndef ALCOP_TUNER_FEATURE_H_
+#define ALCOP_TUNER_FEATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "schedule/schedule.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace tuner {
+
+inline constexpr int kNumFeatures = 17;
+
+// Extracts the feature vector (size kNumFeatures).
+std::vector<double> ExtractFeatures(const schedule::GemmOp& op,
+                                    const schedule::ScheduleConfig& config,
+                                    const target::GpuSpec& spec);
+
+// Names, index-aligned with ExtractFeatures (for diagnostics).
+const std::vector<std::string>& FeatureNames();
+
+}  // namespace tuner
+}  // namespace alcop
+
+#endif  // ALCOP_TUNER_FEATURE_H_

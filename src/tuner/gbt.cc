@@ -1,0 +1,222 @@
+#include "tuner/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace alcop {
+namespace tuner {
+
+namespace {
+
+// One binary regression tree stored as a flat node array.
+struct TreeNode {
+  int feature = -1;       // -1 for leaves
+  double threshold = 0.0;  // go left if x[feature] <= threshold
+  double value = 0.0;      // leaf prediction
+  int left = -1;
+  int right = -1;
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;
+
+  double Predict(const std::vector<double>& x) const {
+    int node = 0;
+    while (nodes[static_cast<size_t>(node)].feature >= 0) {
+      const TreeNode& n = nodes[static_cast<size_t>(node)];
+      node = x[static_cast<size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+    }
+    return nodes[static_cast<size_t>(node)].value;
+  }
+};
+
+struct Dataset {
+  const std::vector<std::vector<double>>* x;
+  std::vector<double> residual;
+  std::vector<double> weight;
+};
+
+// Weighted-squared-error leaf value with L2 regularization.
+double LeafValue(const Dataset& data, const std::vector<int>& rows, double l2) {
+  double sum = 0.0, wsum = 0.0;
+  for (int row : rows) {
+    sum += data.weight[static_cast<size_t>(row)] *
+           data.residual[static_cast<size_t>(row)];
+    wsum += data.weight[static_cast<size_t>(row)];
+  }
+  return sum / (wsum + l2);
+}
+
+double NodeLoss(const Dataset& data, const std::vector<int>& rows, double l2) {
+  // -G^2/(H + lambda) up to constants; lower is better.
+  double g = 0.0, h = 0.0;
+  for (int row : rows) {
+    g += data.weight[static_cast<size_t>(row)] *
+         data.residual[static_cast<size_t>(row)];
+    h += data.weight[static_cast<size_t>(row)];
+  }
+  return -(g * g) / (h + l2);
+}
+
+struct Split {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+  std::vector<int> left_rows, right_rows;
+};
+
+Split BestSplit(const Dataset& data, const std::vector<int>& rows,
+                const GbtParams& params) {
+  Split best;
+  size_t num_features = (*data.x)[0].size();
+  double parent_loss = NodeLoss(data, rows, params.l2);
+
+  std::vector<int> sorted = rows;
+  for (size_t f = 0; f < num_features; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return (*data.x)[static_cast<size_t>(a)][f] <
+             (*data.x)[static_cast<size_t>(b)][f];
+    });
+    // Prefix sums of gradient/hessian over the sorted order.
+    double gl = 0.0, hl = 0.0, g = 0.0, h = 0.0;
+    for (int row : sorted) {
+      g += data.weight[static_cast<size_t>(row)] *
+           data.residual[static_cast<size_t>(row)];
+      h += data.weight[static_cast<size_t>(row)];
+    }
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      int row = sorted[i];
+      gl += data.weight[static_cast<size_t>(row)] *
+            data.residual[static_cast<size_t>(row)];
+      hl += data.weight[static_cast<size_t>(row)];
+      double x_here = (*data.x)[static_cast<size_t>(row)][f];
+      double x_next = (*data.x)[static_cast<size_t>(sorted[i + 1])][f];
+      if (x_here == x_next) continue;  // cannot split between equal values
+      size_t left_count = i + 1;
+      size_t right_count = sorted.size() - left_count;
+      if (left_count < static_cast<size_t>(params.min_samples_leaf) ||
+          right_count < static_cast<size_t>(params.min_samples_leaf)) {
+        continue;
+      }
+      double gr = g - gl, hr = h - hl;
+      double loss = -(gl * gl) / (hl + params.l2) - (gr * gr) / (hr + params.l2);
+      double gain = parent_loss - loss;
+      if (gain > best.gain + 1e-12) {
+        best.gain = gain;
+        best.feature = static_cast<int>(f);
+        best.threshold = 0.5 * (x_here + x_next);
+        best.left_rows.assign(sorted.begin(),
+                              sorted.begin() + static_cast<long>(left_count));
+        best.right_rows.assign(sorted.begin() + static_cast<long>(left_count),
+                               sorted.end());
+      }
+    }
+  }
+  return best;
+}
+
+int BuildNode(Tree& tree, const Dataset& data, std::vector<int> rows, int depth,
+              const GbtParams& params) {
+  int index = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  if (depth >= params.max_depth ||
+      rows.size() < static_cast<size_t>(2 * params.min_samples_leaf)) {
+    tree.nodes[static_cast<size_t>(index)].value =
+        LeafValue(data, rows, params.l2);
+    return index;
+  }
+  Split split = BestSplit(data, rows, params);
+  if (split.feature < 0) {
+    tree.nodes[static_cast<size_t>(index)].value =
+        LeafValue(data, rows, params.l2);
+    return index;
+  }
+  tree.nodes[static_cast<size_t>(index)].feature = split.feature;
+  tree.nodes[static_cast<size_t>(index)].threshold = split.threshold;
+  int left = BuildNode(tree, data, std::move(split.left_rows), depth + 1, params);
+  int right =
+      BuildNode(tree, data, std::move(split.right_rows), depth + 1, params);
+  tree.nodes[static_cast<size_t>(index)].left = left;
+  tree.nodes[static_cast<size_t>(index)].right = right;
+  return index;
+}
+
+}  // namespace
+
+struct GbtModel::Impl {
+  GbtParams params;
+  double base = 0.0;
+  std::vector<Tree> trees;
+  bool fitted = false;
+};
+
+GbtModel::GbtModel(GbtParams params) : impl_(std::make_unique<Impl>()) {
+  impl_->params = params;
+}
+GbtModel::~GbtModel() = default;
+GbtModel::GbtModel(GbtModel&&) noexcept = default;
+GbtModel& GbtModel::operator=(GbtModel&&) noexcept = default;
+
+void GbtModel::Fit(const std::vector<std::vector<double>>& x,
+                   const std::vector<double>& y,
+                   const std::vector<double>& weights) {
+  ALCOP_CHECK(!x.empty()) << "cannot fit GBT on empty data";
+  ALCOP_CHECK_EQ(x.size(), y.size());
+  for (const auto& row : x) {
+    ALCOP_CHECK_EQ(row.size(), x[0].size()) << "ragged feature rows";
+  }
+
+  Dataset data;
+  data.x = &x;
+  data.weight = weights.empty() ? std::vector<double>(x.size(), 1.0) : weights;
+  ALCOP_CHECK_EQ(data.weight.size(), x.size());
+
+  // Base prediction: weighted mean.
+  double sum = 0.0, wsum = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    sum += data.weight[i] * y[i];
+    wsum += data.weight[i];
+  }
+  impl_->base = sum / wsum;
+  impl_->trees.clear();
+
+  data.residual.resize(y.size());
+  std::vector<double> prediction(y.size(), impl_->base);
+  std::vector<int> all_rows(y.size());
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+
+  for (int round = 0; round < impl_->params.num_trees; ++round) {
+    for (size_t i = 0; i < y.size(); ++i) {
+      data.residual[i] = y[i] - prediction[i];
+    }
+    Tree tree;
+    BuildNode(tree, data, all_rows, 0, impl_->params);
+    // Stop early if the tree is a pure leaf contributing nothing.
+    bool useful = tree.nodes.size() > 1 ||
+                  std::abs(tree.nodes[0].value) > 1e-12;
+    if (!useful) break;
+    for (size_t i = 0; i < y.size(); ++i) {
+      prediction[i] += impl_->params.learning_rate * tree.Predict(x[i]);
+    }
+    impl_->trees.push_back(std::move(tree));
+  }
+  impl_->fitted = true;
+}
+
+double GbtModel::Predict(const std::vector<double>& features) const {
+  ALCOP_CHECK(impl_->fitted) << "GBT model queried before Fit";
+  double out = impl_->base;
+  for (const Tree& tree : impl_->trees) {
+    out += impl_->params.learning_rate * tree.Predict(features);
+  }
+  return out;
+}
+
+bool GbtModel::IsFitted() const { return impl_->fitted; }
+
+}  // namespace tuner
+}  // namespace alcop

@@ -1,0 +1,49 @@
+// Gradient-boosted regression trees: the from-scratch stand-in for
+// XGBoost (see DESIGN.md substitution table). Squared-error boosting with
+// exact greedy splits — entirely sufficient for the few-hundred-sample
+// datasets schedule tuning produces.
+#ifndef ALCOP_TUNER_GBT_H_
+#define ALCOP_TUNER_GBT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace alcop {
+namespace tuner {
+
+struct GbtParams {
+  int num_trees = 80;
+  int max_depth = 4;
+  double learning_rate = 0.15;
+  int min_samples_leaf = 2;
+  // L2 regularization on leaf values (XGBoost's lambda).
+  double l2 = 1.0;
+};
+
+class GbtModel {
+ public:
+  explicit GbtModel(GbtParams params = {});
+  ~GbtModel();
+  GbtModel(GbtModel&&) noexcept;
+  GbtModel& operator=(GbtModel&&) noexcept;
+
+  // Fits on rows `x` (equal-length feature vectors) with targets `y` and
+  // optional per-sample weights. Refitting replaces the previous ensemble.
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y,
+           const std::vector<double>& weights = {});
+
+  double Predict(const std::vector<double>& features) const;
+
+  bool IsFitted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tuner
+}  // namespace alcop
+
+#endif  // ALCOP_TUNER_GBT_H_

@@ -1,0 +1,200 @@
+#include "tuner/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "perfmodel/analytical.h"
+#include "perfmodel/bottleneck.h"
+#include "sim/launch.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "tuner/anneal.h"
+#include "tuner/feature.h"
+#include "tuner/gbt.h"
+
+namespace alcop {
+namespace tuner {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Cost-model target: higher is better, bounded for failed compiles.
+double ScoreOf(double cycles) {
+  if (!std::isfinite(cycles)) return -30.0;
+  return -std::log(cycles);
+}
+
+TuningResult MeasureInOrder(const TuningTask& task,
+                            const std::vector<size_t>& order,
+                            size_t max_trials) {
+  TuningResult result;
+  for (size_t index : order) {
+    if (result.trials.size() >= max_trials) break;
+    result.trials.push_back(index);
+    result.measured.push_back(task.measure(task.space[index]));
+  }
+  return result;
+}
+
+std::vector<size_t> RankByModel(
+    const TuningTask& task,
+    const std::function<double(const schedule::ScheduleConfig&)>& predict) {
+  std::vector<size_t> order(task.space.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> predicted(task.space.size());
+  for (size_t i = 0; i < task.space.size(); ++i) {
+    predicted[i] = predict(task.space[i]);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return predicted[a] < predicted[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+TuningTask MakeSimulatorTask(const schedule::GemmOp& op,
+                             const target::GpuSpec& spec,
+                             const SpaceOptions& options) {
+  TuningTask task;
+  task.op = op;
+  task.spec = spec;
+  task.space = EnumerateSpace(op, options);
+  task.measure = [op, spec](const schedule::ScheduleConfig& config) {
+    sim::KernelTiming timing = sim::CompileAndSimulate(op, config, spec);
+    return timing.feasible ? timing.cycles : kInf;
+  };
+  return task;
+}
+
+double TuningResult::BestInFirstK(size_t k) const {
+  double best = kInf;
+  for (size_t i = 0; i < trials.size() && i < k; ++i) {
+    best = std::min(best, measured[i]);
+  }
+  return best;
+}
+
+size_t TuningResult::BestIndex(const TuningTask& task) const {
+  size_t best = task.space.size();
+  double best_cycles = kInf;
+  for (size_t i = 0; i < trials.size(); ++i) {
+    if (measured[i] < best_cycles) {
+      best_cycles = measured[i];
+      best = trials[i];
+    }
+  }
+  return best;
+}
+
+TuningResult GridSearch(const TuningTask& task, size_t max_trials) {
+  std::vector<size_t> order(task.space.size());
+  std::iota(order.begin(), order.end(), 0);
+  return MeasureInOrder(task, order, max_trials);
+}
+
+TuningResult ExhaustiveSearch(const TuningTask& task) {
+  return GridSearch(task, task.space.size());
+}
+
+TuningResult AnalyticalRanking(const TuningTask& task, size_t max_trials) {
+  auto predict = [&task](const schedule::ScheduleConfig& config) {
+    return perfmodel::PredictCycles(task.op, config, task.spec);
+  };
+  return MeasureInOrder(task, RankByModel(task, predict), max_trials);
+}
+
+TuningResult BottleneckRanking(const TuningTask& task, size_t max_trials) {
+  auto predict = [&task](const schedule::ScheduleConfig& config) {
+    return perfmodel::BottleneckPredictCycles(task.op, config, task.spec);
+  };
+  return MeasureInOrder(task, RankByModel(task, predict), max_trials);
+}
+
+TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
+                      const XgbOptions& options) {
+  TuningResult result;
+  if (task.space.empty()) return result;
+  Rng rng(options.seed);
+
+  // Feature matrix for the whole space (cheap, reused every round).
+  std::vector<std::vector<double>> features;
+  features.reserve(task.space.size());
+  for (const schedule::ScheduleConfig& config : task.space) {
+    features.push_back(ExtractFeatures(task.op, config, task.spec));
+  }
+
+  // Pre-training pseudo-samples: the analytical model's predicted score
+  // for every configuration in the space.
+  std::vector<double> pretrain_scores;
+  if (options.pretrain_with_analytical) {
+    pretrain_scores.reserve(task.space.size());
+    for (const schedule::ScheduleConfig& config : task.space) {
+      pretrain_scores.push_back(
+          ScoreOf(perfmodel::PredictCycles(task.op, config, task.spec)));
+    }
+  }
+
+  GbtModel model;
+  std::unordered_set<size_t> measured_set;
+
+  auto refit = [&]() {
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    std::vector<double> w;
+    if (options.pretrain_with_analytical) {
+      for (size_t i = 0; i < task.space.size(); ++i) {
+        x.push_back(features[i]);
+        y.push_back(pretrain_scores[i]);
+        w.push_back(options.pretrain_weight);
+      }
+    }
+    for (size_t i = 0; i < result.trials.size(); ++i) {
+      x.push_back(features[result.trials[i]]);
+      y.push_back(ScoreOf(result.measured[i]));
+      w.push_back(1.0);
+    }
+    if (!x.empty()) model.Fit(x, y, w);
+  };
+
+  if (options.pretrain_with_analytical) refit();  // prior knowledge only
+
+  while (result.trials.size() < max_trials &&
+         measured_set.size() < task.space.size()) {
+    size_t batch =
+        std::min(options.batch_size, max_trials - result.trials.size());
+    std::vector<size_t> proposals;
+    if (!model.IsFitted()) {
+      // Cold start: random batch.
+      while (proposals.size() < batch &&
+             measured_set.size() + proposals.size() < task.space.size()) {
+        size_t index = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(task.space.size()) - 1));
+        if (measured_set.count(index) == 0 &&
+            std::find(proposals.begin(), proposals.end(), index) ==
+                proposals.end()) {
+          proposals.push_back(index);
+        }
+      }
+    } else {
+      auto score = [&](size_t index) { return model.Predict(features[index]); };
+      proposals =
+          ProposeBatch(task.space, score, measured_set, batch, rng);
+    }
+    if (proposals.empty()) break;
+    for (size_t index : proposals) {
+      result.trials.push_back(index);
+      result.measured.push_back(task.measure(task.space[index]));
+      measured_set.insert(index);
+    }
+    refit();
+  }
+  return result;
+}
+
+}  // namespace tuner
+}  // namespace alcop

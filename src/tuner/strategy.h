@@ -1,0 +1,76 @@
+// The four schedule-search strategies compared in the paper's Table II and
+// Fig. 13:
+//   - Grid search: enumerate the space in its natural order, no learning.
+//   - XGB: the TVM default — a gradient-boosted cost model fit on measured
+//     trials, with simulated annealing proposing new ones.
+//   - Analytical-only: rank the whole space by the Table-I model's
+//     predictions, measure in that order.
+//   - Analytical + XGB (ALCOP): pre-train the boosted model on the
+//     analytical model's predictions over the whole space, then run the
+//     XGB loop — prior hardware knowledge plus measured fine-tuning.
+// A bottleneck-model ranking (Fig. 12's baseline) is also provided.
+#ifndef ALCOP_TUNER_STRATEGY_H_
+#define ALCOP_TUNER_STRATEGY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "schedule/schedule.h"
+#include "target/gpu_spec.h"
+#include "tuner/space.h"
+
+namespace alcop {
+namespace tuner {
+
+// One tuning problem: an operator, a device, an enumerated space, and a
+// measurement function returning kernel cycles (+inf for configurations
+// that fail to compile or fit).
+struct TuningTask {
+  schedule::GemmOp op;
+  target::GpuSpec spec;
+  std::vector<schedule::ScheduleConfig> space;
+  std::function<double(const schedule::ScheduleConfig&)> measure;
+};
+
+// Builds a task whose measurement runs the timing simulator.
+TuningTask MakeSimulatorTask(const schedule::GemmOp& op,
+                             const target::GpuSpec& spec,
+                             const SpaceOptions& options = {});
+
+struct TuningResult {
+  std::vector<size_t> trials;    // space indices, in proposal order
+  std::vector<double> measured;  // cycles per trial (aligned with trials)
+
+  // Best (minimum) measured cycles among the first k trials; +inf if none
+  // of them compiled.
+  double BestInFirstK(size_t k) const;
+  // Index into the space of the overall best trial (space.size() if none).
+  size_t BestIndex(const TuningTask& task) const;
+};
+
+TuningResult GridSearch(const TuningTask& task, size_t max_trials);
+
+// Measures the whole space (the exhaustive-search ground truth).
+TuningResult ExhaustiveSearch(const TuningTask& task);
+
+// Rank by a model's predicted cycles, measure in that order.
+TuningResult AnalyticalRanking(const TuningTask& task, size_t max_trials);
+TuningResult BottleneckRanking(const TuningTask& task, size_t max_trials);
+
+struct XgbOptions {
+  size_t batch_size = 8;
+  bool pretrain_with_analytical = false;  // ALCOP's Model-Assisted XGB
+  uint64_t seed = 0;
+  // Weight of pre-training pseudo-samples relative to measured ones.
+  double pretrain_weight = 0.25;
+};
+
+TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
+                      const XgbOptions& options = {});
+
+}  // namespace tuner
+}  // namespace alcop
+
+#endif  // ALCOP_TUNER_STRATEGY_H_

@@ -1,0 +1,109 @@
+#include "workloads/conv_ref.h"
+
+#include "support/check.h"
+
+namespace alcop {
+namespace workloads {
+
+namespace {
+
+// Patch-relative ordering shared by Im2col and FlattenWeights: for output
+// position (y, x), element index ((dy*kernel)+dx)*c_in + c samples input
+// (y+dy-pad, x+dx-pad, c).
+int64_t PatchIndex(const ConvShape& s, int64_t dy, int64_t dx, int64_t c) {
+  return (dy * s.kernel + dx) * s.c_in + c;
+}
+
+}  // namespace
+
+std::vector<float> DirectConv2d(const std::vector<float>& input,
+                                const std::vector<float>& weights,
+                                const ConvShape& s) {
+  ALCOP_CHECK(s.kernel == 1 || s.kernel == 3);
+  ALCOP_CHECK_EQ(static_cast<int64_t>(input.size()), s.n * s.h * s.w * s.c_in);
+  ALCOP_CHECK_EQ(static_cast<int64_t>(weights.size()),
+                 s.c_out * s.kernel * s.kernel * s.c_in);
+  int64_t pad = s.kernel / 2;
+  std::vector<float> output(static_cast<size_t>(s.n * s.h * s.w * s.c_out),
+                            0.0f);
+  for (int64_t img = 0; img < s.n; ++img) {
+    for (int64_t y = 0; y < s.h; ++y) {
+      for (int64_t x = 0; x < s.w; ++x) {
+        for (int64_t k = 0; k < s.c_out; ++k) {
+          float acc = 0.0f;
+          for (int64_t dy = 0; dy < s.kernel; ++dy) {
+            int64_t in_y = y + dy - pad;
+            if (in_y < 0 || in_y >= s.h) continue;
+            for (int64_t dx = 0; dx < s.kernel; ++dx) {
+              int64_t in_x = x + dx - pad;
+              if (in_x < 0 || in_x >= s.w) continue;
+              for (int64_t c = 0; c < s.c_in; ++c) {
+                float iv = input[static_cast<size_t>(
+                    ((img * s.h + in_y) * s.w + in_x) * s.c_in + c)];
+                float wv = weights[static_cast<size_t>(
+                    ((k * s.kernel + dy) * s.kernel + dx) * s.c_in + c)];
+                acc += iv * wv;
+              }
+            }
+          }
+          output[static_cast<size_t>(((img * s.h + y) * s.w + x) * s.c_out +
+                                     k)] = acc;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+std::vector<float> Im2col(const std::vector<float>& input,
+                          const ConvShape& s) {
+  ALCOP_CHECK_EQ(static_cast<int64_t>(input.size()), s.n * s.h * s.w * s.c_in);
+  int64_t pad = s.kernel / 2;
+  std::vector<float> matrix(
+      static_cast<size_t>(s.OutputPositions() * s.PatchSize()), 0.0f);
+  for (int64_t img = 0; img < s.n; ++img) {
+    for (int64_t y = 0; y < s.h; ++y) {
+      for (int64_t x = 0; x < s.w; ++x) {
+        int64_t row = (img * s.h + y) * s.w + x;
+        for (int64_t dy = 0; dy < s.kernel; ++dy) {
+          int64_t in_y = y + dy - pad;
+          if (in_y < 0 || in_y >= s.h) continue;
+          for (int64_t dx = 0; dx < s.kernel; ++dx) {
+            int64_t in_x = x + dx - pad;
+            if (in_x < 0 || in_x >= s.w) continue;
+            for (int64_t c = 0; c < s.c_in; ++c) {
+              matrix[static_cast<size_t>(row * s.PatchSize() +
+                                         PatchIndex(s, dy, dx, c))] =
+                  input[static_cast<size_t>(
+                      ((img * s.h + in_y) * s.w + in_x) * s.c_in + c)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return matrix;
+}
+
+std::vector<float> FlattenWeights(const std::vector<float>& weights,
+                                  const ConvShape& s) {
+  ALCOP_CHECK_EQ(static_cast<int64_t>(weights.size()),
+                 s.c_out * s.kernel * s.kernel * s.c_in);
+  std::vector<float> flat(static_cast<size_t>(s.c_out * s.PatchSize()));
+  for (int64_t k = 0; k < s.c_out; ++k) {
+    for (int64_t dy = 0; dy < s.kernel; ++dy) {
+      for (int64_t dx = 0; dx < s.kernel; ++dx) {
+        for (int64_t c = 0; c < s.c_in; ++c) {
+          flat[static_cast<size_t>(k * s.PatchSize() +
+                                   PatchIndex(s, dy, dx, c))] =
+              weights[static_cast<size_t>(
+                  ((k * s.kernel + dy) * s.kernel + dx) * s.c_in + c)];
+        }
+      }
+    }
+  }
+  return flat;
+}
+
+}  // namespace workloads
+}  // namespace alcop

@@ -1,0 +1,49 @@
+// Direct-convolution reference and im2col materialization.
+//
+// The workloads express Conv2D through its im2col / implicit-GEMM view
+// (DESIGN.md substitution table). This module provides the ground truth
+// that justifies it: a direct NHWC convolution and an explicit im2col
+// expansion, so tests can assert
+//     DirectConv2d(x, w)  ==  GEMM(Im2col(x), flatten(w)).
+#ifndef ALCOP_WORKLOADS_CONV_REF_H_
+#define ALCOP_WORKLOADS_CONV_REF_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace alcop {
+namespace workloads {
+
+struct ConvShape {
+  int64_t n = 1;      // images
+  int64_t h = 8;      // input height (output equals input: stride 1,
+  int64_t w = 8;      //   "same" zero padding)
+  int64_t c_in = 4;
+  int64_t c_out = 8;
+  int64_t kernel = 3;  // 1 or 3
+
+  int64_t OutputPositions() const { return n * h * w; }
+  int64_t PatchSize() const { return c_in * kernel * kernel; }
+};
+
+// Direct convolution. input is NHWC [n,h,w,c_in]; weights are
+// [c_out, kernel, kernel, c_in]; output is [n,h,w,c_out].
+std::vector<float> DirectConv2d(const std::vector<float>& input,
+                                const std::vector<float>& weights,
+                                const ConvShape& shape);
+
+// im2col expansion: [n*h*w, c_in*kernel*kernel] row-major, zero padding at
+// the borders. Row p corresponds to output position p; its dot product
+// with a flattened filter row reproduces the convolution.
+std::vector<float> Im2col(const std::vector<float>& input,
+                          const ConvShape& shape);
+
+// Flattens weights [c_out, kernel, kernel, c_in] to the GEMM B layout
+// [c_out, c_in*kernel*kernel] with the same patch ordering as Im2col.
+std::vector<float> FlattenWeights(const std::vector<float>& weights,
+                                  const ConvShape& shape);
+
+}  // namespace workloads
+}  // namespace alcop
+
+#endif  // ALCOP_WORKLOADS_CONV_REF_H_

@@ -1,0 +1,37 @@
+// Vendor-library baseline (cuBLAS / cuDNN stand-in) for Fig. 11.
+//
+// Libraries ship a menu of hand-written kernel configurations (CUTLASS
+// tile shapes with deep pipelines) and pick one per problem with a
+// heuristic. Hand-written kernels also carry an instruction-scheduling
+// edge no compiler fully matches. We model both: a fixed expert menu
+// evaluated on the simulator, with reduced synchronization and launch
+// overheads representing the hand-tuning edge. Libraries cannot search
+// per-shape the way a compiler can, which is why ALCOP can win on unusual
+// shapes (the paper's BMM_BERT_QK observation).
+#ifndef ALCOP_WORKLOADS_LIBRARY_H_
+#define ALCOP_WORKLOADS_LIBRARY_H_
+
+#include <vector>
+
+#include "schedule/schedule.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace workloads {
+
+// The expert kernel menu (CUTLASS-style configurations).
+const std::vector<schedule::ScheduleConfig>& LibraryKernelMenu();
+
+// Simulated cycles of the library's kernel choice for `op`; +inf if no
+// menu entry fits the problem (real libraries fall back to padded kernels;
+// our menu is broad enough that this does not happen for the suite).
+double LibraryKernelCycles(const schedule::GemmOp& op,
+                           const target::GpuSpec& spec);
+
+// The device spec with the hand-tuning edge applied.
+target::GpuSpec LibrarySpec(const target::GpuSpec& spec);
+
+}  // namespace workloads
+}  // namespace alcop
+
+#endif  // ALCOP_WORKLOADS_LIBRARY_H_

@@ -1,0 +1,158 @@
+#include "workloads/models.h"
+
+#include "support/check.h"
+
+namespace alcop {
+namespace workloads {
+
+using schedule::GemmOp;
+using schedule::MakeBatchMatmul;
+using schedule::MakeConv;
+using schedule::MakeMatmul;
+
+namespace {
+
+// Builds a transformer encoder/decoder stack. All byte counts are fp16.
+ModelGraph Transformer(const std::string& name, int layers, int64_t hidden,
+                       int64_t ffn, int64_t heads, int64_t seq, int64_t batch) {
+  ModelGraph model;
+  model.name = name;
+  int64_t m = batch * seq;
+  int64_t head_dim = hidden / heads;
+
+  model.ops.push_back(
+      {MakeMatmul(name + "_qkv", m, 3 * hidden, hidden), layers});
+  model.ops.push_back({MakeBatchMatmul(name + "_qk", batch * heads, seq, seq,
+                                       head_dim),
+                       layers});
+  model.ops.push_back({MakeBatchMatmul(name + "_sv", batch * heads, seq,
+                                       head_dim, seq),
+                       layers});
+  model.ops.push_back({MakeMatmul(name + "_proj", m, hidden, hidden), layers});
+  model.ops.push_back({MakeMatmul(name + "_fc1", m, ffn, hidden), layers});
+  model.ops.push_back({MakeMatmul(name + "_fc2", m, hidden, ffn), layers});
+
+  // Non-GEMM memory-bound traffic per layer (element accesses x 2 bytes):
+  //   2 layernorms (3 passes each), 2 residual adds (3 accesses),
+  //   GELU on the FFN activation (2 accesses),
+  //   softmax over attention scores (3 passes).
+  double act = static_cast<double>(m) * hidden * 2.0;
+  double ffn_act = static_cast<double>(m) * ffn * 2.0;
+  double scores = static_cast<double>(batch * heads) * seq * seq * 2.0;
+  double per_layer = 2 * 3 * act + 2 * 3 * act + 2 * ffn_act + 3 * scores;
+  // Epilogue fusion folds roughly half of these passes into the GEMMs;
+  // XLA materializes extra intermediates (bias, mask, cast chains).
+  model.ewise_bytes_fused = 0.5 * per_layer * layers;
+  model.ewise_bytes_unfused = 1.4 * per_layer * layers;
+  model.launches_fused = 9 * layers;
+  model.launches_unfused = 18 * layers;
+  return model;
+}
+
+struct ConvLayer {
+  int64_t spatial;  // square output size
+  int64_t c_in;
+  int64_t c_out;
+  int64_t kernel;
+  int count;
+};
+
+ModelGraph Cnn(const std::string& name, int64_t batch,
+               const std::vector<ConvLayer>& layers,
+               const std::vector<LayerOp>& fcs) {
+  ModelGraph model;
+  model.name = name;
+  double output_bytes_total = 0.0;
+  int conv_count = 0;
+  for (const ConvLayer& layer : layers) {
+    model.ops.push_back({MakeConv(name + "_conv" +
+                                      std::to_string(model.ops.size()),
+                                  batch, layer.spatial, layer.spatial,
+                                  layer.c_in, layer.c_out, layer.kernel),
+                         layer.count});
+    output_bytes_total += static_cast<double>(layer.count) * batch *
+                          layer.spatial * layer.spatial * layer.c_out * 2.0;
+    conv_count += layer.count;
+  }
+  for (const LayerOp& fc : fcs) model.ops.push_back(fc);
+
+  // BatchNorm + ReLU (+ residual) passes over every feature map: fused
+  // compilers fold them into the conv epilogue almost entirely; XLA-era
+  // fusion re-reads and re-writes the maps.
+  model.ewise_bytes_fused = 0.4 * output_bytes_total;
+  model.ewise_bytes_unfused = 2.4 * output_bytes_total;
+  model.launches_fused = conv_count + static_cast<int>(fcs.size());
+  model.launches_unfused = 3 * conv_count + 2 * static_cast<int>(fcs.size());
+  return model;
+}
+
+}  // namespace
+
+const std::vector<ModelGraph>& Models() {
+  static const std::vector<ModelGraph> models = [] {
+    std::vector<ModelGraph> list;
+    // NLP: batch 8 inference.
+    list.push_back(Transformer("BERT", 12, 768, 3072, 12, 512, 8));
+    list.push_back(Transformer("BERT-Large", 24, 1024, 4096, 16, 512, 8));
+    list.push_back(Transformer("GPT-2", 12, 768, 3072, 12, 1024, 8));
+
+    // Vision: batch 8 inference. Representative per-stage layer lists;
+    // downsample projections folded into the counts.
+    int64_t b = 8;
+    list.push_back(Cnn(
+        "ResNet-18", b,
+        {{56, 64, 64, 3, 4},
+         {28, 128, 128, 3, 4},
+         {14, 256, 256, 3, 4},
+         {7, 512, 512, 3, 4},
+         {112, 16, 64, 3, 1}},  // stem (RGB padded to 16 channels)
+        {{MakeMatmul("ResNet-18_fc", 32, 1024, 512), 1}}));
+    list.push_back(Cnn(
+        "ResNet-50", b,
+        {{112, 16, 64, 3, 1},  // stem
+         {56, 256, 64, 1, 3},  {56, 64, 64, 3, 3},   {56, 64, 256, 1, 3},
+         {28, 512, 128, 1, 4}, {28, 128, 128, 3, 4}, {28, 128, 512, 1, 4},
+         {14, 1024, 256, 1, 6},{14, 256, 256, 3, 6}, {14, 256, 1024, 1, 6},
+         {7, 2048, 512, 1, 3}, {7, 512, 512, 3, 3},  {7, 512, 2048, 1, 3}},
+        {{MakeMatmul("ResNet-50_fc", 32, 1024, 2048), 1}}));
+    list.push_back(Cnn(
+        "VGG-16", b,
+        {{224, 16, 64, 3, 1},  {224, 64, 64, 3, 1},
+         {112, 64, 128, 3, 1}, {112, 128, 128, 3, 1},
+         {56, 128, 256, 3, 1}, {56, 256, 256, 3, 2},
+         {28, 256, 512, 3, 1}, {28, 512, 512, 3, 2},
+         {14, 512, 512, 3, 3}},
+        {{MakeMatmul("VGG-16_fc6", 32, 4096, 25088), 1},
+         {MakeMatmul("VGG-16_fc7", 32, 4096, 4096), 1},
+         {MakeMatmul("VGG-16_fc8", 32, 1024, 4096), 1}}));
+    return list;
+  }();
+  return models;
+}
+
+const ModelGraph& FindModel(const std::string& name) {
+  for (const ModelGraph& model : Models()) {
+    if (model.name == name) return model;
+  }
+  ALCOP_CHECK(false) << "unknown model '" << name << "'";
+  return Models()[0];
+}
+
+double EndToEndCycles(
+    const ModelGraph& model,
+    const std::function<double(const schedule::GemmOp&)>& gemm_cycles,
+    bool fused, const target::GpuSpec& spec) {
+  double cycles = 0.0;
+  for (const LayerOp& layer : model.ops) {
+    cycles += static_cast<double>(layer.count) * gemm_cycles(layer.op);
+  }
+  double ewise_bytes =
+      fused ? model.ewise_bytes_fused : model.ewise_bytes_unfused;
+  cycles += ewise_bytes / spec.dram_bw_bytes_per_cycle;
+  int launches = fused ? model.launches_fused : model.launches_unfused;
+  cycles += static_cast<double>(launches) * spec.launch_overhead_cycles;
+  return cycles;
+}
+
+}  // namespace workloads
+}  // namespace alcop

@@ -1,0 +1,51 @@
+// End-to-end model graphs for Table III: BERT, BERT-Large, GPT-2 (NLP) and
+// ResNet-18, ResNet-50, VGG-16 (vision).
+//
+// A model is a multiset of GEMM-family operators (the pipelining targets:
+// MatMul, BMM, Conv2D — the paper notes these consume the dominant share
+// of inference latency) plus the memory-bound non-GEMM work (layernorm,
+// softmax, residual, activation), summarized by its memory traffic under
+// aggressive (TVM/ALCOP) and conservative (XLA) fusion.
+#ifndef ALCOP_WORKLOADS_MODELS_H_
+#define ALCOP_WORKLOADS_MODELS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "schedule/tensor.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace workloads {
+
+struct LayerOp {
+  schedule::GemmOp op;
+  int count = 1;
+};
+
+struct ModelGraph {
+  std::string name;
+  std::vector<LayerOp> ops;
+  // Bytes of memory-bound elementwise/normalization traffic.
+  double ewise_bytes_fused = 0.0;    // TVM/ALCOP-style epilogue fusion
+  double ewise_bytes_unfused = 0.0;  // XLA-style materialization
+  int launches_fused = 0;    // kernel launch count
+  int launches_unfused = 0;
+};
+
+// The six evaluated models.
+const std::vector<ModelGraph>& Models();
+const ModelGraph& FindModel(const std::string& name);
+
+// End-to-end inference cycles: tuned GEMM kernels (via `gemm_cycles`) plus
+// the elementwise traffic at DRAM bandwidth plus launch overheads.
+double EndToEndCycles(
+    const ModelGraph& model,
+    const std::function<double(const schedule::GemmOp&)>& gemm_cycles,
+    bool fused, const target::GpuSpec& spec);
+
+}  // namespace workloads
+}  // namespace alcop
+
+#endif  // ALCOP_WORKLOADS_MODELS_H_

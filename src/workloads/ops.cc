@@ -1,0 +1,57 @@
+#include "workloads/ops.h"
+
+#include "support/check.h"
+
+namespace alcop {
+namespace workloads {
+
+using schedule::GemmOp;
+using schedule::MakeBatchMatmul;
+using schedule::MakeConv;
+using schedule::MakeMatmul;
+
+const std::vector<GemmOp>& BenchmarkOps() {
+  static const std::vector<GemmOp> ops = [] {
+    std::vector<GemmOp> list;
+    // ---- MatMuls ----
+    // BERT-base (seq 512, hidden 768): QKV projection, FFN up, FFN down.
+    list.push_back(MakeMatmul("MM_BERT_QKV", 512, 2304, 768));
+    list.push_back(MakeMatmul("MM_BERT_FC1", 512, 3072, 768));
+    // Small output, long reduction: the paper's best case.
+    list.push_back(MakeMatmul("MM_BERT_FC2", 512, 768, 3072));
+    // ResNet-50 FC with batched rows: output 1024x64, reduction 2048
+    // (the operator with the largest speedup in the paper).
+    list.push_back(MakeMatmul("MM_RN50_FC", 1024, 64, 2048));
+    // GPT-2 (seq 1024) FFN up-projection.
+    list.push_back(MakeMatmul("MM_GPT2_FC1", 1024, 3072, 768));
+    // 1x1 convolution as a plain MatMul: huge output, short reduction --
+    // abundant spatial parallelism, little pipelining benefit.
+    list.push_back(MakeConv("MM_Conv1x1_1", 4, 56, 56, 64, 256, 1));
+
+    // ---- Batched MatMuls (attention, inference batch 1) ----
+    // 12 heads, head dim 64. QK has a short reduction (64) and a large
+    // square output; SV has a long reduction (the sequence length) and a
+    // narrow output — the paper's contrast pair.
+    list.push_back(MakeBatchMatmul("BMM_BERT_QK", 12, 512, 512, 64));
+    list.push_back(MakeBatchMatmul("BMM_BERT_SV", 12, 512, 64, 512));
+    list.push_back(MakeBatchMatmul("BMM_GPT2_QK", 12, 1024, 1024, 64));
+    list.push_back(MakeBatchMatmul("BMM_GPT2_SV", 12, 1024, 64, 1024));
+
+    // ---- Convolutions (implicit GEMM) ----
+    list.push_back(MakeConv("Conv_RN50_3x3", 8, 28, 28, 128, 128, 3));
+    list.push_back(MakeConv("Conv_VGG_3x3", 4, 56, 56, 128, 128, 3));
+    return list;
+  }();
+  return ops;
+}
+
+const GemmOp& FindOp(const std::string& name) {
+  for (const GemmOp& op : BenchmarkOps()) {
+    if (op.name == name) return op;
+  }
+  ALCOP_CHECK(false) << "unknown benchmark operator '" << name << "'";
+  return BenchmarkOps()[0];
+}
+
+}  // namespace workloads
+}  // namespace alcop

@@ -1,0 +1,26 @@
+// The single-operator benchmark suite of the paper's Sec. V-A (Fig. 10 /
+// Fig. 11): four operator families — MatMul, batched MatMul, 1x1 and 3x3
+// convolution — with shapes extracted from BERT, GPT-2, ResNet-50 and VGG
+// workloads, all half-precision on Tensor Cores.
+#ifndef ALCOP_WORKLOADS_OPS_H_
+#define ALCOP_WORKLOADS_OPS_H_
+
+#include <vector>
+
+#include "schedule/tensor.h"
+
+namespace alcop {
+namespace workloads {
+
+// The twelve benchmark operators, in the order the figures print them.
+// Names follow the paper's convention (MM_/BMM_/Conv_ prefix, model tag,
+// operator role).
+const std::vector<schedule::GemmOp>& BenchmarkOps();
+
+// Finds an operator by name; throws CheckError if absent.
+const schedule::GemmOp& FindOp(const std::string& name);
+
+}  // namespace workloads
+}  // namespace alcop
+
+#endif  // ALCOP_WORKLOADS_OPS_H_

@@ -1,0 +1,58 @@
+#include "workloads/xla.h"
+
+#include <limits>
+
+#include "perfmodel/analytical.h"
+#include "sim/launch.h"
+
+namespace alcop {
+namespace workloads {
+
+using schedule::ScheduleConfig;
+
+namespace {
+
+// XLA's fixed tiling menu: generic tiles, double buffering at most, no
+// register pipelining, no per-shape search.
+const std::vector<ScheduleConfig>& XlaMenu() {
+  static const std::vector<ScheduleConfig> menu = [] {
+    std::vector<ScheduleConfig> list;
+    auto add = [&list](int64_t tb_m, int64_t tb_n, int64_t tb_k,
+                       int64_t warp_m, int64_t warp_n) {
+      ScheduleConfig config;
+      config.tile = {tb_m, tb_n, tb_k, warp_m, warp_n, 16};
+      config.smem_stages = 2;
+      config.reg_stages = 1;
+      list.push_back(config);
+    };
+    add(128, 128, 32, 64, 64);
+    add(64, 128, 32, 32, 64);
+    add(64, 64, 32, 32, 32);
+    add(32, 32, 16, 32, 32);
+    return list;
+  }();
+  return menu;
+}
+
+}  // namespace
+
+double XlaKernelCycles(const schedule::GemmOp& op,
+                       const target::GpuSpec& spec) {
+  double best_predicted = std::numeric_limits<double>::infinity();
+  const ScheduleConfig* chosen = nullptr;
+  for (const ScheduleConfig& config : XlaMenu()) {
+    if (!schedule::ValidateConfig(op, config)) continue;
+    double predicted = perfmodel::PredictCycles(op, config, spec);
+    if (predicted < best_predicted) {
+      best_predicted = predicted;
+      chosen = &config;
+    }
+  }
+  if (chosen == nullptr) return std::numeric_limits<double>::infinity();
+  sim::KernelTiming timing = sim::CompileAndSimulate(op, *chosen, spec);
+  return timing.feasible ? timing.cycles
+                         : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace workloads
+}  // namespace alcop

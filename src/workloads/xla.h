@@ -1,0 +1,23 @@
+// XLA baseline model for the end-to-end comparison (Table III).
+//
+// XLA (TF 2.9.1 era) emits GEMM/conv kernels from a small fixed tiling
+// menu with at most double buffering, and fuses elementwise chains less
+// aggressively than a TVM-style compiler, materializing more intermediate
+// tensors. Both effects are modeled here; see DESIGN.md for the
+// substitution note.
+#ifndef ALCOP_WORKLOADS_XLA_H_
+#define ALCOP_WORKLOADS_XLA_H_
+
+#include "schedule/schedule.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace workloads {
+
+// Simulated cycles of XLA's kernel for one GEMM-family op.
+double XlaKernelCycles(const schedule::GemmOp& op, const target::GpuSpec& spec);
+
+}  // namespace workloads
+}  // namespace alcop
+
+#endif  // ALCOP_WORKLOADS_XLA_H_

@@ -1,0 +1,149 @@
+// Tests of the shared IR analyses (src/ir/analysis.*): loop-stack walking,
+// pipeline-hint collection, producer/consumer reconstruction and FLOP
+// counting.
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "support/check.h"
+
+namespace alcop {
+namespace ir {
+namespace {
+
+BufferRegion Region(const Buffer& buffer, std::vector<Expr> offsets,
+                    std::vector<int64_t> sizes) {
+  BufferRegion region;
+  region.buffer = buffer;
+  region.offsets = std::move(offsets);
+  region.sizes = std::move(sizes);
+  return region;
+}
+
+struct TestProgram {
+  Buffer src = MakeBuffer("src", MemScope::kGlobal, {8, 16});
+  Buffer buf = MakeBuffer("buf", MemScope::kShared, {4, 4});
+  Buffer reg = MakeBuffer("reg", MemScope::kRegister, {4, 4});
+  Buffer acc = MakeBuffer("acc", MemScope::kAccumulator, {4, 4}, 4);
+  Buffer reg_b = MakeBuffer("reg_b", MemScope::kRegister, {4, 4});
+  Var ko = MakeVar("ko");
+  Var ki = MakeVar("ki");
+  Stmt stmt;
+
+  TestProgram() {
+    Stmt load = Copy(Region(buf, {Int(0), Int(0)}, {4, 4}),
+                     Region(src, {ko, Int(0)}, {1, 16}));
+    Stmt load_reg = Copy(Region(reg, {Int(0), Int(0)}, {4, 4}),
+                         Region(buf, {Int(0), Int(0)}, {4, 4}));
+    Stmt load_reg_b = Copy(Region(reg_b, {Int(0), Int(0)}, {4, 4}),
+                           Region(buf, {Int(0), Int(0)}, {4, 4}));
+    Stmt mma = Mma(Region(acc, {Int(0), Int(0)}, {4, 4}),
+                   Region(reg, {Int(0), Int(0)}, {4, 4}),
+                   Region(reg_b, {Int(0), Int(0)}, {4, 4}));
+    Stmt inner = For(ki, 4, ForKind::kSerial,
+                     Block({load_reg, load_reg_b, mma}));
+    Stmt loop = For(ko, 8, ForKind::kSerial, Block({load, inner}));
+    stmt = Pragma(kPipelinePragma, buf, 2, Block({Alloc(buf), loop}));
+  }
+};
+
+TEST(AnalysisTest, WalkWithLoopsTracksNesting) {
+  TestProgram p;
+  int copies_at_depth1 = 0, copies_at_depth2 = 0, mmas = 0;
+  WalkWithLoops(p.stmt, [&](const Stmt& s, const std::vector<const ForNode*>& loops) {
+    if (s->kind == StmtKind::kCopy) {
+      if (loops.size() == 1) ++copies_at_depth1;
+      if (loops.size() == 2) ++copies_at_depth2;
+    }
+    if (s->kind == StmtKind::kMma) {
+      ++mmas;
+      ASSERT_EQ(loops.size(), 2u);
+      EXPECT_EQ(loops[0]->var->name, "ko");
+      EXPECT_EQ(loops[1]->var->name, "ki");
+    }
+  });
+  EXPECT_EQ(copies_at_depth1, 1);
+  EXPECT_EQ(copies_at_depth2, 2);
+  EXPECT_EQ(mmas, 1);
+}
+
+TEST(AnalysisTest, CollectAllocatedBuffers) {
+  TestProgram p;
+  std::vector<Buffer> buffers = CollectAllocatedBuffers(p.stmt);
+  ASSERT_EQ(buffers.size(), 1u);
+  EXPECT_EQ(buffers[0].get(), p.buf.get());
+}
+
+TEST(AnalysisTest, CollectPipelineHints) {
+  TestProgram p;
+  std::vector<PipelineHint> hints = CollectPipelineHints(p.stmt);
+  ASSERT_EQ(hints.size(), 1u);
+  EXPECT_EQ(hints[0].buffer.get(), p.buf.get());
+  EXPECT_EQ(hints[0].stages, 2);
+}
+
+TEST(AnalysisTest, HintWithOneStageThrows) {
+  Buffer buf = MakeBuffer("b", MemScope::kShared, {4});
+  Stmt prog = Pragma(kPipelinePragma, buf, 1, Alloc(buf));
+  EXPECT_THROW(CollectPipelineHints(prog), CheckError);
+}
+
+TEST(AnalysisTest, UnrelatedPragmasAreIgnored) {
+  Buffer buf = MakeBuffer("b", MemScope::kShared, {4});
+  Stmt prog = Pragma("unroll_hint", buf, 4, Alloc(buf));
+  EXPECT_TRUE(CollectPipelineHints(prog).empty());
+}
+
+TEST(AnalysisTest, MapProducers) {
+  TestProgram p;
+  auto producers = MapProducers(p.stmt);
+  ASSERT_EQ(producers[p.buf.get()].size(), 1u);
+  ASSERT_EQ(producers[p.reg.get()].size(), 1u);
+  EXPECT_EQ(producers.count(p.src.get()), 0u);  // never written
+  // Producer loop stacks: buf's copy sits under ko only.
+  EXPECT_EQ(producers[p.buf.get()][0].loops.size(), 1u);
+  EXPECT_EQ(producers[p.reg.get()][0].loops.size(), 2u);
+}
+
+TEST(AnalysisTest, MapConsumers) {
+  TestProgram p;
+  auto consumers = MapConsumers(p.stmt);
+  // buf feeds both register loads; src feeds the shared load; the
+  // registers feed the MMA; the accumulator is not counted as consumed.
+  EXPECT_EQ(consumers[p.buf.get()].size(), 2u);
+  EXPECT_EQ(consumers[p.src.get()].size(), 1u);
+  EXPECT_EQ(consumers[p.reg.get()].size(), 1u);
+  EXPECT_EQ(consumers[p.reg_b.get()].size(), 1u);
+  EXPECT_EQ(consumers.count(p.acc.get()), 0u);
+}
+
+TEST(AnalysisTest, RegionUsesVar) {
+  TestProgram p;
+  BufferRegion region = Region(p.src, {p.ko, Int(0)}, {1, 16});
+  EXPECT_TRUE(RegionUsesVar(region, p.ko));
+  EXPECT_FALSE(RegionUsesVar(region, p.ki));
+  BufferRegion indirect =
+      Region(p.src, {Add(Mul(p.ko, 2), p.ki), Int(0)}, {1, 16});
+  EXPECT_TRUE(RegionUsesVar(indirect, p.ki));
+}
+
+TEST(AnalysisTest, CountFlopsMultipliesLoopExtents) {
+  TestProgram p;
+  // One MMA of 2*4*4*4 flops under ki(4) x ko(8).
+  EXPECT_EQ(CountFlops(p.stmt), 2 * 4 * 4 * 4 * 4 * 8);
+}
+
+TEST(AnalysisTest, CountFlopsRequiresConstantExtents) {
+  Buffer acc = MakeBuffer("acc", MemScope::kAccumulator, {4, 4}, 4);
+  Buffer reg = MakeBuffer("r", MemScope::kRegister, {4, 4});
+  Var i = MakeVar("i");
+  Var n = MakeVar("n");  // symbolic extent
+  Stmt mma = Mma(Region(acc, {Int(0), Int(0)}, {4, 4}),
+                 Region(reg, {Int(0), Int(0)}, {4, 4}),
+                 Region(reg, {Int(0), Int(0)}, {4, 4}));
+  Stmt loop = For(i, n, ForKind::kSerial, mma);
+  EXPECT_THROW(CountFlops(loop), CheckError);
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace alcop

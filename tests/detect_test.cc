@@ -1,0 +1,177 @@
+// Tests of the pipeline buffer detection pass (Sec. II): the three
+// legality rules, the transformation-ordering study of Fig. 5, and
+// AutoPipeline's stage assignment.
+#include <gtest/gtest.h>
+
+#include "pipeline/detect.h"
+#include "schedule/schedule.h"
+#include "support/check.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace {
+
+using pipeline::AutoPipeline;
+using pipeline::DetectPipelineBuffers;
+using pipeline::DetectionResult;
+using schedule::GemmOp;
+using schedule::InlineOrder;
+using schedule::MakeMatmul;
+using schedule::Schedule;
+using schedule::ScheduleConfig;
+
+ScheduleConfig TestConfig() {
+  ScheduleConfig config;
+  config.tile = {.tb_m = 32, .tb_n = 32, .tb_k = 16,
+                 .warp_m = 16, .warp_n = 16, .warp_k = 8};
+  config.smem_stages = 3;
+  config.reg_stages = 2;
+  return config;
+}
+
+TEST(DetectTest, CanonicalGemmAllBuffersEligible) {
+  Schedule sched(MakeMatmul("mm", 64, 64, 64), TestConfig());
+  DetectionResult result = DetectPipelineBuffers(sched, target::AmpereSpec());
+  for (const char* name : {"A_shared", "B_shared", "A_reg", "B_reg"}) {
+    EXPECT_TRUE(result.IsEligible(name)) << name;
+  }
+}
+
+TEST(DetectTest, Rule1RefusesComputeProducedBuffer) {
+  // Fig. 5 case 1: inlining f before pipelining fuses it into the
+  // Global->Shared copy; the buffer is no longer produced by an
+  // asynchronous memory copy.
+  GemmOp op = MakeMatmul("mm", 64, 64, 64);
+  op.a_producer_op = ir::EwiseOp::kScale;
+  Schedule sched(op, TestConfig(), InlineOrder::kBeforePipelining);
+  DetectionResult result = DetectPipelineBuffers(sched, target::AmpereSpec());
+  const pipeline::DetectionEntry* entry = result.Find("A_shared");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->eligible);
+  EXPECT_NE(entry->reason.find("compute op"), std::string::npos)
+      << entry->reason;
+}
+
+TEST(DetectTest, OrderingPipelineBeforeInlineKeepsEligibility) {
+  // Fig. 5 case 2 (ALCOP): pipelining first, f re-routed into the
+  // Shared->Register copy. Both the shared buffer (pure async copy) and
+  // the register buffer (scoreboarded load + ALU op) stay eligible.
+  GemmOp op = MakeMatmul("mm", 64, 64, 64);
+  op.a_producer_op = ir::EwiseOp::kScale;
+  Schedule sched(op, TestConfig(), InlineOrder::kAfterPipelining);
+  DetectionResult result = DetectPipelineBuffers(sched, target::AmpereSpec());
+  EXPECT_TRUE(result.IsEligible("A_shared"));
+  EXPECT_TRUE(result.IsEligible("A_reg"));
+}
+
+TEST(DetectTest, Rule1RefusesOnPreAmpereHardware) {
+  // Pre-Ampere GPUs lack cp.async: shared-memory buffers cannot be
+  // pipelined at all; register-level scoreboarding still works.
+  Schedule sched(MakeMatmul("mm", 64, 64, 64), TestConfig());
+  DetectionResult result =
+      DetectPipelineBuffers(sched, target::VoltaLikeSpec());
+  EXPECT_FALSE(result.IsEligible("A_shared"));
+  EXPECT_FALSE(result.IsEligible("B_shared"));
+  EXPECT_TRUE(result.IsEligible("A_reg"));
+  EXPECT_TRUE(result.IsEligible("B_reg"));
+}
+
+TEST(DetectTest, Rule2RefusesFillOnceBuffer) {
+  // Stencil-style schedules fill a buffer once instead of producing it in
+  // a sequential load-and-use loop.
+  Schedule sched(MakeMatmul("mm", 64, 64, 64), TestConfig());
+  sched.FindStage("A_shared")->in_sequential_loop = false;
+  DetectionResult result = DetectPipelineBuffers(sched, target::AmpereSpec());
+  const pipeline::DetectionEntry* entry = result.Find("A_shared");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->eligible);
+  EXPECT_NE(entry->reason.find("sequential"), std::string::npos);
+}
+
+TEST(DetectTest, Rule3RefusesMismatchedSharedSyncPositions) {
+  // Two shared-scope buffers whose loads sit at different loop levels
+  // cannot share the scope's memory barriers: both are refused.
+  Schedule sched(MakeMatmul("mm", 64, 64, 64), TestConfig());
+  sched.FindStage("B_shared")->sync_position = 7;
+  DetectionResult result = DetectPipelineBuffers(sched, target::AmpereSpec());
+  EXPECT_FALSE(result.IsEligible("A_shared"));
+  EXPECT_FALSE(result.IsEligible("B_shared"));
+  const pipeline::DetectionEntry* entry = result.Find("A_shared");
+  EXPECT_NE(entry->reason.find("synchronization position"), std::string::npos);
+  // Register buffers are unaffected (scoreboard-synchronized scope).
+  EXPECT_TRUE(result.IsEligible("A_reg"));
+  EXPECT_TRUE(result.IsEligible("B_reg"));
+}
+
+TEST(DetectTest, Rule3RefusesPipeliningNextToBarrierBoundBuffer) {
+  // If one shared buffer is ineligible (keeps threadblock barriers), its
+  // same-scope peer cannot mix pipeline primitives with those barriers.
+  GemmOp op = MakeMatmul("mm", 64, 64, 64);
+  op.a_producer_op = ir::EwiseOp::kScale;
+  Schedule sched(op, TestConfig(), InlineOrder::kBeforePipelining);
+  DetectionResult result = DetectPipelineBuffers(sched, target::AmpereSpec());
+  EXPECT_FALSE(result.IsEligible("A_shared"));
+  EXPECT_FALSE(result.IsEligible("B_shared"));
+}
+
+TEST(DetectTest, AutoPipelineAssignsScopeStageCounts) {
+  Schedule sched(MakeMatmul("mm", 64, 64, 64), TestConfig());
+  AutoPipeline(sched, target::AmpereSpec());
+  EXPECT_EQ(sched.FindStage("A_shared")->pipeline_stages, 3);
+  EXPECT_EQ(sched.FindStage("B_shared")->pipeline_stages, 3);
+  EXPECT_EQ(sched.FindStage("A_reg")->pipeline_stages, 2);
+  EXPECT_EQ(sched.FindStage("B_reg")->pipeline_stages, 2);
+}
+
+TEST(DetectTest, AutoPipelineLeavesIneligibleBuffersUnpipelined) {
+  GemmOp op = MakeMatmul("mm", 64, 64, 64);
+  op.a_producer_op = ir::EwiseOp::kScale;
+  Schedule sched(op, TestConfig(), InlineOrder::kBeforePipelining);
+  AutoPipeline(sched, target::AmpereSpec());
+  EXPECT_EQ(sched.FindStage("A_shared")->pipeline_stages, 1);
+  EXPECT_EQ(sched.FindStage("B_shared")->pipeline_stages, 1);
+  EXPECT_EQ(sched.FindStage("A_reg")->pipeline_stages, 2);
+}
+
+TEST(DetectTest, GlobalStagesAreNotCandidates) {
+  Schedule sched(MakeMatmul("mm", 64, 64, 64), TestConfig());
+  DetectionResult result = DetectPipelineBuffers(sched, target::AmpereSpec());
+  EXPECT_EQ(result.Find("A"), nullptr);
+  EXPECT_EQ(result.Find("B"), nullptr);
+}
+
+TEST(ScheduleTest, ValidateConfigRejectsBadTiles) {
+  GemmOp op = MakeMatmul("mm", 64, 64, 64);
+  std::string why;
+  ScheduleConfig config = TestConfig();
+  config.tile.tb_m = 48;  // does not divide 64
+  EXPECT_FALSE(schedule::ValidateConfig(op, config, &why));
+  EXPECT_EQ(why, "tb_m does not divide M");
+
+  config = TestConfig();
+  config.tile.warp_m = 24;  // does not divide tb_m
+  EXPECT_FALSE(schedule::ValidateConfig(op, config, &why));
+
+  config = TestConfig();
+  config.smem_stages = 9;
+  EXPECT_FALSE(schedule::ValidateConfig(op, config, &why));
+
+  config = TestConfig();
+  config.reg_stages = 3;  // exceeds ki extent (16/8 = 2)
+  EXPECT_FALSE(schedule::ValidateConfig(op, config, &why));
+}
+
+TEST(ScheduleTest, SetPipelineStagesUnknownBufferThrows) {
+  Schedule sched(MakeMatmul("mm", 64, 64, 64), TestConfig());
+  EXPECT_THROW(sched.SetPipelineStages("no_such_buffer", 2), CheckError);
+}
+
+TEST(ScheduleTest, ConfigToStringMentionsKeyParameters) {
+  ScheduleConfig config = TestConfig();
+  std::string text = config.ToString();
+  EXPECT_NE(text.find("smem_stages=3"), std::string::npos);
+  EXPECT_NE(text.find("reg_stages=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alcop

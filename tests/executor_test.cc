@@ -1,0 +1,259 @@
+// Tests of the functional executor, focusing on the asynchronous-copy
+// semantics checker: hand-built programs with deliberately broken
+// synchronization must be rejected, and the failure modes must match the
+// hazard (read-before-wait, capacity overflow, wait-before-commit).
+#include <gtest/gtest.h>
+
+#include "ir/stmt.h"
+#include "sim/executor.h"
+#include "sim/memory.h"
+#include "support/check.h"
+
+namespace alcop {
+namespace {
+
+using namespace alcop::ir;  // NOLINT(build/namespaces) - test IR building
+
+BufferRegion Region(const Buffer& buffer, std::vector<Expr> offsets,
+                    std::vector<int64_t> sizes) {
+  BufferRegion region;
+  region.buffer = buffer;
+  region.offsets = std::move(offsets);
+  region.sizes = std::move(sizes);
+  return region;
+}
+
+// Marks a copy asynchronous within pipeline group `group`.
+Stmt AsyncCopy(BufferRegion dst, BufferRegion src, int group) {
+  Stmt stmt = Copy(std::move(dst), std::move(src));
+  auto node =
+      std::make_shared<CopyNode>(*static_cast<const CopyNode*>(stmt.get()));
+  node->is_async = true;
+  node->pipeline_group = group;
+  return node;
+}
+
+struct Fixture {
+  Buffer src = MakeBuffer("src", MemScope::kGlobal, {4, 8});
+  Buffer buf = MakeBuffer("buf", MemScope::kShared, {2, 8});  // 2 stages
+  Buffer out = MakeBuffer("out", MemScope::kGlobal, {4, 8});
+
+  std::vector<float> src_data = [] {
+    std::vector<float> data(32);
+    for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i);
+    return data;
+  }();
+
+  void Run(const Stmt& program) {
+    sim::Executor exec;
+    exec.Bind(src, src_data);
+    exec.Run(program);
+  }
+};
+
+TEST(ExecutorCheckerTest, ReadBeforeWaitThrows) {
+  Fixture f;
+  // async copy, commit, then read WITHOUT consumer_wait.
+  Stmt program = Block({
+      Alloc(f.buf),
+      Sync(SyncKind::kProducerAcquire, 0, {f.buf}),
+      AsyncCopy(Region(f.buf, {Int(0), Int(0)}, {1, 8}),
+                Region(f.src, {Int(0), Int(0)}, {1, 8}), 0),
+      Sync(SyncKind::kProducerCommit, 0, {f.buf}),
+      Copy(Region(f.out, {Int(0), Int(0)}, {1, 8}),
+           Region(f.buf, {Int(0), Int(0)}, {1, 8})),
+  });
+  try {
+    f.Run(program);
+    FAIL() << "expected a visibility violation";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("before its consumer_wait"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExecutorCheckerTest, ProperlySynchronizedReadSucceeds) {
+  Fixture f;
+  Stmt program = Block({
+      Alloc(f.buf),
+      Sync(SyncKind::kProducerAcquire, 0, {f.buf}),
+      AsyncCopy(Region(f.buf, {Int(0), Int(0)}, {1, 8}),
+                Region(f.src, {Int(0), Int(0)}, {1, 8}), 0),
+      Sync(SyncKind::kProducerCommit, 0, {f.buf}),
+      Sync(SyncKind::kConsumerWait, 0, {f.buf}),
+      Copy(Region(f.out, {Int(0), Int(0)}, {1, 8}),
+           Region(f.buf, {Int(0), Int(0)}, {1, 8})),
+      Sync(SyncKind::kConsumerRelease, 0, {f.buf}),
+  });
+  EXPECT_NO_THROW(f.Run(program));
+}
+
+TEST(ExecutorCheckerTest, WaitBeforeCommitThrows) {
+  Fixture f;
+  Stmt program = Block({
+      Alloc(f.buf),
+      Sync(SyncKind::kConsumerWait, 0, {f.buf}),
+  });
+  try {
+    f.Run(program);
+    FAIL() << "expected a wait-on-uncommitted-group error";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("groups were committed"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExecutorCheckerTest, PipelineCapacityOverflowThrows) {
+  Fixture f;
+  // The buffer has 2 stages; acquiring a third slot without releases must
+  // fail at producer_acquire.
+  std::vector<Stmt> seq = {Alloc(f.buf)};
+  for (int i = 0; i < 3; ++i) {
+    seq.push_back(Sync(SyncKind::kProducerAcquire, 0, {f.buf}));
+    seq.push_back(AsyncCopy(Region(f.buf, {Int(i % 2), Int(0)}, {1, 8}),
+                            Region(f.src, {Int(i), Int(0)}, {1, 8}), 0));
+    seq.push_back(Sync(SyncKind::kProducerCommit, 0, {f.buf}));
+  }
+  try {
+    f.Run(Block(seq));
+    FAIL() << "expected a capacity violation";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("without pipeline capacity"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExecutorCheckerTest, ReleaseBeyondCommitsThrows) {
+  Fixture f;
+  Stmt program = Block({
+      Alloc(f.buf),
+      Sync(SyncKind::kConsumerRelease, 0, {f.buf}),
+  });
+  EXPECT_THROW(f.Run(program), CheckError);
+}
+
+TEST(ExecutorCheckerTest, CheckingCanBeDisabled) {
+  Fixture f;
+  // Same mis-synchronized program as ReadBeforeWaitThrows, but with the
+  // checker off the data flows (sequential interpretation).
+  Stmt program = Block({
+      Alloc(f.buf),
+      AsyncCopy(Region(f.buf, {Int(0), Int(0)}, {1, 8}),
+                Region(f.src, {Int(0), Int(0)}, {1, 8}), 0),
+      Copy(Region(f.out, {Int(0), Int(0)}, {1, 8}),
+           Region(f.buf, {Int(0), Int(0)}, {1, 8})),
+  });
+  sim::Executor exec({.check_async_semantics = false});
+  exec.Bind(f.src, f.src_data);
+  EXPECT_NO_THROW(exec.Run(program));
+  EXPECT_EQ(exec.Data(f.out)[0], 0.0f);
+  EXPECT_EQ(exec.Data(f.out)[7], 7.0f);
+}
+
+TEST(ExecutorTest, OutOfBoundsRegionThrows) {
+  Fixture f;
+  Stmt program = Copy(Region(f.out, {Int(3), Int(4)}, {1, 8}),  // 4+8 > 8
+                      Region(f.src, {Int(0), Int(0)}, {1, 8}));
+  EXPECT_THROW(f.Run(program), CheckError);
+}
+
+TEST(ExecutorTest, NegativeOffsetThrows) {
+  Fixture f;
+  Stmt program = Copy(Region(f.out, {Int(-1), Int(0)}, {1, 8}),
+                      Region(f.src, {Int(0), Int(0)}, {1, 8}));
+  EXPECT_THROW(f.Run(program), CheckError);
+}
+
+TEST(ExecutorTest, ShapeMismatchThrows) {
+  Fixture f;
+  // Equal element counts but different non-singleton shapes (2x4 vs 8).
+  Buffer square = MakeBuffer("square", MemScope::kGlobal, {2, 4});
+  Stmt program = Copy(Region(square, {Int(0), Int(0)}, {2, 4}),
+                      Region(f.src, {Int(0), Int(0)}, {1, 8}));
+  EXPECT_THROW(f.Run(program), CheckError);
+}
+
+TEST(ExecutorTest, AccumulateCopyAdds) {
+  Fixture f;
+  Stmt program = Block({
+      Copy(Region(f.out, {Int(0), Int(0)}, {1, 8}),
+           Region(f.src, {Int(0), Int(0)}, {1, 8})),
+      AccumulateCopy(Region(f.out, {Int(0), Int(0)}, {1, 8}),
+                     Region(f.src, {Int(1), Int(0)}, {1, 8})),
+  });
+  sim::Executor exec;
+  exec.Bind(f.src, f.src_data);
+  exec.Run(program);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(exec.Data(f.out)[static_cast<size_t>(i)],
+              f.src_data[static_cast<size_t>(i)] +
+                  f.src_data[static_cast<size_t>(8 + i)]);
+  }
+}
+
+TEST(ExecutorTest, EwiseCopyAppliesFunction) {
+  Fixture f;
+  Stmt program = Copy(Region(f.out, {Int(0), Int(0)}, {1, 8}),
+                      Region(f.src, {Int(0), Int(0)}, {1, 8}),
+                      EwiseOp::kScale, 2.0);
+  sim::Executor exec;
+  exec.Bind(f.src, f.src_data);
+  exec.Run(program);
+  EXPECT_EQ(exec.Data(f.out)[3], 6.0f);
+}
+
+TEST(ExecutorTest, FillAndIfThenElse) {
+  Fixture f;
+  Var i = MakeVar("i");
+  Stmt program = For(
+      i, 4, ForKind::kSerial,
+      IfThenElse(Binary(ExprKind::kLT, i, Int(2)),
+                 Fill(Region(f.out, {i, Int(0)}, {1, 8}), 1.0),
+                 Fill(Region(f.out, {i, Int(0)}, {1, 8}), 2.0)));
+  sim::Executor exec;
+  exec.Run(program);
+  EXPECT_EQ(exec.Data(f.out)[0], 1.0f);
+  EXPECT_EQ(exec.Data(f.out)[8 * 2], 2.0f);
+}
+
+TEST(ExecutorTest, UntouchedBufferQueryThrows) {
+  sim::Executor exec;
+  Buffer buffer = MakeBuffer("never", MemScope::kGlobal, {4});
+  EXPECT_THROW(exec.Data(buffer), CheckError);
+}
+
+TEST(ExecutorTest, BindSizeMismatchThrows) {
+  sim::Executor exec;
+  Buffer buffer = MakeBuffer("b", MemScope::kGlobal, {4});
+  EXPECT_THROW(exec.Bind(buffer, std::vector<float>(5)), CheckError);
+}
+
+TEST(ReferenceGemmTest, KnownSmallCase) {
+  // 2x2x2: C[i,j] = sum_k A[i,k]*B[j,k].
+  std::vector<float> a = {1, 2, 3, 4};  // [2,2]
+  std::vector<float> b = {5, 6, 7, 8};  // [2,2] (j,k layout)
+  std::vector<float> c = sim::ReferenceGemm(a, b, 1, 2, 2, 2);
+  EXPECT_EQ(c[0], 1 * 5 + 2 * 6);  // C[0,0]
+  EXPECT_EQ(c[1], 1 * 7 + 2 * 8);  // C[0,1]
+  EXPECT_EQ(c[2], 3 * 5 + 4 * 6);  // C[1,0]
+  EXPECT_EQ(c[3], 3 * 7 + 4 * 8);  // C[1,1]
+}
+
+TEST(MemoryTest, RegionIndicesRowMajor) {
+  Buffer buffer = MakeBuffer("b", MemScope::kGlobal, {4, 8});
+  BufferRegion region = Region(buffer, {Int(1), Int(2)}, {2, 3});
+  std::vector<int64_t> indices = sim::RegionIndices(region, {});
+  EXPECT_EQ(indices, (std::vector<int64_t>{10, 11, 12, 18, 19, 20}));
+}
+
+TEST(MemoryTest, NonSingletonShapeDropsOnes) {
+  Buffer buffer = MakeBuffer("b", MemScope::kGlobal, {1, 4, 1, 8});
+  BufferRegion region = FullRegion(buffer);
+  EXPECT_EQ(sim::NonSingletonShape(region), (std::vector<int64_t>{4, 8}));
+}
+
+}  // namespace
+}  // namespace alcop

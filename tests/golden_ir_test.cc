@@ -1,0 +1,116 @@
+// Golden-text regression test of the full compilation flow: the printed
+// transformed IR of a small two-level pipelined GEMM must match this
+// snapshot exactly. The snapshot is the paper's Fig. 7 structure end to
+// end — prologues, shifted/wrapped indices, the inner-pipeline overflow
+// carry `(ko + (ki + 1) / 2) % 3`, the guarded inner prologue, and the
+// outer consumer_wait's one-group slack. Any unintended change to the
+// lowering, the transformation, the simplifier or the printer shows up
+// here as a readable diff.
+#include <gtest/gtest.h>
+
+#include "ir/printer.h"
+#include "sim/launch.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace {
+
+constexpr const char* kGolden =
+    R"(for bi in 0..1 blockIdx {
+  for bm in 0..2 blockIdx {
+    for bn in 0..2 blockIdx {
+      pragma pipeline_stages(A_shared) = 3 {
+        pragma pipeline_stages(B_shared) = 3 {
+          pragma pipeline_stages(A_reg) = 2 {
+            pragma pipeline_stages(B_reg) = 2 {
+              alloc A_shared: shared fp16[3, 32, 16]
+              alloc B_shared: shared fp16[3, 32, 16]
+              alloc A_reg: register fp16[2, 2, 2, 16, 8]
+              alloc B_reg: register fp16[2, 2, 2, 16, 8]
+              alloc C_acc: accumulator fp32[2, 2, 16, 16]
+              for wm in 0..2 warp {
+                for wn in 0..2 warp {
+                  fill C_acc[wm, wn, 0, 0][1, 1, 16, 16] = 0
+                }
+              }
+              A_shared/B_shared.producer_acquire  @group0
+              copy.async A_shared[0, 0, 0][1, 32, 16] <- A[bi, bm * 32, 0][1, 32, 16]  @group0
+              copy.async B_shared[0, 0, 0][1, 32, 16] <- B[bi, bn * 32, 0][1, 32, 16]  @group0
+              A_shared/B_shared.producer_commit  @group0
+              A_shared/B_shared.producer_acquire  @group0
+              copy.async A_shared[1, 0, 0][1, 32, 16] <- A[bi, bm * 32, 16][1, 32, 16]  @group0
+              copy.async B_shared[1, 0, 0][1, 32, 16] <- B[bi, bn * 32, 16][1, 32, 16]  @group0
+              A_shared/B_shared.producer_commit  @group0
+              for ko in 0..4 serial {
+                A_shared/B_shared.producer_acquire  @group0
+                copy.async A_shared[(ko + 2) % 3, 0, 0][1, 32, 16] <- A[bi, bm * 32, (ko + 2) % 4 * 16][1, 32, 16]  @group0
+                copy.async B_shared[(ko + 2) % 3, 0, 0][1, 32, 16] <- B[bi, bn * 32, (ko + 2) % 4 * 16][1, 32, 16]  @group0
+                A_shared/B_shared.producer_commit  @group0
+                A_shared/B_shared.consumer_wait(ahead=1)  @group0
+                for wm in 0..2 warp {
+                  for wn in 0..2 warp {
+                    if ko == 0 {
+                      A_reg/B_reg.producer_acquire  @group1
+                      copy.async A_reg[ko * 2 % 2, wm, wn, 0, 0][1, 1, 1, 16, 8] <- A_shared[ko % 3, wm * 16, 0][1, 16, 8]  @group1
+                      copy.async B_reg[ko * 2 % 2, wm, wn, 0, 0][1, 1, 1, 16, 8] <- B_shared[ko % 3, wn * 16, 0][1, 16, 8]  @group1
+                      A_reg/B_reg.producer_commit  @group1
+                    }
+                    for ki in 0..2 serial {
+                      A_reg/B_reg.producer_acquire  @group1
+                      copy.async A_reg[(ko * 2 + ki + 1) % 2, wm, wn, 0, 0][1, 1, 1, 16, 8] <- A_shared[(ko + (ki + 1) / 2) % 3, wm * 16, (ki + 1) % 2 * 8][1, 16, 8]  @group1
+                      copy.async B_reg[(ko * 2 + ki + 1) % 2, wm, wn, 0, 0][1, 1, 1, 16, 8] <- B_shared[(ko + (ki + 1) / 2) % 3, wn * 16, (ki + 1) % 2 * 8][1, 16, 8]  @group1
+                      A_reg/B_reg.producer_commit  @group1
+                      A_reg/B_reg.consumer_wait  @group1
+                      mma C_acc[wm, wn, 0, 0][1, 1, 16, 16] += A_reg[(ko * 2 + ki) % 2, wm, wn, 0, 0][1, 1, 1, 16, 8] * B_reg[(ko * 2 + ki) % 2, wm, wn, 0, 0][1, 1, 1, 16, 8]
+                      A_reg/B_reg.consumer_release  @group1
+                    }
+                  }
+                }
+                A_shared/B_shared.consumer_release  @group0
+              }
+              for wm in 0..2 warp {
+                for wn in 0..2 warp {
+                  copy C[bi, bm * 32 + wm * 16, bn * 32 + wn * 16][1, 16, 16] <- C_acc[wm, wn, 0, 0][1, 1, 16, 16]
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+)";
+
+TEST(GoldenIrTest, TwoLevelPipelinedGemmSnapshot) {
+  schedule::GemmOp op = schedule::MakeMatmul("small", 64, 64, 64);
+  schedule::ScheduleConfig config;
+  config.tile = {32, 32, 16, 16, 16, 8};
+  config.smem_stages = 3;
+  config.reg_stages = 2;
+  sim::CompiledKernel compiled =
+      sim::CompileKernel(op, config, target::AmpereSpec());
+  EXPECT_EQ(ir::ToString(compiled.transformed.stmt), kGolden);
+}
+
+TEST(GoldenIrTest, PaperFig7IndexExpressionsPresent) {
+  // The load-index algebra of the paper's Fig. 7, line by line:
+  //   slot of the shifted smem load:       (ko + 2) % 3
+  //   wrapped producer chunk:              (ko + 2) % extent_ko
+  //   fused inner load with overflow carry: A_shared[(ko + (ki+1)/extent_ki) % 3][.., (ki+1) % extent_ki]
+  schedule::GemmOp op = schedule::MakeMatmul("small", 64, 64, 64);
+  schedule::ScheduleConfig config;
+  config.tile = {32, 32, 16, 16, 16, 8};
+  config.smem_stages = 3;
+  config.reg_stages = 2;
+  sim::CompiledKernel compiled =
+      sim::CompileKernel(op, config, target::AmpereSpec());
+  std::string text = ir::ToString(compiled.transformed.stmt);
+  EXPECT_NE(text.find("A_shared[(ko + 2) % 3"), std::string::npos);
+  EXPECT_NE(text.find("(ko + 2) % 4 * 16"), std::string::npos);
+  EXPECT_NE(text.find("A_shared[(ko + (ki + 1) / 2) % 3"), std::string::npos);
+  EXPECT_NE(text.find("(ki + 1) % 2 * 8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alcop

@@ -1,0 +1,184 @@
+// Unit tests for the index-expression IR: construction, evaluation,
+// substitution, variable collection and the simplifier.
+#include <gtest/gtest.h>
+
+#include "ir/expr.h"
+#include "ir/printer.h"
+#include "ir/simplify.h"
+#include "support/check.h"
+
+namespace alcop {
+namespace ir {
+namespace {
+
+TEST(ExprTest, IntImmRoundTrip) {
+  Expr e = Int(42);
+  int64_t v = 0;
+  ASSERT_TRUE(AsConst(e, &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(IsConst(e, 42));
+  EXPECT_FALSE(IsConst(e, 41));
+}
+
+TEST(ExprTest, VarIdentityIsPointerBased) {
+  Var a = MakeVar("i");
+  Var b = MakeVar("i");
+  EXPECT_TRUE(UsesVar(a, a));
+  EXPECT_FALSE(UsesVar(a, b)) << "same-named vars must be distinct";
+}
+
+TEST(ExprTest, EvaluateArithmetic) {
+  Var i = MakeVar("i");
+  Var j = MakeVar("j");
+  Expr e = Add(Mul(i, 8), FloorMod(j, 3));
+  int64_t value = Evaluate(e, {{i.get(), 5}, {j.get(), 7}});
+  EXPECT_EQ(value, 5 * 8 + 7 % 3);
+}
+
+TEST(ExprTest, EvaluateFloorSemanticsOnNegatives) {
+  Var i = MakeVar("i");
+  EXPECT_EQ(Evaluate(FloorDiv(i, 4), {{i.get(), -1}}), -1);
+  EXPECT_EQ(Evaluate(FloorMod(i, 4), {{i.get(), -1}}), 3);
+  EXPECT_EQ(Evaluate(FloorDiv(i, 4), {{i.get(), -8}}), -2);
+  EXPECT_EQ(Evaluate(FloorMod(i, 4), {{i.get(), -8}}), 0);
+}
+
+TEST(ExprTest, EvaluateMinMaxAndComparisons) {
+  Var i = MakeVar("i");
+  std::vector<VarBinding> env = {{i.get(), 10}};
+  EXPECT_EQ(Evaluate(Min(i, Int(3)), env), 3);
+  EXPECT_EQ(Evaluate(Max(i, Int(3)), env), 10);
+  EXPECT_EQ(Evaluate(Binary(ExprKind::kLT, i, Int(11)), env), 1);
+  EXPECT_EQ(Evaluate(Binary(ExprKind::kGE, i, Int(11)), env), 0);
+  EXPECT_EQ(Evaluate(Binary(ExprKind::kEQ, i, Int(10)), env), 1);
+}
+
+TEST(ExprTest, EvaluateUnboundVariableThrows) {
+  Var i = MakeVar("i");
+  EXPECT_THROW(Evaluate(i, {}), CheckError);
+}
+
+TEST(ExprTest, EvaluateDivisionByZeroThrows) {
+  Var i = MakeVar("i");
+  EXPECT_THROW(Evaluate(FloorDiv(Int(1), Int(0)), {}), CheckError);
+  EXPECT_THROW(Evaluate(FloorMod(i, Int(0)), {{i.get(), 3}}), CheckError);
+}
+
+TEST(ExprTest, SubstituteReplacesOnlyTargetVar) {
+  Var i = MakeVar("i");
+  Var j = MakeVar("j");
+  Expr e = Add(i, Mul(j, 2));
+  Expr out = Substitute(e, i, Int(7));
+  EXPECT_EQ(Evaluate(out, {{j.get(), 3}}), 7 + 6);
+  // j untouched
+  EXPECT_TRUE(UsesVar(out, j));
+  EXPECT_FALSE(UsesVar(out, i));
+}
+
+TEST(ExprTest, SubstitutePreservesSharingWhenUnchanged) {
+  Var i = MakeVar("i");
+  Var other = MakeVar("x");
+  Expr e = Add(i, Int(1));
+  Expr out = Substitute(e, other, Int(0));
+  EXPECT_EQ(e.get(), out.get());
+}
+
+TEST(ExprTest, CollectVarsDeduplicates) {
+  Var i = MakeVar("i");
+  Var j = MakeVar("j");
+  Expr e = Add(Add(i, j), Mul(i, 4));
+  std::vector<Var> vars = CollectVars(e);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0].get(), i.get());
+  EXPECT_EQ(vars[1].get(), j.get());
+}
+
+TEST(SimplifyTest, ConstantFolding) {
+  Expr e = Add(Mul(Int(3), Int(4)), FloorMod(Int(10), Int(3)));
+  Expr s = Simplify(e);
+  EXPECT_TRUE(IsConst(s, 13));
+}
+
+TEST(SimplifyTest, Identities) {
+  Var i = MakeVar("i");
+  EXPECT_EQ(Simplify(Add(i, Int(0))).get(), i.get());
+  EXPECT_EQ(Simplify(Mul(i, Int(1))).get(), i.get());
+  EXPECT_TRUE(IsConst(Simplify(Mul(i, Int(0))), 0));
+  EXPECT_TRUE(IsConst(Simplify(FloorMod(i, Int(1))), 0));
+  EXPECT_EQ(Simplify(FloorDiv(i, Int(1))).get(), i.get());
+}
+
+TEST(SimplifyTest, ReassociatesAddedConstants) {
+  Var i = MakeVar("i");
+  Expr e = Add(Add(i, Int(2)), Int(3));
+  Expr s = Simplify(e);
+  EXPECT_EQ(ToString(s), "i + 5");
+}
+
+TEST(SimplifyTest, NestedModByModSameDivisor) {
+  Var i = MakeVar("i");
+  Expr e = FloorMod(FloorMod(i, Int(3)), Int(3));
+  EXPECT_EQ(ToString(Simplify(e)), "i % 3");
+}
+
+TEST(SimplifyTest, BooleanShortCircuits) {
+  Var i = MakeVar("i");
+  Expr cond = Binary(ExprKind::kLT, i, Int(4));
+  EXPECT_EQ(Simplify(Binary(ExprKind::kAnd, Int(1), cond)).get(), cond.get());
+  EXPECT_TRUE(IsConst(Simplify(Binary(ExprKind::kAnd, Int(0), cond)), 0));
+  EXPECT_TRUE(IsConst(Simplify(Binary(ExprKind::kOr, Int(1), cond)), 1));
+  EXPECT_EQ(Simplify(Binary(ExprKind::kOr, Int(0), cond)).get(), cond.get());
+}
+
+TEST(PrinterTest, ExprPrecedence) {
+  Var i = MakeVar("i");
+  Var j = MakeVar("j");
+  EXPECT_EQ(ToString(Add(Mul(i, 2), j)), "i * 2 + j");
+  EXPECT_EQ(ToString(Mul(Add(i, Int(2)), Int(3))), "(i + 2) * 3");
+  EXPECT_EQ(ToString(FloorMod(Add(i, Int(2)), Int(3))), "(i + 2) % 3");
+  EXPECT_EQ(ToString(Min(i, j)), "min(i, j)");
+}
+
+// Property sweep: the simplifier must be value-preserving for a grid of
+// variable assignments over a family of random-ish expressions.
+class SimplifyValuePreservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyValuePreservation, SameValueAsOriginal) {
+  int seed = GetParam();
+  Var i = MakeVar("i");
+  Var j = MakeVar("j");
+  // A deterministic "random" expression per seed built from a fixed menu.
+  Expr e = i;
+  int state = seed;
+  for (int step = 0; step < 6; ++step) {
+    state = state * 1103515245 + 12345;
+    int pick = (state >> 16) & 7;
+    int64_t c = 1 + ((state >> 8) & 3);
+    switch (pick) {
+      case 0: e = Add(e, j); break;
+      case 1: e = Sub(e, Int(c)); break;
+      case 2: e = Mul(e, c); break;
+      case 3: e = FloorDiv(e, c); break;
+      case 4: e = FloorMod(e, c); break;
+      case 5: e = Min(e, Mul(j, c)); break;
+      case 6: e = Max(e, Int(c)); break;
+      default: e = Add(e, Int(0)); break;
+    }
+  }
+  Expr s = Simplify(e);
+  for (int64_t vi = 0; vi < 7; ++vi) {
+    for (int64_t vj = 0; vj < 7; ++vj) {
+      std::vector<VarBinding> env = {{i.get(), vi}, {j.get(), vj}};
+      EXPECT_EQ(Evaluate(e, env), Evaluate(s, env))
+          << "seed=" << seed << " i=" << vi << " j=" << vj
+          << " expr=" << ToString(e) << " simplified=" << ToString(s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyValuePreservation,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace ir
+}  // namespace alcop

@@ -1,0 +1,163 @@
+// Unit tests for statement construction, buffers/regions, the printer and
+// structural equality.
+#include <gtest/gtest.h>
+
+#include "ir/buffer.h"
+#include "ir/printer.h"
+#include "ir/stmt.h"
+#include "ir/structural_equal.h"
+#include "support/check.h"
+
+namespace alcop {
+namespace ir {
+namespace {
+
+BufferRegion Region(const Buffer& buffer, std::vector<Expr> offsets,
+                    std::vector<int64_t> sizes) {
+  BufferRegion region;
+  region.buffer = buffer;
+  region.offsets = std::move(offsets);
+  region.sizes = std::move(sizes);
+  return region;
+}
+
+TEST(BufferTest, ShapeAndStrides) {
+  Buffer b = MakeBuffer("b", MemScope::kShared, {3, 4, 5});
+  EXPECT_EQ(b->NumElements(), 60);
+  EXPECT_EQ(b->NumBytes(), 120);  // fp16 default
+  EXPECT_EQ(b->Strides(), (std::vector<int64_t>{20, 5, 1}));
+}
+
+TEST(BufferTest, InvalidShapesThrow) {
+  EXPECT_THROW(MakeBuffer("b", MemScope::kShared, {}), CheckError);
+  EXPECT_THROW(MakeBuffer("b", MemScope::kShared, {4, 0}), CheckError);
+  EXPECT_THROW(MakeBuffer("b", MemScope::kShared, {4}, 0), CheckError);
+}
+
+TEST(BufferTest, RegionValidation) {
+  Buffer b = MakeBuffer("b", MemScope::kShared, {4, 8});
+  BufferRegion ok = Region(b, {Int(0), Int(0)}, {4, 8});
+  EXPECT_NO_THROW(ValidateRegion(ok));
+  BufferRegion rank_mismatch = Region(b, {Int(0)}, {4, 8});
+  EXPECT_THROW(ValidateRegion(rank_mismatch), CheckError);
+  BufferRegion too_big = Region(b, {Int(0), Int(0)}, {5, 8});
+  EXPECT_THROW(ValidateRegion(too_big), CheckError);
+}
+
+TEST(StmtTest, CopyElementCountMismatchThrows) {
+  Buffer a = MakeBuffer("a", MemScope::kGlobal, {16});
+  Buffer b = MakeBuffer("b", MemScope::kShared, {8});
+  EXPECT_THROW(Copy(FullRegion(b), FullRegion(a)), CheckError);
+}
+
+TEST(StmtTest, MmaShapeChecks) {
+  Buffer c = MakeBuffer("c", MemScope::kAccumulator, {16, 8}, 4);
+  Buffer a = MakeBuffer("a", MemScope::kRegister, {16, 4});
+  Buffer b = MakeBuffer("b", MemScope::kRegister, {8, 4});
+  Stmt mma = Mma(FullRegion(c), FullRegion(a), FullRegion(b));
+  const auto* node = static_cast<const MmaNode*>(mma.get());
+  EXPECT_EQ(node->m(), 16);
+  EXPECT_EQ(node->n(), 8);
+  EXPECT_EQ(node->k(), 4);
+  EXPECT_EQ(node->Flops(), 2 * 16 * 8 * 4);
+
+  Buffer bad_b = MakeBuffer("b", MemScope::kRegister, {8, 2});
+  EXPECT_THROW(Mma(FullRegion(c), FullRegion(a), FullRegion(bad_b)),
+               CheckError);
+}
+
+TEST(StmtTest, MmaLeadingDimsMustBeSingleton) {
+  Buffer c = MakeBuffer("c", MemScope::kAccumulator, {2, 16, 8}, 4);
+  Buffer a = MakeBuffer("a", MemScope::kRegister, {16, 4});
+  Buffer b = MakeBuffer("b", MemScope::kRegister, {8, 4});
+  EXPECT_THROW(Mma(FullRegion(c), FullRegion(a), FullRegion(b)), CheckError);
+}
+
+TEST(StmtTest, FlatBlockFlattensAndDropsNulls) {
+  Buffer b = MakeBuffer("b", MemScope::kShared, {8});
+  Stmt fill = Fill(FullRegion(b), 0.0);
+  Stmt nested = Block({fill, Block({fill, fill})});
+  Stmt flat = FlatBlock({nullptr, nested, fill});
+  ASSERT_EQ(flat->kind, StmtKind::kBlock);
+  EXPECT_EQ(static_cast<const BlockNode*>(flat.get())->seq.size(), 4u);
+
+  Stmt single = FlatBlock({fill});
+  EXPECT_EQ(single.get(), fill.get());
+}
+
+TEST(PrinterTest, StatementForms) {
+  Buffer src = MakeBuffer("src", MemScope::kGlobal, {4, 8});
+  Buffer buf = MakeBuffer("buf", MemScope::kShared, {8});
+  Var i = MakeVar("i");
+  Stmt program = Block({
+      Alloc(buf),
+      For(i, 4, ForKind::kSerial,
+          Copy(FullRegion(buf), Region(src, {i, Int(0)}, {1, 8}))),
+      Barrier(),
+      Sync(SyncKind::kConsumerWait, 2, {buf}, 1),
+  });
+  std::string text = ToString(program);
+  EXPECT_NE(text.find("alloc buf: shared fp16[8]"), std::string::npos) << text;
+  EXPECT_NE(text.find("for i in 0..4 serial {"), std::string::npos);
+  EXPECT_NE(text.find("copy buf[0][8] <- src[i, 0][1, 8]"), std::string::npos);
+  EXPECT_NE(text.find("barrier"), std::string::npos);
+  EXPECT_NE(text.find("buf.consumer_wait(ahead=1)  @group2"),
+            std::string::npos);
+}
+
+TEST(PrinterTest, AccumulateCopyPrintsPlusEquals) {
+  Buffer a = MakeBuffer("a", MemScope::kGlobal, {8});
+  Buffer b = MakeBuffer("b", MemScope::kGlobal, {8});
+  std::string text = ToString(AccumulateCopy(FullRegion(a), FullRegion(b)));
+  EXPECT_NE(text.find("a[0][8] += b[0][8]"), std::string::npos) << text;
+}
+
+TEST(StructuralEqualTest, AlphaEquivalentLoops) {
+  Buffer src = MakeBuffer("src", MemScope::kGlobal, {4, 8});
+  Buffer buf = MakeBuffer("buf", MemScope::kShared, {8});
+  auto make = [&](const std::string& var_name) {
+    Var v = MakeVar(var_name);
+    return For(v, 4, ForKind::kSerial,
+               Copy(FullRegion(buf), Region(src, {v, Int(0)}, {1, 8})));
+  };
+  EXPECT_TRUE(StructuralEqual(make("i"), make("j")));
+}
+
+TEST(StructuralEqualTest, DistinguishesForKind) {
+  Buffer buf = MakeBuffer("buf", MemScope::kShared, {8});
+  Var i = MakeVar("i");
+  Var j = MakeVar("j");
+  Stmt serial = For(i, 4, ForKind::kSerial, Fill(FullRegion(buf), 0.0));
+  Stmt warp = For(j, 4, ForKind::kWarp, Fill(FullRegion(buf), 0.0));
+  EXPECT_FALSE(StructuralEqual(serial, warp));
+}
+
+TEST(StructuralEqualTest, DistinguishesAsyncAndGroups) {
+  Buffer src = MakeBuffer("src", MemScope::kGlobal, {8});
+  Buffer buf = MakeBuffer("buf", MemScope::kShared, {8});
+  Stmt plain = Copy(FullRegion(buf), FullRegion(src));
+  auto async = std::make_shared<CopyNode>(
+      *static_cast<const CopyNode*>(plain.get()));
+  async->is_async = true;
+  EXPECT_FALSE(StructuralEqual(plain, Stmt(async)));
+}
+
+TEST(StructuralEqualTest, FreeVariablesMatchByIdentity) {
+  Var i = MakeVar("i");
+  Var j = MakeVar("j");
+  EXPECT_TRUE(StructuralEqual(Add(i, Int(1)), Add(i, Int(1))));
+  EXPECT_FALSE(StructuralEqual(Add(i, Int(1)), Add(j, Int(1))));
+}
+
+TEST(EwiseTest, FunctionValues) {
+  EXPECT_EQ(ApplyEwise(EwiseOp::kRelu, 0.0, -2.0), 0.0);
+  EXPECT_EQ(ApplyEwise(EwiseOp::kRelu, 0.0, 3.0), 3.0);
+  EXPECT_EQ(ApplyEwise(EwiseOp::kScale, 0.5, 8.0), 4.0);
+  EXPECT_EQ(ApplyEwise(EwiseOp::kAddConst, 1.5, 1.0), 2.5);
+  EXPECT_NEAR(ApplyEwise(EwiseOp::kGelu, 0.0, 1.0), 0.8412, 1e-3);
+  EXPECT_EQ(ApplyEwise(EwiseOp::kNone, 0.0, 7.0), 7.0);
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace alcop

@@ -1,0 +1,143 @@
+// Tests of the schedule lowering: launch metadata, emitted IR structure
+// (barriers, pragmas, allocations) and the resource accounting.
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "pipeline/detect.h"
+#include "schedule/lower.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace {
+
+using schedule::GemmOp;
+using schedule::InlineOrder;
+using schedule::LoweredKernel;
+using schedule::MakeBatchMatmul;
+using schedule::MakeMatmul;
+using schedule::Schedule;
+using schedule::ScheduleConfig;
+
+ScheduleConfig Config() {
+  ScheduleConfig config;
+  config.tile = {.tb_m = 64, .tb_n = 32, .tb_k = 16,
+                 .warp_m = 32, .warp_n = 16, .warp_k = 8};
+  return config;
+}
+
+LoweredKernel Lower(const GemmOp& op, ScheduleConfig config,
+                    InlineOrder order = InlineOrder::kAfterPipelining,
+                    bool auto_pipeline = false) {
+  Schedule sched(op, config, order);
+  if (auto_pipeline) pipeline::AutoPipeline(sched, target::AmpereSpec());
+  return schedule::LowerSchedule(sched);
+}
+
+TEST(LowerTest, LaunchMetadata) {
+  GemmOp op = MakeBatchMatmul("bmm", 3, 128, 64, 96);
+  LoweredKernel kernel = Lower(op, Config());
+  EXPECT_EQ(kernel.grid_batch, 3);
+  EXPECT_EQ(kernel.grid_m, 2);
+  EXPECT_EQ(kernel.grid_n, 2);
+  EXPECT_EQ(kernel.grid_k, 1);
+  EXPECT_EQ(kernel.TotalThreadblocks(), 12);
+  EXPECT_EQ(kernel.num_warps, 4);
+  EXPECT_EQ(kernel.ko_extent, 6);
+  EXPECT_EQ(kernel.ki_extent, 2);
+  EXPECT_EQ(kernel.workspace, nullptr);
+  EXPECT_EQ(kernel.a_ew, nullptr);
+  EXPECT_FALSE(kernel.has_standalone_ewise);
+}
+
+TEST(LowerTest, SplitKCreatesWorkspaceAndReduction) {
+  GemmOp op = MakeMatmul("mm", 128, 64, 192);
+  ScheduleConfig config = Config();
+  config.split_k = 2;
+  LoweredKernel kernel = Lower(op, config);
+  ASSERT_NE(kernel.workspace, nullptr);
+  EXPECT_EQ(kernel.workspace->shape,
+            (std::vector<int64_t>{2, 1, 128, 64}));
+  EXPECT_EQ(kernel.workspace->elem_bytes, 4);
+  EXPECT_EQ(kernel.grid_k, 2);
+  EXPECT_EQ(kernel.TotalThreadblocks(), 2 * 2 * 2);
+  EXPECT_EQ(kernel.ko_extent, 6);  // 192 / (16 * 2)
+
+  // One plain copy plus split_k-1 accumulating copies in the reduction.
+  int accumulates = 0;
+  ir::WalkWithLoops(kernel.stmt, [&](const ir::Stmt& s,
+                                     const std::vector<const ir::ForNode*>&) {
+    if (s->kind == ir::StmtKind::kCopy &&
+        static_cast<const ir::CopyNode*>(s.get())->accumulate) {
+      ++accumulates;
+    }
+  });
+  EXPECT_EQ(accumulates, 1);
+}
+
+TEST(LowerTest, StandaloneEwisePassMaterializes) {
+  GemmOp op = MakeMatmul("mm", 128, 64, 96);
+  op.a_producer_op = ir::EwiseOp::kGelu;
+  LoweredKernel kernel = Lower(op, Config(), InlineOrder::kNone);
+  EXPECT_TRUE(kernel.has_standalone_ewise);
+  ASSERT_NE(kernel.a_ew, nullptr);
+  EXPECT_EQ(kernel.a_ew->shape, kernel.a->shape);
+}
+
+TEST(LowerTest, BaselineEmitsBarriersAndNoPragmas) {
+  GemmOp op = MakeMatmul("mm", 128, 64, 96);
+  LoweredKernel kernel = Lower(op, Config());
+  int barriers = 0, pragmas = 0;
+  ir::WalkWithLoops(kernel.stmt, [&](const ir::Stmt& s,
+                                     const std::vector<const ir::ForNode*>&) {
+    barriers += s->kind == ir::StmtKind::kSync &&
+                static_cast<const ir::SyncNode*>(s.get())->sync_kind ==
+                    ir::SyncKind::kBarrier;
+    pragmas += s->kind == ir::StmtKind::kPragma;
+  });
+  EXPECT_EQ(barriers, 2);  // one after the loads, one closing the iteration
+  EXPECT_EQ(pragmas, 0);
+  EXPECT_TRUE(ir::CollectPipelineHints(kernel.stmt).empty());
+}
+
+TEST(LowerTest, AutoPipelinedKernelCarriesHints) {
+  GemmOp op = MakeMatmul("mm", 128, 64, 96);
+  ScheduleConfig config = Config();
+  config.smem_stages = 3;
+  config.reg_stages = 2;
+  LoweredKernel kernel = Lower(op, config, InlineOrder::kAfterPipelining,
+                               /*auto_pipeline=*/true);
+  std::vector<ir::PipelineHint> hints = ir::CollectPipelineHints(kernel.stmt);
+  ASSERT_EQ(hints.size(), 4u);
+  for (const ir::PipelineHint& hint : hints) {
+    bool is_shared = hint.buffer->scope == ir::MemScope::kShared;
+    EXPECT_EQ(hint.stages, is_shared ? 3 : 2) << hint.buffer->name;
+  }
+}
+
+TEST(LowerTest, FlopsOfLoweredKernelMatchOperator) {
+  GemmOp op = MakeMatmul("mm", 128, 64, 96);
+  LoweredKernel kernel = Lower(op, Config());
+  EXPECT_EQ(ir::CountFlops(kernel.stmt), op.Flops());
+}
+
+TEST(LowerTest, ResourceAccounting) {
+  GemmOp op = MakeMatmul("mm", 2048, 2048, 2048);
+  ScheduleConfig config;
+  config.tile = {.tb_m = 128, .tb_n = 128, .tb_k = 32,
+                 .warp_m = 64, .warp_n = 64, .warp_k = 16};
+  config.smem_stages = 3;
+  config.reg_stages = 2;
+  target::ThreadblockResources res = schedule::ComputeResources(op, config);
+  EXPECT_EQ(res.warps, 4);
+  // Shared: (128 + 128) x 32 fp16 per stage, 3 stages.
+  EXPECT_EQ(res.smem_bytes, (128 + 128) * 32 * 2 * 3);
+  // Registers: per warp, fp16 fragments x 2 stages + fp32 accumulators
+  // + fixed overhead.
+  int64_t frag = (64 * 16 + 64 * 16) * 2 * 2;
+  int64_t acc = 64 * 64 * 4;
+  int64_t overhead = 32 * 32 * 4;
+  EXPECT_EQ(res.reg_bytes, 4 * (frag + acc + overhead));
+}
+
+}  // namespace
+}  // namespace alcop

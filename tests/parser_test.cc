@@ -1,0 +1,148 @@
+// Tests of the IR text parser, centered on the round-trip property:
+// Parse(ToString(stmt)) must be structurally equal to stmt (and print back
+// to the identical text) for programs produced by the whole compiler flow.
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/structural_equal.h"
+#include "sim/executor.h"
+#include "sim/launch.h"
+#include "support/check.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace ir {
+namespace {
+
+TEST(ParserTest, ExprRoundTrip) {
+  Var ko = MakeVar("ko");
+  Var ki = MakeVar("ki");
+  for (const char* text : {
+           "(ko + 2) % 3",
+           "ko * 16 + ki",
+           "(ko + (ki + 1) / 2) % 3",
+           "min(ko, ki * 4) + max(ko, 2)",
+           "ko < 4 && ki == 0",
+           "ko * (ki + 1) - 7",
+       }) {
+    Expr parsed = ParseExpr(text, {ko, ki});
+    EXPECT_EQ(ToString(parsed), text) << "round trip of '" << text << "'";
+  }
+}
+
+TEST(ParserTest, ExprEvaluatesCorrectly) {
+  Var i = MakeVar("i");
+  Expr e = ParseExpr("(i + 5) % 4 * 2", {i});
+  EXPECT_EQ(Evaluate(e, {{i.get(), 3}}), ((3 + 5) % 4) * 2);
+}
+
+TEST(ParserTest, UnboundVariableFails) {
+  EXPECT_THROW(ParseExpr("i + 1", {}), CheckError);
+}
+
+TEST(ParserTest, SimpleProgramParses) {
+  Buffer src = MakeBuffer("src", MemScope::kGlobal, {8, 16});
+  std::string text =
+      "alloc buf: shared fp16[2, 16]\n"
+      "for ko in 0..8 serial {\n"
+      "  copy buf[ko % 2, 0][1, 16] <- src[ko, 0][1, 16]\n"
+      "  barrier\n"
+      "}\n";
+  Stmt program = ParseStmt(text, {src});
+  EXPECT_EQ(ToString(program), text);
+}
+
+TEST(ParserTest, UnknownBufferFails) {
+  EXPECT_THROW(ParseStmt("fill nothing[0][4] = 0\n"), CheckError);
+}
+
+TEST(ParserTest, SyntaxErrorMentionsLine) {
+  try {
+    ParseStmt("alloc buf shared fp16[4]\n");  // missing ':'
+    FAIL() << "expected a parse error";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("parse error at line 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParserTest, EwiseAndAccumulateForms) {
+  Buffer a = MakeBuffer("a", MemScope::kGlobal, {16});
+  Buffer b = MakeBuffer("b", MemScope::kGlobal, {16});
+  std::string text =
+      "copy a[0][16] <- scale[0.5](b[0][16])\n"
+      "copy a[0][16] += b[0][16]\n"
+      "copy a[0][16] <- gelu(b[0][16])\n";
+  Stmt program = ParseStmt(text, {a, b});
+  EXPECT_EQ(ToString(program), text);
+}
+
+TEST(ParserTest, SyncAndPragmaForms) {
+  std::string text =
+      "pragma pipeline_stages(buf) = 3 {\n"
+      "  alloc buf: shared fp16[3, 16]\n"
+      "  buf.producer_acquire  @group0\n"
+      "  buf.producer_commit  @group0\n"
+      "  buf.consumer_wait(ahead=1)  @group0\n"
+      "  buf.consumer_release  @group0\n"
+      "}\n";
+  Stmt program = ParseStmt(text);
+  EXPECT_EQ(ToString(program), text);
+  // The pragma's buffer must resolve to the alloc inside its body.
+  const auto* pragma = static_cast<const PragmaNode*>(program.get());
+  EXPECT_EQ(pragma->buffer->shape, (std::vector<int64_t>{3, 16}));
+}
+
+// The flagship property: the entire compiler output round-trips.
+TEST(ParserTest, CompiledKernelRoundTrips) {
+  schedule::GemmOp op = schedule::MakeMatmul("mm", 64, 64, 64);
+  schedule::ScheduleConfig config;
+  config.tile = {32, 32, 16, 16, 16, 8};
+  config.smem_stages = 3;
+  config.reg_stages = 2;
+  sim::CompiledKernel compiled =
+      sim::CompileKernel(op, config, target::AmpereSpec());
+
+  std::string printed = ToString(compiled.transformed.stmt);
+  Stmt reparsed = ParseStmt(
+      printed, {compiled.kernel.a, compiled.kernel.b, compiled.kernel.c});
+  EXPECT_EQ(ToString(reparsed), printed);
+  EXPECT_TRUE(StructuralEqual(reparsed, compiled.transformed.stmt));
+}
+
+TEST(ParserTest, ReparsedKernelExecutesIdentically) {
+  schedule::GemmOp op = schedule::MakeMatmul("mm", 64, 32, 96);
+  op.epilogue_op = EwiseOp::kRelu;
+  schedule::ScheduleConfig config;
+  config.tile = {32, 32, 16, 16, 16, 8};
+  config.smem_stages = 3;
+  config.reg_stages = 2;
+  config.split_k = 2;
+  sim::CompiledKernel compiled =
+      sim::CompileKernel(op, config, target::AmpereSpec());
+
+  std::vector<Buffer> externals = {compiled.kernel.a, compiled.kernel.b,
+                                   compiled.kernel.c};
+  if (compiled.kernel.workspace != nullptr) {
+    externals.push_back(compiled.kernel.workspace);
+  }
+  Stmt reparsed = ParseStmt(ToString(compiled.transformed.stmt), externals);
+
+  std::vector<float> a(static_cast<size_t>(op.m * op.k), 0.25f);
+  std::vector<float> b(static_cast<size_t>(op.n * op.k), -0.5f);
+  sim::Executor original, round_trip;
+  original.Bind(compiled.kernel.a, a);
+  original.Bind(compiled.kernel.b, b);
+  original.Run(compiled.transformed.stmt);
+  round_trip.Bind(compiled.kernel.a, a);
+  round_trip.Bind(compiled.kernel.b, b);
+  round_trip.Run(reparsed);
+  EXPECT_EQ(original.Data(compiled.kernel.c),
+            round_trip.Data(compiled.kernel.c));
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace alcop

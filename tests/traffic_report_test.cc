@@ -1,0 +1,91 @@
+// Tests of the per-level memory-traffic report.
+#include <gtest/gtest.h>
+
+#include "sim/traffic_report.h"
+#include "support/check.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace {
+
+sim::CompiledKernel Compile(int64_t m, int64_t n, int64_t k,
+                            schedule::ScheduleConfig config) {
+  return sim::CompileKernel(schedule::MakeMatmul("mm", m, n, k), config,
+                            target::AmpereSpec());
+}
+
+schedule::ScheduleConfig BigConfig() {
+  schedule::ScheduleConfig config;
+  config.tile = {.tb_m = 128, .tb_n = 128, .tb_k = 32,
+                 .warp_m = 64, .warp_n = 64, .warp_k = 16};
+  config.smem_stages = 3;
+  config.reg_stages = 2;
+  return config;
+}
+
+TEST(TrafficReportTest, ExactCountsForKnownKernel) {
+  // 2048^3 with 128x128x32 tiles: 256 threadblocks x 64 iterations.
+  sim::CompiledKernel compiled = Compile(2048, 2048, 2048, BigConfig());
+  sim::TrafficReport report =
+      sim::AnalyzeKernelTraffic(compiled, target::AmpereSpec());
+
+  double tbs = 16.0 * 16.0;
+  double iters = 64.0;
+  EXPECT_DOUBLE_EQ(report.llc_read_bytes, tbs * iters * (128 + 128) * 32 * 2.0);
+  EXPECT_DOUBLE_EQ(report.smem_write_bytes, report.llc_read_bytes);
+  // Four warps per tile, each loading (64+64)x16 fp16 per inner step.
+  EXPECT_DOUBLE_EQ(report.lds_read_bytes,
+                   tbs * 4 * iters * 2 * (64 + 64) * 16 * 2.0);
+  EXPECT_DOUBLE_EQ(report.dram_write_bytes, 2048.0 * 2048.0 * 2.0);
+  EXPECT_DOUBLE_EQ(report.flops, 2.0 * 2048 * 2048 * 2048);
+  // LLC reuse must filter DRAM traffic well below LLC traffic.
+  EXPECT_LT(report.dram_read_bytes, 0.5 * report.llc_read_bytes);
+  EXPECT_GT(report.dram_read_bytes, 0.0);
+}
+
+TEST(TrafficReportTest, IntensitiesOrdering) {
+  sim::CompiledKernel compiled = Compile(2048, 2048, 2048, BigConfig());
+  sim::TrafficReport report =
+      sim::AnalyzeKernelTraffic(compiled, target::AmpereSpec());
+  // Reuse grows up the hierarchy: DRAM intensity > LLC intensity, and the
+  // register level re-reads shared memory more than once.
+  EXPECT_GT(report.DramIntensity(), report.LlcIntensity());
+  EXPECT_GT(report.LlcIntensity(), report.LdsIntensity() / 2.0);
+  EXPECT_GT(report.LdsIntensity(), 0.0);
+}
+
+TEST(TrafficReportTest, BiggerTilesMoveFewerLlcBytes) {
+  schedule::ScheduleConfig small = BigConfig();
+  small.tile = {.tb_m = 64, .tb_n = 64, .tb_k = 32,
+                .warp_m = 32, .warp_n = 32, .warp_k = 16};
+  sim::TrafficReport big = sim::AnalyzeKernelTraffic(
+      Compile(2048, 2048, 2048, BigConfig()), target::AmpereSpec());
+  sim::TrafficReport tiny = sim::AnalyzeKernelTraffic(
+      Compile(2048, 2048, 2048, small), target::AmpereSpec());
+  EXPECT_LT(big.llc_read_bytes, tiny.llc_read_bytes);
+}
+
+TEST(TrafficReportTest, SplitKAddsWorkspaceTraffic) {
+  schedule::ScheduleConfig config;
+  config.tile = {.tb_m = 64, .tb_n = 64, .tb_k = 32,
+                 .warp_m = 32, .warp_n = 32, .warp_k = 16};
+  schedule::ScheduleConfig split = config;
+  split.split_k = 4;
+  sim::TrafficReport plain = sim::AnalyzeKernelTraffic(
+      Compile(1024, 64, 4096, config), target::AmpereSpec());
+  sim::TrafficReport with_split = sim::AnalyzeKernelTraffic(
+      Compile(1024, 64, 4096, split), target::AmpereSpec());
+  EXPECT_GT(with_split.dram_write_bytes, plain.dram_write_bytes);
+}
+
+TEST(TrafficReportTest, ToStringMentionsLevels) {
+  sim::CompiledKernel compiled = Compile(512, 512, 512, BigConfig());
+  std::string text =
+      sim::AnalyzeKernelTraffic(compiled, target::AmpereSpec()).ToString();
+  EXPECT_NE(text.find("DRAM-read"), std::string::npos) << text;
+  EXPECT_NE(text.find("LDS-read"), std::string::npos);
+  EXPECT_NE(text.find("intensity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alcop

@@ -1,0 +1,279 @@
+// Unit tests of the pipeline program transformation (Sec. III) on
+// hand-built IR: structural properties of the output (buffer expansion,
+// index shifting, prologue and synchronization injection), group metadata,
+// and rejection of illegal programs.
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "ir/printer.h"
+#include "pipeline/transform.h"
+#include "sim/executor.h"
+#include "support/check.h"
+
+namespace alcop {
+namespace {
+
+using namespace alcop::ir;  // NOLINT(build/namespaces) - test IR building
+
+BufferRegion Region(const Buffer& buffer, std::vector<Expr> offsets,
+                    std::vector<int64_t> sizes) {
+  BufferRegion region;
+  region.buffer = buffer;
+  region.offsets = std::move(offsets);
+  region.sizes = std::move(sizes);
+  return region;
+}
+
+// A minimal single-level load-and-use program:
+//   for ko in 0..8: { copy buf <- src[ko]; barrier; copy out[ko] <- buf;
+//                     barrier }
+struct SingleLevelProgram {
+  Buffer src, buf, out;
+  Var ko;
+  Stmt stmt;
+};
+
+SingleLevelProgram MakeSingleLevel(int64_t stages) {
+  SingleLevelProgram p;
+  p.src = MakeBuffer("src", MemScope::kGlobal, {8, 16});
+  p.buf = MakeBuffer("buf", MemScope::kShared, {16});
+  p.out = MakeBuffer("out", MemScope::kGlobal, {8, 16});
+  p.ko = MakeVar("ko");
+  Stmt load = Copy(Region(p.buf, {Int(0)}, {16}),
+                   Region(p.src, {p.ko, Int(0)}, {1, 16}));
+  Stmt use = Copy(Region(p.out, {p.ko, Int(0)}, {1, 16}),
+                  Region(p.buf, {Int(0)}, {16}));
+  Stmt loop = For(p.ko, 8, ForKind::kSerial,
+                  Block({load, Barrier(), use, Barrier()}));
+  p.stmt = Pragma(kPipelinePragma, p.buf, stages, Block({Alloc(p.buf), loop}));
+  return p;
+}
+
+// Statement-count helpers.
+int CountSyncs(const Stmt& s, SyncKind kind) {
+  int count = 0;
+  WalkWithLoops(s, [&](const Stmt& stmt, const std::vector<const ForNode*>&) {
+    if (stmt->kind == StmtKind::kSync &&
+        static_cast<const SyncNode*>(stmt.get())->sync_kind == kind) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+int CountAsyncCopies(const Stmt& s) {
+  int count = 0;
+  WalkWithLoops(s, [&](const Stmt& stmt, const std::vector<const ForNode*>&) {
+    if (stmt->kind == StmtKind::kCopy &&
+        static_cast<const CopyNode*>(stmt.get())->is_async) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+TEST(TransformTest, NoHintsReturnsProgramUnchanged) {
+  SingleLevelProgram p = MakeSingleLevel(3);
+  // Strip the pragma: no hints anywhere.
+  const auto* pragma = static_cast<const PragmaNode*>(p.stmt.get());
+  pipeline::TransformResult result =
+      pipeline::ApplyPipelineTransform(pragma->body);
+  EXPECT_EQ(result.stmt.get(), pragma->body.get());
+  EXPECT_TRUE(result.groups.empty());
+}
+
+TEST(TransformTest, SingleLevelStructure) {
+  SingleLevelProgram p = MakeSingleLevel(3);
+  pipeline::TransformResult result = pipeline::ApplyPipelineTransform(p.stmt);
+
+  ASSERT_EQ(result.groups.size(), 1u);
+  const pipeline::PipelineGroupInfo& g = result.groups[0];
+  EXPECT_EQ(g.stages, 3);
+  EXPECT_EQ(g.mode, pipeline::PipelineMode::kTop);
+  EXPECT_EQ(g.loop_var, "ko");
+  EXPECT_EQ(g.loop_extent, 8);
+  EXPECT_EQ(g.wait_ahead, 0);
+  ASSERT_EQ(g.buffer_names.size(), 1u);
+  EXPECT_EQ(g.buffer_names[0], "buf");
+
+  // Buffer expanded by the stage count.
+  std::vector<Buffer> buffers = CollectAllocatedBuffers(result.stmt);
+  ASSERT_EQ(buffers.size(), 1u);
+  EXPECT_EQ(buffers[0]->shape, (std::vector<int64_t>{3, 16}));
+
+  // Prologue: stages-1 copies before the loop; loop has one load per
+  // iteration: stages-1 + 1 async copies statically.
+  EXPECT_EQ(CountAsyncCopies(result.stmt), 3);
+  // Sync primitives: acquire/commit per prologue chunk and per loop, one
+  // wait and one release in the loop.
+  EXPECT_EQ(CountSyncs(result.stmt, SyncKind::kProducerAcquire), 3);
+  EXPECT_EQ(CountSyncs(result.stmt, SyncKind::kProducerCommit), 3);
+  EXPECT_EQ(CountSyncs(result.stmt, SyncKind::kConsumerWait), 1);
+  EXPECT_EQ(CountSyncs(result.stmt, SyncKind::kConsumerRelease), 1);
+  // Barriers guarding the buffer are subsumed by the pipeline primitives.
+  EXPECT_EQ(CountSyncs(result.stmt, SyncKind::kBarrier), 0);
+
+  // The printed loop body contains the shifted, wrapped indices of Fig. 7.
+  std::string text = ToString(result.stmt);
+  EXPECT_NE(text.find("(ko + 2) % 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("(ko + 2) % 8"), std::string::npos) << text;
+  EXPECT_NE(text.find("ko % 3"), std::string::npos) << text;
+}
+
+TEST(TransformTest, SingleLevelIsFunctionallyCorrect) {
+  for (int64_t stages : {2, 3, 4, 8}) {
+    SingleLevelProgram p = MakeSingleLevel(stages);
+    pipeline::TransformResult result =
+        pipeline::ApplyPipelineTransform(p.stmt);
+    std::vector<float> src(8 * 16);
+    for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<float>(i);
+    sim::Executor exec;
+    exec.Bind(p.src, src);
+    exec.Run(result.stmt);
+    EXPECT_EQ(exec.Data(p.out), src) << "stages=" << stages;
+  }
+}
+
+TEST(TransformTest, TwoBuffersSameLoopShareOneGroup) {
+  Buffer src_a = MakeBuffer("srcA", MemScope::kGlobal, {8, 16});
+  Buffer src_b = MakeBuffer("srcB", MemScope::kGlobal, {8, 16});
+  Buffer buf_a = MakeBuffer("bufA", MemScope::kShared, {16});
+  Buffer buf_b = MakeBuffer("bufB", MemScope::kShared, {16});
+  Buffer out = MakeBuffer("out", MemScope::kGlobal, {8, 16});
+  Var ko = MakeVar("ko");
+  Stmt loop = For(
+      ko, 8, ForKind::kSerial,
+      Block({Copy(Region(buf_a, {Int(0)}, {16}),
+                  Region(src_a, {ko, Int(0)}, {1, 16})),
+             Copy(Region(buf_b, {Int(0)}, {16}),
+                  Region(src_b, {ko, Int(0)}, {1, 16})),
+             Barrier(),
+             Copy(Region(out, {ko, Int(0)}, {1, 16}),
+                  Region(buf_a, {Int(0)}, {16})),
+             Copy(Region(out, {ko, Int(0)}, {1, 16}),
+                  Region(buf_b, {Int(0)}, {16})),
+             Barrier()}));
+  Stmt prog = Pragma(kPipelinePragma, buf_a, 2,
+                     Pragma(kPipelinePragma, buf_b, 2,
+                            Block({Alloc(buf_a), Alloc(buf_b), loop})));
+  pipeline::TransformResult result = pipeline::ApplyPipelineTransform(prog);
+  ASSERT_EQ(result.groups.size(), 1u);
+  EXPECT_EQ(result.groups[0].buffer_names.size(), 2u);
+  // One acquire/commit pair per prologue chunk and per iteration, shared
+  // by both buffers.
+  EXPECT_EQ(CountSyncs(result.stmt, SyncKind::kProducerCommit), 2);
+}
+
+TEST(TransformTest, StagesExceedingLoopExtentThrows) {
+  SingleLevelProgram p = MakeSingleLevel(9);  // extent is 8
+  EXPECT_THROW(pipeline::ApplyPipelineTransform(p.stmt), CheckError);
+}
+
+TEST(TransformTest, BufferWithoutProducerThrows) {
+  Buffer buf = MakeBuffer("buf", MemScope::kShared, {16});
+  Buffer out = MakeBuffer("out", MemScope::kGlobal, {8, 16});
+  Var ko = MakeVar("ko");
+  Stmt loop = For(ko, 8, ForKind::kSerial,
+                  Copy(Region(out, {ko, Int(0)}, {1, 16}),
+                       Region(buf, {Int(0)}, {16})));
+  Stmt prog = Pragma(kPipelinePragma, buf, 2, Block({Alloc(buf), loop}));
+  EXPECT_THROW(pipeline::ApplyPipelineTransform(prog), CheckError);
+}
+
+TEST(TransformTest, BufferWithoutSequentialLoopThrows) {
+  // The load sits in a warp-parallel loop only: rule 2 violation surfaces
+  // as a hard error at the IR level.
+  Buffer src = MakeBuffer("src", MemScope::kGlobal, {8, 16});
+  Buffer buf = MakeBuffer("buf", MemScope::kShared, {16});
+  Buffer out = MakeBuffer("out", MemScope::kGlobal, {8, 16});
+  Var w = MakeVar("w");
+  Stmt loop = For(w, 8, ForKind::kWarp,
+                  Block({Copy(Region(buf, {Int(0)}, {16}),
+                              Region(src, {w, Int(0)}, {1, 16})),
+                         Copy(Region(out, {w, Int(0)}, {1, 16}),
+                              Region(buf, {Int(0)}, {16}))}));
+  Stmt prog = Pragma(kPipelinePragma, buf, 2, Block({Alloc(buf), loop}));
+  EXPECT_THROW(pipeline::ApplyPipelineTransform(prog), CheckError);
+}
+
+TEST(TransformTest, ConsumerOutsideLoopThrows) {
+  Buffer src = MakeBuffer("src", MemScope::kGlobal, {8, 16});
+  Buffer buf = MakeBuffer("buf", MemScope::kShared, {16});
+  Buffer out = MakeBuffer("out", MemScope::kGlobal, {16});
+  Var ko = MakeVar("ko");
+  Stmt loop = For(ko, 8, ForKind::kSerial,
+                  Copy(Region(buf, {Int(0)}, {16}),
+                       Region(src, {ko, Int(0)}, {1, 16})));
+  Stmt use = Copy(Region(out, {Int(0)}, {16}), Region(buf, {Int(0)}, {16}));
+  Stmt prog =
+      Pragma(kPipelinePragma, buf, 2, Block({Alloc(buf), loop, use}));
+  EXPECT_THROW(pipeline::ApplyPipelineTransform(prog), CheckError);
+}
+
+TEST(TransformTest, MismatchedStageCountsInOneLoopThrow) {
+  // Two shared buffers in one loop with different stage counts: the
+  // scope-based synchronization cannot serve both (rule 3 safety net).
+  Buffer src_a = MakeBuffer("srcA", MemScope::kGlobal, {8, 16});
+  Buffer src_b = MakeBuffer("srcB", MemScope::kGlobal, {8, 16});
+  Buffer buf_a = MakeBuffer("bufA", MemScope::kShared, {16});
+  Buffer buf_b = MakeBuffer("bufB", MemScope::kShared, {16});
+  Buffer out = MakeBuffer("out", MemScope::kGlobal, {8, 16});
+  Var ko = MakeVar("ko");
+  Stmt loop = For(
+      ko, 8, ForKind::kSerial,
+      Block({Copy(Region(buf_a, {Int(0)}, {16}),
+                  Region(src_a, {ko, Int(0)}, {1, 16})),
+             Copy(Region(buf_b, {Int(0)}, {16}),
+                  Region(src_b, {ko, Int(0)}, {1, 16})),
+             Copy(Region(out, {ko, Int(0)}, {1, 16}),
+                  Region(buf_a, {Int(0)}, {16})),
+             Copy(Region(out, {ko, Int(0)}, {1, 16}),
+                  Region(buf_b, {Int(0)}, {16}))}));
+  Stmt prog = Pragma(kPipelinePragma, buf_a, 2,
+                     Pragma(kPipelinePragma, buf_b, 3,
+                            Block({Alloc(buf_a), Alloc(buf_b), loop})));
+  EXPECT_THROW(pipeline::ApplyPipelineTransform(prog), CheckError);
+}
+
+TEST(TransformTest, PipelineLoopSkipsIndexingVariables) {
+  // The pipeline loop search must skip a serial loop whose variable
+  // indexes the buffer (that loop iterates *within* the buffer) and pick
+  // the next one out.
+  Buffer src = MakeBuffer("src", MemScope::kGlobal, {8, 4, 16});
+  Buffer buf = MakeBuffer("buf", MemScope::kShared, {4, 16});
+  Buffer out = MakeBuffer("out", MemScope::kGlobal, {8, 4, 16});
+  Var ko = MakeVar("ko");
+  Var t = MakeVar("t");
+  Var t2 = MakeVar("t2");
+  Stmt load = For(t, 4, ForKind::kSerial,
+                  Copy(Region(buf, {t, Int(0)}, {1, 16}),
+                       Region(src, {ko, t, Int(0)}, {1, 1, 16})));
+  Stmt use = For(t2, 4, ForKind::kSerial,
+                 Copy(Region(out, {ko, t2, Int(0)}, {1, 1, 16}),
+                      Region(buf, {t2, Int(0)}, {1, 16})));
+  Stmt loop = For(ko, 8, ForKind::kSerial, Block({load, use}));
+  Stmt prog = Pragma(kPipelinePragma, buf, 2, Block({Alloc(buf), loop}));
+
+  // The load is nested one loop deeper than the loop body top level, which
+  // the restructuring step does not support: the pass must identify ko as
+  // the pipeline loop and then fail loudly rather than mis-transform.
+  try {
+    pipeline::TransformResult result = pipeline::ApplyPipelineTransform(prog);
+    // If supported, the group must be on ko, not t.
+    ASSERT_EQ(result.groups.size(), 1u);
+    EXPECT_EQ(result.groups[0].loop_var, "ko");
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("top level"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TransformTest, TransformedProgramsAreDeterministic) {
+  SingleLevelProgram p1 = MakeSingleLevel(3);
+  pipeline::TransformResult r1 = pipeline::ApplyPipelineTransform(p1.stmt);
+  pipeline::TransformResult r2 = pipeline::ApplyPipelineTransform(p1.stmt);
+  EXPECT_EQ(ToString(r1.stmt), ToString(r2.stmt));
+}
+
+}  // namespace
+}  // namespace alcop

@@ -1,0 +1,286 @@
+// Tests of the tuning stack: space enumeration, feature extraction, the
+// gradient-boosted-tree model, the simulated-annealing proposer, and the
+// four search strategies' relative quality (Table II / Fig. 13 behavior).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "schedule/tensor.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "target/gpu_spec.h"
+#include "tuner/anneal.h"
+#include "tuner/feature.h"
+#include "tuner/gbt.h"
+#include "tuner/space.h"
+#include "tuner/strategy.h"
+
+namespace alcop {
+namespace {
+
+using schedule::GemmOp;
+using schedule::MakeMatmul;
+using schedule::ScheduleConfig;
+
+// ---- Space ----
+
+TEST(SpaceTest, AllEnumeratedConfigsAreValid) {
+  GemmOp op = MakeMatmul("mm", 512, 512, 512);
+  std::vector<ScheduleConfig> space = tuner::EnumerateSpace(op);
+  ASSERT_FALSE(space.empty());
+  for (const ScheduleConfig& config : space) {
+    EXPECT_TRUE(schedule::ValidateConfig(op, config)) << config.ToString();
+  }
+}
+
+TEST(SpaceTest, RespectsShapeDivisibility) {
+  // N = 64 rules out tb_n in {128, 256}.
+  GemmOp op = MakeMatmul("mm", 1024, 64, 2048);
+  for (const ScheduleConfig& config : tuner::EnumerateSpace(op)) {
+    EXPECT_LE(config.tile.tb_n, 64);
+  }
+}
+
+TEST(SpaceTest, VariantSpacesAreSubsets) {
+  GemmOp op = MakeMatmul("mm", 512, 512, 512);
+  size_t full = tuner::EnumerateSpace(op).size();
+  size_t tvm = tuner::EnumerateSpace(op, tuner::SpaceOptions::NoPipelining()).size();
+  size_t shared_only =
+      tuner::EnumerateSpace(op, tuner::SpaceOptions::SharedPipeliningOnly()).size();
+  EXPECT_LT(tvm, shared_only);
+  EXPECT_LT(shared_only, full);
+}
+
+TEST(SpaceTest, DeterministicOrder) {
+  GemmOp op = MakeMatmul("mm", 512, 512, 512);
+  std::vector<ScheduleConfig> a = tuner::EnumerateSpace(op);
+  std::vector<ScheduleConfig> b = tuner::EnumerateSpace(op);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
+}
+
+// ---- Features ----
+
+TEST(FeatureTest, FixedLengthAndFinite) {
+  GemmOp op = MakeMatmul("mm", 512, 512, 512);
+  target::GpuSpec spec = target::AmpereSpec();
+  for (const ScheduleConfig& config : tuner::EnumerateSpace(op)) {
+    std::vector<double> f = tuner::ExtractFeatures(op, config, spec);
+    ASSERT_EQ(static_cast<int>(f.size()), tuner::kNumFeatures);
+    for (double v : f) EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(static_cast<int>(tuner::FeatureNames().size()),
+            tuner::kNumFeatures);
+}
+
+TEST(FeatureTest, DistinguishesStageCounts) {
+  GemmOp op = MakeMatmul("mm", 512, 512, 512);
+  target::GpuSpec spec = target::AmpereSpec();
+  ScheduleConfig a, b;
+  a.smem_stages = 1;
+  b.smem_stages = 4;
+  EXPECT_NE(tuner::ExtractFeatures(op, a, spec),
+            tuner::ExtractFeatures(op, b, spec));
+}
+
+// ---- GBT ----
+
+TEST(GbtTest, FitsSimpleFunction) {
+  // y = 3*x0 - 2*x1 on a grid; the ensemble should reach low error.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      x.push_back({static_cast<double>(i), static_cast<double>(j)});
+      y.push_back(3.0 * i - 2.0 * j);
+    }
+  }
+  tuner::GbtModel model;
+  model.Fit(x, y);
+  double max_err = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    max_err = std::max(max_err, std::abs(model.Predict(x[i]) - y[i]));
+  }
+  EXPECT_LT(max_err, 6.0);  // range of y is 95
+}
+
+TEST(GbtTest, FitsNonlinearInteraction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.Uniform(0, 4), b = rng.Uniform(0, 4);
+    x.push_back({a, b});
+    y.push_back((a > 2 && b > 2) ? 10.0 : 0.0);
+  }
+  tuner::GbtModel model;
+  model.Fit(x, y);
+  EXPECT_GT(model.Predict({3.5, 3.5}), 7.0);
+  EXPECT_LT(model.Predict({0.5, 0.5}), 3.0);
+}
+
+TEST(GbtTest, WeightsBiasTheFit) {
+  // Two clusters with conflicting labels; heavy weights must win.
+  std::vector<std::vector<double>> x = {{0.0}, {0.0}, {1.0}, {1.0}};
+  std::vector<double> y = {0.0, 10.0, 0.0, 10.0};
+  tuner::GbtModel model;
+  model.Fit(x, y, {100.0, 1.0, 1.0, 100.0});
+  EXPECT_LT(model.Predict({0.0}), 3.0);
+  EXPECT_GT(model.Predict({1.0}), 7.0);
+}
+
+TEST(GbtTest, PredictBeforeFitThrows) {
+  tuner::GbtModel model;
+  EXPECT_FALSE(model.IsFitted());
+  EXPECT_THROW(model.Predict({1.0}), CheckError);
+}
+
+TEST(GbtTest, EmptyFitThrows) {
+  tuner::GbtModel model;
+  EXPECT_THROW(model.Fit({}, {}), CheckError);
+}
+
+// ---- Annealing ----
+
+TEST(AnnealTest, NeighborRelationIsSingleKnob) {
+  ScheduleConfig a;
+  ScheduleConfig b = a;
+  EXPECT_FALSE(tuner::AreNeighbors(a, b));  // identical
+  b.smem_stages = 3;
+  EXPECT_TRUE(tuner::AreNeighbors(a, b));
+  b.reg_stages = 2;
+  EXPECT_FALSE(tuner::AreNeighbors(a, b));  // two knobs differ
+}
+
+TEST(AnnealTest, FindsHighScoringConfigs) {
+  GemmOp op = MakeMatmul("mm", 512, 512, 512);
+  std::vector<ScheduleConfig> space = tuner::EnumerateSpace(op);
+  // Score favors deep pipelines on big tiles.
+  auto score = [&space](size_t i) {
+    return static_cast<double>(space[i].smem_stages * space[i].tile.tb_m);
+  };
+  Rng rng(1);
+  std::vector<size_t> batch = tuner::ProposeBatch(space, score, {}, 5, rng);
+  ASSERT_EQ(batch.size(), 5u);
+  double best_possible = 0.0;
+  for (size_t i = 0; i < space.size(); ++i) {
+    best_possible = std::max(best_possible, score(i));
+  }
+  EXPECT_GE(score(batch[0]), 0.9 * best_possible);
+}
+
+TEST(AnnealTest, ExcludesMeasuredConfigs) {
+  GemmOp op = MakeMatmul("mm", 256, 256, 256);
+  std::vector<ScheduleConfig> space = tuner::EnumerateSpace(op);
+  std::unordered_set<size_t> exclude;
+  for (size_t i = 0; i < space.size() / 2; ++i) exclude.insert(i);
+  auto score = [](size_t) { return 1.0; };
+  Rng rng(2);
+  std::vector<size_t> batch =
+      tuner::ProposeBatch(space, score, exclude, 10, rng);
+  for (size_t index : batch) {
+    EXPECT_EQ(exclude.count(index), 0u);
+  }
+  // No duplicates.
+  std::set<size_t> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), batch.size());
+}
+
+// ---- Strategies ----
+
+// A synthetic task with a known measurement function, so strategy tests do
+// not depend on simulator runtime.
+tuner::TuningTask SyntheticTask() {
+  tuner::TuningTask task;
+  task.op = MakeMatmul("mm", 1024, 256, 2048);
+  task.spec = target::AmpereSpec();
+  task.space = tuner::EnumerateSpace(task.op);
+  task.measure = [&task](const ScheduleConfig& config) {
+    // A smooth landscape with a known optimum at deep pipelines, large-ish
+    // tiles; analytical-model-like shape.
+    double cycles = 1e6;
+    cycles /= static_cast<double>(config.tile.tb_m) / 64.0;
+    cycles /= static_cast<double>(config.tile.tb_n) / 64.0;
+    cycles *= 1.0 + 0.5 / config.smem_stages;
+    cycles *= 1.0 + 0.2 / config.reg_stages;
+    return cycles;
+  };
+  return task;
+}
+
+TEST(StrategyTest, ExhaustiveFindsTheTrueOptimum) {
+  tuner::TuningTask task = SyntheticTask();
+  tuner::TuningResult result = tuner::ExhaustiveSearch(task);
+  ASSERT_EQ(result.trials.size(), task.space.size());
+  double best = result.BestInFirstK(result.trials.size());
+  for (const ScheduleConfig& config : task.space) {
+    EXPECT_GE(task.measure(config), best);
+  }
+}
+
+TEST(StrategyTest, BestInFirstKIsMonotone) {
+  tuner::TuningTask task = SyntheticTask();
+  tuner::TuningResult result = tuner::GridSearch(task, 50);
+  for (size_t k = 2; k <= 50; ++k) {
+    EXPECT_LE(result.BestInFirstK(k), result.BestInFirstK(k - 1));
+  }
+}
+
+TEST(StrategyTest, XgbTunerMeasuresDistinctConfigs) {
+  tuner::TuningTask task = SyntheticTask();
+  tuner::TuningResult result = tuner::XgbTuner(task, 40, {});
+  std::set<size_t> unique(result.trials.begin(), result.trials.end());
+  EXPECT_EQ(unique.size(), result.trials.size());
+  EXPECT_EQ(result.trials.size(), 40u);
+}
+
+TEST(StrategyTest, XgbBeatsGridAtSmallBudgets) {
+  tuner::TuningTask task = SyntheticTask();
+  double exhaustive_best =
+      tuner::ExhaustiveSearch(task).BestInFirstK(task.space.size());
+  double grid = tuner::GridSearch(task, 40).BestInFirstK(40);
+  // Average XGB over seeds to keep the test robust.
+  double xgb_sum = 0.0;
+  for (uint64_t seed : {1, 2, 3}) {
+    tuner::XgbOptions options;
+    options.seed = seed;
+    xgb_sum += tuner::XgbTuner(task, 40, options).BestInFirstK(40);
+  }
+  double xgb = xgb_sum / 3.0;
+  EXPECT_LT(xgb, grid);
+  EXPECT_LE(exhaustive_best, xgb);
+}
+
+TEST(StrategyTest, PretrainingHelpsEarlyTrials) {
+  // Fig. 13's core claim: Analytical+XGB finds good schedules with very
+  // few trials because the first batch is already model-guided. Use the
+  // real simulator on a small space so the analytical prior is meaningful.
+  GemmOp op = MakeMatmul("mm", 1024, 64, 2048);
+  tuner::SpaceOptions options;
+  options.tb_m = {64, 128};
+  options.tb_n = {32, 64};
+  options.tb_k = {32, 64};
+  options.warp_splits = {{2, 1}, {2, 2}};
+  tuner::TuningTask task =
+      tuner::MakeSimulatorTask(op, target::AmpereSpec(), options);
+  ASSERT_GE(task.space.size(), 20u);
+
+  double plain_sum = 0.0, pretrained_sum = 0.0;
+  for (uint64_t seed : {1, 2, 3, 4}) {
+    tuner::XgbOptions plain;
+    plain.seed = seed;
+    tuner::XgbOptions pretrained;
+    pretrained.seed = seed;
+    pretrained.pretrain_with_analytical = true;
+    plain_sum += tuner::XgbTuner(task, 8, plain).BestInFirstK(8);
+    pretrained_sum += tuner::XgbTuner(task, 8, pretrained).BestInFirstK(8);
+  }
+  EXPECT_LE(pretrained_sum, plain_sum);
+}
+
+}  // namespace
+}  // namespace alcop

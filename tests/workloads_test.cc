@@ -1,0 +1,119 @@
+// Tests of the workload definitions and baselines: the Fig. 10 operator
+// suite, the Table III model graphs, and the library/XLA kernel pickers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/check.h"
+#include "target/gpu_spec.h"
+#include "tuner/space.h"
+#include "tuner/strategy.h"
+#include "workloads/library.h"
+#include "workloads/models.h"
+#include "workloads/ops.h"
+#include "workloads/xla.h"
+
+namespace alcop {
+namespace {
+
+TEST(OpsTest, SuiteHasTwelveOpsOfFourFamilies) {
+  const auto& ops = workloads::BenchmarkOps();
+  EXPECT_EQ(ops.size(), 12u);
+  std::set<schedule::OpFamily> families;
+  std::set<std::string> names;
+  for (const schedule::GemmOp& op : ops) {
+    families.insert(op.family);
+    names.insert(op.name);
+    EXPECT_GT(op.Flops(), 0);
+  }
+  EXPECT_EQ(families.size(), 4u) << "MatMul, BMM, Conv1x1, Conv3x3";
+  EXPECT_EQ(names.size(), ops.size()) << "names must be unique";
+}
+
+TEST(OpsTest, EveryOpHasANonEmptySchedulingSpace) {
+  for (const schedule::GemmOp& op : workloads::BenchmarkOps()) {
+    EXPECT_FALSE(tuner::EnumerateSpace(op).empty()) << op.name;
+    EXPECT_FALSE(
+        tuner::EnumerateSpace(op, tuner::SpaceOptions::NoPipelining()).empty())
+        << op.name;
+  }
+}
+
+TEST(OpsTest, FindOpByName) {
+  EXPECT_EQ(workloads::FindOp("MM_RN50_FC").k, 2048);
+  EXPECT_THROW(workloads::FindOp("nope"), CheckError);
+}
+
+TEST(OpsTest, ConvShapesArePadded) {
+  // 8 x 28 x 28 = 6272 output positions pad to 6400; K = 128*9 = 1152.
+  const schedule::GemmOp& conv = workloads::FindOp("Conv_RN50_3x3");
+  EXPECT_EQ(conv.m % 256, 0);
+  EXPECT_EQ(conv.k % 16, 0);
+}
+
+TEST(ModelsTest, SixModelsWithPositiveWork) {
+  const auto& models = workloads::Models();
+  EXPECT_EQ(models.size(), 6u);
+  for (const workloads::ModelGraph& model : models) {
+    EXPECT_FALSE(model.ops.empty()) << model.name;
+    EXPECT_GT(model.ewise_bytes_fused, 0.0) << model.name;
+    EXPECT_GT(model.ewise_bytes_unfused, model.ewise_bytes_fused)
+        << model.name << ": XLA-style fusion must cost more traffic";
+    EXPECT_GT(model.launches_unfused, model.launches_fused) << model.name;
+  }
+}
+
+TEST(ModelsTest, EveryModelOpIsSchedulable) {
+  for (const workloads::ModelGraph& model : workloads::Models()) {
+    for (const workloads::LayerOp& layer : model.ops) {
+      EXPECT_FALSE(tuner::EnumerateSpace(layer.op).empty())
+          << model.name << " / " << layer.op.name;
+    }
+  }
+}
+
+TEST(ModelsTest, EndToEndComposition) {
+  target::GpuSpec spec = target::AmpereSpec();
+  const workloads::ModelGraph& model = workloads::FindModel("BERT");
+  // A constant 100-cycle kernel isolates the composition arithmetic.
+  auto constant = [](const schedule::GemmOp&) { return 100.0; };
+  double fused = workloads::EndToEndCycles(model, constant, true, spec);
+  double unfused = workloads::EndToEndCycles(model, constant, false, spec);
+  int total_ops = 0;
+  for (const workloads::LayerOp& layer : model.ops) total_ops += layer.count;
+  double gemm_part = 100.0 * total_ops;
+  EXPECT_GT(fused, gemm_part);
+  EXPECT_GT(unfused, fused) << "conservative fusion must cost more";
+}
+
+TEST(LibraryTest, MenuCoversTheWholeSuite) {
+  target::GpuSpec spec = target::AmpereSpec();
+  for (const schedule::GemmOp& op : workloads::BenchmarkOps()) {
+    double cycles = workloads::LibraryKernelCycles(op, spec);
+    EXPECT_TRUE(std::isfinite(cycles)) << op.name;
+    EXPECT_GT(cycles, 0.0);
+  }
+}
+
+TEST(LibraryTest, HandTuningEdgeReducesOverheads) {
+  target::GpuSpec spec = target::AmpereSpec();
+  target::GpuSpec tuned = workloads::LibrarySpec(spec);
+  EXPECT_LT(tuned.sync_overhead_cycles, spec.sync_overhead_cycles);
+  EXPECT_LT(tuned.launch_overhead_cycles, spec.launch_overhead_cycles);
+}
+
+TEST(XlaTest, KernelsAreValidButSlowerThanTunedAlcop) {
+  target::GpuSpec spec = target::AmpereSpec();
+  const schedule::GemmOp& op = workloads::FindOp("MM_BERT_FC2");
+  double xla = workloads::XlaKernelCycles(op, spec);
+  ASSERT_TRUE(std::isfinite(xla));
+  // ALCOP's exhaustive best must beat the fixed XLA menu on this
+  // pipelining-friendly shape.
+  tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
+  tuner::TuningResult result = tuner::ExhaustiveSearch(task);
+  EXPECT_LT(result.BestInFirstK(result.trials.size()), xla);
+}
+
+}  // namespace
+}  // namespace alcop
