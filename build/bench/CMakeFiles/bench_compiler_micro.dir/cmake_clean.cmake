@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compiler_micro.dir/bench_compiler_micro.cc.o"
+  "CMakeFiles/bench_compiler_micro.dir/bench_compiler_micro.cc.o.d"
+  "bench_compiler_micro"
+  "bench_compiler_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compiler_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

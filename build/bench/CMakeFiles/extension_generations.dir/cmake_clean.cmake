@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_generations.dir/extension_generations.cc.o"
+  "CMakeFiles/extension_generations.dir/extension_generations.cc.o.d"
+  "extension_generations"
+  "extension_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_single_op.dir/fig10_single_op.cc.o"
+  "CMakeFiles/fig10_single_op.dir/fig10_single_op.cc.o.d"
+  "fig10_single_op"
+  "fig10_single_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_single_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vs_library.dir/fig11_vs_library.cc.o"
+  "CMakeFiles/fig11_vs_library.dir/fig11_vs_library.cc.o.d"
+  "fig11_vs_library"
+  "fig11_vs_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vs_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tuning.dir/fig13_tuning.cc.o"
+  "CMakeFiles/fig13_tuning.dir/fig13_tuning.cc.o.d"
+  "fig13_tuning"
+  "fig13_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_end2end.dir/table3_end2end.cc.o"
+  "CMakeFiles/table3_end2end.dir/table3_end2end.cc.o.d"
+  "table3_end2end"
+  "table3_end2end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_end2end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

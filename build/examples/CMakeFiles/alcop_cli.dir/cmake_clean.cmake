@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alcop_cli.dir/alcop_cli.cpp.o"
+  "CMakeFiles/alcop_cli.dir/alcop_cli.cpp.o.d"
+  "alcop_cli"
+  "alcop_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alcop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

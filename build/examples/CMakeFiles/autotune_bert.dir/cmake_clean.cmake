@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_bert.dir/autotune_bert.cpp.o"
+  "CMakeFiles/autotune_bert.dir/autotune_bert.cpp.o.d"
+  "autotune_bert"
+  "autotune_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_inference.dir/model_inference.cpp.o"
+  "CMakeFiles/model_inference.dir/model_inference.cpp.o.d"
+  "model_inference"
+  "model_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis.cc" "src/CMakeFiles/alcop.dir/ir/analysis.cc.o" "gcc" "src/CMakeFiles/alcop.dir/ir/analysis.cc.o.d"
+  "/root/repo/src/ir/buffer.cc" "src/CMakeFiles/alcop.dir/ir/buffer.cc.o" "gcc" "src/CMakeFiles/alcop.dir/ir/buffer.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/CMakeFiles/alcop.dir/ir/expr.cc.o" "gcc" "src/CMakeFiles/alcop.dir/ir/expr.cc.o.d"
+  "/root/repo/src/ir/functor.cc" "src/CMakeFiles/alcop.dir/ir/functor.cc.o" "gcc" "src/CMakeFiles/alcop.dir/ir/functor.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/CMakeFiles/alcop.dir/ir/parser.cc.o" "gcc" "src/CMakeFiles/alcop.dir/ir/parser.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/alcop.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/alcop.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/simplify.cc" "src/CMakeFiles/alcop.dir/ir/simplify.cc.o" "gcc" "src/CMakeFiles/alcop.dir/ir/simplify.cc.o.d"
+  "/root/repo/src/ir/stmt.cc" "src/CMakeFiles/alcop.dir/ir/stmt.cc.o" "gcc" "src/CMakeFiles/alcop.dir/ir/stmt.cc.o.d"
+  "/root/repo/src/ir/structural_equal.cc" "src/CMakeFiles/alcop.dir/ir/structural_equal.cc.o" "gcc" "src/CMakeFiles/alcop.dir/ir/structural_equal.cc.o.d"
+  "/root/repo/src/perfmodel/analytical.cc" "src/CMakeFiles/alcop.dir/perfmodel/analytical.cc.o" "gcc" "src/CMakeFiles/alcop.dir/perfmodel/analytical.cc.o.d"
+  "/root/repo/src/perfmodel/bottleneck.cc" "src/CMakeFiles/alcop.dir/perfmodel/bottleneck.cc.o" "gcc" "src/CMakeFiles/alcop.dir/perfmodel/bottleneck.cc.o.d"
+  "/root/repo/src/pipeline/detect.cc" "src/CMakeFiles/alcop.dir/pipeline/detect.cc.o" "gcc" "src/CMakeFiles/alcop.dir/pipeline/detect.cc.o.d"
+  "/root/repo/src/pipeline/transform.cc" "src/CMakeFiles/alcop.dir/pipeline/transform.cc.o" "gcc" "src/CMakeFiles/alcop.dir/pipeline/transform.cc.o.d"
+  "/root/repo/src/schedule/lower.cc" "src/CMakeFiles/alcop.dir/schedule/lower.cc.o" "gcc" "src/CMakeFiles/alcop.dir/schedule/lower.cc.o.d"
+  "/root/repo/src/schedule/schedule.cc" "src/CMakeFiles/alcop.dir/schedule/schedule.cc.o" "gcc" "src/CMakeFiles/alcop.dir/schedule/schedule.cc.o.d"
+  "/root/repo/src/schedule/tensor.cc" "src/CMakeFiles/alcop.dir/schedule/tensor.cc.o" "gcc" "src/CMakeFiles/alcop.dir/schedule/tensor.cc.o.d"
+  "/root/repo/src/sim/desim.cc" "src/CMakeFiles/alcop.dir/sim/desim.cc.o" "gcc" "src/CMakeFiles/alcop.dir/sim/desim.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/CMakeFiles/alcop.dir/sim/executor.cc.o" "gcc" "src/CMakeFiles/alcop.dir/sim/executor.cc.o.d"
+  "/root/repo/src/sim/launch.cc" "src/CMakeFiles/alcop.dir/sim/launch.cc.o" "gcc" "src/CMakeFiles/alcop.dir/sim/launch.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/alcop.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/alcop.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/CMakeFiles/alcop.dir/sim/timeline.cc.o" "gcc" "src/CMakeFiles/alcop.dir/sim/timeline.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/alcop.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/alcop.dir/sim/trace.cc.o.d"
+  "/root/repo/src/sim/traffic_report.cc" "src/CMakeFiles/alcop.dir/sim/traffic_report.cc.o" "gcc" "src/CMakeFiles/alcop.dir/sim/traffic_report.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/alcop.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/alcop.dir/support/rng.cc.o.d"
+  "/root/repo/src/tuner/anneal.cc" "src/CMakeFiles/alcop.dir/tuner/anneal.cc.o" "gcc" "src/CMakeFiles/alcop.dir/tuner/anneal.cc.o.d"
+  "/root/repo/src/tuner/feature.cc" "src/CMakeFiles/alcop.dir/tuner/feature.cc.o" "gcc" "src/CMakeFiles/alcop.dir/tuner/feature.cc.o.d"
+  "/root/repo/src/tuner/gbt.cc" "src/CMakeFiles/alcop.dir/tuner/gbt.cc.o" "gcc" "src/CMakeFiles/alcop.dir/tuner/gbt.cc.o.d"
+  "/root/repo/src/tuner/records.cc" "src/CMakeFiles/alcop.dir/tuner/records.cc.o" "gcc" "src/CMakeFiles/alcop.dir/tuner/records.cc.o.d"
+  "/root/repo/src/tuner/space.cc" "src/CMakeFiles/alcop.dir/tuner/space.cc.o" "gcc" "src/CMakeFiles/alcop.dir/tuner/space.cc.o.d"
+  "/root/repo/src/tuner/strategy.cc" "src/CMakeFiles/alcop.dir/tuner/strategy.cc.o" "gcc" "src/CMakeFiles/alcop.dir/tuner/strategy.cc.o.d"
+  "/root/repo/src/workloads/conv_ref.cc" "src/CMakeFiles/alcop.dir/workloads/conv_ref.cc.o" "gcc" "src/CMakeFiles/alcop.dir/workloads/conv_ref.cc.o.d"
+  "/root/repo/src/workloads/library.cc" "src/CMakeFiles/alcop.dir/workloads/library.cc.o" "gcc" "src/CMakeFiles/alcop.dir/workloads/library.cc.o.d"
+  "/root/repo/src/workloads/models.cc" "src/CMakeFiles/alcop.dir/workloads/models.cc.o" "gcc" "src/CMakeFiles/alcop.dir/workloads/models.cc.o.d"
+  "/root/repo/src/workloads/ops.cc" "src/CMakeFiles/alcop.dir/workloads/ops.cc.o" "gcc" "src/CMakeFiles/alcop.dir/workloads/ops.cc.o.d"
+  "/root/repo/src/workloads/xla.cc" "src/CMakeFiles/alcop.dir/workloads/xla.cc.o" "gcc" "src/CMakeFiles/alcop.dir/workloads/xla.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/alcop_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/conv_ref_test.cc" "tests/CMakeFiles/alcop_tests.dir/conv_ref_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/conv_ref_test.cc.o.d"
+  "/root/repo/tests/desim_test.cc" "tests/CMakeFiles/alcop_tests.dir/desim_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/desim_test.cc.o.d"
+  "/root/repo/tests/detect_test.cc" "tests/CMakeFiles/alcop_tests.dir/detect_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/detect_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/alcop_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/alcop_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/golden_ir_test.cc" "tests/CMakeFiles/alcop_tests.dir/golden_ir_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/golden_ir_test.cc.o.d"
+  "/root/repo/tests/ir_expr_test.cc" "tests/CMakeFiles/alcop_tests.dir/ir_expr_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/ir_expr_test.cc.o.d"
+  "/root/repo/tests/ir_stmt_test.cc" "tests/CMakeFiles/alcop_tests.dir/ir_stmt_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/ir_stmt_test.cc.o.d"
+  "/root/repo/tests/lower_test.cc" "tests/CMakeFiles/alcop_tests.dir/lower_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/lower_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/alcop_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/perfmodel_test.cc" "tests/CMakeFiles/alcop_tests.dir/perfmodel_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/perfmodel_test.cc.o.d"
+  "/root/repo/tests/pipeline_correctness_test.cc" "tests/CMakeFiles/alcop_tests.dir/pipeline_correctness_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/pipeline_correctness_test.cc.o.d"
+  "/root/repo/tests/records_test.cc" "tests/CMakeFiles/alcop_tests.dir/records_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/records_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/alcop_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/alcop_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/support_test.cc.o.d"
+  "/root/repo/tests/traffic_report_test.cc" "tests/CMakeFiles/alcop_tests.dir/traffic_report_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/traffic_report_test.cc.o.d"
+  "/root/repo/tests/transform_test.cc" "tests/CMakeFiles/alcop_tests.dir/transform_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/transform_test.cc.o.d"
+  "/root/repo/tests/tuner_test.cc" "tests/CMakeFiles/alcop_tests.dir/tuner_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/tuner_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/alcop_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/alcop_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alcop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
