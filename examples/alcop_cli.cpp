@@ -7,6 +7,9 @@
 //   alcop_cli models                   list the end-to-end model graphs
 //   alcop_cli parse    FILE            parse a textual IR file, validate by
 //                                      re-printing it (round-trip check)
+//   alcop_cli verify   FILE            statically verify the pipeline
+//                                      synchronization of a textual IR file
+//                                      (exit 1 on errors; see src/verify/)
 //
 // Shapes use the best schedule found by a 16-trial analytical ranking.
 #include <cstdio>
@@ -23,6 +26,7 @@
 #include "sim/traffic_report.h"
 #include "target/gpu_spec.h"
 #include "tuner/strategy.h"
+#include "verify/verifier.h"
 #include "workloads/models.h"
 #include "workloads/ops.h"
 
@@ -169,12 +173,44 @@ int CmdParse(int argc, char** argv) {
   }
 }
 
+int CmdVerify(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "expected a file path\n");
+    return 1;
+  }
+  std::ifstream file(argv[2]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  ir::Stmt program;
+  try {
+    program = ir::ParseStmt(content.str());
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  verify::VerifyResult result = verify::VerifyProgram(program);
+  if (result.Clean()) {
+    std::printf("%s: verified, no pipeline-synchronization issues\n", argv[2]);
+    return 0;
+  }
+  std::printf("%s", result.Render().c_str());
+  if (result.reached_step_limit) {
+    std::fprintf(stderr, "warning: step limit reached, verdict incomplete\n");
+  }
+  return result.HasErrors() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: alcop_cli compile|tune|timeline|ops|models|parse ...\n");
+                 "usage: alcop_cli "
+                 "compile|tune|timeline|ops|models|parse|verify ...\n");
     return 1;
   }
   const char* cmd = argv[1];
@@ -184,6 +220,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "ops") == 0) return CmdOps();
   if (std::strcmp(cmd, "models") == 0) return CmdModels();
   if (std::strcmp(cmd, "parse") == 0) return CmdParse(argc, argv);
+  if (std::strcmp(cmd, "verify") == 0) return CmdVerify(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", cmd);
   return 1;
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Formats (or with --check, only checks) all C++ sources with clang-format
+# using the repository's .clang-format. CI runs `scripts/format.sh --check`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+                   clang-format-17 clang-format-16 clang-format-15; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      CLANG_FORMAT="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  echo "format.sh: clang-format not found; skipping" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h' '*.cpp')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "format.sh: no sources found" >&2
+  exit 0
+fi
+
+if [[ "${1:-}" == "--check" ]]; then
+  "${CLANG_FORMAT}" --dry-run --Werror "${files[@]}"
+  echo "format.sh: ${#files[@]} files clean"
+else
+  "${CLANG_FORMAT}" -i "${files[@]}"
+  echo "format.sh: formatted ${#files[@]} files"
+fi

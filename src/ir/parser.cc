@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "support/check.h"
+#include "verify/diagnostic.h"
 
 namespace alcop {
 namespace ir {
@@ -25,6 +26,7 @@ struct Token {
   std::string text;
   int64_t value = 0;
   size_t line = 0;
+  size_t column = 0;  // 1-based column of the token's first character
 };
 
 class Lexer {
@@ -47,11 +49,15 @@ class Lexer {
   void Advance() {
     while (pos_ < text_.size() &&
            (std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)) {
-      if (text_[pos_] == '\n') ++line_;
+      if (text_[pos_] == '\n') {
+        ++line_;
+        line_start_ = pos_ + 1;
+      }
       ++pos_;
     }
     current_ = Token{};
     current_.line = line_;
+    current_.column = pos_ - line_start_ + 1;
     if (pos_ >= text_.size()) {
       current_.kind = TokKind::kEnd;
       return;
@@ -109,6 +115,7 @@ class Lexer {
   const std::string& text_;
   size_t pos_ = 0;
   size_t line_ = 1;
+  size_t line_start_ = 0;
   Token current_;
 };
 
@@ -128,7 +135,7 @@ class Parser {
     while (!lexer_.AtEnd() && lexer_.Peek().text != "}") {
       seq.push_back(ParseOne());
     }
-    ALCOP_CHECK(!seq.empty()) << "empty program";
+    if (seq.empty()) Fail("empty program");
     return FlatBlock(std::move(seq));
   }
 
@@ -138,9 +145,15 @@ class Parser {
 
  private:
   [[noreturn]] void Fail(const std::string& message) {
-    ALCOP_CHECK(false) << "parse error at line " << lexer_.Peek().line << ": "
-                       << message << " (near '" << lexer_.Peek().text << "')";
-    throw CheckError("unreachable");
+    std::ostringstream detail;
+    detail << "parse error at line " << lexer_.Peek().line << ":"
+           << lexer_.Peek().column << ": " << message << " (near '"
+           << lexer_.Peek().text << "')";
+    verify::Diagnostic diag;
+    diag.severity = verify::Severity::kError;
+    diag.code = "P001";
+    diag.message = detail.str();
+    throw CheckError(diag.Render());
   }
 
   Token Expect(TokKind kind, const std::string& what) {
@@ -185,17 +198,24 @@ class Parser {
   Stmt ParseOne() {
     const Token& tok = lexer_.Peek();
     if (tok.kind != TokKind::kIdent) Fail("expected a statement");
-    if (tok.text == "alloc") return ParseAlloc();
-    if (tok.text == "for") return ParseFor();
-    if (tok.text == "copy") return ParseCopy();
-    if (tok.text == "fill") return ParseFill();
-    if (tok.text == "mma") return ParseMma();
-    if (tok.text == "barrier") {
+    SourceSpan span{static_cast<int>(tok.line), static_cast<int>(tok.column)};
+    Stmt stmt = ParseOneDispatch(tok.text);
+    stmt->span = span;
+    return stmt;
+  }
+
+  Stmt ParseOneDispatch(const std::string& keyword) {
+    if (keyword == "alloc") return ParseAlloc();
+    if (keyword == "for") return ParseFor();
+    if (keyword == "copy") return ParseCopy();
+    if (keyword == "fill") return ParseFill();
+    if (keyword == "mma") return ParseMma();
+    if (keyword == "barrier") {
       lexer_.Next();
       return Barrier();
     }
-    if (tok.text == "pragma") return ParsePragma();
-    if (tok.text == "if") return ParseIf();
+    if (keyword == "pragma") return ParsePragma();
+    if (keyword == "if") return ParseIf();
     return ParseSync();  // NAME[/NAME].kind @groupN
   }
 

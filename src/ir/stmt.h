@@ -74,6 +74,17 @@ enum class EwiseOp {
 const char* EwiseOpName(EwiseOp op);
 double ApplyEwise(EwiseOp op, double param, double x);
 
+// Source location of a statement parsed from textual IR (1-based; 0 means
+// "not from text", e.g. IR built programmatically by the lowering).
+// Diagnostics (src/verify/diagnostic.h) carry spans so `alcop_cli verify`
+// can point at the offending line of a .tir file.
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+
+  bool IsKnown() const { return line > 0; }
+};
+
 class StmtNode;
 using Stmt = std::shared_ptr<const StmtNode>;
 
@@ -83,6 +94,11 @@ class StmtNode {
   virtual ~StmtNode() = default;
 
   StmtKind kind;
+
+  // Set by the parser right after construction; mutable because statements
+  // are shared as immutable nodes and the span is pure metadata (it takes
+  // no part in structural equality or printing).
+  mutable SourceSpan span;
 };
 
 // Sequential composition.

@@ -22,6 +22,14 @@ const DetectionEntry* DetectionResult::Find(const std::string& buffer) const {
   return nullptr;
 }
 
+verify::Diagnostic DetectionEntry::AsDiagnostic() const {
+  verify::Diagnostic diag;
+  diag.severity = verify::Severity::kNote;
+  diag.code = code.empty() ? "D000" : code;
+  diag.message = "buffer '" + buffer + "' not pipelinable: " + reason;
+  return diag;
+}
+
 DetectionResult DetectPipelineBuffers(const Schedule& schedule,
                                       const target::GpuSpec& spec) {
   DetectionResult result;
@@ -41,16 +49,19 @@ DetectionResult DetectPipelineBuffers(const Schedule& schedule,
     // cannot copy asynchronously, fails.
     if (source == nullptr) {
       entry.reason = "no producing copy";
+      entry.code = "D001";
     } else if (!spec.SupportsAsyncCopy(source->scope, stage.scope,
                                        stage.producer_op != ir::EwiseOp::kNone)) {
       entry.reason =
           stage.producer_op != ir::EwiseOp::kNone
               ? "producer is a compute op, not an asynchronous copy"
               : "target lacks asynchronous copy for this scope pair";
+      entry.code = "D002";
     } else if (!stage.in_sequential_loop) {
       // Rule 2: must live in a sequential load-and-use loop (stencil-style
       // fill-once buffers and parallel/unrolled loops fail here).
       entry.reason = "not produced inside a sequential load-and-use loop";
+      entry.code = "D003";
     } else {
       entry.eligible = true;
     }
@@ -84,6 +95,7 @@ DetectionResult DetectPipelineBuffers(const Schedule& schedule,
         entry.eligible = false;
         entry.reason =
             "synchronization position conflict within the shared-memory scope";
+        entry.code = "D004";
       }
     }
   }

@@ -23,6 +23,7 @@
 
 #include "schedule/schedule.h"
 #include "target/gpu_spec.h"
+#include "verify/diagnostic.h"
 
 namespace alcop {
 namespace pipeline {
@@ -33,6 +34,16 @@ struct DetectionEntry {
   // Human-readable refusal reason ("" when eligible); surfaced in tuning
   // logs and asserted on by the tests.
   std::string reason;
+  // Stable diagnostic code for the refused rule ("" when eligible):
+  //   D001 no producing copy            (rule 1)
+  //   D002 producer not asynchronous    (rule 1)
+  //   D003 no sequential load-use loop  (rule 2)
+  //   D004 sync-position conflict       (rule 3)
+  std::string code;
+
+  // The refusal as a Diagnostic (note severity: a refusal is a legality
+  // fact, not a defect). Only valid when !eligible.
+  verify::Diagnostic AsDiagnostic() const;
 };
 
 struct DetectionResult {

@@ -8,6 +8,7 @@
 #include "ir/functor.h"
 #include "ir/simplify.h"
 #include "support/check.h"
+#include "verify/verifier.h"
 
 namespace alcop {
 namespace pipeline {
@@ -488,6 +489,9 @@ TransformResult ApplyPipelineTransform(const Stmt& prog, bool inner_fusion) {
     info.wait_ahead = group.has_inner_prefetch ? 1 : 0;
     result.groups.push_back(std::move(info));
   }
+  // Self-check (CI runs with ALCOP_VERIFY=1): the transformed program must
+  // pass the static pipeline-synchronization verifier.
+  verify::VerifyOrThrowIfEnabled(result.stmt, "pipeline transform");
   return result;
 }
 

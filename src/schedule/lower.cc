@@ -1,6 +1,7 @@
 #include "schedule/lower.h"
 
 #include "support/check.h"
+#include "verify/verifier.h"
 
 namespace alcop {
 namespace schedule {
@@ -236,6 +237,9 @@ LoweredKernel LowerSchedule(const Schedule& schedule) {
   }
 
   kernel.stmt = FlatBlock(std::move(program));
+  // Self-check (CI runs with ALCOP_VERIFY=1): lowered IR must be clean
+  // before the pipeline transformation ever sees it.
+  verify::VerifyOrThrowIfEnabled(kernel.stmt, "schedule lowering");
   return kernel;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "support/check.h"
+#include "verify/diagnostic.h"
 
 namespace alcop {
 namespace sim {
@@ -74,6 +75,31 @@ class Executor::Impl {
     return key.str();
   }
 
+  std::string Path() const {
+    std::string out;
+    for (const std::string& entry : path_) {
+      if (!out.empty()) out += " / ";
+      out += entry;
+    }
+    return out;
+  }
+
+  // Async-semantics violations are reported as rendered Diagnostics so the
+  // dynamic checker speaks the same language as the static verifier
+  // (codes X001-X004 mirror the verifier's V001-V004).
+  [[noreturn]] void FailAsync(const char* code, const std::string& message,
+                              const std::string& leaf) const {
+    verify::Diagnostic diag;
+    diag.severity = verify::Severity::kError;
+    diag.code = code;
+    diag.message = message;
+    diag.path = Path();
+    if (!leaf.empty()) {
+      diag.path += diag.path.empty() ? leaf : " / " + leaf;
+    }
+    throw CheckError(diag.Render());
+  }
+
   void Exec(const Stmt& s) {
     switch (s->kind) {
       case StmtKind::kBlock: {
@@ -90,13 +116,16 @@ class Executor::Impl {
         int64_t extent = Evaluate(op->extent, env_);
         bool parallel = op->for_kind == ForKind::kBlockIdx ||
                         op->for_kind == ForKind::kWarp;
+        path_.emplace_back();
         for (int64_t i = 0; i < extent; ++i) {
           env_.push_back({op->var.get(), i});
           if (parallel) parallel_bindings_.emplace_back(op->var->name, i);
+          path_.back() = "for " + op->var->name + "=" + std::to_string(i);
           Exec(op->body);
           if (parallel) parallel_bindings_.pop_back();
           env_.pop_back();
         }
+        path_.pop_back();
         return;
       }
       case StmtKind::kIfThenElse: {
@@ -127,11 +156,15 @@ class Executor::Impl {
     ALCOP_CHECK(false) << "unhandled statement in executor";
   }
 
-  float ReadElem(TensorData& tensor, int64_t index) const {
-    if (options_.check_async_semantics) {
-      ALCOP_CHECK(!tensor.pending[static_cast<size_t>(index)])
-          << "read of '" << tensor.buffer->name << "' element " << index
+  float ReadElem(TensorData& tensor, int64_t index,
+                 const char* reader) const {
+    if (options_.check_async_semantics &&
+        tensor.pending[static_cast<size_t>(index)]) {
+      std::ostringstream msg;
+      msg << "read of '" << tensor.buffer->name << "' element " << index
           << " before its consumer_wait (async data not yet visible)";
+      FailAsync("X001", msg.str(),
+                std::string(reader) + "(" + tensor.buffer->name + ")");
     }
     return tensor.values[static_cast<size_t>(index)];
   }
@@ -150,7 +183,7 @@ class Executor::Impl {
       pipe = &pipelines_[InstanceKey(op->pipeline_group)];
     }
     for (size_t i = 0; i < dst_idx.size(); ++i) {
-      float value = ReadElem(src, src_idx[i]);
+      float value = ReadElem(src, src_idx[i], "copy");
       value = static_cast<float>(ApplyEwise(op->op, op->op_param, value));
       size_t di = static_cast<size_t>(dst_idx[i]);
       if (op->accumulate) value += dst.values[di];
@@ -186,8 +219,8 @@ class Executor::Impl {
       for (int64_t j = 0; j < n; ++j) {
         float acc = 0.0f;
         for (int64_t kk = 0; kk < k; ++kk) {
-          acc += ReadElem(a, ai[static_cast<size_t>(i * k + kk)]) *
-                 ReadElem(b, bi[static_cast<size_t>(j * k + kk)]);
+          acc += ReadElem(a, ai[static_cast<size_t>(i * k + kk)], "mma") *
+                 ReadElem(b, bi[static_cast<size_t>(j * k + kk)], "mma");
         }
         c.values[static_cast<size_t>(ci[static_cast<size_t>(i * n + j)])] += acc;
       }
@@ -198,11 +231,19 @@ class Executor::Impl {
     if (op->sync_kind == SyncKind::kBarrier) return;  // no functional effect
     if (!options_.check_async_semantics) return;
     PipelineState& pipe = pipelines_[InstanceKey(op->group)];
+    const std::string& buffer_name =
+        op->buffers.empty() ? std::string("?") : op->buffers[0]->name;
     switch (op->sync_kind) {
       case SyncKind::kProducerAcquire:
-        ALCOP_CHECK_LT(pipe.committed - pipe.released, StagesOf(op))
-            << "producer_acquire of group " << op->group
-            << " without pipeline capacity (missing consumer_release?)";
+        if (pipe.committed - pipe.released >= StagesOf(op)) {
+          std::ostringstream msg;
+          msg << "producer_acquire of '" << buffer_name << "' group "
+              << op->group << " without pipeline capacity ("
+              << (pipe.committed - pipe.released) << " groups live in a "
+              << StagesOf(op)
+              << "-stage FIFO; missing consumer_release?)";
+          FailAsync("X002", msg.str(), SyncLabel(op));
+        }
         return;
       case SyncKind::kProducerCommit:
         pipe.fifo.push_back(std::move(pipe.current));
@@ -211,10 +252,13 @@ class Executor::Impl {
         return;
       case SyncKind::kConsumerWait: {
         int64_t target = pipe.waited + op->wait_ahead;
-        ALCOP_CHECK_LT(target, pipe.committed)
-            << "consumer_wait of group " << op->group
-            << " targets group " << target << " but only " << pipe.committed
-            << " groups were committed";
+        if (target >= pipe.committed) {
+          std::ostringstream msg;
+          msg << "consumer_wait of '" << buffer_name << "' group "
+              << op->group << " targets group " << target << " but only "
+              << pipe.committed << " groups were committed";
+          FailAsync("X003", msg.str(), SyncLabel(op));
+        }
         for (int64_t g = pipe.promoted_upto + 1; g <= target; ++g) {
           for (const PendingElem& elem : pipe.fifo[static_cast<size_t>(g)]) {
             // Promote only if the element was not overwritten since.
@@ -230,13 +274,23 @@ class Executor::Impl {
       }
       case SyncKind::kConsumerRelease:
         ++pipe.released;
-        ALCOP_CHECK_LE(pipe.released, pipe.committed)
-            << "consumer_release of group " << op->group
-            << " exceeds committed groups";
+        if (pipe.released > pipe.committed) {
+          std::ostringstream msg;
+          msg << "consumer_release of '" << buffer_name << "' group "
+              << op->group << " exceeds committed groups (" << pipe.released
+              << " > " << pipe.committed << ")";
+          FailAsync("X004", msg.str(), SyncLabel(op));
+        }
         return;
       default:
         return;
     }
+  }
+
+  static std::string SyncLabel(const SyncNode* op) {
+    std::string name = op->buffers.empty() ? "?" : op->buffers[0]->name;
+    return name + "." + SyncKindName(op->sync_kind) + "@group" +
+           std::to_string(op->group);
   }
 
   // Stage capacity of the group at this sync: derived from the expanded
@@ -249,6 +303,7 @@ class Executor::Impl {
 
   ExecOptions options_;
   std::vector<VarBinding> env_;
+  std::vector<std::string> path_;
   std::vector<std::pair<std::string, int64_t>> parallel_bindings_;
   std::unordered_map<const BufferNode*, std::unique_ptr<TensorData>> storage_;
   std::unordered_map<std::string, PipelineState> pipelines_;

@@ -1,0 +1,66 @@
+#include "verify/diagnostic.h"
+
+#include <sstream>
+
+namespace alcop {
+namespace verify {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::Render() const {
+  std::ostringstream out;
+  out << SeverityName(severity) << "[" << code << "]";
+  if (span.IsKnown()) {
+    out << " at line " << span.line << ":" << span.column;
+  }
+  out << ": " << message;
+  if (!path.empty()) {
+    out << "\n  at: " << path;
+  }
+  for (const std::string& note : notes) {
+    out << "\n  note: " << note;
+  }
+  return out.str();
+}
+
+Diagnostic& DiagnosticEngine::Emit(Severity severity, std::string code,
+                                   std::string message) {
+  Diagnostic diag;
+  diag.severity = severity;
+  diag.code = std::move(code);
+  diag.message = std::move(message);
+  diagnostics_.push_back(std::move(diag));
+  return diagnostics_.back();
+}
+
+void DiagnosticEngine::Report(Diagnostic diag) {
+  diagnostics_.push_back(std::move(diag));
+}
+
+bool DiagnosticEngine::HasErrors() const { return ErrorCount() > 0; }
+
+size_t DiagnosticEngine::ErrorCount() const {
+  size_t count = 0;
+  for (const Diagnostic& diag : diagnostics_) {
+    if (diag.severity == Severity::kError) ++count;
+  }
+  return count;
+}
+
+std::string DiagnosticEngine::Render() const {
+  std::ostringstream out;
+  for (const Diagnostic& diag : diagnostics_) {
+    out << diag.Render() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace verify
+}  // namespace alcop

@@ -1,0 +1,67 @@
+// Reusable compiler-diagnostics engine.
+//
+// A Diagnostic is one finding: severity, a stable machine-readable code
+// (e.g. "V001"), a human-readable message, the IR path of the offending
+// statement ("for ko=3 / mma(C_acc)"), the source span when the statement
+// came from a textual .tir file, and optional secondary notes.
+//
+// Three producers share the type:
+//   - the static pipeline verifier (src/verify/verifier.*, codes V0xx),
+//   - the parser (codes P0xx, rendered into parse-error messages),
+//   - the pipeline detection rules (codes D0xx, rejection reasons),
+// and the functional executor renders its runtime async-semantics
+// violations through it as well (codes X0xx), so every layer reports
+// findings in the same format.
+#ifndef ALCOP_VERIFY_DIAGNOSTIC_H_
+#define ALCOP_VERIFY_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace verify {
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     // stable identifier, e.g. "V001"
+  std::string message;  // one-line description
+  std::string path;     // IR path of the offending statement ("" if none)
+  ir::SourceSpan span;  // source location when the IR was parsed from text
+  std::vector<std::string> notes;
+
+  // "error[V001] at line 12:5: <message>\n  at: <path>\n  note: ..."
+  std::string Render() const;
+};
+
+// Collects diagnostics during one analysis run.
+class DiagnosticEngine {
+ public:
+  // Appends a diagnostic and returns it for the caller to attach the
+  // path/span/notes.
+  Diagnostic& Emit(Severity severity, std::string code, std::string message);
+  void Report(Diagnostic diag);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool HasErrors() const;
+  size_t ErrorCount() const;
+  std::string Render() const;  // all findings, one block per diagnostic
+  void Clear() { diagnostics_.clear(); }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace verify
+}  // namespace alcop
+
+#endif  // ALCOP_VERIFY_DIAGNOSTIC_H_

@@ -1,0 +1,55 @@
+// Structured mutations of pipeline synchronization statements.
+//
+// The fuzz differential (tests/fuzz_test.cc) and the verifier tests use
+// these helpers to build deliberately mis-synchronized programs from a
+// correct one: drop one sync primitive, duplicate it, shift it one
+// position within its block, or change a consumer_wait's wait_ahead.
+// Every mutation targets one sync *site* (a statement occurrence in the
+// tree); ListSyncSites enumerates them deterministically in program order.
+#ifndef ALCOP_VERIFY_SYNC_MUTATOR_H_
+#define ALCOP_VERIFY_SYNC_MUTATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace verify {
+
+enum class SyncMutation {
+  kDrop,       // remove the statement
+  kDuplicate,  // insert a second copy right after it
+  kShiftEarlier,  // swap with the preceding statement in its block
+  kShiftLater,    // swap with the following statement in its block
+};
+
+const char* SyncMutationName(SyncMutation mutation);
+
+struct SyncSite {
+  const ir::SyncNode* stmt = nullptr;
+  // Program-order index among pipeline sync statements (stable across
+  // identical programs; used to address the site when mutating).
+  size_t index = 0;
+  std::string label;  // e.g. "A_shared.producer_acquire@group0"
+};
+
+// All pipeline sync statements (barriers excluded) in program order. A
+// statement shared between two tree positions is listed once per position.
+std::vector<SyncSite> ListSyncSites(const ir::Stmt& program);
+
+// Applies `mutation` to the `site_index`-th sync site. Returns nullptr if
+// the mutation is not applicable there (e.g. shifting past the edge of
+// the enclosing block); otherwise the rewritten program.
+ir::Stmt MutateSyncSite(const ir::Stmt& program, size_t site_index,
+                        SyncMutation mutation);
+
+// Replaces the wait_ahead of the `site_index`-th sync site (which must be
+// a consumer_wait; returns nullptr otherwise).
+ir::Stmt SetWaitAhead(const ir::Stmt& program, size_t site_index,
+                      int wait_ahead);
+
+}  // namespace verify
+}  // namespace alcop
+
+#endif  // ALCOP_VERIFY_SYNC_MUTATOR_H_

@@ -153,6 +153,60 @@ TEST(ExecutorCheckerTest, CheckingCanBeDisabled) {
   EXPECT_EQ(exec.Data(f.out)[7], 7.0f);
 }
 
+// The dynamic checker's reports flow through the Diagnostic engine: the
+// text carries the stable X-code, the buffer name, the group index, and
+// the statement path (loop iteration included) pointing at the failure.
+TEST(ExecutorCheckerTest, FailureReportsCodeBufferGroupAndPath) {
+  Fixture f;
+  Var i = MakeVar("i");
+  // Three acquires of a 2-stage FIFO without releases: iteration i=2 must
+  // trip the capacity check.
+  Stmt program = Block({
+      Alloc(f.buf),
+      For(i, 3, ForKind::kSerial,
+          Block({
+              Sync(SyncKind::kProducerAcquire, 0, {f.buf}),
+              AsyncCopy(Region(f.buf, {FloorMod(i, 2), Int(0)}, {1, 8}),
+                        Region(f.src, {i, Int(0)}, {1, 8}), 0),
+              Sync(SyncKind::kProducerCommit, 0, {f.buf}),
+          })),
+  });
+  try {
+    f.Run(program);
+    FAIL() << "expected a capacity violation";
+  } catch (const CheckError& e) {
+    std::string text = e.what();
+    EXPECT_NE(text.find("error[X002]"), std::string::npos) << text;
+    EXPECT_NE(text.find("'buf'"), std::string::npos) << text;
+    EXPECT_NE(text.find("group 0"), std::string::npos) << text;
+    EXPECT_NE(text.find("for i=2"), std::string::npos) << text;
+    EXPECT_NE(text.find("producer_acquire"), std::string::npos) << text;
+  }
+}
+
+// Read-before-wait failures name the hazardous read's buffer and path.
+TEST(ExecutorCheckerTest, ReadBeforeWaitNamesBufferAndReader) {
+  Fixture f;
+  Stmt program = Block({
+      Alloc(f.buf),
+      Sync(SyncKind::kProducerAcquire, 0, {f.buf}),
+      AsyncCopy(Region(f.buf, {Int(0), Int(0)}, {1, 8}),
+                Region(f.src, {Int(0), Int(0)}, {1, 8}), 0),
+      Sync(SyncKind::kProducerCommit, 0, {f.buf}),
+      Copy(Region(f.out, {Int(0), Int(0)}, {1, 8}),
+           Region(f.buf, {Int(0), Int(0)}, {1, 8})),
+  });
+  try {
+    f.Run(program);
+    FAIL() << "expected a visibility violation";
+  } catch (const CheckError& e) {
+    std::string text = e.what();
+    EXPECT_NE(text.find("error[X001]"), std::string::npos) << text;
+    EXPECT_NE(text.find("'buf'"), std::string::npos) << text;
+    EXPECT_NE(text.find("copy(buf)"), std::string::npos) << text;
+  }
+}
+
 TEST(ExecutorTest, OutOfBoundsRegionThrows) {
   Fixture f;
   Stmt program = Copy(Region(f.out, {Int(3), Int(4)}, {1, 8}),  // 4+8 > 8

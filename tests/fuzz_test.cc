@@ -20,6 +20,8 @@
 #include "support/rng.h"
 #include "target/gpu_spec.h"
 #include "tuner/space.h"
+#include "verify/sync_mutator.h"
+#include "verify/verifier.h"
 
 namespace alcop {
 namespace {
@@ -154,6 +156,104 @@ TEST_P(PipelineFuzz, TransformedIrRoundTripsThroughText) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
                          ::testing::Range<uint64_t>(0, 40));
+
+// ---- Static/dynamic sync-mutation differential ----
+//
+// For every sync statement of every compiled kernel below, apply each of
+// the four mutations (drop / duplicate / shift earlier / shift later) plus
+// a wait_ahead perturbation, then check that the static verifier and the
+// executor's dynamic checker reach the same verdict: the mutant either
+// passes both or fails both. This is the property that justifies trusting
+// the static verdict without execution. Everything is seeded through
+// support/rng, so a failure reproduces exactly.
+
+struct MutationCase {
+  int64_t k;
+  int smem_stages;
+  int reg_stages;
+  bool inner_fusion;
+};
+
+TEST(SyncMutationDifferential, StaticVerdictMatchesExecutor) {
+  const target::GpuSpec spec = target::AmpereSpec();
+  // K is sized so the serial ko loop always has at least smem_stages
+  // iterations; both fusion modes run for each stage pairing.
+  const MutationCase cases[] = {
+      {96, 3, 2, true},  {96, 3, 2, false},  {64, 2, 2, true},
+      {64, 2, 2, false}, {160, 4, 2, true},  {160, 4, 2, false},
+  };
+  const verify::SyncMutation kMutations[] = {
+      verify::SyncMutation::kDrop,
+      verify::SyncMutation::kDuplicate,
+      verify::SyncMutation::kShiftEarlier,
+      verify::SyncMutation::kShiftLater,
+  };
+
+  Rng data_rng(0xA1C09);
+  int total = 0;
+  for (const MutationCase& c : cases) {
+    GemmOp op = schedule::MakeMatmul("mutfuzz", 32, 32, c.k);
+    ScheduleConfig config;
+    config.tile = {.tb_m = 32, .tb_n = 32, .tb_k = 32,
+                   .warp_m = 16, .warp_n = 16, .warp_k = 16};
+    config.smem_stages = c.smem_stages;
+    config.reg_stages = c.reg_stages;
+    config.inner_fusion = c.inner_fusion;
+
+    schedule::Schedule sched(op, config, InlineOrder::kAfterPipelining);
+    pipeline::AutoPipeline(sched, spec);
+    schedule::LoweredKernel kernel = schedule::LowerSchedule(sched);
+    pipeline::TransformResult transformed =
+        pipeline::ApplyPipelineTransform(kernel.stmt, c.inner_fusion);
+    ASSERT_TRUE(verify::VerifyProgram(transformed.stmt).Clean());
+
+    std::vector<float> a(static_cast<size_t>(op.m * op.k));
+    std::vector<float> b(static_cast<size_t>(op.n * op.k));
+    for (float& v : a) v = static_cast<float>(data_rng.Uniform(-1, 1));
+    for (float& v : b) v = static_cast<float>(data_rng.Uniform(-1, 1));
+
+    auto check_mutant = [&](const ir::Stmt& mutant,
+                            const std::string& label) {
+      ++total;
+      bool static_fails = verify::VerifyProgram(mutant).HasSyncError();
+      bool dynamic_fails = false;
+      try {
+        sim::Executor exec;
+        exec.Bind(kernel.a, a);
+        exec.Bind(kernel.b, b);
+        exec.Run(mutant);
+      } catch (const CheckError&) {
+        dynamic_fails = true;
+      }
+      EXPECT_EQ(static_fails, dynamic_fails)
+          << label << " (k=" << c.k << " smem=" << c.smem_stages
+          << " reg=" << c.reg_stages
+          << (c.inner_fusion ? " fused" : " recursive") << ")\n"
+          << verify::VerifyProgram(mutant).Render();
+    };
+
+    std::vector<verify::SyncSite> sites =
+        verify::ListSyncSites(transformed.stmt);
+    ASSERT_FALSE(sites.empty());
+    for (size_t s = 0; s < sites.size(); ++s) {
+      for (verify::SyncMutation mutation : kMutations) {
+        ir::Stmt mutant =
+            verify::MutateSyncSite(transformed.stmt, s, mutation);
+        if (mutant == nullptr) continue;  // mutation inapplicable here
+        check_mutant(mutant, std::string(verify::SyncMutationName(mutation)) +
+                                 " " + sites[s].label);
+      }
+      if (sites[s].stmt->sync_kind == ir::SyncKind::kConsumerWait) {
+        ir::Stmt slack = verify::SetWaitAhead(
+            transformed.stmt, s, sites[s].stmt->wait_ahead + 1);
+        if (slack != nullptr) {
+          check_mutant(slack, "wait_ahead+1 " + sites[s].label);
+        }
+      }
+    }
+  }
+  EXPECT_GE(total, 200) << "differential must cover at least 200 mutants";
+}
 
 }  // namespace
 }  // namespace alcop

@@ -2,6 +2,8 @@
 // substitution, variable collection and the simplifier.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "ir/expr.h"
 #include "ir/printer.h"
 #include "ir/simplify.h"
@@ -148,10 +150,11 @@ TEST_P(SimplifyValuePreservation, SameValueAsOriginal) {
   Var i = MakeVar("i");
   Var j = MakeVar("j");
   // A deterministic "random" expression per seed built from a fixed menu.
+  // The LCG state is unsigned so the wraparound is well-defined.
   Expr e = i;
-  int state = seed;
+  uint32_t state = static_cast<uint32_t>(seed);
   for (int step = 0; step < 6; ++step) {
-    state = state * 1103515245 + 12345;
+    state = state * 1103515245u + 12345u;
     int pick = (state >> 16) & 7;
     int64_t c = 1 + ((state >> 8) & 3);
     switch (pick) {

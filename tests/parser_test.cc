@@ -68,6 +68,45 @@ TEST(ParserTest, SyntaxErrorMentionsLine) {
   }
 }
 
+// Every parsed statement carries the line/column where its keyword
+// started; the spans are metadata only, so printing is unaffected.
+TEST(ParserTest, StatementsCarrySourceSpans) {
+  Buffer src = MakeBuffer("src", MemScope::kGlobal, {8, 16});
+  std::string text =
+      "alloc buf: shared fp16[2, 16]\n"
+      "for ko in 0..8 serial {\n"
+      "  copy buf[ko % 2, 0][1, 16] <- src[ko, 0][1, 16]\n"
+      "  barrier\n"
+      "}\n";
+  Stmt program = ParseStmt(text, {src});
+  // The top level is a block of [alloc, for]; spans point at the keywords.
+  const auto* block = static_cast<const BlockNode*>(program.get());
+  ASSERT_EQ(block->seq.size(), 2u);
+  EXPECT_EQ(block->seq[0]->span.line, 1);
+  EXPECT_EQ(block->seq[0]->span.column, 1);
+  EXPECT_EQ(block->seq[1]->span.line, 2);
+  const auto* loop = static_cast<const ForNode*>(block->seq[1].get());
+  const auto* body = static_cast<const BlockNode*>(loop->body.get());
+  ASSERT_EQ(body->seq.size(), 2u);
+  EXPECT_EQ(body->seq[0]->span.line, 3);
+  EXPECT_EQ(body->seq[0]->span.column, 3);  // indented two spaces
+  EXPECT_EQ(body->seq[1]->span.line, 4);
+  // Spans do not alter printing.
+  EXPECT_EQ(ToString(program), text);
+}
+
+// Parse errors carry both line and column.
+TEST(ParserTest, SyntaxErrorMentionsColumn) {
+  try {
+    ParseStmt("alloc buf shared fp16[4]\n");  // ':' missing at column 11
+    FAIL() << "expected a parse error";
+  } catch (const CheckError& e) {
+    std::string text = e.what();
+    EXPECT_NE(text.find("[P001]"), std::string::npos) << text;
+    EXPECT_NE(text.find("line 1:11"), std::string::npos) << text;
+  }
+}
+
 TEST(ParserTest, EwiseAndAccumulateForms) {
   Buffer a = MakeBuffer("a", MemScope::kGlobal, {16});
   Buffer b = MakeBuffer("b", MemScope::kGlobal, {16});
