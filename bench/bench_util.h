@@ -1,37 +1,18 @@
-// Shared helpers for the per-figure benchmark binaries: a memoizing
-// wrapper around the simulator measurement (so exhaustive sweeps can be
-// reused by the search strategies), and small formatting utilities.
+// Shared helpers for the per-figure benchmark binaries: small formatting
+// utilities. (Measurement memoization moved into the library proper: see
+// sim/sim_cache.h — MakeSimulatorTask is cached process-wide, so benches
+// no longer wrap tasks themselves.)
 #ifndef ALCOP_BENCH_BENCH_UTIL_H_
 #define ALCOP_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <limits>
-#include <memory>
-#include <string>
-#include <unordered_map>
 
 #include "sim/launch.h"
 #include "tuner/strategy.h"
 
 namespace alcop {
 namespace bench {
-
-// Wraps a tuning task's measurement with a cache keyed by the config
-// text, so exhaustive search results are reused by every strategy run in
-// the same binary.
-inline void Memoize(tuner::TuningTask& task) {
-  auto cache =
-      std::make_shared<std::unordered_map<std::string, double>>();
-  auto inner = task.measure;
-  task.measure = [cache, inner](const schedule::ScheduleConfig& config) {
-    std::string key = config.ToString();
-    auto it = cache->find(key);
-    if (it != cache->end()) return it->second;
-    double cycles = inner(config);
-    cache->emplace(std::move(key), cycles);
-    return cycles;
-  };
-}
 
 // Best cycles within a subset of the space selected by `keep`.
 template <typename Predicate>

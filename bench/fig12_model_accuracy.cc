@@ -47,7 +47,6 @@ int main() {
   int counts[4] = {0, 0, 0, 0};
   for (const schedule::GemmOp& op : workloads::BenchmarkOps()) {
     tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
-    bench::Memoize(task);
     tuner::TuningResult exhaustive = tuner::ExhaustiveSearch(task);
     double best = exhaustive.BestInFirstK(exhaustive.trials.size());
 

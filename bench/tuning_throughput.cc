@@ -1,0 +1,188 @@
+// Tuning-throughput bench: measures the wall-clock effect of the parallel
+// measurement engine and the compile+simulate cache on the Fig. 13
+// workload, and emits one machine-readable JSON object (consumed by
+// scripts/bench_tuning.sh into BENCH_tuning.json so the perf trajectory
+// is tracked across PRs).
+//
+// Three phases over the same strategy suite (exhaustive + grid + anal +
+// 2x3 XGB runs per operator):
+//   serial   : 1 thread, cold cache  — the pre-PR baseline
+//   parallel : N threads, cold cache — the thread-pool speedup
+//   cached   : N threads, warm cache — the memoization ceiling
+//
+// The thread-pool speedup scales with the machine: on a single-core host
+// (hardware_cores = 1) it degenerates to ~1.0x by construction, so the
+// JSON also isolates the cache's effect on the measurement path alone
+// (uncached vs warm exhaustive sweep), which holds at any core count.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "sim/launch.h"
+#include "sim/sim_cache.h"
+#include "support/parallel.h"
+#include "target/gpu_spec.h"
+#include "tuner/strategy.h"
+#include "workloads/ops.h"
+
+using namespace alcop;  // NOLINT(build/namespaces) - bench driver
+
+namespace {
+
+constexpr uint64_t kSeeds[] = {1, 2, 3};
+constexpr size_t kMaxBudget = 50;
+
+// The Fig. 13 strategy suite for one operator. Returns a checksum of the
+// measured cycles so phases can assert they computed identical results.
+double RunSuite(const tuner::TuningTask& task) {
+  double checksum = 0.0;
+  auto fold = [&](const tuner::TuningResult& result) {
+    for (double cycles : result.measured) {
+      if (cycles < 1e30) checksum += cycles;
+    }
+  };
+  fold(tuner::ExhaustiveSearch(task));
+  fold(tuner::GridSearch(task, kMaxBudget));
+  fold(tuner::AnalyticalRanking(task, kMaxBudget));
+  for (bool pretrain : {false, true}) {
+    for (uint64_t seed : kSeeds) {
+      tuner::XgbOptions options;
+      options.seed = seed;
+      options.pretrain_with_analytical = pretrain;
+      fold(tuner::XgbTuner(task, kMaxBudget, options));
+    }
+  }
+  return checksum;
+}
+
+double RunAllOps(const std::vector<tuner::TuningTask>& tasks) {
+  double checksum = 0.0;
+  for (const tuner::TuningTask& task : tasks) checksum += RunSuite(task);
+  return checksum;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = support::ThreadsFromEnv();
+  if (argc > 1) threads = std::max(1, std::atoi(argv[1]));
+
+  target::GpuSpec spec = target::AmpereSpec();
+  std::vector<tuner::TuningTask> tasks;
+  size_t space_total = 0;
+  for (const schedule::GemmOp& op : workloads::BenchmarkOps()) {
+    tasks.push_back(tuner::MakeSimulatorTask(op, spec));
+    space_total += tasks.back().space.size();
+  }
+
+  // Phase 1: serial baseline, cold cache.
+  support::SetGlobalThreads(1);
+  sim::ResetSimCache();
+  auto t0 = std::chrono::steady_clock::now();
+  double serial_checksum = RunAllOps(tasks);
+  double serial_seconds = Seconds(t0);
+  sim::SimCacheStats serial_stats = sim::GetSimCacheStats();
+
+  // Phase 2: parallel, cold cache.
+  support::SetGlobalThreads(threads);
+  sim::ResetSimCache();
+  auto t1 = std::chrono::steady_clock::now();
+  double parallel_checksum = RunAllOps(tasks);
+  double parallel_seconds = Seconds(t1);
+  sim::SimCacheStats parallel_stats = sim::GetSimCacheStats();
+
+  // Phase 3: warm cache (the repeated-sweep case every bench binary hits).
+  auto t2 = std::chrono::steady_clock::now();
+  double cached_checksum = RunAllOps(tasks);
+  double cached_seconds = Seconds(t2);
+  sim::SimCacheStats cached_stats = sim::GetSimCacheStats();
+
+  // Measurement path in isolation: one exhaustive sweep per operator with
+  // the cache bypassed, then the same sweep through the warm cache. This
+  // is the cache's contribution independent of model fitting and of how
+  // many cores the host has.
+  std::vector<tuner::TuningTask> direct_tasks = tasks;
+  for (tuner::TuningTask& task : direct_tasks) {
+    schedule::GemmOp op = task.op;
+    target::GpuSpec task_spec = task.spec;
+    task.measure = [op, task_spec](const schedule::ScheduleConfig& config) {
+      sim::KernelTiming timing = sim::CompileAndSimulate(op, config, task_spec);
+      return timing.feasible ? timing.cycles
+                             : std::numeric_limits<double>::infinity();
+    };
+  }
+  auto t3 = std::chrono::steady_clock::now();
+  double nocache_checksum = 0.0;
+  for (const tuner::TuningTask& task : direct_tasks) {
+    for (double cycles : tuner::ExhaustiveSearch(task).measured) {
+      if (cycles < 1e30) nocache_checksum += cycles;
+    }
+  }
+  double measure_nocache_seconds = Seconds(t3);
+  auto t4 = std::chrono::steady_clock::now();
+  double warm_checksum = 0.0;
+  for (const tuner::TuningTask& task : tasks) {
+    for (double cycles : tuner::ExhaustiveSearch(task).measured) {
+      if (cycles < 1e30) warm_checksum += cycles;
+    }
+  }
+  double measure_cached_seconds = Seconds(t4);
+
+  bool deterministic = serial_checksum == parallel_checksum &&
+                       serial_checksum == cached_checksum &&
+                       nocache_checksum == warm_checksum;
+  double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  double cache_speedup = measure_cached_seconds > 0.0
+                             ? measure_nocache_seconds / measure_cached_seconds
+                             : 0.0;
+  uint64_t rerun_hits = cached_stats.hits - parallel_stats.hits;
+  uint64_t rerun_misses = cached_stats.misses - parallel_stats.misses;
+  unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"tuning_throughput\",\n"
+      "  \"threads\": %d,\n"
+      "  \"hardware_cores\": %u,\n"
+      "  \"operators\": %zu,\n"
+      "  \"space_configs\": %zu,\n"
+      "  \"serial_seconds\": %.4f,\n"
+      "  \"parallel_seconds\": %.4f,\n"
+      "  \"speedup\": %.2f,\n"
+      "  \"cached_rerun_seconds\": %.4f,\n"
+      "  \"measure_nocache_seconds\": %.4f,\n"
+      "  \"measure_cached_seconds\": %.4f,\n"
+      "  \"cache_speedup\": %.2f,\n"
+      "  \"deterministic_across_threads\": %s,\n"
+      "  \"cache\": {\n"
+      "    \"cold_hits\": %llu,\n"
+      "    \"cold_misses\": %llu,\n"
+      "    \"cold_hit_rate\": %.4f,\n"
+      "    \"warm_rerun_hits\": %llu,\n"
+      "    \"warm_rerun_misses\": %llu,\n"
+      "    \"entries\": %llu\n"
+      "  }\n"
+      "}\n",
+      threads, hw == 0 ? 1 : hw, tasks.size(), space_total, serial_seconds,
+      parallel_seconds, speedup, cached_seconds, measure_nocache_seconds,
+      measure_cached_seconds, cache_speedup,
+      deterministic ? "true" : "false",
+      static_cast<unsigned long long>(parallel_stats.hits),
+      static_cast<unsigned long long>(parallel_stats.misses),
+      parallel_stats.HitRate(),
+      static_cast<unsigned long long>(rerun_hits),
+      static_cast<unsigned long long>(rerun_misses),
+      static_cast<unsigned long long>(cached_stats.entries));
+  (void)serial_stats;
+  return deterministic ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the tuning-throughput bench and writes machine-readable results to
+# BENCH_tuning.json (repo root by default), so the serial-vs-parallel
+# wall-time, cache hit rate and thread count are tracked from PR to PR.
+#
+# Usage: scripts/bench_tuning.sh [threads] [output.json]
+#   threads      total concurrency for the parallel phase
+#                (default: $ALCOP_THREADS, else 8)
+#   output.json  where to write the result (default: ./BENCH_tuning.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-${ALCOP_THREADS:-8}}"
+OUT="${2:-BENCH_tuning.json}"
+BIN=build/bench/tuning_throughput
+
+if [[ ! -x "$BIN" ]]; then
+  echo "building $BIN..." >&2
+  cmake -B build -S . >/dev/null
+  cmake --build build --target tuning_throughput -j "$(nproc)" >/dev/null
+fi
+
+echo "running tuning-throughput bench (threads=$THREADS)..." >&2
+"$BIN" "$THREADS" > "$OUT"
+cat "$OUT"
+echo "wrote $OUT" >&2

@@ -1,0 +1,111 @@
+#include "sim/sim_cache.h"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace alcop {
+namespace sim {
+
+namespace {
+
+constexpr size_t kNumShards = 16;
+
+struct Shard {
+  std::mutex mu;
+  std::unordered_map<std::string, KernelTiming> map;
+};
+
+struct Cache {
+  Shard shards[kNumShards];
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+
+  Shard& ShardFor(const std::string& key) {
+    return shards[std::hash<std::string>{}(key) % kNumShards];
+  }
+};
+
+Cache& GlobalCache() {
+  static Cache* cache = new Cache();  // leaked: outlives all threads
+  return *cache;
+}
+
+}  // namespace
+
+std::string SimCacheKey(const schedule::GemmOp& op,
+                        const schedule::ScheduleConfig& config,
+                        const target::GpuSpec& spec,
+                        schedule::InlineOrder inline_order) {
+  std::ostringstream out;
+  out << schedule::OpFamilyName(op.family) << '|' << op.batch << 'x' << op.m
+      << 'x' << op.n << 'x' << op.k << '|'
+      << static_cast<int>(op.a_producer_op) << ':' << op.a_producer_param
+      << '|' << static_cast<int>(op.epilogue_op) << ':' << op.epilogue_param
+      << '|' << config.ToString() << '|' << static_cast<int>(inline_order)
+      // Every rate/limit of the device model: benches tweak spec fields in
+      // place (generation studies), so the name alone is not a key.
+      << '|' << spec.num_sms << ',' << spec.clock_ghz << ','
+      << spec.tc_flops_per_sm_per_cycle << ',' << spec.lds_bytes_per_cycle_per_sm
+      << ',' << spec.bank_conflict_factor << ',' << spec.smem_latency_cycles
+      << ',' << spec.copy_issue_bytes_per_cycle << ',' << spec.llc_bytes << ','
+      << spec.llc_bw_bytes_per_cycle << ',' << spec.llc_latency_cycles << ','
+      << spec.dram_bw_bytes_per_cycle << ',' << spec.dram_write_bw_bytes_per_cycle
+      << ',' << spec.dram_latency_cycles << ',' << spec.smem_bytes_per_sm << ','
+      << spec.regfile_bytes_per_sm << ',' << spec.max_warps_per_sm << ','
+      << spec.sync_overhead_cycles << ',' << spec.launch_overhead_cycles << ','
+      << spec.has_cp_async;
+  return out.str();
+}
+
+KernelTiming CachedCompileAndSimulate(const schedule::GemmOp& op,
+                                      const schedule::ScheduleConfig& config,
+                                      const target::GpuSpec& spec,
+                                      schedule::InlineOrder inline_order) {
+  Cache& cache = GlobalCache();
+  std::string key = SimCacheKey(op, config, spec, inline_order);
+  Shard& shard = cache.ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  cache.misses.fetch_add(1, std::memory_order_relaxed);
+  // Compile outside the shard lock so concurrent misses on different keys
+  // of the same shard do not serialize the expensive work.
+  KernelTiming timing = CompileAndSimulate(op, config, spec, inline_order);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(std::move(key), timing);
+  }
+  return timing;
+}
+
+SimCacheStats GetSimCacheStats() {
+  Cache& cache = GlobalCache();
+  SimCacheStats stats;
+  stats.hits = cache.hits.load(std::memory_order_relaxed);
+  stats.misses = cache.misses.load(std::memory_order_relaxed);
+  for (Shard& shard : cache.shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.map.size();
+  }
+  return stats;
+}
+
+void ResetSimCache() {
+  Cache& cache = GlobalCache();
+  for (Shard& shard : cache.shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  cache.hits.store(0, std::memory_order_relaxed);
+  cache.misses.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sim
+}  // namespace alcop

@@ -1,0 +1,62 @@
+// Process-wide memoization of CompileAndSimulate.
+//
+// Tuning sweeps re-measure identical (operator, schedule, device) triples
+// constantly: every search strategy walks the same enumerated space, and
+// the benchmark binaries re-run strategies over multiple seeds and trial
+// budgets. Compiling and simulating a kernel is pure — the same inputs
+// always produce the same KernelTiming — so the result is cached under a
+// canonical text key:
+//
+//   op(family, batch, m, n, k, producer, epilogue) |
+//   ScheduleConfig::ToString() | InlineOrder | every GpuSpec rate/limit
+//
+// The cache is sharded and thread-safe: concurrent misses on the same key
+// may both compile (the race is benign — both compute the same value and
+// one insert wins), while hits are lock-striped lookups. Hit/miss counters
+// feed the tuning-throughput bench and the cache tests.
+#ifndef ALCOP_SIM_SIM_CACHE_H_
+#define ALCOP_SIM_SIM_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/launch.h"
+
+namespace alcop {
+namespace sim {
+
+struct SimCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+// The canonical cache key (exposed for tests).
+std::string SimCacheKey(const schedule::GemmOp& op,
+                        const schedule::ScheduleConfig& config,
+                        const target::GpuSpec& spec,
+                        schedule::InlineOrder inline_order);
+
+// CompileAndSimulate through the process-wide cache.
+KernelTiming CachedCompileAndSimulate(
+    const schedule::GemmOp& op, const schedule::ScheduleConfig& config,
+    const target::GpuSpec& spec,
+    schedule::InlineOrder inline_order =
+        schedule::InlineOrder::kAfterPipelining);
+
+// Snapshot of the global counters and entry count.
+SimCacheStats GetSimCacheStats();
+
+// Drops every entry and zeroes the counters (tests and benches that need
+// a cold cache).
+void ResetSimCache();
+
+}  // namespace sim
+}  // namespace alcop
+
+#endif  // ALCOP_SIM_SIM_CACHE_H_

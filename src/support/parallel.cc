@@ -1,0 +1,175 @@
+#include "support/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace alcop {
+namespace support {
+
+namespace {
+
+// Set while a thread is executing a pool task; nested ParallelFor calls
+// detect it and run inline instead of re-entering the shared queue.
+thread_local bool t_in_pool_task = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  bool stop = false;
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      t_in_pool_task = true;
+      task();
+      t_in_pool_task = false;
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
+  int workers = threads < 1 ? 0 : threads - 1;
+  impl_->workers.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+int ThreadPool::threads() const {
+  return static_cast<int>(impl_->workers.size()) + 1;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Serial fallback: no workers, a single iteration, or a nested call from
+  // inside a pool task (re-entering the queue could deadlock).
+  if (impl_->workers.empty() || n == 1 || t_in_pool_task) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+    size_t error_index = std::numeric_limits<size_t>::max();
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t pending = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  // Iterations are claimed in chunks through one atomic counter, so
+  // helpers and the caller load-balance without an atomic op per cheap
+  // iteration; each iteration only writes caller-owned state via fn,
+  // which is valid for the whole call because the caller blocks below.
+  size_t total_threads = impl_->workers.size() + 1;
+  size_t chunk = std::max<size_t>(1, n / (total_threads * 8));
+  auto drain = [shared, n, chunk, &fn] {
+    for (;;) {
+      size_t begin = shared->next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      size_t end = std::min(n, begin + chunk);
+      for (size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(shared->error_mu);
+          if (i < shared->error_index) {
+            shared->error_index = i;
+            shared->error = std::current_exception();
+          }
+        }
+      }
+    }
+  };
+
+  size_t helpers = std::min(impl_->workers.size(), n - 1);
+  shared->pending = helpers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (size_t h = 0; h < helpers; ++h) {
+      impl_->queue.emplace_back([shared, drain] {
+        drain();
+        std::lock_guard<std::mutex> done_lock(shared->done_mu);
+        if (--shared->pending == 0) shared->done_cv.notify_one();
+      });
+    }
+  }
+  impl_->cv.notify_all();
+
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(shared->done_mu);
+    shared->done_cv.wait(lock, [&] { return shared->pending == 0; });
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+int ThreadsFromEnv() {
+  const char* value = std::getenv("ALCOP_THREADS");
+  if (value != nullptr && value[0] != '\0') {
+    int parsed = std::atoi(value);
+    if (parsed >= 1) return parsed;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;
+
+std::shared_ptr<ThreadPool> GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr) g_pool = std::make_shared<ThreadPool>(ThreadsFromEnv());
+  return g_pool;
+}
+
+}  // namespace
+
+int ConfiguredThreads() { return GlobalPool()->threads(); }
+
+void SetGlobalThreads(int threads) {
+  // Build the replacement outside the lock; in-flight calls holding the old
+  // shared_ptr finish on the old pool.
+  auto next = std::make_shared<ThreadPool>(threads);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_pool = std::move(next);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  GlobalPool()->ParallelFor(n, fn);
+}
+
+}  // namespace support
+}  // namespace alcop

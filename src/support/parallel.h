@@ -1,0 +1,79 @@
+// Fixed-size thread pool and data-parallel helpers for the tuning stack.
+//
+// Design rules (see DESIGN.md "Concurrency model"):
+//   - ParallelFor(n, fn) runs fn(0..n-1) with dynamic index distribution;
+//     the caller thread participates, so a pool of `threads` total threads
+//     spawns threads-1 workers. A pool with 1 thread has no workers at all
+//     and is an *exact* serial fallback (same call sequence, same stack).
+//   - Nested use is safe: a ParallelFor issued from inside a pool task runs
+//     inline on that worker instead of deadlocking on the shared queue.
+//   - Exceptions thrown by iterations are captured; after every started
+//     iteration has finished, the exception from the lowest failing index
+//     is rethrown on the caller, so error reporting is deterministic
+//     regardless of thread count.
+//
+// The process-wide pool is sized from the ALCOP_THREADS environment
+// variable (default: hardware concurrency). Components must only use the
+// pool for work whose iterations are independent and whose results are
+// written to disjoint, pre-sized slots — this is what keeps every tuning
+// result bit-identical across thread counts.
+#ifndef ALCOP_SUPPORT_PARALLEL_H_
+#define ALCOP_SUPPORT_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace alcop {
+namespace support {
+
+class ThreadPool {
+ public:
+  // `threads` is the total concurrency including the calling thread;
+  // values < 1 are clamped to 1 (serial).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total concurrency (worker threads + the participating caller).
+  int threads() const;
+
+  // Blocks until fn(i) has run for every i in [0, n). All iterations run
+  // even if one throws; the lowest-index exception is rethrown at the end.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Thread count the global pool would be (re)built with: ALCOP_THREADS if
+// set to a positive integer, otherwise hardware concurrency.
+int ThreadsFromEnv();
+
+// Total concurrency of the global pool (creating it on first use).
+int ConfiguredThreads();
+
+// Test/bench hook: replaces the global pool with one of `threads` total
+// threads. In-flight ParallelFor calls keep the old pool alive; do not
+// call concurrently with new work submission.
+void SetGlobalThreads(int threads);
+
+// Runs fn over [0, n) on the global pool.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+// Maps fn over [0, n), collecting results in index order. Results are
+// identical for any thread count because each iteration owns slot i.
+template <typename Fn>
+auto ParallelMap(size_t n, Fn&& fn) -> std::vector<decltype(fn(size_t{0}))> {
+  std::vector<decltype(fn(size_t{0}))> out(n);
+  ParallelFor(n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace support
+}  // namespace alcop
+
+#endif  // ALCOP_SUPPORT_PARALLEL_H_

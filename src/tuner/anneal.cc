@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "support/parallel.h"
+
 namespace alcop {
 namespace tuner {
 
@@ -23,24 +25,34 @@ bool AreNeighbors(const schedule::ScheduleConfig& a,
   return diffs == 1;
 }
 
+std::vector<std::vector<size_t>> BuildNeighborLists(
+    const std::vector<schedule::ScheduleConfig>& space) {
+  std::vector<std::vector<size_t>> neighbors(space.size());
+  support::ParallelFor(space.size(), [&](size_t i) {
+    for (size_t j = 0; j < space.size(); ++j) {
+      if (j != i && AreNeighbors(space[i], space[j])) {
+        neighbors[i].push_back(j);
+      }
+    }
+  });
+  return neighbors;
+}
+
 std::vector<size_t> ProposeBatch(
     const std::vector<schedule::ScheduleConfig>& space,
     const std::function<double(size_t)>& score,
     const std::unordered_set<size_t>& exclude, size_t batch, Rng& rng,
-    const AnnealOptions& options) {
+    const AnnealOptions& options,
+    const std::vector<std::vector<size_t>>* precomputed_neighbors) {
   if (space.empty() || batch == 0) return {};
 
-  // Adjacency by single-knob mutation (computed per call; spaces are a few
-  // hundred entries).
-  std::vector<std::vector<size_t>> neighbors(space.size());
-  for (size_t i = 0; i < space.size(); ++i) {
-    for (size_t j = i + 1; j < space.size(); ++j) {
-      if (AreNeighbors(space[i], space[j])) {
-        neighbors[i].push_back(j);
-        neighbors[j].push_back(i);
-      }
-    }
+  std::vector<std::vector<size_t>> local_neighbors;
+  if (precomputed_neighbors == nullptr) {
+    local_neighbors = BuildNeighborLists(space);
   }
+  const std::vector<std::vector<size_t>>& neighbors =
+      precomputed_neighbors != nullptr ? *precomputed_neighbors
+                                       : local_neighbors;
 
   // Best-scored unvisited candidates found by the walk.
   std::map<double, size_t, std::greater<>> best;  // score -> index

@@ -2,15 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 
 #include "support/check.h"
+#include "support/parallel.h"
 
 namespace alcop {
 namespace tuner {
 
 namespace {
+
+// Row count above which per-node split search fans out across features on
+// the global pool. Below it the serial scan is faster than pool dispatch;
+// either path computes identical splits, so results do not depend on the
+// threshold or the thread count.
+constexpr size_t kParallelSplitRows = 256;
 
 // One binary regression tree stored as a flat node array.
 struct TreeNode {
@@ -40,6 +48,30 @@ struct Dataset {
   std::vector<double> weight;
 };
 
+// A node's rows, kept sorted by every feature (exact-greedy with
+// presorting, as in XGBoost). The root's orders are argsorts of x built
+// once per Fit — ties broken by row index, so the order is a pure
+// function of x — and children inherit them by stable partition, O(rows)
+// per feature instead of a sort per node.
+using FeatureOrders = std::vector<std::vector<int>>;
+
+FeatureOrders BuildRootOrders(const Dataset& data, size_t num_features) {
+  size_t n = data.x->size();
+  FeatureOrders orders(num_features);
+  support::ParallelFor(num_features, [&](size_t f) {
+    std::vector<int>& order = orders[f];
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      double xa = (*data.x)[static_cast<size_t>(a)][f];
+      double xb = (*data.x)[static_cast<size_t>(b)][f];
+      if (xa != xb) return xa < xb;
+      return a < b;
+    });
+  });
+  return orders;
+}
+
 // Weighted-squared-error leaf value with L2 regularization.
 double LeafValue(const Dataset& data, const std::vector<int>& rows, double l2) {
   double sum = 0.0, wsum = 0.0;
@@ -51,95 +83,130 @@ double LeafValue(const Dataset& data, const std::vector<int>& rows, double l2) {
   return sum / (wsum + l2);
 }
 
-double NodeLoss(const Dataset& data, const std::vector<int>& rows, double l2) {
-  // -G^2/(H + lambda) up to constants; lower is better.
-  double g = 0.0, h = 0.0;
-  for (int row : rows) {
-    g += data.weight[static_cast<size_t>(row)] *
-         data.residual[static_cast<size_t>(row)];
-    h += data.weight[static_cast<size_t>(row)];
-  }
-  return -(g * g) / (h + l2);
-}
-
 struct Split {
   int feature = -1;
   double threshold = 0.0;
   double gain = 0.0;
-  std::vector<int> left_rows, right_rows;
+  // The left child is the first `left_count` rows of the chosen feature's
+  // sorted order (splits only fall between distinct values, so the prefix
+  // is exactly the x <= threshold set).
+  size_t left_count = 0;
 };
 
-Split BestSplit(const Dataset& data, const std::vector<int>& rows,
-                const GbtParams& params) {
+// Best split along one feature: prefix scan of gradient/hessian over the
+// node's rows in presorted feature order. Pure function of its inputs, so
+// the per-feature searches run concurrently. `g`/`h` are the node totals
+// (feature-independent, computed once by the caller).
+Split BestSplitForFeature(const Dataset& data, const std::vector<int>& sorted,
+                          size_t f, double parent_loss, double g, double h,
+                          const GbtParams& params) {
   Split best;
-  size_t num_features = (*data.x)[0].size();
-  double parent_loss = NodeLoss(data, rows, params.l2);
-
-  std::vector<int> sorted = rows;
-  for (size_t f = 0; f < num_features; ++f) {
-    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
-      return (*data.x)[static_cast<size_t>(a)][f] <
-             (*data.x)[static_cast<size_t>(b)][f];
-    });
-    // Prefix sums of gradient/hessian over the sorted order.
-    double gl = 0.0, hl = 0.0, g = 0.0, h = 0.0;
-    for (int row : sorted) {
-      g += data.weight[static_cast<size_t>(row)] *
-           data.residual[static_cast<size_t>(row)];
-      h += data.weight[static_cast<size_t>(row)];
+  double gl = 0.0, hl = 0.0;
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    int row = sorted[i];
+    gl += data.weight[static_cast<size_t>(row)] *
+          data.residual[static_cast<size_t>(row)];
+    hl += data.weight[static_cast<size_t>(row)];
+    double x_here = (*data.x)[static_cast<size_t>(row)][f];
+    double x_next = (*data.x)[static_cast<size_t>(sorted[i + 1])][f];
+    if (x_here == x_next) continue;  // cannot split between equal values
+    size_t left_count = i + 1;
+    size_t right_count = sorted.size() - left_count;
+    if (left_count < static_cast<size_t>(params.min_samples_leaf) ||
+        right_count < static_cast<size_t>(params.min_samples_leaf)) {
+      continue;
     }
-    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
-      int row = sorted[i];
-      gl += data.weight[static_cast<size_t>(row)] *
-            data.residual[static_cast<size_t>(row)];
-      hl += data.weight[static_cast<size_t>(row)];
-      double x_here = (*data.x)[static_cast<size_t>(row)][f];
-      double x_next = (*data.x)[static_cast<size_t>(sorted[i + 1])][f];
-      if (x_here == x_next) continue;  // cannot split between equal values
-      size_t left_count = i + 1;
-      size_t right_count = sorted.size() - left_count;
-      if (left_count < static_cast<size_t>(params.min_samples_leaf) ||
-          right_count < static_cast<size_t>(params.min_samples_leaf)) {
-        continue;
-      }
-      double gr = g - gl, hr = h - hl;
-      double loss = -(gl * gl) / (hl + params.l2) - (gr * gr) / (hr + params.l2);
-      double gain = parent_loss - loss;
-      if (gain > best.gain + 1e-12) {
-        best.gain = gain;
-        best.feature = static_cast<int>(f);
-        best.threshold = 0.5 * (x_here + x_next);
-        best.left_rows.assign(sorted.begin(),
-                              sorted.begin() + static_cast<long>(left_count));
-        best.right_rows.assign(sorted.begin() + static_cast<long>(left_count),
-                               sorted.end());
-      }
+    double gr = g - gl, hr = h - hl;
+    double loss = -(gl * gl) / (hl + params.l2) - (gr * gr) / (hr + params.l2);
+    double gain = parent_loss - loss;
+    if (gain > best.gain + 1e-12) {
+      best.gain = gain;
+      best.feature = static_cast<int>(f);
+      best.threshold = 0.5 * (x_here + x_next);
+      best.left_count = left_count;
     }
   }
   return best;
 }
 
-int BuildNode(Tree& tree, const Dataset& data, std::vector<int> rows, int depth,
+Split BestSplit(const Dataset& data, const FeatureOrders& orders,
+                const GbtParams& params) {
+  size_t num_features = orders.size();
+  size_t n_rows = orders[0].size();
+  double g = 0.0, h = 0.0;
+  for (int row : orders[0]) {
+    g += data.weight[static_cast<size_t>(row)] *
+         data.residual[static_cast<size_t>(row)];
+    h += data.weight[static_cast<size_t>(row)];
+  }
+  double parent_loss = -(g * g) / (h + params.l2);
+
+  std::vector<Split> candidates;
+  auto search = [&](size_t f) {
+    return BestSplitForFeature(data, orders[f], f, parent_loss, g, h, params);
+  };
+  if (n_rows >= kParallelSplitRows) {
+    candidates = support::ParallelMap(num_features, search);
+  } else {
+    candidates.reserve(num_features);
+    for (size_t f = 0; f < num_features; ++f) candidates.push_back(search(f));
+  }
+
+  // Reduce in feature order with the same epsilon rule the scan uses, so
+  // ties break toward the lowest feature index for any thread count.
+  Split best;
+  for (size_t f = 0; f < num_features; ++f) {
+    if (candidates[f].gain > best.gain + 1e-12) {
+      best = candidates[f];
+    }
+  }
+  return best;
+}
+
+// Recursive exact-greedy builder. `orders` holds this node's rows sorted
+// by every feature; `in_left` is an n-row scratch bitmap (all zero on
+// entry and exit) used to stably partition the orders for the children.
+int BuildNode(Tree& tree, const Dataset& data, const FeatureOrders& orders,
+              std::vector<uint8_t>& in_left, int depth,
               const GbtParams& params) {
   int index = static_cast<int>(tree.nodes.size());
   tree.nodes.emplace_back();
+  size_t n_rows = orders[0].size();
   if (depth >= params.max_depth ||
-      rows.size() < static_cast<size_t>(2 * params.min_samples_leaf)) {
+      n_rows < static_cast<size_t>(2 * params.min_samples_leaf)) {
     tree.nodes[static_cast<size_t>(index)].value =
-        LeafValue(data, rows, params.l2);
+        LeafValue(data, orders[0], params.l2);
     return index;
   }
-  Split split = BestSplit(data, rows, params);
+  Split split = BestSplit(data, orders, params);
   if (split.feature < 0) {
     tree.nodes[static_cast<size_t>(index)].value =
-        LeafValue(data, rows, params.l2);
+        LeafValue(data, orders[0], params.l2);
     return index;
   }
   tree.nodes[static_cast<size_t>(index)].feature = split.feature;
   tree.nodes[static_cast<size_t>(index)].threshold = split.threshold;
-  int left = BuildNode(tree, data, std::move(split.left_rows), depth + 1, params);
-  int right =
-      BuildNode(tree, data, std::move(split.right_rows), depth + 1, params);
+
+  const std::vector<int>& split_order =
+      orders[static_cast<size_t>(split.feature)];
+  for (size_t i = 0; i < split.left_count; ++i) {
+    in_left[static_cast<size_t>(split_order[i])] = 1;
+  }
+  FeatureOrders left_orders(orders.size()), right_orders(orders.size());
+  for (size_t f = 0; f < orders.size(); ++f) {
+    left_orders[f].reserve(split.left_count);
+    right_orders[f].reserve(n_rows - split.left_count);
+    for (int row : orders[f]) {
+      (in_left[static_cast<size_t>(row)] ? left_orders[f] : right_orders[f])
+          .push_back(row);
+    }
+  }
+  for (size_t i = 0; i < split.left_count; ++i) {
+    in_left[static_cast<size_t>(split_order[i])] = 0;
+  }
+
+  int left = BuildNode(tree, data, left_orders, in_left, depth + 1, params);
+  int right = BuildNode(tree, data, right_orders, in_left, depth + 1, params);
   tree.nodes[static_cast<size_t>(index)].left = left;
   tree.nodes[static_cast<size_t>(index)].right = right;
   return index;
@@ -186,21 +253,27 @@ void GbtModel::Fit(const std::vector<std::vector<double>>& x,
 
   data.residual.resize(y.size());
   std::vector<double> prediction(y.size(), impl_->base);
-  std::vector<int> all_rows(y.size());
-  std::iota(all_rows.begin(), all_rows.end(), 0);
+  // The argsorts depend only on x, so every boosting round reuses them.
+  FeatureOrders root_orders = BuildRootOrders(data, x[0].size());
+  std::vector<uint8_t> in_left(x.size(), 0);
 
   for (int round = 0; round < impl_->params.num_trees; ++round) {
     for (size_t i = 0; i < y.size(); ++i) {
       data.residual[i] = y[i] - prediction[i];
     }
     Tree tree;
-    BuildNode(tree, data, all_rows, 0, impl_->params);
+    BuildNode(tree, data, root_orders, in_left, 0, impl_->params);
     // Stop early if the tree is a pure leaf contributing nothing.
     bool useful = tree.nodes.size() > 1 ||
                   std::abs(tree.nodes[0].value) > 1e-12;
     if (!useful) break;
-    for (size_t i = 0; i < y.size(); ++i) {
+    auto update = [&](size_t i) {
       prediction[i] += impl_->params.learning_rate * tree.Predict(x[i]);
+    };
+    if (y.size() >= kParallelSplitRows) {
+      support::ParallelFor(y.size(), update);
+    } else {
+      for (size_t i = 0; i < y.size(); ++i) update(i);
     }
     impl_->trees.push_back(std::move(tree));
   }
@@ -214,6 +287,13 @@ double GbtModel::Predict(const std::vector<double>& features) const {
     out += impl_->params.learning_rate * tree.Predict(features);
   }
   return out;
+}
+
+std::vector<double> GbtModel::PredictBatch(
+    const std::vector<std::vector<double>>& rows) const {
+  ALCOP_CHECK(impl_->fitted) << "GBT model queried before Fit";
+  return support::ParallelMap(rows.size(),
+                              [&](size_t i) { return Predict(rows[i]); });
 }
 
 bool GbtModel::IsFitted() const { return impl_->fitted; }

@@ -36,6 +36,11 @@ class GbtModel {
 
   double Predict(const std::vector<double>& features) const;
 
+  // Predicts every row concurrently on the global pool. Element i equals
+  // Predict(rows[i]) exactly, for any thread count.
+  std::vector<double> PredictBatch(
+      const std::vector<std::vector<double>>& rows) const;
+
   bool IsFitted() const;
 
  private:

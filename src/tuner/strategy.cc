@@ -8,8 +8,9 @@
 
 #include "perfmodel/analytical.h"
 #include "perfmodel/bottleneck.h"
-#include "sim/launch.h"
+#include "sim/sim_cache.h"
 #include "support/check.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "tuner/anneal.h"
 #include "tuner/feature.h"
@@ -28,15 +29,19 @@ double ScoreOf(double cycles) {
   return -std::log(cycles);
 }
 
+// Measures the first min(order.size(), max_trials) candidates concurrently
+// on the global pool. Trial order and each measured value are fixed by the
+// input order alone (every iteration owns result slot i and measurement is
+// pure), so the TuningResult is bit-identical across thread counts.
 TuningResult MeasureInOrder(const TuningTask& task,
                             const std::vector<size_t>& order,
                             size_t max_trials) {
   TuningResult result;
-  for (size_t index : order) {
-    if (result.trials.size() >= max_trials) break;
-    result.trials.push_back(index);
-    result.measured.push_back(task.measure(task.space[index]));
-  }
+  size_t count = std::min(order.size(), max_trials);
+  result.trials.assign(order.begin(),
+                       order.begin() + static_cast<ptrdiff_t>(count));
+  result.measured = support::ParallelMap(
+      count, [&](size_t i) { return task.measure(task.space[order[i]]); });
   return result;
 }
 
@@ -45,10 +50,8 @@ std::vector<size_t> RankByModel(
     const std::function<double(const schedule::ScheduleConfig&)>& predict) {
   std::vector<size_t> order(task.space.size());
   std::iota(order.begin(), order.end(), 0);
-  std::vector<double> predicted(task.space.size());
-  for (size_t i = 0; i < task.space.size(); ++i) {
-    predicted[i] = predict(task.space[i]);
-  }
+  std::vector<double> predicted = support::ParallelMap(
+      task.space.size(), [&](size_t i) { return predict(task.space[i]); });
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return predicted[a] < predicted[b];
   });
@@ -64,8 +67,11 @@ TuningTask MakeSimulatorTask(const schedule::GemmOp& op,
   task.op = op;
   task.spec = spec;
   task.space = EnumerateSpace(op, options);
+  // Measurement goes through the process-wide compile+simulate cache, so
+  // repeated sweeps of the same space (other strategies, other seeds,
+  // other trial budgets) are lookups instead of recompiles.
   task.measure = [op, spec](const schedule::ScheduleConfig& config) {
-    sim::KernelTiming timing = sim::CompileAndSimulate(op, config, spec);
+    sim::KernelTiming timing = sim::CachedCompileAndSimulate(op, config, spec);
     return timing.feasible ? timing.cycles : kInf;
   };
   return task;
@@ -122,30 +128,38 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
   Rng rng(options.seed);
 
   // Feature matrix for the whole space (cheap, reused every round).
-  std::vector<std::vector<double>> features;
-  features.reserve(task.space.size());
-  for (const schedule::ScheduleConfig& config : task.space) {
-    features.push_back(ExtractFeatures(task.op, config, task.spec));
-  }
+  std::vector<std::vector<double>> features = support::ParallelMap(
+      task.space.size(),
+      [&](size_t i) { return ExtractFeatures(task.op, task.space[i], task.spec); });
 
   // Pre-training pseudo-samples: the analytical model's predicted score
   // for every configuration in the space.
   std::vector<double> pretrain_scores;
   if (options.pretrain_with_analytical) {
-    pretrain_scores.reserve(task.space.size());
-    for (const schedule::ScheduleConfig& config : task.space) {
-      pretrain_scores.push_back(
-          ScoreOf(perfmodel::PredictCycles(task.op, config, task.spec)));
-    }
+    pretrain_scores = support::ParallelMap(task.space.size(), [&](size_t i) {
+      return ScoreOf(perfmodel::PredictCycles(task.op, task.space[i], task.spec));
+    });
   }
 
   GbtModel model;
   std::unordered_set<size_t> measured_set;
+  // Annealing adjacency, built once (in parallel) on the first
+  // model-guided round instead of every round.
+  std::vector<std::vector<size_t>> neighbors;
 
+  // Proposal and refitting stay on the caller thread (the single Rng and
+  // the model are not shared with the pool); only candidate measurement
+  // and batch prediction fan out, so trial order is thread-count invariant.
   auto refit = [&]() {
     std::vector<std::vector<double>> x;
     std::vector<double> y;
     std::vector<double> w;
+    size_t rows =
+        (options.pretrain_with_analytical ? task.space.size() : 0) +
+        result.trials.size();
+    x.reserve(rows);
+    y.reserve(rows);
+    w.reserve(rows);
     if (options.pretrain_with_analytical) {
       for (size_t i = 0; i < task.space.size(); ++i) {
         x.push_back(features[i]);
@@ -169,27 +183,33 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
         std::min(options.batch_size, max_trials - result.trials.size());
     std::vector<size_t> proposals;
     if (!model.IsFitted()) {
-      // Cold start: random batch.
+      // Cold start: random batch, deduplicated in O(1) per draw.
+      std::unordered_set<size_t> proposed;
       while (proposals.size() < batch &&
              measured_set.size() + proposals.size() < task.space.size()) {
         size_t index = static_cast<size_t>(
             rng.UniformInt(0, static_cast<int64_t>(task.space.size()) - 1));
-        if (measured_set.count(index) == 0 &&
-            std::find(proposals.begin(), proposals.end(), index) ==
-                proposals.end()) {
+        if (measured_set.count(index) == 0 && proposed.insert(index).second) {
           proposals.push_back(index);
         }
       }
     } else {
-      auto score = [&](size_t index) { return model.Predict(features[index]); };
-      proposals =
-          ProposeBatch(task.space, score, measured_set, batch, rng);
+      // Predict the whole space in one parallel batch; the annealing walk
+      // then scores candidates by table lookup.
+      if (neighbors.empty()) neighbors = BuildNeighborLists(task.space);
+      std::vector<double> predicted = model.PredictBatch(features);
+      auto score = [&](size_t index) { return predicted[index]; };
+      proposals = ProposeBatch(task.space, score, measured_set, batch, rng,
+                               {}, &neighbors);
     }
     if (proposals.empty()) break;
-    for (size_t index : proposals) {
-      result.trials.push_back(index);
-      result.measured.push_back(task.measure(task.space[index]));
-      measured_set.insert(index);
+    std::vector<double> cycles = support::ParallelMap(
+        proposals.size(),
+        [&](size_t i) { return task.measure(task.space[proposals[i]]); });
+    for (size_t i = 0; i < proposals.size(); ++i) {
+      result.trials.push_back(proposals[i]);
+      result.measured.push_back(cycles[i]);
+      measured_set.insert(proposals[i]);
     }
     refit();
   }

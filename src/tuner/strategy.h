@@ -27,6 +27,13 @@ namespace tuner {
 // One tuning problem: an operator, a device, an enumerated space, and a
 // measurement function returning kernel cycles (+inf for configurations
 // that fail to compile or fit).
+//
+// `measure` is invoked concurrently from the global thread pool (see
+// support/parallel.h): it must be a pure function of the config —
+// thread-safe and returning the same cycles for the same config — which
+// is what makes every strategy's TuningResult bit-identical across
+// ALCOP_THREADS settings. Proposal logic (annealing walks, model refits,
+// RNG draws) always stays on the caller thread.
 struct TuningTask {
   schedule::GemmOp op;
   target::GpuSpec spec;

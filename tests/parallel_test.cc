@@ -1,0 +1,139 @@
+// Tests of the thread pool (support/parallel.h): full coverage of index
+// space, serial fallback, exception propagation, nested use, and the
+// global-pool configuration hooks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/parallel.h"
+
+namespace alcop {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    support::ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    std::vector<std::atomic<int>> counts(1000);
+    pool.ParallelFor(counts.size(),
+                     [&](size_t i) { counts[i].fetch_add(1); });
+    for (const std::atomic<int>& count : counts) EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeThreadsClampToSerial) {
+  support::ThreadPool zero(0);
+  EXPECT_EQ(zero.threads(), 1);
+  support::ThreadPool negative(-3);
+  EXPECT_EQ(negative.threads(), 1);
+  std::vector<int> order;
+  // With no workers the loop runs inline in index order on this thread.
+  std::thread::id caller = std::this_thread::get_id();
+  zero.ParallelFor(10, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(static_cast<int>(i));
+  });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  support::ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t i) {
+                         if (i % 10 == 3) throw std::runtime_error("boom " + std::to_string(i));
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWins) {
+  // Multiple failures: the rethrown exception is deterministically the one
+  // from the smallest index, regardless of scheduling.
+  for (int threads : {1, 4}) {
+    support::ThreadPool pool(threads);
+    try {
+      pool.ParallelFor(64, [&](size_t i) {
+        if (i >= 7) throw std::runtime_error("fail@" + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail@7");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, AllIterationsRunEvenWhenOneThrows) {
+  support::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(50,
+                                [&](size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 0) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  support::ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(16 * 16);
+  pool.ParallelFor(16, [&](size_t outer) {
+    // Nested calls run inline on the worker; no deadlock, full coverage.
+    pool.ParallelFor(16, [&](size_t inner) {
+      counts[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (const std::atomic<int>& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  support::SetGlobalThreads(8);
+  std::vector<int> out =
+      support::ParallelMap(257, [](size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 257u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+  support::SetGlobalThreads(support::ThreadsFromEnv());
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsReconfiguresThePool) {
+  support::SetGlobalThreads(3);
+  EXPECT_EQ(support::ConfiguredThreads(), 3);
+  support::SetGlobalThreads(1);
+  EXPECT_EQ(support::ConfiguredThreads(), 1);
+  // Work still runs after swapping pools.
+  std::atomic<int> sum{0};
+  support::ParallelFor(10, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 45);
+  support::SetGlobalThreads(support::ThreadsFromEnv());
+}
+
+TEST(ThreadPoolTest, ManyThreadsFewItems) {
+  support::ThreadPool pool(16);
+  std::set<size_t> seen;
+  std::mutex mu;
+  pool.ParallelFor(3, [&](size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(i);
+  });
+  EXPECT_EQ(seen, (std::set<size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace alcop

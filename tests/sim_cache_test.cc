@@ -1,0 +1,114 @@
+// Tests of the process-wide compile+simulate cache (sim/sim_cache.h):
+// key canonicalization, hit/miss accounting, and that a repeated
+// exhaustive sweep is 100% hits returning identical cycles.
+#include <gtest/gtest.h>
+
+#include "schedule/tensor.h"
+#include "sim/sim_cache.h"
+#include "support/parallel.h"
+#include "target/gpu_spec.h"
+#include "tuner/space.h"
+#include "tuner/strategy.h"
+
+namespace alcop {
+namespace {
+
+using schedule::MakeMatmul;
+
+// A small real-simulator task so cache tests stay fast.
+tuner::TuningTask SmallSimTask() {
+  tuner::SpaceOptions options;
+  options.tb_m = {64, 128};
+  options.tb_n = {32, 64};
+  options.tb_k = {32};
+  options.warp_splits = {{2, 1}, {2, 2}};
+  return tuner::MakeSimulatorTask(MakeMatmul("mm", 1024, 64, 2048),
+                                  target::AmpereSpec(), options);
+}
+
+TEST(SimCacheTest, KeyDistinguishesOpConfigAndSpec) {
+  schedule::GemmOp op = MakeMatmul("mm", 512, 512, 512);
+  schedule::ScheduleConfig config;
+  target::GpuSpec spec = target::AmpereSpec();
+  std::string base = sim::SimCacheKey(op, config, spec,
+                                      schedule::InlineOrder::kAfterPipelining);
+
+  schedule::GemmOp op2 = op;
+  op2.k = 1024;
+  EXPECT_NE(base, sim::SimCacheKey(op2, config, spec,
+                                   schedule::InlineOrder::kAfterPipelining));
+
+  schedule::ScheduleConfig config2 = config;
+  config2.smem_stages = 4;
+  EXPECT_NE(base, sim::SimCacheKey(op, config2, spec,
+                                   schedule::InlineOrder::kAfterPipelining));
+
+  // Benches mutate spec fields in place; the name alone must not collide.
+  target::GpuSpec spec2 = spec;
+  spec2.dram_bw_bytes_per_cycle *= 2.0;
+  EXPECT_NE(base, sim::SimCacheKey(op, config, spec2,
+                                   schedule::InlineOrder::kAfterPipelining));
+
+  EXPECT_NE(base, sim::SimCacheKey(op, config, spec,
+                                   schedule::InlineOrder::kBeforePipelining));
+
+  // Operator name is presentation only — same shape, same kernel.
+  schedule::GemmOp renamed = op;
+  renamed.name = "other";
+  EXPECT_EQ(base, sim::SimCacheKey(renamed, config, spec,
+                                   schedule::InlineOrder::kAfterPipelining));
+}
+
+TEST(SimCacheTest, RepeatedExhaustiveSearchIsAllHits) {
+  tuner::TuningTask task = SmallSimTask();
+  ASSERT_GE(task.space.size(), 8u);
+  sim::ResetSimCache();
+
+  tuner::TuningResult first = tuner::ExhaustiveSearch(task);
+  sim::SimCacheStats after_first = sim::GetSimCacheStats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_EQ(after_first.misses, task.space.size());
+  EXPECT_EQ(after_first.entries, task.space.size());
+
+  tuner::TuningResult second = tuner::ExhaustiveSearch(task);
+  sim::SimCacheStats after_second = sim::GetSimCacheStats();
+  // The rerun is 100% hits: no new misses, one hit per config.
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_EQ(after_second.hits, task.space.size());
+  EXPECT_EQ(after_second.entries, task.space.size());
+
+  ASSERT_EQ(first.trials, second.trials);
+  ASSERT_EQ(first.measured, second.measured);  // bit-identical cycles
+}
+
+TEST(SimCacheTest, CachedResultMatchesDirectSimulation) {
+  tuner::TuningTask task = SmallSimTask();
+  sim::ResetSimCache();
+  for (const schedule::ScheduleConfig& config : task.space) {
+    sim::KernelTiming direct =
+        sim::CompileAndSimulate(task.op, config, task.spec);
+    sim::KernelTiming cached =
+        sim::CachedCompileAndSimulate(task.op, config, task.spec);
+    sim::KernelTiming cached_again =
+        sim::CachedCompileAndSimulate(task.op, config, task.spec);
+    EXPECT_EQ(direct.feasible, cached.feasible);
+    EXPECT_EQ(direct.cycles, cached.cycles);
+    EXPECT_EQ(cached.cycles, cached_again.cycles);
+    EXPECT_EQ(cached.reason, cached_again.reason);
+  }
+}
+
+TEST(SimCacheTest, ResetClearsEntriesAndCounters) {
+  tuner::TuningTask task = SmallSimTask();
+  sim::ResetSimCache();
+  tuner::ExhaustiveSearch(task);
+  EXPECT_GT(sim::GetSimCacheStats().entries, 0u);
+  sim::ResetSimCache();
+  sim::SimCacheStats stats = sim::GetSimCacheStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+}  // namespace
+}  // namespace alcop

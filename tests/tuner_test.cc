@@ -8,7 +8,9 @@
 #include <set>
 
 #include "schedule/tensor.h"
+#include "sim/sim_cache.h"
 #include "support/check.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "target/gpu_spec.h"
 #include "tuner/anneal.h"
@@ -253,6 +255,97 @@ TEST(StrategyTest, XgbBeatsGridAtSmallBudgets) {
   double xgb = xgb_sum / 3.0;
   EXPECT_LT(xgb, grid);
   EXPECT_LE(exhaustive_best, xgb);
+}
+
+// The PR 2 invariant: every strategy's TuningResult — trial order AND
+// measured cycles — is bit-identical whatever ALCOP_THREADS is, because
+// proposal/refit stay on the caller thread and measurement slots are
+// owned per index. Runs the real simulator (cold cache each time) so
+// concurrent compiles are exercised, not just cache lookups.
+TEST(StrategyTest, ResultsAreThreadCountInvariant) {
+  GemmOp op = MakeMatmul("mm", 1024, 64, 2048);
+  tuner::SpaceOptions space_options;
+  space_options.tb_m = {64, 128};
+  space_options.tb_n = {32, 64};
+  space_options.tb_k = {32, 64};
+  space_options.warp_splits = {{2, 1}, {2, 2}};
+  tuner::TuningTask task =
+      tuner::MakeSimulatorTask(op, target::AmpereSpec(), space_options);
+  ASSERT_GE(task.space.size(), 20u);
+
+  auto run_all = [&]() {
+    sim::ResetSimCache();  // force real concurrent compiles
+    std::vector<tuner::TuningResult> results;
+    results.push_back(tuner::ExhaustiveSearch(task));
+    results.push_back(tuner::GridSearch(task, 12));
+    results.push_back(tuner::AnalyticalRanking(task, 12));
+    tuner::XgbOptions options;
+    options.seed = 5;
+    options.pretrain_with_analytical = true;
+    results.push_back(tuner::XgbTuner(task, 24, options));
+    options.pretrain_with_analytical = false;
+    results.push_back(tuner::XgbTuner(task, 24, options));
+    return results;
+  };
+
+  support::SetGlobalThreads(1);
+  std::vector<tuner::TuningResult> serial = run_all();
+  for (int threads : {2, 8}) {
+    support::SetGlobalThreads(threads);
+    std::vector<tuner::TuningResult> parallel = run_all();
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t s = 0; s < serial.size(); ++s) {
+      EXPECT_EQ(serial[s].trials, parallel[s].trials)
+          << "strategy " << s << " at " << threads << " threads";
+      EXPECT_EQ(serial[s].measured, parallel[s].measured)
+          << "strategy " << s << " at " << threads << " threads";
+    }
+  }
+  support::SetGlobalThreads(support::ThreadsFromEnv());
+}
+
+TEST(GbtTest, PredictBatchMatchesPredict) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.Uniform(0, 4), b = rng.Uniform(0, 4);
+    x.push_back({a, b});
+    y.push_back(a * b - a);
+  }
+  tuner::GbtModel model;
+  model.Fit(x, y);
+  for (int threads : {1, 8}) {
+    support::SetGlobalThreads(threads);
+    std::vector<double> batch = model.PredictBatch(x);
+    ASSERT_EQ(batch.size(), x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(batch[i], model.Predict(x[i]));
+    }
+  }
+  support::SetGlobalThreads(support::ThreadsFromEnv());
+}
+
+TEST(GbtTest, FitIsThreadCountInvariant) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> row;
+    for (int f = 0; f < 6; ++f) row.push_back(rng.Uniform(0, 10));
+    x.push_back(row);
+    y.push_back(row[0] * 2.0 - row[3] + (row[1] > 5 ? 4.0 : 0.0));
+  }
+  support::SetGlobalThreads(1);
+  tuner::GbtModel serial;
+  serial.Fit(x, y);
+  std::vector<double> serial_pred = serial.PredictBatch(x);
+  support::SetGlobalThreads(8);
+  tuner::GbtModel parallel;
+  parallel.Fit(x, y);
+  std::vector<double> parallel_pred = parallel.PredictBatch(x);
+  EXPECT_EQ(serial_pred, parallel_pred);
+  support::SetGlobalThreads(support::ThreadsFromEnv());
 }
 
 TEST(StrategyTest, PretrainingHelpsEarlyTrials) {
