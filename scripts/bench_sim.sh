@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the simulator-throughput bench (AST interpreter vs compiled
+# micro-op replay over the Fig. 10 sweep) and writes machine-readable
+# results to BENCH_sim.json (repo root by default), so replay speedup,
+# determinism, the zero-allocation property of the warm path, and both
+# sim-cache layers are tracked from PR to PR.
+#
+# Usage: scripts/bench_sim.sh [--quick] [output.json]
+#   --quick      stride the schedule space 16x (the CI perf-smoke mode)
+#   output.json  where to write the result (default: ./BENCH_sim.json)
+#
+# Exit status is the bench's own: nonzero only when determinism or the
+# zero-allocation gate fails — never because of wall time.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=""
+OUT="BENCH_sim.json"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    *) OUT="$arg" ;;
+  esac
+done
+BIN=build/bench/sim_throughput
+
+if [[ ! -x "$BIN" ]]; then
+  echo "building $BIN..." >&2
+  cmake -B build -S . >/dev/null
+  cmake --build build --target sim_throughput -j "$(nproc)" >/dev/null
+fi
+
+echo "running simulator-throughput bench${QUICK:+ (quick)}..." >&2
+"$BIN" $QUICK > "$OUT"
+cat "$OUT"
+echo "wrote $OUT" >&2

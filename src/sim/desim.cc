@@ -1,6 +1,7 @@
 #include "sim/desim.h"
 
 #include <algorithm>
+#include <cstring>
 #include <queue>
 
 #include "support/check.h"
@@ -429,6 +430,671 @@ double SimulateBatch(const ThreadblockTrace& trace,
                      const target::GpuSpec& spec, const DesimParams& params) {
   ALCOP_CHECK_GT(params.threadblocks, 0);
   return Desim(trace, spec, params).Run();
+}
+
+size_t ReplayArena::CapacityBytes() const {
+  size_t total = streams.capacity() * sizeof(Stream) +
+                 (acquires.capacity() + commits.capacity() +
+                  waits.capacity() + releases.capacity()) * sizeof(int32_t) +
+                 (copy_max.capacity() + slot_partial_max.capacity() +
+                  slot_complete.capacity() + pool_scaled.capacity()) *
+                     sizeof(double) +
+                 (stream_inst.capacity() + stream_rel.capacity() +
+                  inst_participants.capacity() + inst_slot_base.capacity() +
+                  inst_rel_base.capacity() + inst_min_rel.capacity() +
+                  slot_commits.capacity()) *
+                     sizeof(int32_t) +
+                 slot_done.capacity() * sizeof(uint8_t) +
+                 waiters.capacity() * sizeof(WaiterLists) +
+                 barriers.capacity() * sizeof(Barrier) +
+                 heap.capacity() * sizeof(HeapEntry);
+  for (const WaiterLists& lists : waiters) {
+    total += (lists.wait.capacity() + lists.acquire.capacity()) *
+             sizeof(Waiter);
+  }
+  for (const Barrier& barrier : barriers) {
+    total += barrier.parked.capacity() * sizeof(std::pair<int32_t, double>);
+  }
+  return total;
+}
+
+namespace {
+
+// The bytecode replay core. A transliteration of Desim::Step over the flat
+// micro-op program: every floating-point expression is evaluated in the
+// same order with the same values, so the makespan and timeline spans are
+// bit-identical to the interpreter (the per-event divisions by
+// wave-independent rates were already folded into the program operands by
+// the trace compiler, producing the exact same doubles).
+//
+// The hot loop works exclusively on raw pointers into the caller's pooled
+// arena: flat SoA instance state, per-(stream, group) pre-resolved
+// instance/release-slot tables, and a plain binary heap driven replace-top
+// style — the common case of "finish event, requeue, pop next" costs one
+// sift-down instead of a pop + push pair, and a stream that stays earliest
+// keeps running with no heap traffic at all. Handlers are direct-threaded:
+// each one ends in its own computed-goto dispatch site (a GNU extension,
+// like the __int128 scheduler keys), so the branch predictor learns the
+// opcode transitions that actually follow each kind instead of sharing one
+// saturated indirect jump.
+//
+// The class is templated on whether a timeline is being captured. The hot
+// (no-timeline) instantiation compiles every Record call out AND runs the
+// eagerly-continuable micro-op kinds (see kFirstEagerKind) inline, out of
+// strict timestamp order — result-identical by the commutativity argument
+// in compile.h, and differentially tested against the interpreter over
+// the full operator sweep. The timeline instantiation executes in exact
+// pop order so that the recorded spans match the interpreter's byte for
+// byte, order included.
+template <bool kTimeline>
+class Replayer {
+ public:
+  Replayer(const MicroOpProgram& program, const ReplayWave& wave,
+           ReplayArena& arena, Timeline* timeline)
+      : p_(program), wave_(wave), a_(arena), timeline_(timeline) {}
+
+  double Run() {
+    Reset();
+    // One entry per MicroOpKind, in enum order.
+    static const void* kT[] = {
+        &&handle_copy_async_global, &&handle_copy_async_shared,
+        &&handle_copy_sync_global,  &&handle_copy_sync_shared,
+        &&handle_store_global,      &&handle_mma,
+        &&handle_acquire,           &&handle_release,
+        &&handle_fill,              &&handle_commit,
+        &&handle_wait,              &&handle_barrier};
+    int32_t id;
+    Stream* s;
+    const MicroOp* op;
+#define ALCOP_DISPATCH() goto *kT[static_cast<int>(op->kind)]
+// Finishes an event: advance pc, then pick the next stream to run. In the
+// hot instantiation a next op from the eagerly-continuable suffix of
+// MicroOpKind runs inline regardless of the queue — out of timestamp order
+// but provably result-identical (see compile.h). Otherwise, if the current
+// stream would be popped right back it keeps running with no heap traffic;
+// else its entry replaces the heap top (one sift-down) and the old top
+// runs next. Both shortcuts preserve the exact pop order of the
+// interpreter's push-then-pop, because the order is a strict total order
+// over (time, id).
+#define ALCOP_NEXT()                                        \
+  do {                                                      \
+    if (++s->pc == s->end) goto pop_next;                   \
+    op = ops_ + s->pc;                                      \
+    if constexpr (!kTimeline) {                             \
+      if (op->kind >= kFirstEagerKind) ALCOP_DISPATCH();    \
+      /* A PASSING acquire is also eager-safe: the pass path is        \
+         stream-local (time += sync), and releases only ever raise     \
+         imin_, so an acquire that passes now would also pass — with   \
+         the identical result — at its strict queue turn. A would-park \
+         acquire is NOT run early: a release firing before its queue   \
+         turn could turn the park into a pass (or change the wake      \
+         time), so it goes through the queue and decides there. */     \
+      if (op->kind == MicroOpKind::kAcquire) {              \
+        const size_t gi_ = GroupIndex(id, op->group);       \
+        if (acq_[gi_] - op->aux <= imin_[sinst_[gi_]]) {    \
+          ALCOP_DISPATCH();                                 \
+        }                                                   \
+      }                                                     \
+    }                                                       \
+    if (heap_size_ == 0) ALCOP_DISPATCH();                  \
+    {                                                       \
+      const Key key = MakeKey(s->time, id);                 \
+      const Key top = tree_[0].key;                         \
+      if (key < top) ALCOP_DISPATCH();                      \
+      SiftRoot(key);                                        \
+      id = KeyId(top);                                      \
+      s = streams_ + id;                                    \
+      if (s->pc >= s->end) goto pop_next;                   \
+    }                                                       \
+    op = ops_ + s->pc;                                      \
+    ALCOP_DISPATCH();                                       \
+  } while (0)
+
+  pop_next:
+    if (heap_size_ == 0) goto done;
+    id = KeyId(tree_[0].key);
+    if (--heap_size_ > 0) {
+      SiftRoot(tree_[heap_size_].key);
+    }
+    s = streams_ + id;
+    if (s->pc >= s->end) goto pop_next;  // woken after its last event
+    op = ops_ + s->pc;
+    ALCOP_DISPATCH();
+
+  handle_fill: {
+    const double t0 = s->time;
+    s->time += spool_[op->aux * 8];
+    Record(s->tb, s->warp, SpanKind::kFill, t0, s->time);
+    ALCOP_NEXT();
+  }
+
+  handle_mma: {
+    DrainSyncLoads(*s);
+    // Streams are tb-major (id == tb * num_warps + warp), so the
+    // interpreter's (tb * num_warps + warp) % 4 partition is id % 4.
+    double& free = tc_free_[static_cast<size_t>(id) & 3];
+    const double start = std::max(s->time, free);
+    free = start + spool_[op->aux * 8];
+    s->time = free;
+    Record(s->tb, s->warp, SpanKind::kCompute, start, s->time);
+    ALCOP_NEXT();
+  }
+
+  handle_copy_async_global: {
+    const double* v = spool_ + op->aux * 8;
+    const double t0 = s->time;
+    s->time += v[0];
+    Record(s->tb, s->warp, SpanKind::kIssue, t0, s->time);
+    const double completion = GlobalTransfer(s->time, v, op->flags, s->tb);
+    double& copy_max = cmax_[GroupIndex(id, op->group)];
+    copy_max = std::max(copy_max, completion);
+    if (blocking_async_) {
+      Record(s->tb, s->warp, SpanKind::kBlockingCopy, s->time, completion);
+      s->time = completion;
+    }
+    ALCOP_NEXT();
+  }
+
+  handle_copy_async_shared: {
+    const double* v = spool_ + op->aux * 8;
+    const double t0 = s->time;
+    s->time += v[0];
+    Record(s->tb, s->warp, SpanKind::kIssue, t0, s->time);
+    const double completion = SharedTransfer(s->time, v, s->tb);
+    double& copy_max = cmax_[GroupIndex(id, op->group)];
+    copy_max = std::max(copy_max, completion);
+    if (blocking_async_) {
+      Record(s->tb, s->warp, SpanKind::kBlockingCopy, s->time, completion);
+      s->time = completion;
+    }
+    ALCOP_NEXT();
+  }
+
+  handle_copy_sync_global: {
+    const double* v = spool_ + op->aux * 8;
+    const double t0 = s->time;
+    s->time += v[0];
+    Record(s->tb, s->warp, SpanKind::kIssue, t0, s->time);
+    const double completion = GlobalTransfer(s->time, v, op->flags, s->tb);
+    s->pending_sync = std::max(s->pending_sync, completion);
+    ALCOP_NEXT();
+  }
+
+  handle_copy_sync_shared: {
+    const double* v = spool_ + op->aux * 8;
+    const double t0 = s->time;
+    s->time += v[0];
+    Record(s->tb, s->warp, SpanKind::kIssue, t0, s->time);
+    const double completion = SharedTransfer(s->time, v, s->tb);
+    s->pending_sync = std::max(s->pending_sync, completion);
+    ALCOP_NEXT();
+  }
+
+  handle_store_global: {
+    DrainSyncLoads(*s);
+    const double* v = spool_ + op->aux * 8;
+    const double t0 = s->time;
+    s->time += v[0];
+    Record(s->tb, s->warp, SpanKind::kStore, t0, s->time);
+    const double start = std::max(s->time, dram_write_free_);
+    dram_write_free_ = start + v[6];  // op1 / dram-write rate
+    const double completion = dram_write_free_ + v[2];
+    store_completion_ = std::max(store_completion_, completion);
+    ALCOP_NEXT();
+  }
+
+  handle_acquire: {
+    const size_t gi = GroupIndex(id, op->group);
+    const int32_t inst = sinst_[gi];
+    const int32_t needed = acq_[gi] - op->aux;  // aux = stages - 1
+    if (needed > imin_[inst]) {
+      a_.waiters[static_cast<size_t>(inst)].acquire.push_back(
+          {id, needed, s->time});
+      goto pop_next;  // parked
+    }
+    s->time += sync_;
+    ++acq_[gi];
+    ALCOP_NEXT();
+  }
+
+  handle_commit: {
+    const size_t gi = GroupIndex(id, op->group);
+    const int32_t inst = sinst_[gi];
+    const int32_t count = com_[gi];
+    const int32_t slot = ibase_[inst] + count;
+    double& partial = spartial_[slot];
+    partial = std::max(partial, cmax_[gi]);
+    cmax_[gi] = 0.0;
+    if (++scommits_[slot] == ipart_[inst]) {
+      scomplete_[slot] = partial;
+      sdone_[slot] = 1;
+      WakeWaitWaiters(inst, count);
+    }
+    com_[gi] = count + 1;
+    s->time += half_sync_;
+    ALCOP_NEXT();
+  }
+
+  handle_wait: {
+    const size_t gi = GroupIndex(id, op->group);
+    const int32_t inst = sinst_[gi];
+    const int32_t idx = wai_[gi] + (op->aux & 0xff);
+    const int32_t cap = op->aux >> 8;  // baked max_commits
+    if (static_cast<uint32_t>(idx) >= static_cast<uint32_t>(cap) ||
+        !sdone_[ibase_[inst] + idx]) {
+      a_.waiters[static_cast<size_t>(inst)].wait.push_back(
+          {id, idx, s->time});
+      goto pop_next;  // parked
+    }
+    const double t0 = s->time;
+    s->time = std::max(s->time, scomplete_[ibase_[inst] + idx]) + sync_;
+    Record(s->tb, s->warp, SpanKind::kSyncStall, t0, s->time);
+    ++wai_[gi];
+    ALCOP_NEXT();
+  }
+
+  handle_release: {
+    const size_t gi = GroupIndex(id, op->group);
+    const int32_t inst = sinst_[gi];
+    const int32_t old = rel_[srel_[gi]]++;
+    // The min over the release slots only moves when a slot at the min
+    // advances; recounting then keeps the acquire check O(1).
+    if (old == imin_[inst]) imin_[inst] = MinReleases(inst);
+    s->time += half_sync_;
+    WakeAcquireWaiters(inst, s->time);
+    ALCOP_NEXT();
+  }
+
+  handle_barrier: {
+    DrainSyncLoads(*s);
+    ReplayArena::Barrier& barrier = a_.barriers[static_cast<size_t>(s->tb)];
+    barrier.max_time = std::max(barrier.max_time, s->time);
+    if (++barrier.arrived < p_.num_warps) {
+      barrier.parked.emplace_back(id, s->time);
+      ++s->pc;  // the releaser advances everyone past the barrier
+      goto pop_next;
+    }
+    const double resume = barrier.max_time + sync_;
+    for (const auto& [parked_id, arrival] : barrier.parked) {
+      Stream& parked = streams_[parked_id];
+      Record(parked.tb, parked.warp, SpanKind::kBarrier, arrival, resume);
+      parked.time = resume;
+      Push(parked_id, resume);
+    }
+    barrier.parked.clear();
+    barrier.arrived = 0;
+    barrier.max_time = 0.0;
+    Record(s->tb, s->warp, SpanKind::kBarrier, s->time, resume);
+    s->time = resume;
+    ALCOP_NEXT();
+  }
+
+  done:
+#undef ALCOP_NEXT
+#undef ALCOP_DISPATCH
+    double makespan = store_completion_;
+    for (const ReplayArena::Stream& st : a_.streams) {
+      makespan = std::max(makespan, st.time);
+    }
+    if constexpr (kTimeline) timeline_->makespan = makespan;
+    for (const ReplayArena::Stream& st : a_.streams) {
+      ALCOP_CHECK_EQ(st.pc, st.end)
+          << "stream deadlocked at event "
+          << (st.pc - p_.warp_begin[static_cast<size_t>(st.warp)]) << " (tb "
+          << st.tb << ", warp " << st.warp << ")";
+    }
+    return makespan;
+  }
+
+ private:
+  using Stream = ReplayArena::Stream;
+  using Waiter = ReplayArena::Waiter;
+  using HeapEntry = ReplayArena::HeapEntry;
+
+  void Reset() {
+    num_groups_ = p_.groups.size();
+    const int warps = p_.num_warps;
+    const int tbs = wave_.threadblocks;
+    const size_t num_streams =
+        static_cast<size_t>(tbs) * static_cast<size_t>(warps);
+
+    a_.streams.resize(num_streams);
+    for (int tb = 0; tb < tbs; ++tb) {
+      for (int w = 0; w < warps; ++w) {
+        Stream& s = a_.streams[static_cast<size_t>(tb * warps + w)];
+        s.time = 0.0;
+        s.pending_sync = 0.0;
+        s.pc = p_.warp_begin[static_cast<size_t>(w)];
+        s.end = p_.warp_begin[static_cast<size_t>(w) + 1];
+        s.tb = tb;
+        s.warp = w;
+      }
+    }
+    const size_t counters = num_streams * num_groups_;
+    a_.acquires.assign(counters, 0);
+    a_.commits.assign(counters, 0);
+    a_.waits.assign(counters, 0);
+    a_.copy_max.assign(counters, 0.0);
+
+    // Instance layout: threadblock-major, then group; a shared-scope group
+    // owns one instance per tb (all warps participate), a register-scope
+    // group one per (tb, warp).
+    size_t per_tb_insts = 0, per_tb_slots = 0, per_tb_rel = 0;
+    for (const MicroOpGroup& g : p_.groups) {
+      per_tb_insts += g.tb_scope ? 1 : static_cast<size_t>(warps);
+      per_tb_slots += static_cast<size_t>(g.max_commits) *
+                      (g.tb_scope ? 1 : static_cast<size_t>(warps));
+      per_tb_rel += static_cast<size_t>(warps);
+    }
+    const size_t num_insts = static_cast<size_t>(tbs) * per_tb_insts;
+    a_.inst_participants.resize(num_insts);
+    a_.inst_slot_base.resize(num_insts);
+    a_.inst_rel_base.resize(num_insts);
+    a_.inst_min_rel.assign(num_insts, 0);
+    a_.slot_commits.assign(static_cast<size_t>(tbs) * per_tb_slots, 0);
+    a_.slot_partial_max.assign(static_cast<size_t>(tbs) * per_tb_slots, 0.0);
+    a_.slot_complete.resize(static_cast<size_t>(tbs) *
+                            per_tb_slots);  // written before read
+    a_.slot_done.assign(static_cast<size_t>(tbs) * per_tb_slots, 0);
+    a_.releases.assign(static_cast<size_t>(tbs) * per_tb_rel, 0);
+    a_.waiters.resize(num_insts);
+    for (ReplayArena::WaiterLists& lists : a_.waiters) {
+      lists.wait.clear();
+      lists.acquire.clear();
+    }
+    {
+      int32_t inst = 0, slot = 0, rel = 0;
+      for (int tb = 0; tb < tbs; ++tb) {
+        for (const MicroOpGroup& g : p_.groups) {
+          const int count = g.tb_scope ? 1 : warps;
+          const int parts = g.tb_scope ? warps : 1;
+          for (int i = 0; i < count; ++i) {
+            a_.inst_participants[static_cast<size_t>(inst)] = parts;
+            a_.inst_slot_base[static_cast<size_t>(inst)] = slot;
+            a_.inst_rel_base[static_cast<size_t>(inst)] = rel;
+            slot += static_cast<int32_t>(g.max_commits);
+            rel += parts;
+            ++inst;
+          }
+        }
+      }
+    }
+    // Pre-resolve (stream, group) -> instance id and release slot, indexed
+    // like the per-stream counters.
+    a_.stream_inst.resize(counters);
+    a_.stream_rel.resize(counters);
+    for (int tb = 0; tb < tbs; ++tb) {
+      int32_t group_base = static_cast<int32_t>(tb * per_tb_insts);
+      for (int w = 0; w < warps; ++w) {
+        const size_t id = static_cast<size_t>(tb * warps + w);
+        int32_t inst_cursor = group_base;
+        for (size_t g = 0; g < num_groups_; ++g) {
+          const MicroOpGroup& meta = p_.groups[g];
+          const int32_t inst = inst_cursor + (meta.tb_scope ? 0 : w);
+          a_.stream_inst[id * num_groups_ + g] = inst;
+          a_.stream_rel[id * num_groups_ + g] =
+              a_.inst_rel_base[static_cast<size_t>(inst)] +
+              (meta.tb_scope ? w : 0);
+          inst_cursor += meta.tb_scope ? 1 : warps;
+        }
+      }
+    }
+
+    a_.barriers.resize(static_cast<size_t>(tbs));
+    for (ReplayArena::Barrier& barrier : a_.barriers) {
+      barrier.arrived = 0;
+      barrier.max_time = 0.0;
+      barrier.parked.clear();
+    }
+    a_.heap.resize(num_streams);
+
+    // Wave-scaled pool rows: [0..3] the raw operands, [4] op1 / llc
+    // rate, [5] op2 / dram rate, [6] op1 / dram-write rate, [7] pad.
+    a_.pool_scaled.resize(p_.pool.size() * 8);
+    for (size_t r = 0; r < p_.pool.size(); ++r) {
+      const MicroOpOperands& v = p_.pool[r];
+      double* d = a_.pool_scaled.data() + r * 8;
+      d[0] = v.op0;
+      d[1] = v.op1;
+      d[2] = v.op2;
+      d[3] = v.op3;
+      d[4] = v.op1 / wave_.llc_rate;
+      d[5] = v.op2 / wave_.dram_rate;
+      d[6] = v.op1 / wave_.dram_write_rate;
+      d[7] = 0.0;
+    }
+
+    // Raw-pointer views for the hot loop (set after every resize above).
+    ops_ = p_.ops.data();
+    spool_ = a_.pool_scaled.data();
+    streams_ = a_.streams.data();
+    acq_ = a_.acquires.data();
+    com_ = a_.commits.data();
+    wai_ = a_.waits.data();
+    cmax_ = a_.copy_max.data();
+    sinst_ = a_.stream_inst.data();
+    srel_ = a_.stream_rel.data();
+    ipart_ = a_.inst_participants.data();
+    ibase_ = a_.inst_slot_base.data();
+    irel_ = a_.inst_rel_base.data();
+    scommits_ = a_.slot_commits.data();
+    spartial_ = a_.slot_partial_max.data();
+    scomplete_ = a_.slot_complete.data();
+    sdone_ = a_.slot_done.data();
+    rel_ = a_.releases.data();
+    imin_ = a_.inst_min_rel.data();
+    tree_ = a_.heap.data();
+
+    blocking_async_ = p_.blocking_async;
+    sync_ = p_.sync_overhead_cycles;
+    half_sync_ = p_.half_sync_overhead_cycles;
+    store_completion_ = 0.0;
+    llc_free_ = dram_free_ = dram_write_free_ = lds_free_ = 0.0;
+    tc_free_[0] = tc_free_[1] = tc_free_[2] = tc_free_[3] = 0.0;
+    // Everything starts at time 0, so descending ids in array order is
+    // already a valid min-heap (ties pop id-descending).
+    heap_size_ = num_streams;
+    for (size_t i = 0; i < num_streams; ++i) {
+      tree_[i].key =
+          MakeKey(0.0, static_cast<int32_t>(num_streams - 1 - i));
+    }
+  }
+
+  // ---- replace-top binary heap over packed keys: min time, ties to the
+  // higher stream id (the interpreter's std::priority_queue<(-time, id)>
+  // pop order; a strict total order, so any correct priority queue
+  // reproduces it exactly). ----
+
+  using Key = unsigned __int128;
+
+  static Key MakeKey(double time, int32_t id) {
+    // Stream times are non-negative finite doubles, whose IEEE bit
+    // patterns order like the values; ~id in the low bits makes unsigned
+    // key comparison exactly (time asc, id desc).
+    uint64_t bits;
+    std::memcpy(&bits, &time, sizeof(bits));
+    return (static_cast<Key>(bits) << 32) |
+           static_cast<uint32_t>(~static_cast<uint32_t>(id));
+  }
+
+  static int32_t KeyId(Key key) {
+    return static_cast<int32_t>(~static_cast<uint32_t>(key));
+  }
+
+  // Sifts `e` down from the root (which is treated as a hole; the final
+  // position gets the only store).
+  void SiftRoot(Key e) {
+    size_t i = 0;
+    for (;;) {
+      size_t child = 2 * i + 1;
+      if (child >= heap_size_) break;
+      const size_t right = child + 1;
+      if (right < heap_size_ && tree_[right].key < tree_[child].key) {
+        child = right;
+      }
+      if (tree_[child].key >= e) break;
+      tree_[i] = tree_[child];
+      i = child;
+    }
+    tree_[i].key = e;
+  }
+
+  void Push(int32_t id, double time) {
+    const Key key = MakeKey(time, id);
+    size_t i = heap_size_++;
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      const Key pk = tree_[parent].key;
+      if (key >= pk) break;
+      tree_[i].key = pk;
+      i = parent;
+    }
+    tree_[i].key = key;
+  }
+
+  // ---- shared helpers ----
+
+  size_t GroupIndex(int32_t stream, int group) const {
+    return static_cast<size_t>(stream) * num_groups_ +
+           static_cast<size_t>(group);
+  }
+
+  int32_t MinReleases(int32_t inst) const {
+    const int32_t* r = rel_ + irel_[inst];
+    const int n = ipart_[inst];
+    int32_t min_rel = r[0];
+    for (int i = 1; i < n; ++i) min_rel = std::min(min_rel, r[i]);
+    return min_rel;
+  }
+
+  void Record(int tb, int warp, SpanKind kind, double start, double end) {
+    if constexpr (kTimeline) {
+      if (end <= start) return;
+      timeline_->spans.push_back({tb, warp, kind, start, end});
+    }
+  }
+
+  double GlobalTransfer(double t, const double* v, uint8_t flags, int tb) {
+    double start = std::max(t, llc_free_);
+    llc_free_ = start + v[4];  // op1 / llc rate, divided once per wave
+    double completion = llc_free_;
+    if (flags & kMicroOpHasDram) {
+      double dram_start = std::max(t, dram_free_);
+      dram_free_ = dram_start + v[5];  // op2 / dram rate
+      completion = std::max(completion, dram_free_);
+    }
+    completion += v[3];
+    Record(tb, -1, SpanKind::kTransfer, t, completion);
+    return completion;
+  }
+
+  double SharedTransfer(double t, const double* v, int tb) {
+    double start = std::max(t, lds_free_);
+    lds_free_ = start + v[1];
+    double completion = lds_free_ + v[2];
+    Record(tb, -1, SpanKind::kTransfer, t, completion);
+    return completion;
+  }
+
+  void DrainSyncLoads(Stream& s) {
+    if (s.pending_sync > s.time) {
+      Record(s.tb, s.warp, SpanKind::kBlockingCopy, s.time, s.pending_sync);
+      s.time = s.pending_sync;
+    }
+    s.pending_sync = 0.0;
+  }
+
+  void WakeWaitWaiters(int32_t inst, int64_t group_index) {
+    std::vector<Waiter>& waiters = a_.waiters[static_cast<size_t>(inst)].wait;
+    const double complete = scomplete_[ibase_[inst] + group_index];
+    size_t keep = 0;
+    for (size_t i = 0; i < waiters.size(); ++i) {
+      const Waiter w = waiters[i];
+      if (w.value != group_index) {
+        waiters[keep++] = w;
+        continue;
+      }
+      Stream& s = streams_[w.stream];
+      const MicroOp& op = ops_[s.pc];
+      s.time = std::max(w.park_time, complete) + sync_;
+      Record(s.tb, s.warp, SpanKind::kSyncStall, w.park_time, s.time);
+      ++wai_[GroupIndex(w.stream, op.group)];
+      if (++s.pc < s.end) Push(w.stream, s.time);
+    }
+    waiters.resize(keep);
+  }
+
+  void WakeAcquireWaiters(int32_t inst, double release_time) {
+    std::vector<Waiter>& waiters =
+        a_.waiters[static_cast<size_t>(inst)].acquire;
+    if (waiters.empty()) return;
+    const int64_t min_rel = imin_[inst];
+    size_t keep = 0;
+    for (size_t i = 0; i < waiters.size(); ++i) {
+      const Waiter w = waiters[i];
+      if (w.value > min_rel) {
+        waiters[keep++] = w;
+        continue;
+      }
+      Stream& s = streams_[w.stream];
+      const MicroOp& op = ops_[s.pc];
+      s.time = std::max(w.park_time, release_time) + sync_;
+      Record(s.tb, s.warp, SpanKind::kSyncStall, w.park_time, s.time);
+      ++acq_[GroupIndex(w.stream, op.group)];
+      if (++s.pc < s.end) Push(w.stream, s.time);
+    }
+    waiters.resize(keep);
+  }
+
+  const MicroOpProgram& p_;
+  const ReplayWave& wave_;
+  ReplayArena& a_;
+  Timeline* timeline_;
+
+  // Raw-pointer views into the arena (valid between Reset and Run's end).
+  const MicroOp* ops_ = nullptr;
+  const double* spool_ = nullptr;  // wave-scaled pool rows, 8 doubles each
+  Stream* streams_ = nullptr;
+  int32_t* acq_ = nullptr;
+  int32_t* com_ = nullptr;
+  int32_t* wai_ = nullptr;
+  double* cmax_ = nullptr;
+  const int32_t* sinst_ = nullptr;
+  const int32_t* srel_ = nullptr;
+  const int32_t* ipart_ = nullptr;
+  const int32_t* ibase_ = nullptr;
+  const int32_t* irel_ = nullptr;
+  int32_t* scommits_ = nullptr;
+  double* spartial_ = nullptr;
+  double* scomplete_ = nullptr;
+  uint8_t* sdone_ = nullptr;
+  int32_t* rel_ = nullptr;
+  int32_t* imin_ = nullptr;
+  HeapEntry* tree_ = nullptr;
+  bool blocking_async_ = false;
+  double sync_ = 0.0;       // p_.sync_overhead_cycles
+  double half_sync_ = 0.0;  // p_.half_sync_overhead_cycles
+
+  size_t num_groups_ = 0;
+  size_t heap_size_ = 0;
+  double store_completion_ = 0.0;
+  double tc_free_[4] = {0.0, 0.0, 0.0, 0.0};
+  double lds_free_ = 0.0;
+  double llc_free_ = 0.0;
+  double dram_free_ = 0.0;
+  double dram_write_free_ = 0.0;
+};
+
+}  // namespace
+
+double ReplayBatch(const MicroOpProgram& program, const ReplayWave& wave,
+                   ReplayArena* arena, Timeline* timeline) {
+  ALCOP_CHECK_GT(wave.threadblocks, 0);
+  ALCOP_CHECK(arena != nullptr);
+  if (timeline == nullptr) {
+    return Replayer<false>(program, wave, *arena, nullptr).Run();
+  }
+  return Replayer<true>(program, wave, *arena, timeline).Run();
 }
 
 }  // namespace sim

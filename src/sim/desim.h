@@ -20,12 +20,29 @@
 // warm-up, drain, issue serialization, partial batches and bank-conflict
 // penalties all emerge here — so that the model-accuracy experiment
 // (Fig. 12) measures a real gap.
+//
+// Two execution cores share these semantics:
+//   - SimulateBatch interprets a per-warp AST-derived event trace. It is
+//     the reference implementation, kept as the differential-testing
+//     oracle for the bytecode engine.
+//   - ReplayBatch replays a compiled micro-op program (compile.h) through
+//     an event-pool core: direct-threaded micro-op handlers drive a
+//     replace-top binary heap of packed 96-bit keys (one unsigned compare
+//     per ordering decision, one sift per stream switch), every waiter
+//     list and per-group slot array lives in a caller-owned ReplayArena
+//     that is pooled across runs, and all per-event rate divisions that
+//     do not depend on the wave were folded into the program — so a warm
+//     replay performs zero heap allocations and reproduces the
+//     interpreter's results bit for bit.
 #ifndef ALCOP_SIM_DESIM_H_
 #define ALCOP_SIM_DESIM_H_
 
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "sim/compile.h"
 #include "sim/timeline.h"
 #include "sim/trace.h"
 #include "target/gpu_spec.h"
@@ -57,9 +74,106 @@ struct DesimParams {
   Timeline* timeline = nullptr;
 };
 
-// Simulates one batch; returns the makespan in cycles.
+// Simulates one batch by interpreting the per-warp event trace; returns
+// the makespan in cycles. Reference core (see file comment).
 double SimulateBatch(const ThreadblockTrace& trace,
                      const target::GpuSpec& spec, const DesimParams& params);
+
+// One threadblock wave of a replay: how many threadblocks each active SM
+// hosts, and the wave-dependent bandwidth slices (GPU-wide LLC/DRAM rates
+// divided by the number of active SMs). Everything wave-independent was
+// baked into the program by the trace compiler.
+struct ReplayWave {
+  int threadblocks = 1;
+  double llc_rate = 1.0;
+  double dram_rate = 1.0;
+  double dram_write_rate = 1.0;
+};
+
+// Pooled state of the replay core. All vectors are sized on entry with
+// resize/assign (which never shrink capacity), so replaying programs of
+// the same shape re-uses every buffer: after the first run on a given
+// shape, ReplayBatch performs no heap allocation. CapacityBytes() lets
+// benches assert exactly that.
+struct ReplayArena {
+  struct Stream {
+    double time = 0.0;
+    double pending_sync = 0.0;
+    uint32_t pc = 0;   // absolute index into program.ops
+    uint32_t end = 0;  // end of this stream's instruction span
+    int32_t tb = 0;
+    int32_t warp = 0;
+  };
+  struct Waiter {
+    int32_t stream = 0;
+    int32_t value = 0;  // group index (wait) or needed releases (acquire)
+    double park_time = 0.0;
+  };
+  // Park lists of one pipeline-scope instance (per (tb, group) for shared
+  // scope, per (tb, group, warp) for register scope). The instance's
+  // numeric state lives in the flat slot_*/releases arrays below.
+  struct WaiterLists {
+    std::vector<Waiter> wait;
+    std::vector<Waiter> acquire;
+  };
+  struct Barrier {
+    int arrived = 0;
+    double max_time = 0.0;
+    std::vector<std::pair<int32_t, double>> parked;
+  };
+  // One node of the scheduler's binary min-heap, a single 96-bit
+  // ordering key: bits(time) in the high 64 (stream times are always
+  // non-negative finite doubles, whose IEEE bit patterns order like the
+  // values), and ~id in the low 32 so that unsigned key comparison is
+  // exactly the interpreter's pop order (time ascending, ties to the
+  // higher stream id) in one branchless compare. Parked and finished
+  // streams are simply absent from the heap.
+  struct HeapEntry {
+    unsigned __int128 key = 0;
+  };
+
+  std::vector<Stream> streams;
+  // Per-stream per-group counters, indexed stream * num_groups + group
+  // (32-bit: a stream issues far fewer than 2^31 ops of any kind).
+  std::vector<int32_t> acquires;
+  std::vector<int32_t> commits;
+  std::vector<int32_t> waits;
+  std::vector<double> copy_max;
+  // Per-(stream, group) pre-resolved addressing (same index as above):
+  // which instance the pair synchronizes on, and which release slot the
+  // stream owns in it.
+  std::vector<int32_t> stream_inst;
+  std::vector<int32_t> stream_rel;
+  // Flat per-instance state, structure-of-arrays: instance i owns commit
+  // slots [inst_slot_base[i], +cap(group)) and release slots
+  // [inst_rel_base[i], +inst_participants[i]).
+  std::vector<int32_t> inst_participants;
+  std::vector<int32_t> inst_slot_base;
+  std::vector<int32_t> inst_rel_base;
+  std::vector<int32_t> inst_min_rel;  // cached min over the release slots
+  std::vector<int32_t> slot_commits;
+  std::vector<double> slot_partial_max;
+  std::vector<double> slot_complete;
+  std::vector<uint8_t> slot_done;
+  std::vector<int32_t> releases;
+  std::vector<WaiterLists> waiters;  // per instance
+  std::vector<Barrier> barriers;
+  std::vector<HeapEntry> heap;  // binary min-heap of runnable streams
+  // Wave-scaled operand pool: 8 doubles per program pool row — the raw
+  // row plus every "amount / wave rate" quotient the handlers need,
+  // divided once per wave instead of once per event (the quotient of the
+  // hoisted division is bit-identical to the interpreter's per-event
+  // division).
+  std::vector<double> pool_scaled;
+
+  // Total reserved heap memory; constant across warm replays.
+  size_t CapacityBytes() const;
+};
+
+// Replays one threadblock wave of a compiled program; returns the makespan
+// in cycles. Bit-identical to SimulateBatch on the equivalent trace.
+double ReplayBatch(const MicroOpProgram& program, const ReplayWave& wave,
+                   ReplayArena* arena, Timeline* timeline = nullptr);
 
 }  // namespace sim
 }  // namespace alcop

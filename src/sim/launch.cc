@@ -131,8 +131,8 @@ DesimSetup PrepareDesim(const CompiledKernel& compiled,
 
 }  // namespace
 
-KernelTiming SimulateKernel(const CompiledKernel& compiled,
-                            const target::GpuSpec& spec) {
+KernelTiming InterpretKernel(const CompiledKernel& compiled,
+                             const target::GpuSpec& spec) {
   const LoweredKernel& kernel = compiled.kernel;
   KernelTiming timing;
 
@@ -201,8 +201,8 @@ KernelTiming SimulateKernel(const CompiledKernel& compiled,
   return timing;
 }
 
-BatchTimeline CaptureTimeline(const CompiledKernel& compiled,
-                              const target::GpuSpec& spec) {
+BatchTimeline CaptureTimelineInterpreted(const CompiledKernel& compiled,
+                                         const target::GpuSpec& spec) {
   DesimSetup setup = PrepareDesim(compiled, spec);
   ALCOP_CHECK(setup.feasible) << "cannot capture timeline: " << setup.reason;
 
@@ -220,17 +220,175 @@ BatchTimeline CaptureTimeline(const CompiledKernel& compiled,
   return out;
 }
 
+SimProgram BuildSimProgram(const CompiledKernel& compiled,
+                           const target::GpuSpec& spec) {
+  const LoweredKernel& kernel = compiled.kernel;
+  SimProgram out;
+
+  target::ThreadblockResources res =
+      schedule::ComputeResources(kernel.op, kernel.config);
+  target::Occupancy occ = target::ComputeOccupancy(spec, res);
+  if (occ.threadblocks_per_sm == 0) {
+    out.reason = std::string("threadblock does not fit: ") +
+                 target::LimiterName(occ.limiter);
+    return out;
+  }
+
+  TraceCompileOptions options;
+  options.swizzle = kernel.config.swizzle;
+  options.blocking_async = !kernel.config.async_copies;
+  for (const pipeline::PipelineGroupInfo& group : compiled.transformed.groups) {
+    ALCOP_CHECK_EQ(group.id, static_cast<int>(options.groups.size()))
+        << "pipeline group ids must be dense";
+    options.groups.push_back(
+        {group.stages, group.scope == ir::MemScope::kShared, 0});
+  }
+  TrafficAnalysis traffic = AnalyzeTraffic(kernel.op, kernel.config, spec,
+                                           occ.threadblocks_per_sm);
+  options.dram_fraction[kernel.a.get()] = traffic.a_dram_fraction;
+  if (kernel.a_ew != nullptr) {
+    options.dram_fraction[kernel.a_ew.get()] = traffic.a_dram_fraction;
+  }
+  options.dram_fraction[kernel.b.get()] = traffic.b_dram_fraction;
+
+  out.program = CompileTraceProgram(compiled.transformed.stmt,
+                                    kernel.num_warps, spec, options);
+  out.num_warps = kernel.num_warps;
+  out.threadblocks_per_sm = occ.threadblocks_per_sm;
+  out.num_sms = spec.num_sms;
+  out.total_threadblocks = kernel.TotalThreadblocks();
+  out.batches =
+      target::NumThreadblockBatches(spec, occ, out.total_threadblocks);
+  out.llc_bw_bytes_per_cycle = spec.llc_bw_bytes_per_cycle;
+  out.dram_bw_bytes_per_cycle = spec.dram_bw_bytes_per_cycle;
+  out.dram_write_bw_bytes_per_cycle = spec.dram_write_bw_bytes_per_cycle;
+  out.launch_overhead_cycles = spec.launch_overhead_cycles;
+  if (kernel.has_standalone_ewise) {
+    out.has_ewise = true;
+    double ew_bytes =
+        2.0 * static_cast<double>(kernel.op.batch * kernel.op.m * kernel.op.k) * 2.0;
+    out.ewise_cycles =
+        spec.launch_overhead_cycles + ew_bytes / spec.dram_bw_bytes_per_cycle;
+  }
+  if (kernel.grid_k > 1) {
+    out.has_splitk = true;
+    double out_elems =
+        static_cast<double>(kernel.op.batch * kernel.op.m * kernel.op.n);
+    double reduce_bytes =
+        out_elems * (4.0 * static_cast<double>(kernel.grid_k) + 2.0);
+    out.splitk_cycles =
+        spec.launch_overhead_cycles + reduce_bytes / spec.dram_bw_bytes_per_cycle;
+  }
+  out.clock_ghz = spec.clock_ghz;
+  out.flops = kernel.op.Flops();
+  out.feasible = true;
+  return out;
+}
+
+SimProgram CompileSimProgram(const GemmOp& op, const ScheduleConfig& config,
+                             const target::GpuSpec& spec,
+                             schedule::InlineOrder inline_order) {
+  std::string why;
+  if (!schedule::ValidateConfig(op, config, &why)) {
+    SimProgram out;
+    out.reason = "invalid schedule: " + why;
+    return out;
+  }
+  return BuildSimProgram(CompileKernel(op, config, spec, inline_order), spec);
+}
+
+namespace {
+
+// Wave geometry + bandwidth slices for `tbs` threadblocks — the same
+// expressions the interpreter path evaluates, for bit-identical results.
+ReplayWave WaveFor(const SimProgram& program, int64_t tbs) {
+  ReplayWave wave;
+  wave.threadblocks = static_cast<int>(std::min<int64_t>(
+      program.threadblocks_per_sm,
+      (tbs + program.num_sms - 1) / program.num_sms));
+  int active_sms = static_cast<int>(std::min<int64_t>(
+      program.num_sms, (tbs + wave.threadblocks - 1) / wave.threadblocks));
+  wave.llc_rate = program.llc_bw_bytes_per_cycle / active_sms;
+  wave.dram_rate = program.dram_bw_bytes_per_cycle / active_sms;
+  wave.dram_write_rate = program.dram_write_bw_bytes_per_cycle / active_sms;
+  return wave;
+}
+
+}  // namespace
+
+KernelTiming ReplaySimProgram(const SimProgram& program, ReplayArena* arena) {
+  KernelTiming timing;
+  if (!program.feasible) {
+    timing.reason = program.reason;
+    return timing;
+  }
+  timing.threadblocks_per_sm = program.threadblocks_per_sm;
+  timing.batches = program.batches;
+
+  int64_t total_tbs = program.total_threadblocks;
+  int64_t per_batch = static_cast<int64_t>(program.threadblocks_per_sm) *
+                      program.num_sms;
+  auto replay_wave = [&](int64_t tbs) {
+    return ReplayBatch(program.program, WaveFor(program, tbs), arena);
+  };
+  double full_batch = replay_wave(std::min(total_tbs, per_batch));
+  timing.batch_cycles = full_batch;
+
+  double cycles = program.launch_overhead_cycles;
+  int64_t full_batches = total_tbs / per_batch;
+  int64_t remainder = total_tbs - full_batches * per_batch;
+  cycles += static_cast<double>(full_batches) * full_batch;
+  if (remainder > 0) {
+    cycles += full_batches == 0 ? full_batch : replay_wave(remainder);
+  }
+  if (program.has_ewise) cycles += program.ewise_cycles;
+  if (program.has_splitk) cycles += program.splitk_cycles;
+
+  timing.feasible = true;
+  timing.cycles = cycles;
+  timing.microseconds = cycles / (program.clock_ghz * 1e3);
+  timing.tflops =
+      static_cast<double>(program.flops) / (timing.microseconds * 1e6);
+  return timing;
+}
+
+BatchTimeline ReplayTimeline(const SimProgram& program, ReplayArena* arena) {
+  ALCOP_CHECK(program.feasible)
+      << "cannot capture timeline: " << program.reason;
+  BatchTimeline out;
+  out.num_warps = program.num_warps;
+  ReplayWave wave = WaveFor(program, program.total_threadblocks);
+  out.threadblocks = wave.threadblocks;
+  ReplayBatch(program.program, wave, arena, &out.timeline);
+  return out;
+}
+
+namespace {
+
+ReplayArena& ThreadLocalArena() {
+  thread_local ReplayArena arena;
+  return arena;
+}
+
+}  // namespace
+
+KernelTiming SimulateKernel(const CompiledKernel& compiled,
+                            const target::GpuSpec& spec) {
+  SimProgram program = BuildSimProgram(compiled, spec);
+  return ReplaySimProgram(program, &ThreadLocalArena());
+}
+
 KernelTiming CompileAndSimulate(const GemmOp& op, const ScheduleConfig& config,
                                 const target::GpuSpec& spec,
                                 schedule::InlineOrder inline_order) {
-  std::string why;
-  if (!schedule::ValidateConfig(op, config, &why)) {
-    KernelTiming timing;
-    timing.reason = "invalid schedule: " + why;
-    return timing;
-  }
-  CompiledKernel compiled = CompileKernel(op, config, spec, inline_order);
-  return SimulateKernel(compiled, spec);
+  SimProgram program = CompileSimProgram(op, config, spec, inline_order);
+  return ReplaySimProgram(program, &ThreadLocalArena());
+}
+
+BatchTimeline CaptureTimeline(const CompiledKernel& compiled,
+                              const target::GpuSpec& spec) {
+  SimProgram program = BuildSimProgram(compiled, spec);
+  return ReplayTimeline(program, &ThreadLocalArena());
 }
 
 }  // namespace sim

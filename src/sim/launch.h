@@ -42,7 +42,77 @@ CompiledKernel CompileKernel(
     schedule::InlineOrder inline_order =
         schedule::InlineOrder::kAfterPipelining);
 
-// Simulates a compiled kernel on the device.
+// ---------------------------------------------------------------------------
+// Two-phase measurement pipeline.
+//
+// Phase 1 (BuildSimProgram / CompileSimProgram) pays the per-schedule work
+// once: occupancy, the LLC working-set analysis, and one walk of the
+// lowered TIR that compiles it into a flat micro-op program (sim/compile.h)
+// with every wave-independent operand pre-resolved. Phase 2
+// (ReplaySimProgram) replays that program through the event-pool core for
+// each threadblock wave — no IR, no spec, no allocation when the caller's
+// ReplayArena is warm. The classic single-phase entry points below are thin
+// wrappers over these two.
+// ---------------------------------------------------------------------------
+
+// A schedule compiled for measurement: the micro-op program plus every
+// launch-level constant replay needs, baked so phase 2 never touches the
+// kernel IR or the device spec again.
+struct SimProgram {
+  bool feasible = false;
+  std::string reason;  // why infeasible (validation or occupancy)
+
+  MicroOpProgram program;
+  int num_warps = 1;
+
+  // Launch geometry.
+  int threadblocks_per_sm = 0;
+  int num_sms = 0;
+  int64_t total_threadblocks = 0;
+  int64_t batches = 0;
+
+  // GPU-wide bandwidths; replay divides by the wave's active SM count.
+  double llc_bw_bytes_per_cycle = 1.0;
+  double dram_bw_bytes_per_cycle = 1.0;
+  double dram_write_bw_bytes_per_cycle = 1.0;
+
+  // Launch-level cycle constants (each already includes its own launch
+  // overhead where applicable) and the clock for cycle -> time conversion.
+  double launch_overhead_cycles = 0.0;
+  bool has_ewise = false;
+  double ewise_cycles = 0.0;  // standalone elementwise pass
+  bool has_splitk = false;
+  double splitk_cycles = 0.0;  // split-K reduction pass
+  double clock_ghz = 1.0;
+  int64_t flops = 0;
+
+  // Heap footprint (for the program-cache byte counters).
+  int64_t MemoryBytes() const {
+    return program.MemoryBytes() +
+           static_cast<int64_t>(reason.capacity() + sizeof(SimProgram));
+  }
+};
+
+// Phase 1 from an already compiled kernel.
+SimProgram BuildSimProgram(const CompiledKernel& compiled,
+                           const target::GpuSpec& spec);
+
+// Phase 1 from scratch: validate + CompileKernel + BuildSimProgram.
+// Returns an infeasible program (instead of throwing) when the config does
+// not validate or does not fit the device.
+SimProgram CompileSimProgram(
+    const schedule::GemmOp& op, const schedule::ScheduleConfig& config,
+    const target::GpuSpec& spec,
+    schedule::InlineOrder inline_order =
+        schedule::InlineOrder::kAfterPipelining);
+
+// Phase 2: replays every threadblock wave of the launch through `arena`
+// (pooled across calls; see ReplayArena). Bit-identical to the
+// interpreter-based InterpretKernel.
+KernelTiming ReplaySimProgram(const SimProgram& program, ReplayArena* arena);
+
+// Simulates a compiled kernel on the device (phase 1 + phase 2 with a
+// thread-local arena).
 KernelTiming SimulateKernel(const CompiledKernel& compiled,
                             const target::GpuSpec& spec);
 
@@ -55,6 +125,12 @@ KernelTiming CompileAndSimulate(
     schedule::InlineOrder inline_order =
         schedule::InlineOrder::kAfterPipelining);
 
+// Reference path: simulates by interpreting the AST-derived event trace
+// (sim/trace.h). Kept as the differential-testing oracle for the bytecode
+// replay; must produce bit-identical KernelTiming.
+KernelTiming InterpretKernel(const CompiledKernel& compiled,
+                             const target::GpuSpec& spec);
+
 // Records the execution timeline of one steady-state threadblock batch
 // for visualization (see timeline.h).
 struct BatchTimeline {
@@ -64,6 +140,13 @@ struct BatchTimeline {
 };
 BatchTimeline CaptureTimeline(const CompiledKernel& compiled,
                               const target::GpuSpec& spec);
+
+// Timeline of one steady-state batch via the replay core (phase 2 only).
+BatchTimeline ReplayTimeline(const SimProgram& program, ReplayArena* arena);
+
+// Timeline via the reference interpreter (differential-testing oracle).
+BatchTimeline CaptureTimelineInterpreted(const CompiledKernel& compiled,
+                                         const target::GpuSpec& spec);
 
 // LLC working-set analysis of one threadblock-batch: the fraction of each
 // input tensor's loads that must come from DRAM (1/reuse, degraded when

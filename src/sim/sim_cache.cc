@@ -1,6 +1,7 @@
 #include "sim/sim_cache.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
@@ -15,12 +16,17 @@ constexpr size_t kNumShards = 16;
 struct Shard {
   std::mutex mu;
   std::unordered_map<std::string, KernelTiming> map;
+  // Phase-1 layer: shared so callers can keep replaying an entry after
+  // the lock is dropped (and across a Reset).
+  std::unordered_map<std::string, std::shared_ptr<const SimProgram>> programs;
 };
 
 struct Cache {
   Shard shards[kNumShards];
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> program_hits{0};
+  std::atomic<uint64_t> program_misses{0};
 
   Shard& ShardFor(const std::string& key) {
     return shards[std::hash<std::string>{}(key) % kNumShards];
@@ -30,6 +36,11 @@ struct Cache {
 Cache& GlobalCache() {
   static Cache* cache = new Cache();  // leaked: outlives all threads
   return *cache;
+}
+
+ReplayArena& CacheThreadArena() {
+  thread_local ReplayArena arena;
+  return arena;
 }
 
 }  // namespace
@@ -59,6 +70,33 @@ std::string SimCacheKey(const schedule::GemmOp& op,
   return out.str();
 }
 
+std::shared_ptr<const SimProgram> CachedSimProgram(
+    const schedule::GemmOp& op, const schedule::ScheduleConfig& config,
+    const target::GpuSpec& spec, schedule::InlineOrder inline_order) {
+  Cache& cache = GlobalCache();
+  std::string key = SimCacheKey(op, config, spec, inline_order);
+  Shard& shard = cache.ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.programs.find(key);
+    if (it != shard.programs.end()) {
+      cache.program_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  cache.program_misses.fetch_add(1, std::memory_order_relaxed);
+  // Compile outside the shard lock so concurrent misses on different keys
+  // of the same shard do not serialize the expensive work.
+  auto program = std::make_shared<const SimProgram>(
+      CompileSimProgram(op, config, spec, inline_order));
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.programs.emplace(std::move(key), program);
+    if (!inserted) return it->second;  // a racing miss won; share its copy
+  }
+  return program;
+}
+
 KernelTiming CachedCompileAndSimulate(const schedule::GemmOp& op,
                                       const schedule::ScheduleConfig& config,
                                       const target::GpuSpec& spec,
@@ -75,9 +113,11 @@ KernelTiming CachedCompileAndSimulate(const schedule::GemmOp& op,
     }
   }
   cache.misses.fetch_add(1, std::memory_order_relaxed);
-  // Compile outside the shard lock so concurrent misses on different keys
-  // of the same shard do not serialize the expensive work.
-  KernelTiming timing = CompileAndSimulate(op, config, spec, inline_order);
+  // A timing miss still reuses phase 1 through the program layer: only
+  // the cheap bytecode replay runs outside the shard lock.
+  std::shared_ptr<const SimProgram> program =
+      CachedSimProgram(op, config, spec, inline_order);
+  KernelTiming timing = ReplaySimProgram(*program, &CacheThreadArena());
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.emplace(std::move(key), timing);
@@ -90,9 +130,15 @@ SimCacheStats GetSimCacheStats() {
   SimCacheStats stats;
   stats.hits = cache.hits.load(std::memory_order_relaxed);
   stats.misses = cache.misses.load(std::memory_order_relaxed);
+  stats.program_hits = cache.program_hits.load(std::memory_order_relaxed);
+  stats.program_misses = cache.program_misses.load(std::memory_order_relaxed);
   for (Shard& shard : cache.shards) {
     std::lock_guard<std::mutex> lock(shard.mu);
     stats.entries += shard.map.size();
+    stats.program_entries += shard.programs.size();
+    for (const auto& [key, program] : shard.programs) {
+      stats.program_bytes += static_cast<uint64_t>(program->MemoryBytes());
+    }
   }
   return stats;
 }
@@ -102,9 +148,12 @@ void ResetSimCache() {
   for (Shard& shard : cache.shards) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
+    shard.programs.clear();
   }
   cache.hits.store(0, std::memory_order_relaxed);
   cache.misses.store(0, std::memory_order_relaxed);
+  cache.program_hits.store(0, std::memory_order_relaxed);
+  cache.program_misses.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sim

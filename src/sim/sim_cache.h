@@ -1,23 +1,33 @@
-// Process-wide memoization of CompileAndSimulate.
+// Process-wide memoization of the two-phase simulate pipeline.
 //
 // Tuning sweeps re-measure identical (operator, schedule, device) triples
 // constantly: every search strategy walks the same enumerated space, and
 // the benchmark binaries re-run strategies over multiple seeds and trial
 // budgets. Compiling and simulating a kernel is pure — the same inputs
-// always produce the same KernelTiming — so the result is cached under a
-// canonical text key:
+// always produce the same KernelTiming — so both phases are cached under
+// a canonical text key:
 //
 //   op(family, batch, m, n, k, producer, epilogue) |
 //   ScheduleConfig::ToString() | InlineOrder | every GpuSpec rate/limit
 //
+// Two layers share that key:
+//   - the *program* layer memoizes phase 1 (CompileSimProgram): the
+//     trace-compiled micro-op program plus launch geometry, held by
+//     shared_ptr so entries stay valid while callers replay them;
+//   - the *timing* layer memoizes the end result (phase 1 + phase 2). A
+//     timing miss pulls the program through the program layer and only
+//     pays the cheap bytecode replay, so even cold timing sweeps
+//     amortize the IR walk across waves/specs that share a program.
+//
 // The cache is sharded and thread-safe: concurrent misses on the same key
 // may both compile (the race is benign — both compute the same value and
-// one insert wins), while hits are lock-striped lookups. Hit/miss counters
-// feed the tuning-throughput bench and the cache tests.
+// one insert wins), while hits are lock-striped lookups. Per-layer
+// hit/miss counters feed the throughput benches and the cache tests.
 #ifndef ALCOP_SIM_SIM_CACHE_H_
 #define ALCOP_SIM_SIM_CACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "sim/launch.h"
@@ -29,10 +39,21 @@ struct SimCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t entries = 0;
+  // Program (phase-1) layer counters.
+  uint64_t program_hits = 0;
+  uint64_t program_misses = 0;
+  uint64_t program_entries = 0;
+  uint64_t program_bytes = 0;  // heap footprint of the cached programs
 
   double HitRate() const {
     uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+  double ProgramHitRate() const {
+    uint64_t total = program_hits + program_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(program_hits) /
+                            static_cast<double>(total);
   }
 };
 
@@ -42,7 +63,17 @@ std::string SimCacheKey(const schedule::GemmOp& op,
                         const target::GpuSpec& spec,
                         schedule::InlineOrder inline_order);
 
-// CompileAndSimulate through the process-wide cache.
+// Phase 1 through the program layer: the trace-compiled SimProgram for
+// the triple, shared with every other caller of the same key (never
+// null; infeasible schedules yield a cached infeasible program).
+std::shared_ptr<const SimProgram> CachedSimProgram(
+    const schedule::GemmOp& op, const schedule::ScheduleConfig& config,
+    const target::GpuSpec& spec,
+    schedule::InlineOrder inline_order =
+        schedule::InlineOrder::kAfterPipelining);
+
+// CompileAndSimulate through the process-wide cache. A timing miss
+// replays the (cached) program rather than re-walking the IR.
 KernelTiming CachedCompileAndSimulate(
     const schedule::GemmOp& op, const schedule::ScheduleConfig& config,
     const target::GpuSpec& spec,

@@ -69,9 +69,14 @@ int ThreadPool::threads() const {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  // Serial fallback: no workers, a single iteration, or a nested call from
-  // inside a pool task (re-entering the queue could deadlock).
-  if (impl_->workers.empty() || n == 1 || t_in_pool_task) {
+  // Serial fallback: no workers, a nested call from inside a pool task
+  // (re-entering the queue could deadlock), or too few iterations to fill
+  // even one chunk per thread — the fan-out/fan-in handshake (queueing,
+  // wakeups, the final condition-variable wait) costs more than it saves
+  // on tiny batches, and running inline keeps parallel >= serial on any
+  // machine.
+  size_t total_threads = impl_->workers.size() + 1;
+  if (impl_->workers.empty() || n < 2 * total_threads || t_in_pool_task) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -91,7 +96,6 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // helpers and the caller load-balance without an atomic op per cheap
   // iteration; each iteration only writes caller-owned state via fn,
   // which is valid for the whole call because the caller blocks below.
-  size_t total_threads = impl_->workers.size() + 1;
   size_t chunk = std::max<size_t>(1, n / (total_threads * 8));
   auto drain = [shared, n, chunk, &fn] {
     for (;;) {
@@ -135,13 +139,17 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 int ThreadsFromEnv() {
+  unsigned hw_raw = std::thread::hardware_concurrency();
+  int hw = hw_raw == 0 ? 1 : static_cast<int>(hw_raw);
   const char* value = std::getenv("ALCOP_THREADS");
   if (value != nullptr && value[0] != '\0') {
     int parsed = std::atoi(value);
-    if (parsed >= 1) return parsed;
+    // Clamp to the machine: oversubscribing a small host (the 1-core
+    // pathology in BENCH_tuning.json) only adds contention. Explicit
+    // SetGlobalThreads calls stay unclamped for tests/benches.
+    if (parsed >= 1) return std::min(parsed, hw);
   }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return hw;
 }
 
 namespace {

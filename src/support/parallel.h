@@ -5,6 +5,8 @@
 //     the caller thread participates, so a pool of `threads` total threads
 //     spawns threads-1 workers. A pool with 1 thread has no workers at all
 //     and is an *exact* serial fallback (same call sequence, same stack).
+//     Batches too small to fill a chunk per thread also run inline, so
+//     parallel dispatch is never slower than the serial loop.
 //   - Nested use is safe: a ParallelFor issued from inside a pool task runs
 //     inline on that worker instead of deadlocking on the shared queue.
 //   - Exceptions thrown by iterations are captured; after every started
@@ -50,7 +52,8 @@ class ThreadPool {
 };
 
 // Thread count the global pool would be (re)built with: ALCOP_THREADS if
-// set to a positive integer, otherwise hardware concurrency.
+// set to a positive integer — clamped to hardware concurrency, since
+// oversubscription only adds contention — otherwise hardware concurrency.
 int ThreadsFromEnv();
 
 // Total concurrency of the global pool (creating it on first use).

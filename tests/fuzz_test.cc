@@ -130,6 +130,15 @@ TEST_P(PipelineFuzz, TimingIsFiniteAndDeterministic) {
   EXPECT_TRUE(std::isfinite(first.cycles));
   EXPECT_GT(first.cycles, 0.0);
   EXPECT_EQ(first.cycles, second.cycles);
+  // Interpreter-vs-replay differential on the random schedule: the
+  // bytecode path (which CompileAndSimulate uses) must agree bit for bit
+  // with the AST-interpreter oracle on every mutated draw.
+  sim::CompiledKernel compiled = sim::CompileKernel(c.op, c.config, spec);
+  sim::KernelTiming interpreted = sim::InterpretKernel(compiled, spec);
+  EXPECT_TRUE(interpreted.feasible);
+  EXPECT_EQ(interpreted.cycles, first.cycles) << c.config.ToString();
+  EXPECT_EQ(interpreted.microseconds, first.microseconds);
+  EXPECT_EQ(interpreted.batches, first.batches);
   // The analytical model must also be finite on any feasible schedule.
   double predicted = perfmodel::PredictCycles(c.op, c.config, spec);
   EXPECT_TRUE(std::isfinite(predicted)) << c.config.ToString();

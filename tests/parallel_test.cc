@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -133,6 +135,36 @@ TEST(ThreadPoolTest, ManyThreadsFewItems) {
     seen.insert(i);
   });
   EXPECT_EQ(seen, (std::set<size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, SmallBatchRunsInlineOnTheCaller) {
+  // Below the chunking threshold (fewer than two iterations per thread)
+  // the fan-out overhead cannot pay for itself, so the batch must run
+  // serially on the calling thread, in index order.
+  support::ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  pool.ParallelFor(7, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  std::vector<size_t> expected(7);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ThreadsFromEnvClampsToHardwareConcurrency) {
+  unsigned hw_raw = std::thread::hardware_concurrency();
+  int hw = hw_raw == 0 ? 1 : static_cast<int>(hw_raw);
+  const char* saved = std::getenv("ALCOP_THREADS");
+  std::string restore = saved == nullptr ? "" : saved;
+  setenv("ALCOP_THREADS", "1000000", /*overwrite=*/1);
+  EXPECT_EQ(support::ThreadsFromEnv(), hw);
+  setenv("ALCOP_THREADS", "1", /*overwrite=*/1);
+  EXPECT_EQ(support::ThreadsFromEnv(), 1);
+  unsetenv("ALCOP_THREADS");
+  EXPECT_EQ(support::ThreadsFromEnv(), hw);
+  if (saved != nullptr) setenv("ALCOP_THREADS", restore.c_str(), 1);
 }
 
 }  // namespace
