@@ -20,13 +20,13 @@
 //     unchanged — any growth counts as a heap allocation on the hot
 //     path and fails the bench.
 // Wall-clock numbers are reported but never gated on.
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/desim.h"
 #include "sim/launch.h"
 #include "sim/sim_cache.h"
@@ -36,12 +36,6 @@
 using namespace alcop;  // NOLINT(build/namespaces) - bench driver
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double Seconds(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 bool BitEqual(double a, double b) {
   return std::memcmp(&a, &b, sizeof(double)) == 0;
@@ -105,25 +99,26 @@ int main(int argc, char** argv) {
       if (!schedule::ValidateConfig(task.op, config, &why)) continue;
 
       // AST-interpreter path: exactly the work the single-phase pipeline
-      // did per measurement before the split.
-      auto t0 = Clock::now();
+      // did per measurement before the split. Timed on the obs trace
+      // clock (one clock for benches and profiler spans).
+      obs::Stopwatch watch;
       sim::CompiledKernel compiled =
           sim::CompileKernel(task.op, config, spec);
       sim::KernelTiming interp = sim::InterpretKernel(compiled, spec);
-      t_interp += Seconds(t0);
+      t_interp += watch.Seconds();
 
       // Phase 1: pay the IR walk once.
-      auto t1 = Clock::now();
+      watch.Restart();
       sim::SimProgram program = sim::CompileSimProgram(task.op, config, spec);
-      t_compile += Seconds(t1);
+      t_compile += watch.Seconds();
 
       // Phase 2: warm replay. One untimed replay sizes the arena for this
       // program shape; the timed replay must not grow it.
       sim::KernelTiming warmup = sim::ReplaySimProgram(program, &arena);
       size_t capacity = arena.CapacityBytes();
-      auto t2 = Clock::now();
+      watch.Restart();
       sim::KernelTiming replay = sim::ReplaySimProgram(program, &arena);
-      t_replay += Seconds(t2);
+      t_replay += watch.Seconds();
       if (arena.CapacityBytes() != capacity) ++warm_replay_allocations;
       if (!SameTiming(warmup, replay)) ++mismatches;
 
@@ -150,20 +145,20 @@ int main(int argc, char** argv) {
   // Both memoization layers over the same sweep: a cold pass fills the
   // program cache and the timing cache; a second pass must be pure hits.
   sim::ResetSimCache();
-  auto t3 = Clock::now();
+  obs::Stopwatch cache_watch;
   for (const tuner::TuningTask& task : tasks) {
     for (size_t c = 0; c < task.space.size(); c += stride) {
       sim::CachedCompileAndSimulate(task.op, task.space[c], spec);
     }
   }
-  double cache_cold_seconds = Seconds(t3);
-  auto t4 = Clock::now();
+  double cache_cold_seconds = cache_watch.Seconds();
+  cache_watch.Restart();
   for (const tuner::TuningTask& task : tasks) {
     for (size_t c = 0; c < task.space.size(); c += stride) {
       sim::CachedCompileAndSimulate(task.op, task.space[c], spec);
     }
   }
-  double cache_warm_seconds = Seconds(t4);
+  double cache_warm_seconds = cache_watch.Seconds();
   sim::SimCacheStats stats = sim::GetSimCacheStats();
 
   bool deterministic = mismatches == 0 && timeline_mismatches == 0 &&

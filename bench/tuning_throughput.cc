@@ -14,13 +14,13 @@
 // (hardware_cores = 1) it degenerates to ~1.0x by construction, so the
 // JSON also isolates the cache's effect on the measurement path alone
 // (uncached vs warm exhaustive sweep), which holds at any core count.
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <string>
 #include <thread>
 
+#include "obs/trace.h"
 #include "sim/launch.h"
 #include "sim/sim_cache.h"
 #include "support/parallel.h"
@@ -64,12 +64,6 @@ double RunAllOps(const std::vector<tuner::TuningTask>& tasks) {
   return checksum;
 }
 
-double Seconds(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,26 +83,30 @@ int main(int argc, char** argv) {
     space_total += tasks.back().space.size();
   }
 
+  // All phases time on the observability layer's trace clock
+  // (obs::Stopwatch), the same clock behind ALCOP_TRACE_SCOPE spans.
+  obs::Stopwatch watch;
+
   // Phase 1: serial baseline, cold cache.
   support::SetGlobalThreads(1);
   sim::ResetSimCache();
-  auto t0 = std::chrono::steady_clock::now();
+  watch.Restart();
   double serial_checksum = RunAllOps(tasks);
-  double serial_seconds = Seconds(t0);
+  double serial_seconds = watch.Seconds();
   sim::SimCacheStats serial_stats = sim::GetSimCacheStats();
 
   // Phase 2: parallel, cold cache.
   support::SetGlobalThreads(threads);
   sim::ResetSimCache();
-  auto t1 = std::chrono::steady_clock::now();
+  watch.Restart();
   double parallel_checksum = RunAllOps(tasks);
-  double parallel_seconds = Seconds(t1);
+  double parallel_seconds = watch.Seconds();
   sim::SimCacheStats parallel_stats = sim::GetSimCacheStats();
 
   // Phase 3: warm cache (the repeated-sweep case every bench binary hits).
-  auto t2 = std::chrono::steady_clock::now();
+  watch.Restart();
   double cached_checksum = RunAllOps(tasks);
-  double cached_seconds = Seconds(t2);
+  double cached_seconds = watch.Seconds();
   sim::SimCacheStats cached_stats = sim::GetSimCacheStats();
 
   // Measurement path in isolation: one exhaustive sweep per operator with
@@ -125,22 +123,22 @@ int main(int argc, char** argv) {
                              : std::numeric_limits<double>::infinity();
     };
   }
-  auto t3 = std::chrono::steady_clock::now();
+  watch.Restart();
   double nocache_checksum = 0.0;
   for (const tuner::TuningTask& task : direct_tasks) {
     for (double cycles : tuner::ExhaustiveSearch(task).measured) {
       if (cycles < 1e30) nocache_checksum += cycles;
     }
   }
-  double measure_nocache_seconds = Seconds(t3);
-  auto t4 = std::chrono::steady_clock::now();
+  double measure_nocache_seconds = watch.Seconds();
+  watch.Restart();
   double warm_checksum = 0.0;
   for (const tuner::TuningTask& task : tasks) {
     for (double cycles : tuner::ExhaustiveSearch(task).measured) {
       if (cycles < 1e30) warm_checksum += cycles;
     }
   }
-  double measure_cached_seconds = Seconds(t4);
+  double measure_cached_seconds = watch.Seconds();
 
   bool deterministic = serial_checksum == parallel_checksum &&
                        serial_checksum == cached_checksum &&

@@ -10,16 +10,31 @@
 //   alcop_cli verify   FILE            statically verify the pipeline
 //                                      synchronization of a textual IR file
 //                                      (exit 1 on errors; see src/verify/)
+//   alcop_cli profile  WORKLOAD [--json] [--trace FILE]
+//                                      full observability report: per-warp
+//                                      stall attribution, pipe utilization,
+//                                      bottleneck verdict; --trace exports a
+//                                      Chrome/Perfetto trace with host spans
+//                                      and the simulated-GPU timeline.
+//                                      WORKLOAD is a benchmark op name
+//                                      (see `ops`) or M N K [batch].
 //
 // Shapes use the best schedule found by a 16-trial analytical ranking.
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/stall.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "sim/launch.h"
 #include "sim/timeline.h"
@@ -204,16 +219,107 @@ int CmdVerify(int argc, char** argv) {
   return result.HasErrors() ? 1 : 0;
 }
 
+int CmdProfile(int argc, char** argv) {
+  // Split flags from positionals: profile WORKLOAD [--json] [--trace FILE].
+  bool json = false;
+  std::string trace_path;
+  std::vector<char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace expects an output file\n");
+        return 1;
+      }
+      trace_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "expected a workload: a benchmark op name (see `alcop_cli "
+                 "ops`) or M N K [batch]\n");
+    return 1;
+  }
+
+  target::GpuSpec spec = target::AmpereSpec();
+  schedule::GemmOp op;
+  if (std::isdigit(static_cast<unsigned char>(positional[0][0]))) {
+    int64_t m = std::atoll(positional[0]);
+    int64_t n = positional.size() > 1 ? std::atoll(positional[1]) : 0;
+    int64_t k = positional.size() > 2 ? std::atoll(positional[2]) : 0;
+    int64_t batch = positional.size() > 3 ? std::atoll(positional[3]) : 1;
+    if (m <= 0 || n <= 0 || k <= 0) {
+      std::fprintf(stderr, "expected M N K [batch]\n");
+      return 1;
+    }
+    op = batch > 1 ? schedule::MakeBatchMatmul("cli", batch, m, n, k)
+                   : schedule::MakeMatmul("cli", m, n, k);
+  } else {
+    try {
+      op = workloads::FindOp(positional[0]);
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+
+  // Tracing must be on before any instrumented phase runs so the exported
+  // file carries the whole pipeline: tuner rounds, compile phases, replay.
+  obs::SetTraceEnabled(true);
+  obs::ClearTrace();
+
+  schedule::ScheduleConfig config = BestConfig(op, spec, 16);
+  sim::CompiledKernel compiled = sim::CompileKernel(op, config, spec);
+  sim::KernelTiming timing = sim::SimulateKernel(compiled, spec);
+  sim::BatchTimeline batch = sim::CaptureTimeline(compiled, spec);
+
+  obs::KernelProfile profile = obs::ProfileBatch(batch);
+  obs::AttachModelVerdict(&profile, op, config, spec);
+
+  if (!trace_path.empty()) {
+    obs::ChromeTraceWriter writer;
+    obs::AppendHostSpans(&writer, obs::CollectTraceSpans());
+    obs::AppendSimTimeline(&writer, batch.timeline, batch.num_warps);
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    out << writer.ToJson();
+    std::fprintf(stderr,
+                 "wrote %zu trace events to %s (load in chrome://tracing or "
+                 "ui.perfetto.dev)\n",
+                 writer.num_events(), trace_path.c_str());
+  }
+
+  if (json) {
+    std::printf("%s\n", obs::ProfileToJson(profile, &timing).c_str());
+    return 0;
+  }
+  std::printf("workload: %s  schedule: %s\n", op.name.c_str(),
+              config.ToString().c_str());
+  std::printf("timing: %.0f cycles, %.1f us, %.1f TFLOP/s\n", timing.cycles,
+              timing.microseconds, timing.tflops);
+  std::printf("%s", obs::RenderProfile(profile).c_str());
+  std::printf("\n--- host metrics ---\n%s",
+              obs::Registry::Global().RenderText().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: alcop_cli "
-                 "compile|tune|timeline|ops|models|parse|verify ...\n");
+                 "compile|tune|timeline|profile|ops|models|parse|verify ...\n");
     return 1;
   }
   const char* cmd = argv[1];
+  if (std::strcmp(cmd, "profile") == 0) return CmdProfile(argc, argv);
   if (std::strcmp(cmd, "compile") == 0) return CmdCompile(argc, argv);
   if (std::strcmp(cmd, "tune") == 0) return CmdTune(argc, argv);
   if (std::strcmp(cmd, "timeline") == 0) return CmdTimeline(argc, argv);

@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 
+#include "obs/trace.h"
 #include "support/check.h"
 #include "verify/diagnostic.h"
 
@@ -566,6 +567,7 @@ class Parser {
 
 Stmt ParseStmt(const std::string& text,
                const std::vector<Buffer>& external_buffers) {
+  ALCOP_TRACE_SCOPE("parse", "compiler");
   Parser parser(text, external_buffers);
   Stmt program = parser.ParseProgram();
   return program;

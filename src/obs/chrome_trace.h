@@ -1,0 +1,65 @@
+// Chrome trace_event / Perfetto JSON export: one file that carries both
+// the host-side compiler-phase spans (obs/trace.h) and the simulated
+// GPU's execution timeline (sim/timeline.h), loadable in chrome://tracing
+// or ui.perfetto.dev.
+//
+// Track layout:
+//   - pid 1 "alcop host": one thread track per tracing host thread,
+//     ts/dur in real microseconds since the trace epoch.
+//   - pid 2 "simulated GPU": one thread track per (threadblock, warp)
+//     plus one "tb<i> mem pipe" track per threadblock for background
+//     async transfers; ts/dur carry *simulated cycles* in the microsecond
+//     field (1 us == 1 cycle), so Perfetto's ruler reads directly in
+//     cycles. SpanKind names become the event categories.
+//
+// The emitted JSON is deterministic for a given input (stable ordering,
+// fixed number formatting, one event per line) — the golden exporter
+// test diffs two exports byte for byte.
+#ifndef ALCOP_OBS_CHROME_TRACE_H_
+#define ALCOP_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/timeline.h"
+
+namespace alcop {
+namespace obs {
+
+// Builds a Chrome trace_event JSON document incrementally.
+class ChromeTraceWriter {
+ public:
+  // Metadata events naming a process / thread track.
+  void AddProcessName(int pid, const std::string& name);
+  void AddThreadName(int pid, int tid, const std::string& name);
+
+  // One complete ("ph":"X") event. ts/dur are in Chrome's microsecond
+  // unit (real us for host spans, simulated cycles for GPU spans).
+  void AddCompleteEvent(const std::string& name, const std::string& category,
+                        int pid, int tid, double ts_us, double dur_us);
+
+  size_t num_events() const { return events_.size(); }
+
+  // The full document: {"traceEvents": [...], ...}, one event per line.
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::string> events_;
+};
+
+// Host pillar: every collected host span as a pid-1 event (tid = the
+// span's dense thread id).
+void AppendHostSpans(ChromeTraceWriter* writer,
+                     const std::vector<TraceSpan>& spans);
+
+// Simulated-GPU pillar: one pid-2 track per (tb, warp) and per
+// threadblock memory pipe. `num_warps` is the warps per threadblock (the
+// track id stride).
+void AppendSimTimeline(ChromeTraceWriter* writer, const sim::Timeline& timeline,
+                       int num_warps);
+
+}  // namespace obs
+}  // namespace alcop
+
+#endif  // ALCOP_OBS_CHROME_TRACE_H_

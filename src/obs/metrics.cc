@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace alcop {
+namespace obs {
+
+namespace {
+
+// Lock-free max/add for atomic<double> via CAS (fetch_add on
+// atomic<double> is C++20 but not universally lowered well; CAS is
+// portable and the loop is 1 iteration when uncontended).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current < value && !target->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+int BucketOf(double value) {
+  if (!(value >= 1.0)) return 0;  // [0,1) and any non-finite/negative junk
+  int exp = std::ilogb(value) + 1;
+  return exp >= Histogram::kBuckets ? Histogram::kBuckets - 1 : exp;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// %.17g prints doubles round-trip exactly and deterministically for a
+// given bit pattern; integers come out without an exponent.
+std::string NumberToJson(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMax(&max_, value);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map: dumps iterate in name order without re-sorting, and node
+  // stability guarantees returned references stay valid forever.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::function<double()>> callbacks;
+
+  void CheckUnique(const std::string& name, const char* kind) const {
+    int owners = (counters.count(name) ? 1 : 0) + (gauges.count(name) ? 1 : 0) +
+                 (histograms.count(name) ? 1 : 0) +
+                 (callbacks.count(name) ? 1 : 0);
+    ALCOP_CHECK_EQ(owners, 0)
+        << "metric '" << name << "' already registered with another kind "
+        << "(requested " << kind << ")";
+  }
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();  // leaked: outlives all threads
+  return *impl;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.counters.find(name);
+  if (it == state.counters.end()) {
+    state.CheckUnique(name, "counter");
+    it = state.counters.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.gauges.find(name);
+  if (it == state.gauges.end()) {
+    state.CheckUnique(name, "gauge");
+    it = state.gauges.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.histograms.find(name);
+  if (it == state.histograms.end()) {
+    state.CheckUnique(name, "histogram");
+    it = state.histograms.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void Registry::RegisterCallback(const std::string& name,
+                                std::function<double()> fn) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.callbacks.count(name) == 0) state.CheckUnique(name, "callback");
+  state.callbacks[name] = std::move(fn);
+}
+
+std::string Registry::RenderText() const {
+  Impl& state = impl();
+  // Callback snapshots are taken outside the registry lock: callbacks may
+  // lock subsystem state (e.g. all sim-cache shards) and must not nest
+  // under the registry mutex.
+  std::map<std::string, double> callback_values;
+  {
+    std::map<std::string, std::function<double()>> callbacks;
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      callbacks = state.callbacks;
+    }
+    for (const auto& [name, fn] : callbacks) callback_values[name] = fn();
+  }
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::ostringstream out;
+  for (const auto& [name, counter] : state.counters) {
+    out << name << " = " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : state.gauges) {
+    out << name << " = " << NumberToJson(gauge->Value()) << "\n";
+  }
+  for (const auto& [name, value] : callback_values) {
+    out << name << " = " << NumberToJson(value) << "\n";
+  }
+  for (const auto& [name, hist] : state.histograms) {
+    out << name << " = {count: " << hist->Count()
+        << ", mean: " << NumberToJson(hist->Mean())
+        << ", max: " << NumberToJson(hist->Max()) << "}\n";
+  }
+  return out.str();
+}
+
+std::string Registry::RenderJson() const {
+  Impl& state = impl();
+  std::map<std::string, double> callback_values;
+  {
+    std::map<std::string, std::function<double()>> callbacks;
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      callbacks = state.callbacks;
+    }
+    for (const auto& [name, fn] : callbacks) callback_values[name] = fn();
+  }
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::ostringstream out;
+  out << "{\n";
+  bool first = true;
+  auto emit = [&](const std::string& name, const std::string& value) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  \"" << JsonEscape(name) << "\": " << value;
+  };
+  for (const auto& [name, counter] : state.counters) {
+    emit(name, std::to_string(counter->Value()));
+  }
+  for (const auto& [name, gauge] : state.gauges) {
+    emit(name, NumberToJson(gauge->Value()));
+  }
+  for (const auto& [name, value] : callback_values) {
+    emit(name, NumberToJson(value));
+  }
+  for (const auto& [name, hist] : state.histograms) {
+    std::ostringstream value;
+    value << "{\"count\": " << hist->Count()
+          << ", \"sum\": " << NumberToJson(hist->Sum())
+          << ", \"mean\": " << NumberToJson(hist->Mean())
+          << ", \"max\": " << NumberToJson(hist->Max()) << "}";
+    emit(name, value.str());
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+void Registry::ResetAll() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& [name, counter] : state.counters) counter->Reset();
+  for (auto& [name, gauge] : state.gauges) gauge->Set(0.0);
+  for (auto& [name, hist] : state.histograms) hist->Reset();
+}
+
+}  // namespace obs
+}  // namespace alcop

@@ -1,0 +1,115 @@
+// Process-wide metrics registry: named counters, gauges and histograms
+// behind one `alcop::obs::Registry`, with deterministic text and JSON
+// dumps. This is the second pillar of the observability layer (DESIGN.md
+// "Observability"): the sim-cache counters, thread-pool stats and tuner
+// stats all surface here instead of each subsystem growing its own
+// ad-hoc snapshot struct.
+//
+// Usage pattern on hot paths — resolve once, then update lock-free:
+//
+//   static obs::Counter& trials =
+//       obs::Registry::Global().GetCounter("tuner.trials");
+//   trials.Increment();
+//
+// Counters and gauges are single relaxed atomics; histograms are one
+// relaxed atomic add into a power-of-two bucket. Metrics are never
+// removed, so returned references stay valid for the process lifetime.
+// Subsystems whose state cannot live in a plain counter (e.g. cache
+// entry counts that are the size of a locked map) register a callback
+// gauge instead; callbacks run only when a dump is rendered.
+#ifndef ALCOP_OBS_METRICS_H_
+#define ALCOP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace alcop {
+namespace obs {
+
+// Monotonic counter (resettable for tests/benches).
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written double value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Power-of-two-bucketed histogram of non-negative samples: bucket i
+// counts samples in [2^(i-1), 2^i) (bucket 0: [0, 1)). Tracks count,
+// sum and max so dumps can report mean and tail without storing samples.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(double value);
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    uint64_t n = Count();
+    return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+  }
+  uint64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+class Registry {
+ public:
+  // The process-wide registry (leaked, outlives all threads).
+  static Registry& Global();
+
+  // Finds or creates the named metric. A name addresses exactly one
+  // metric kind; requesting it as a different kind throws CheckError.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // Registers a read-on-dump gauge backed by `fn` (re-registering a name
+  // replaces the callback; used by subsystems whose value is computed).
+  void RegisterCallback(const std::string& name, std::function<double()> fn);
+
+  // Deterministic dumps, sorted by metric name.
+  std::string RenderText() const;
+  std::string RenderJson() const;
+
+  // Zeroes every counter/gauge/histogram (callbacks are left alone:
+  // their owners reset their own state). Tests and benches only.
+  void ResetAll();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace obs
+}  // namespace alcop
+
+#endif  // ALCOP_OBS_METRICS_H_

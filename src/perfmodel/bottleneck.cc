@@ -8,17 +8,31 @@
 namespace alcop {
 namespace perfmodel {
 
-double BottleneckPredictCycles(const schedule::GemmOp& op,
-                               const schedule::ScheduleConfig& config,
-                               const target::GpuSpec& spec) {
+double BottleneckBreakdown::Cycles() const {
+  return std::max({compute_cycles, smem_cycles, dram_cycles});
+}
+
+const char* BottleneckBreakdown::Limiter() const {
+  if (compute_cycles >= smem_cycles && compute_cycles >= dram_cycles) {
+    return "compute";
+  }
+  return smem_cycles >= dram_cycles ? "smem" : "dram";
+}
+
+BottleneckBreakdown BottleneckAnalyze(const schedule::GemmOp& op,
+                                      const schedule::ScheduleConfig& config,
+                                      const target::GpuSpec& spec) {
+  BottleneckBreakdown out;
   std::string why;
   if (!schedule::ValidateConfig(op, config, &why)) {
-    return std::numeric_limits<double>::infinity();
+    double inf = std::numeric_limits<double>::infinity();
+    out.compute_cycles = out.smem_cycles = out.dram_cycles = inf;
+    return out;
   }
 
   // Aggregated compute at full throughput — blind to occupancy.
-  double t_compute = static_cast<double>(op.Flops()) /
-                     (spec.tc_flops_per_sm_per_cycle * spec.num_sms);
+  out.compute_cycles = static_cast<double>(op.Flops()) /
+                       (spec.tc_flops_per_sm_per_cycle * spec.num_sms);
 
   // Shared-memory loading: every threadblock pulls its input tiles through
   // the LLC once per outer iteration.
@@ -29,14 +43,19 @@ double BottleneckPredictCycles(const schedule::GemmOp& op,
       (static_cast<double>(grid_n) * op.m * op.k +  // A re-read per bn
        static_cast<double>(grid_m) * op.n * op.k) *
       2.0;
-  double t_smem = smem_bytes / spec.llc_bw_bytes_per_cycle;
+  out.smem_cycles = smem_bytes / spec.llc_bw_bytes_per_cycle;
 
   // Device-memory loading: distinct tensor bytes only (ideal caching).
   double dram_bytes = static_cast<double>(op.InputBytes() + op.OutputBytes());
-  double t_dram = dram_bytes / spec.dram_bw_bytes_per_cycle;
+  out.dram_cycles = dram_bytes / spec.dram_bw_bytes_per_cycle;
+  return out;
+}
 
+double BottleneckPredictCycles(const schedule::GemmOp& op,
+                               const schedule::ScheduleConfig& config,
+                               const target::GpuSpec& spec) {
   // Blind to pipelining, latency and occupancy: just the max.
-  return std::max({t_compute, t_smem, t_dram});
+  return BottleneckAnalyze(op, config, spec).Cycles();
 }
 
 }  // namespace perfmodel

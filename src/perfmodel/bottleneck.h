@@ -13,6 +13,23 @@
 namespace alcop {
 namespace perfmodel {
 
+// The three terms of the bottleneck max, exposed so the profiler
+// (src/obs/stall.*) can cross-check its measured verdict against the
+// model's limiter. Times are in cycles; +inf everywhere for invalid
+// schedules.
+struct BottleneckBreakdown {
+  double compute_cycles = 0.0;
+  double smem_cycles = 0.0;  // shared-memory loading through the LLC
+  double dram_cycles = 0.0;  // device-memory loading
+  double Cycles() const;     // max of the three
+  // "compute", "smem" or "dram" — the argmax (ties break in that order).
+  const char* Limiter() const;
+};
+
+BottleneckBreakdown BottleneckAnalyze(const schedule::GemmOp& op,
+                                      const schedule::ScheduleConfig& config,
+                                      const target::GpuSpec& spec);
+
 // Predicted kernel cycles under the bottleneck analysis; +inf for invalid
 // schedules.
 double BottleneckPredictCycles(const schedule::GemmOp& op,

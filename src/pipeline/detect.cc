@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace alcop {
@@ -104,6 +105,7 @@ DetectionResult DetectPipelineBuffers(const Schedule& schedule,
 }
 
 DetectionResult AutoPipeline(Schedule& schedule, const target::GpuSpec& spec) {
+  ALCOP_TRACE_SCOPE("detect", "compiler");
   DetectionResult result = DetectPipelineBuffers(schedule, spec);
   const schedule::ScheduleConfig& config = schedule.config();
   for (StageInfo& stage : schedule.stages()) {

@@ -7,6 +7,7 @@
 #include "ir/analysis.h"
 #include "ir/functor.h"
 #include "ir/simplify.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "verify/verifier.h"
 
@@ -319,6 +320,7 @@ const ForNode* FindPipelineLoop(const ProducerInfo& producer) {
 }  // namespace
 
 TransformResult ApplyPipelineTransform(const Stmt& prog, bool inner_fusion) {
+  ALCOP_TRACE_SCOPE("transform", "compiler");
   TransformResult result;
   result.stmt = prog;
 

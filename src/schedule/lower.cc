@@ -1,5 +1,6 @@
 #include "schedule/lower.h"
 
+#include "obs/trace.h"
 #include "support/check.h"
 #include "verify/verifier.h"
 
@@ -41,6 +42,7 @@ target::ThreadblockResources ComputeResources(const GemmOp& /*op*/,
 }
 
 LoweredKernel LowerSchedule(const Schedule& schedule) {
+  ALCOP_TRACE_SCOPE("lower", "compiler");
   const GemmOp& op = schedule.op();
   const ScheduleConfig& config = schedule.config();
   const TileConfig& t = config.tile;

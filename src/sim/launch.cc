@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "pipeline/detect.h"
 #include "sim/desim.h"
 #include "sim/trace.h"
@@ -17,6 +18,7 @@ using schedule::ScheduleConfig;
 CompiledKernel CompileKernel(const GemmOp& op, const ScheduleConfig& config,
                              const target::GpuSpec& spec,
                              schedule::InlineOrder inline_order) {
+  ALCOP_TRACE_SCOPE("compile-kernel", "compiler");
   CompiledKernel compiled;
   schedule::Schedule sched(op, config, inline_order);
   compiled.detection = pipeline::AutoPipeline(sched, spec);
@@ -133,6 +135,7 @@ DesimSetup PrepareDesim(const CompiledKernel& compiled,
 
 KernelTiming InterpretKernel(const CompiledKernel& compiled,
                              const target::GpuSpec& spec) {
+  ALCOP_TRACE_SCOPE("interpret", "sim");
   const LoweredKernel& kernel = compiled.kernel;
   KernelTiming timing;
 
@@ -222,6 +225,7 @@ BatchTimeline CaptureTimelineInterpreted(const CompiledKernel& compiled,
 
 SimProgram BuildSimProgram(const CompiledKernel& compiled,
                            const target::GpuSpec& spec) {
+  ALCOP_TRACE_SCOPE("sim-compile", "sim");
   const LoweredKernel& kernel = compiled.kernel;
   SimProgram out;
 
@@ -317,6 +321,11 @@ ReplayWave WaveFor(const SimProgram& program, int64_t tbs) {
 }  // namespace
 
 KernelTiming ReplaySimProgram(const SimProgram& program, ReplayArena* arena) {
+  // The hot measurement path: with tracing disabled this scope is one
+  // relaxed atomic load (zero-allocation warm replay is gated in
+  // tests/obs_test.cc); enabled, it records host wall time but never
+  // touches simulated cycles.
+  ALCOP_TRACE_SCOPE("replay", "sim");
   KernelTiming timing;
   if (!program.feasible) {
     timing.reason = program.reason;

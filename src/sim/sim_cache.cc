@@ -1,10 +1,11 @@
 #include "sim/sim_cache.h"
 
-#include <atomic>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
+
+#include "obs/metrics.h"
 
 namespace alcop {
 namespace sim {
@@ -13,20 +14,27 @@ namespace {
 
 constexpr size_t kNumShards = 16;
 
+// All shard state — maps *and* counters — is guarded by the shard mutex:
+// a hit/miss is counted in the same critical section that observes or
+// mutates the map, so locking every shard (in index order) yields a
+// linearizable snapshot. The previous design kept the counters in global
+// relaxed atomics updated partly outside the locks; a snapshot taken
+// during a sweep could then tear (e.g. see an inserted entry whose miss
+// was not counted yet, or a post-reset map with pre-reset counters).
 struct Shard {
   std::mutex mu;
   std::unordered_map<std::string, KernelTiming> map;
   // Phase-1 layer: shared so callers can keep replaying an entry after
   // the lock is dropped (and across a Reset).
   std::unordered_map<std::string, std::shared_ptr<const SimProgram>> programs;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t program_hits = 0;
+  uint64_t program_misses = 0;
 };
 
 struct Cache {
   Shard shards[kNumShards];
-  std::atomic<uint64_t> hits{0};
-  std::atomic<uint64_t> misses{0};
-  std::atomic<uint64_t> program_hits{0};
-  std::atomic<uint64_t> program_misses{0};
 
   Shard& ShardFor(const std::string& key) {
     return shards[std::hash<std::string>{}(key) % kNumShards];
@@ -34,7 +42,34 @@ struct Cache {
 };
 
 Cache& GlobalCache() {
-  static Cache* cache = new Cache();  // leaked: outlives all threads
+  static Cache* cache = [] {
+    auto* c = new Cache();  // leaked: outlives all threads
+    // Absorb the cache counters into the process-wide metrics registry
+    // (read-on-dump; each callback takes a full consistent snapshot).
+    obs::Registry& registry = obs::Registry::Global();
+    registry.RegisterCallback("sim.cache.timing.hits", [] {
+      return static_cast<double>(GetSimCacheStats().hits);
+    });
+    registry.RegisterCallback("sim.cache.timing.misses", [] {
+      return static_cast<double>(GetSimCacheStats().misses);
+    });
+    registry.RegisterCallback("sim.cache.timing.entries", [] {
+      return static_cast<double>(GetSimCacheStats().entries);
+    });
+    registry.RegisterCallback("sim.cache.program.hits", [] {
+      return static_cast<double>(GetSimCacheStats().program_hits);
+    });
+    registry.RegisterCallback("sim.cache.program.misses", [] {
+      return static_cast<double>(GetSimCacheStats().program_misses);
+    });
+    registry.RegisterCallback("sim.cache.program.entries", [] {
+      return static_cast<double>(GetSimCacheStats().program_entries);
+    });
+    registry.RegisterCallback("sim.cache.program.bytes", [] {
+      return static_cast<double>(GetSimCacheStats().program_bytes);
+    });
+    return c;
+  }();
   return *cache;
 }
 
@@ -42,6 +77,26 @@ ReplayArena& CacheThreadArena() {
   thread_local ReplayArena arena;
   return arena;
 }
+
+// Locks every shard in index order (deadlock-free: the hot paths only
+// ever hold one shard lock, and snapshot/reset both use this order).
+class AllShardsLock {
+ public:
+  explicit AllShardsLock(Cache& cache) {
+    for (size_t i = 0; i < kNumShards; ++i) cache.shards[i].mu.lock();
+    cache_ = &cache;
+  }
+  ~AllShardsLock() {
+    for (size_t i = kNumShards; i > 0; --i) {
+      cache_->shards[i - 1].mu.unlock();
+    }
+  }
+  AllShardsLock(const AllShardsLock&) = delete;
+  AllShardsLock& operator=(const AllShardsLock&) = delete;
+
+ private:
+  Cache* cache_;
+};
 
 }  // namespace
 
@@ -80,17 +135,19 @@ std::shared_ptr<const SimProgram> CachedSimProgram(
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.programs.find(key);
     if (it != shard.programs.end()) {
-      cache.program_hits.fetch_add(1, std::memory_order_relaxed);
+      ++shard.program_hits;
       return it->second;
     }
   }
-  cache.program_misses.fetch_add(1, std::memory_order_relaxed);
   // Compile outside the shard lock so concurrent misses on different keys
   // of the same shard do not serialize the expensive work.
   auto program = std::make_shared<const SimProgram>(
       CompileSimProgram(op, config, spec, inline_order));
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    // The miss is counted where the map changes, under the same lock, so
+    // a concurrent stats snapshot never sees an entry without its miss.
+    ++shard.program_misses;
     auto [it, inserted] = shard.programs.emplace(std::move(key), program);
     if (!inserted) return it->second;  // a racing miss won; share its copy
   }
@@ -108,11 +165,10 @@ KernelTiming CachedCompileAndSimulate(const schedule::GemmOp& op,
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
-      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      ++shard.hits;
       return it->second;
     }
   }
-  cache.misses.fetch_add(1, std::memory_order_relaxed);
   // A timing miss still reuses phase 1 through the program layer: only
   // the cheap bytecode replay runs outside the shard lock.
   std::shared_ptr<const SimProgram> program =
@@ -120,6 +176,7 @@ KernelTiming CachedCompileAndSimulate(const schedule::GemmOp& op,
   KernelTiming timing = ReplaySimProgram(*program, &CacheThreadArena());
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.misses;
     shard.map.emplace(std::move(key), timing);
   }
   return timing;
@@ -128,12 +185,12 @@ KernelTiming CachedCompileAndSimulate(const schedule::GemmOp& op,
 SimCacheStats GetSimCacheStats() {
   Cache& cache = GlobalCache();
   SimCacheStats stats;
-  stats.hits = cache.hits.load(std::memory_order_relaxed);
-  stats.misses = cache.misses.load(std::memory_order_relaxed);
-  stats.program_hits = cache.program_hits.load(std::memory_order_relaxed);
-  stats.program_misses = cache.program_misses.load(std::memory_order_relaxed);
+  AllShardsLock lock(cache);
   for (Shard& shard : cache.shards) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.program_hits += shard.program_hits;
+    stats.program_misses += shard.program_misses;
     stats.entries += shard.map.size();
     stats.program_entries += shard.programs.size();
     for (const auto& [key, program] : shard.programs) {
@@ -145,15 +202,18 @@ SimCacheStats GetSimCacheStats() {
 
 void ResetSimCache() {
   Cache& cache = GlobalCache();
+  // Maps and counters are cleared under one all-shards lock, so a
+  // concurrent snapshot sees either the whole pre-reset or the whole
+  // post-reset state, never a mix.
+  AllShardsLock lock(cache);
   for (Shard& shard : cache.shards) {
-    std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
     shard.programs.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.program_hits = 0;
+    shard.program_misses = 0;
   }
-  cache.hits.store(0, std::memory_order_relaxed);
-  cache.misses.store(0, std::memory_order_relaxed);
-  cache.program_hits.store(0, std::memory_order_relaxed);
-  cache.program_misses.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sim

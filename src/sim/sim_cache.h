@@ -22,7 +22,12 @@
 // The cache is sharded and thread-safe: concurrent misses on the same key
 // may both compile (the race is benign — both compute the same value and
 // one insert wins), while hits are lock-striped lookups. Per-layer
-// hit/miss counters feed the throughput benches and the cache tests.
+// hit/miss counters live in the shards, are updated in the same critical
+// section that touches the maps, and are snapshotted under an all-shards
+// lock, so GetSimCacheStats() is linearizable against concurrent sweeps
+// and resets (hammered by the TSan-covered snapshot test). They feed the
+// throughput benches, the cache tests, and the obs metrics registry
+// (`sim.cache.*` callback gauges).
 #ifndef ALCOP_SIM_SIM_CACHE_H_
 #define ALCOP_SIM_SIM_CACHE_H_
 

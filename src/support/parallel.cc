@@ -11,6 +11,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace alcop {
 namespace support {
 
@@ -19,6 +21,29 @@ namespace {
 // Set while a thread is executing a pool task; nested ParallelFor calls
 // detect it and run inline instead of re-entering the shared queue.
 thread_local bool t_in_pool_task = false;
+
+// Pool stats surface through the process-wide metrics registry
+// (obs/metrics.h). References are resolved once: counter updates on the
+// dispatch path are single relaxed atomic adds.
+struct PoolMetrics {
+  obs::Counter& calls;
+  obs::Counter& inline_calls;  // ran serially (no workers / nested / tiny)
+  obs::Counter& iterations;
+  obs::Gauge& threads;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* metrics = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      return new PoolMetrics{
+          registry.GetCounter("pool.parallel_for.calls"),
+          registry.GetCounter("pool.parallel_for.inline_calls"),
+          registry.GetCounter("pool.iterations"),
+          registry.GetGauge("pool.threads"),
+      };
+    }();
+    return *metrics;
+  }
+};
 
 }  // namespace
 
@@ -69,6 +94,9 @@ int ThreadPool::threads() const {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.calls.Increment();
+  metrics.iterations.Add(n);
   // Serial fallback: no workers, a nested call from inside a pool task
   // (re-entering the queue could deadlock), or too few iterations to fill
   // even one chunk per thread — the fan-out/fan-in handshake (queueing,
@@ -77,6 +105,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // machine.
   size_t total_threads = impl_->workers.size() + 1;
   if (impl_->workers.empty() || n < 2 * total_threads || t_in_pool_task) {
+    metrics.inline_calls.Increment();
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -159,7 +188,10 @@ std::shared_ptr<ThreadPool> g_pool;
 
 std::shared_ptr<ThreadPool> GlobalPool() {
   std::lock_guard<std::mutex> lock(g_pool_mu);
-  if (g_pool == nullptr) g_pool = std::make_shared<ThreadPool>(ThreadsFromEnv());
+  if (g_pool == nullptr) {
+    g_pool = std::make_shared<ThreadPool>(ThreadsFromEnv());
+    PoolMetrics::Get().threads.Set(g_pool->threads());
+  }
   return g_pool;
 }
 
@@ -171,6 +203,7 @@ void SetGlobalThreads(int threads) {
   // Build the replacement outside the lock; in-flight calls holding the old
   // shared_ptr finish on the old pool.
   auto next = std::make_shared<ThreadPool>(threads);
+  PoolMetrics::Get().threads.Set(next->threads());
   std::lock_guard<std::mutex> lock(g_pool_mu);
   g_pool = std::move(next);
 }

@@ -19,6 +19,9 @@
 // pool for work whose iterations are independent and whose results are
 // written to disjoint, pre-sized slots — this is what keeps every tuning
 // result bit-identical across thread counts.
+//
+// Dispatch statistics (calls, inline fallbacks, total iterations, pool
+// size) surface in the obs metrics registry under `pool.*`.
 #ifndef ALCOP_SUPPORT_PARALLEL_H_
 #define ALCOP_SUPPORT_PARALLEL_H_
 

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perfmodel/analytical.h"
 #include "perfmodel/bottleneck.h"
 #include "sim/sim_cache.h"
@@ -36,8 +38,12 @@ double ScoreOf(double cycles) {
 TuningResult MeasureInOrder(const TuningTask& task,
                             const std::vector<size_t>& order,
                             size_t max_trials) {
+  ALCOP_TRACE_SCOPE("measure-batch", "tuner");
   TuningResult result;
   size_t count = std::min(order.size(), max_trials);
+  static obs::Counter& trials =
+      obs::Registry::Global().GetCounter("tuner.trials");
+  trials.Add(count);
   result.trials.assign(order.begin(),
                        order.begin() + static_cast<ptrdiff_t>(count));
   result.measured = support::ParallelMap(
@@ -151,6 +157,10 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
   // the model are not shared with the pool); only candidate measurement
   // and batch prediction fan out, so trial order is thread-count invariant.
   auto refit = [&]() {
+    ALCOP_TRACE_SCOPE("refit", "tuner");
+    static obs::Counter& refits =
+        obs::Registry::Global().GetCounter("tuner.refits");
+    refits.Increment();
     std::vector<std::vector<double>> x;
     std::vector<double> y;
     std::vector<double> w;
@@ -177,8 +187,14 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
 
   if (options.pretrain_with_analytical) refit();  // prior knowledge only
 
+  static obs::Counter& rounds =
+      obs::Registry::Global().GetCounter("tuner.rounds");
+  static obs::Counter& trials =
+      obs::Registry::Global().GetCounter("tuner.trials");
   while (result.trials.size() < max_trials &&
          measured_set.size() < task.space.size()) {
+    ALCOP_TRACE_SCOPE("xgb-round", "tuner");
+    rounds.Increment();
     size_t batch =
         std::min(options.batch_size, max_trials - result.trials.size());
     std::vector<size_t> proposals;
@@ -206,6 +222,7 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
     std::vector<double> cycles = support::ParallelMap(
         proposals.size(),
         [&](size_t i) { return task.measure(task.space[proposals[i]]); });
+    trials.Add(proposals.size());
     for (size_t i = 0; i < proposals.size(); ++i) {
       result.trials.push_back(proposals[i]);
       result.measured.push_back(cycles[i]);

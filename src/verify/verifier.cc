@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ir/expr.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace alcop {
@@ -512,6 +513,7 @@ std::string VerifyResult::Render() const {
 
 VerifyResult VerifyProgram(const ir::Stmt& program,
                            const VerifyOptions& options) {
+  ALCOP_TRACE_SCOPE("verify", "compiler");
   DiagnosticEngine engine;
   Interpreter interp(options, &engine);
   interp.Run(program);

@@ -3,6 +3,10 @@
 // exhaustive sweep is 100% hits returning identical cycles.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "schedule/tensor.h"
 #include "sim/sim_cache.h"
 #include "support/parallel.h"
@@ -96,6 +100,60 @@ TEST(SimCacheTest, CachedResultMatchesDirectSimulation) {
     EXPECT_EQ(cached.cycles, cached_again.cycles);
     EXPECT_EQ(cached.reason, cached_again.reason);
   }
+}
+
+// Counters live inside the shards and GetSimCacheStats locks every shard,
+// so a snapshot taken mid-sweep is linearizable: it can never observe an
+// entry whose miss is uncounted, and hits/misses/entries only grow
+// between snapshots while no reset runs. Under TSan (the CI tsan job
+// matches this suite) this also proves the counter updates are raced
+// against concurrent lookups without a data race.
+TEST(SimCacheTest, ConcurrentSnapshotsAreConsistent) {
+  tuner::TuningTask task = SmallSimTask();
+  ASSERT_GE(task.space.size(), 4u);
+  sim::ResetSimCache();
+
+  constexpr int kWorkers = 3;
+  constexpr int kSweeps = 4;
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+
+  std::thread observer([&] {
+    sim::SimCacheStats prev;
+    while (!done.load(std::memory_order_acquire)) {
+      sim::SimCacheStats now = sim::GetSimCacheStats();
+      bool consistent =
+          now.entries <= now.misses &&  // every entry was inserted by a miss
+          now.program_entries <= now.program_misses &&
+          now.hits >= prev.hits && now.misses >= prev.misses &&
+          now.entries >= prev.entries &&
+          now.program_misses >= prev.program_misses;
+      if (!consistent) violations.fetch_add(1, std::memory_order_relaxed);
+      prev = now;
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&task] {
+      for (int sweep = 0; sweep < kSweeps; ++sweep) {
+        for (const schedule::ScheduleConfig& config : task.space) {
+          sim::CachedCompileAndSimulate(task.op, config, task.spec);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  sim::SimCacheStats final_stats = sim::GetSimCacheStats();
+  // Every lookup was counted exactly once, racing misses included.
+  EXPECT_EQ(final_stats.hits + final_stats.misses,
+            static_cast<uint64_t>(kWorkers * kSweeps) * task.space.size());
+  EXPECT_EQ(final_stats.entries, task.space.size());
+  EXPECT_GE(final_stats.misses, task.space.size());
 }
 
 TEST(SimCacheTest, ResetClearsEntriesAndCounters) {
