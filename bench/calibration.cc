@@ -1,0 +1,196 @@
+// Model-calibration bench: the Fig. 12 experiment as a permanent,
+// machine-readable harness. Over the Fig. 10 operator sweep it runs
+// perfmodel::CalibrateConfig on every (strided) schedule and reports
+//   - per-term relative error of the Table-I analytical model against
+//     the PMU/stall measurements (mean, median, p90, max per term), and
+//   - the bottleneck-verdict agreement rates: the analytical limiter
+//     against the PMU-derived roofline regime and against the stall
+//     profiler's measured verdict, per operator and overall.
+// It also samples the PMU differential gate: every ~53rd feasible config
+// the interpreter's counters are compared bit-for-bit (memcmp) against
+// the replay core's.
+//
+// Emits one JSON object (consumed by scripts/bench_calibration.sh into
+// BENCH_calibration.json; the script fills the "meta" block). Exit is
+// nonzero when the roofline agreement rate drops below 0.90, any sampled
+// PMU comparison mismatches, or nothing feasible ran — never because of
+// wall time or error magnitudes.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "perfmodel/calibration.h"
+#include "sim/desim.h"
+#include "sim/launch.h"
+#include "sim/pmu.h"
+#include "tuner/strategy.h"
+#include "workloads/ops.h"
+
+using namespace alcop;  // NOLINT(build/namespaces) - bench driver
+
+namespace {
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool SamePmu(const sim::KernelPmu& a, const sim::KernelPmu& b) {
+  return a.collected == b.collected &&
+         std::memcmp(&a.total, &b.total, sizeof(sim::PmuCounters)) == 0 &&
+         std::memcmp(&a.batch, &b.batch, sizeof(sim::PmuCounters)) == 0 &&
+         BitEqual(a.achieved_occupancy, b.achieved_occupancy);
+}
+
+struct TermStats {
+  std::vector<double> errors;
+
+  void Summarize(double* mean, double* median, double* p90,
+                 double* max) const {
+    *mean = *median = *p90 = *max = 0.0;
+    if (errors.empty()) return;
+    std::vector<double> sorted = errors;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double e : sorted) sum += e;
+    *mean = sum / static_cast<double>(sorted.size());
+    *median = sorted[sorted.size() / 2];
+    *p90 = sorted[(sorted.size() * 9) / 10];
+    *max = sorted.back();
+  }
+};
+
+struct AgreeCount {
+  int agree = 0;
+  int total = 0;
+  double Rate() const {
+    return total > 0 ? static_cast<double>(agree) / total : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  // Quick mode (the CI perf-smoke job) strides the schedule space; the
+  // full sweep audits every 4th config of every Fig. 10 operator (the
+  // calibration pass profiles a full batch timeline per config, ~4x the
+  // work of a bare simulation).
+  const int stride = quick ? 16 : 4;
+
+  target::GpuSpec spec = target::AmpereSpec();
+  sim::ReplayArena arena;
+
+  int configs = 0, feasible = 0;
+  int pmu_samples = 0, pmu_mismatches = 0;
+  // Term order is fixed by CalibrateConfig; keep insertion order here.
+  std::vector<std::string> term_order;
+  std::map<std::string, TermStats> terms;
+  AgreeCount roofline_total, profile_total;
+  std::vector<std::pair<std::string, std::pair<AgreeCount, AgreeCount>>>
+      per_op;  // op name -> (roofline, profile)
+  obs::Stopwatch watch;
+
+  for (const schedule::GemmOp& op : workloads::BenchmarkOps()) {
+    tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
+    AgreeCount op_roofline, op_profile;
+    for (size_t c = 0; c < task.space.size(); c += stride) {
+      const schedule::ScheduleConfig& config = task.space[c];
+      ++configs;
+      perfmodel::CalibrationResult result =
+          perfmodel::CalibrateConfig(op, config, spec, &arena);
+      if (!result.feasible) continue;
+      ++feasible;
+
+      for (const perfmodel::TermError& term : result.terms) {
+        auto [it, inserted] = terms.emplace(term.name, TermStats());
+        if (inserted) term_order.push_back(term.name);
+        it->second.errors.push_back(term.rel_error);
+      }
+      ++roofline_total.total;
+      ++op_roofline.total;
+      if (result.roofline_agrees) {
+        ++roofline_total.agree;
+        ++op_roofline.agree;
+      }
+      ++profile_total.total;
+      ++op_profile.total;
+      if (result.profile_agrees) {
+        ++profile_total.agree;
+        ++op_profile.agree;
+      }
+
+      // Differential PMU gate: the interpreter must produce the replay
+      // core's counters bit for bit.
+      if (feasible % 53 == 1) {
+        ++pmu_samples;
+        sim::CompiledKernel compiled = sim::CompileKernel(op, config, spec);
+        sim::KernelPmu interp_pmu;
+        sim::InterpretKernel(compiled, spec, &interp_pmu);
+        if (!SamePmu(interp_pmu, result.pmu)) {
+          if (++pmu_mismatches <= 3) {
+            std::fprintf(stderr, "PMU MISMATCH %s %s\n", op.name.c_str(),
+                         config.ToString().c_str());
+          }
+        }
+      }
+    }
+    per_op.emplace_back(op.name, std::make_pair(op_roofline, op_profile));
+  }
+  double seconds = watch.Seconds();
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"calibration\",\n");
+  std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+  std::printf("  \"meta\": {},\n");
+  std::printf("  \"operators\": %zu,\n", per_op.size());
+  std::printf("  \"configs\": %d,\n", configs);
+  std::printf("  \"feasible\": %d,\n", feasible);
+  std::printf("  \"seconds\": %.4f,\n", seconds);
+  std::printf("  \"pmu_samples\": %d,\n", pmu_samples);
+  std::printf("  \"pmu_mismatches\": %d,\n", pmu_mismatches);
+  std::printf("  \"terms\": {\n");
+  for (size_t i = 0; i < term_order.size(); ++i) {
+    double mean, median, p90, max;
+    terms[term_order[i]].Summarize(&mean, &median, &p90, &max);
+    std::printf("    \"%s\": {\"mean_rel_error\": %.6g, "
+                "\"median_rel_error\": %.6g, \"p90_rel_error\": %.6g, "
+                "\"max_rel_error\": %.6g}%s\n",
+                term_order[i].c_str(), mean, median, p90, max,
+                i + 1 < term_order.size() ? "," : "");
+  }
+  std::printf("  },\n");
+  std::printf("  \"agreement\": {\n");
+  std::printf("    \"roofline_vs_bottleneck\": {\"agree\": %d, \"total\": %d, "
+              "\"rate\": %.4f},\n",
+              roofline_total.agree, roofline_total.total,
+              roofline_total.Rate());
+  std::printf("    \"profile_vs_bottleneck\": {\"agree\": %d, \"total\": %d, "
+              "\"rate\": %.4f},\n",
+              profile_total.agree, profile_total.total, profile_total.Rate());
+  std::printf("    \"per_op\": [\n");
+  for (size_t i = 0; i < per_op.size(); ++i) {
+    std::printf("      {\"op\": \"%s\", \"roofline_rate\": %.4f, "
+                "\"profile_rate\": %.4f, \"configs\": %d}%s\n",
+                per_op[i].first.c_str(), per_op[i].second.first.Rate(),
+                per_op[i].second.second.Rate(),
+                per_op[i].second.first.total,
+                i + 1 < per_op.size() ? "," : "");
+  }
+  std::printf("    ]\n");
+  std::printf("  }\n");
+  std::printf("}\n");
+
+  // Gate only on correctness and the paper's headline agreement claim:
+  // the PMU differential must be bit-exact and the roofline regime must
+  // agree with the analytical limiter on >= 90% of feasible schedules.
+  bool ok = feasible > 0 && pmu_mismatches == 0 &&
+            roofline_total.Rate() >= 0.90;
+  return ok ? 0 : 1;
+}

@@ -10,17 +10,29 @@
 //   alcop_cli verify   FILE            statically verify the pipeline
 //                                      synchronization of a textual IR file
 //                                      (exit 1 on errors; see src/verify/)
-//   alcop_cli profile  WORKLOAD [--json] [--trace FILE]
+//   alcop_cli profile  WORKLOAD [--json] [--trace FILE] [--counters]
 //                                      full observability report: per-warp
 //                                      stall attribution, pipe utilization,
-//                                      bottleneck verdict; --trace exports a
-//                                      Chrome/Perfetto trace with host spans
-//                                      and the simulated-GPU timeline.
+//                                      bottleneck verdict, PMU counters;
+//                                      --trace exports a Chrome/Perfetto
+//                                      trace with host spans and the
+//                                      simulated-GPU timeline; --counters
+//                                      prints the PMU table (--json always
+//                                      embeds the counter block). One
+//                                      simulation serves timing, counters
+//                                      and the profiled timeline.
 //                                      WORKLOAD is a benchmark op name
 //                                      (see `ops`) or M N K [batch].
+//   alcop_cli calibrate WORKLOAD [--json]
+//                                      audit the Table-I analytical model
+//                                      against PMU/stall measurements:
+//                                      per-term relative error, roofline
+//                                      regime, bottleneck-verdict
+//                                      cross-check.
 //
 // Shapes use the best schedule found by a 16-trial analytical ranking.
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,8 +47,10 @@
 #include "obs/metrics.h"
 #include "obs/stall.h"
 #include "obs/trace.h"
+#include "perfmodel/calibration.h"
 #include "support/check.h"
 #include "sim/launch.h"
+#include "sim/pmu.h"
 #include "sim/timeline.h"
 #include "sim/traffic_report.h"
 #include "target/gpu_spec.h"
@@ -62,6 +76,53 @@ schedule::ScheduleConfig BestConfig(const schedule::GemmOp& op,
   size_t best = result.BestIndex(task);
   if (best >= task.space.size()) best = 0;
   return task.space[best];
+}
+
+// WORKLOAD positionals: a benchmark op name (see `ops`) or M N K [batch].
+bool ParseWorkload(const std::vector<char*>& positional,
+                   schedule::GemmOp* op) {
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "expected a workload: a benchmark op name (see `alcop_cli "
+                 "ops`) or M N K [batch]\n");
+    return false;
+  }
+  if (std::isdigit(static_cast<unsigned char>(positional[0][0]))) {
+    int64_t m = std::atoll(positional[0]);
+    int64_t n = positional.size() > 1 ? std::atoll(positional[1]) : 0;
+    int64_t k = positional.size() > 2 ? std::atoll(positional[2]) : 0;
+    int64_t batch = positional.size() > 3 ? std::atoll(positional[3]) : 1;
+    if (m <= 0 || n <= 0 || k <= 0) {
+      std::fprintf(stderr, "expected M N K [batch]\n");
+      return false;
+    }
+    *op = batch > 1 ? schedule::MakeBatchMatmul("cli", batch, m, n, k)
+                    : schedule::MakeMatmul("cli", m, n, k);
+    return true;
+  }
+  try {
+    *op = workloads::FindOp(positional[0]);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
+std::string JsonDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+const char* TrialEventName(tuner::TrialEvent::Kind kind) {
+  switch (kind) {
+    case tuner::TrialEvent::Kind::kProposed: return "proposed";
+    case tuner::TrialEvent::Kind::kMeasured: return "measured";
+    case tuner::TrialEvent::Kind::kRefit: return "refit";
+  }
+  return "unknown";
 }
 
 schedule::GemmOp OpFromArgs(int argc, char** argv, int base) {
@@ -110,13 +171,67 @@ int CmdCompile(int argc, char** argv) {
 }
 
 int CmdTune(int argc, char** argv) {
+  // tune M N K [trials] [--log FILE]; --log streams one JSON object per
+  // search event (proposals, measurements, refits with rank accuracy).
+  std::string log_path;
+  std::vector<char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--log") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--log expects an output file\n");
+        return 1;
+      }
+      log_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 3) {
+    std::fprintf(stderr, "expected M N K [trials]\n");
+    return 1;
+  }
   target::GpuSpec spec = target::AmpereSpec();
-  schedule::GemmOp op = OpFromArgs(argc, argv, 2);
-  size_t trials = argc > 5 ? static_cast<size_t>(std::atoll(argv[5])) : 50;
+  schedule::GemmOp op =
+      schedule::MakeMatmul("cli", std::atoll(positional[0]),
+                           std::atoll(positional[1]),
+                           std::atoll(positional[2]));
+  size_t trials = positional.size() > 3
+                      ? static_cast<size_t>(std::atoll(positional[3]))
+                      : 50;
 
   tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
   tuner::XgbOptions options;
   options.pretrain_with_analytical = true;
+  std::ofstream log;
+  if (!log_path.empty()) {
+    log.open(log_path);
+    if (!log) {
+      std::fprintf(stderr, "cannot write '%s'\n", log_path.c_str());
+      return 1;
+    }
+    options.logger = [&log](const tuner::TrialEvent& e) {
+      log << "{\"event\": \"" << TrialEventName(e.kind)
+          << "\", \"round\": " << e.round;
+      switch (e.kind) {
+        case tuner::TrialEvent::Kind::kProposed:
+          log << ", \"trial\": " << e.trial
+              << ", \"space_index\": " << e.space_index << ", \"config\": \""
+              << e.config << "\", \"predicted_score\": "
+              << JsonDouble(e.predicted_score);
+          break;
+        case tuner::TrialEvent::Kind::kMeasured:
+          log << ", \"trial\": " << e.trial
+              << ", \"space_index\": " << e.space_index
+              << ", \"measured_cycles\": " << JsonDouble(e.measured_cycles);
+          break;
+        case tuner::TrialEvent::Kind::kRefit:
+          log << ", \"training_size\": " << e.training_size
+              << ", \"rank_accuracy\": " << JsonDouble(e.rank_accuracy);
+          break;
+      }
+      log << "}\n";
+    };
+  }
   tuner::TuningResult result = tuner::XgbTuner(task, trials, options);
   size_t best = result.BestIndex(task);
   std::printf("space: %zu schedules; %zu trials\n", task.space.size(),
@@ -124,6 +239,9 @@ int CmdTune(int argc, char** argv) {
   std::printf("best: %s  (%.0f cycles)\n",
               task.space[best].ToString().c_str(),
               result.BestInFirstK(result.trials.size()));
+  if (!log_path.empty()) {
+    std::fprintf(stderr, "wrote search log to %s\n", log_path.c_str());
+  }
   return 0;
 }
 
@@ -220,13 +338,17 @@ int CmdVerify(int argc, char** argv) {
 }
 
 int CmdProfile(int argc, char** argv) {
-  // Split flags from positionals: profile WORKLOAD [--json] [--trace FILE].
+  // Split flags from positionals:
+  // profile WORKLOAD [--json] [--trace FILE] [--counters].
   bool json = false;
+  bool counters = false;
   std::string trace_path;
   std::vector<char*> positional;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--counters") == 0) {
+      counters = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--trace expects an output file\n");
@@ -237,34 +359,9 @@ int CmdProfile(int argc, char** argv) {
       positional.push_back(argv[i]);
     }
   }
-  if (positional.empty()) {
-    std::fprintf(stderr,
-                 "expected a workload: a benchmark op name (see `alcop_cli "
-                 "ops`) or M N K [batch]\n");
-    return 1;
-  }
-
   target::GpuSpec spec = target::AmpereSpec();
   schedule::GemmOp op;
-  if (std::isdigit(static_cast<unsigned char>(positional[0][0]))) {
-    int64_t m = std::atoll(positional[0]);
-    int64_t n = positional.size() > 1 ? std::atoll(positional[1]) : 0;
-    int64_t k = positional.size() > 2 ? std::atoll(positional[2]) : 0;
-    int64_t batch = positional.size() > 3 ? std::atoll(positional[3]) : 1;
-    if (m <= 0 || n <= 0 || k <= 0) {
-      std::fprintf(stderr, "expected M N K [batch]\n");
-      return 1;
-    }
-    op = batch > 1 ? schedule::MakeBatchMatmul("cli", batch, m, n, k)
-                   : schedule::MakeMatmul("cli", m, n, k);
-  } else {
-    try {
-      op = workloads::FindOp(positional[0]);
-    } catch (const CheckError& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return 1;
-    }
-  }
+  if (!ParseWorkload(positional, &op)) return 1;
 
   // Tracing must be on before any instrumented phase runs so the exported
   // file carries the whole pipeline: tuner rounds, compile phases, replay.
@@ -273,8 +370,13 @@ int CmdProfile(int argc, char** argv) {
 
   schedule::ScheduleConfig config = BestConfig(op, spec, 16);
   sim::CompiledKernel compiled = sim::CompileKernel(op, config, spec);
-  sim::KernelTiming timing = sim::SimulateKernel(compiled, spec);
-  sim::BatchTimeline batch = sim::CaptureTimeline(compiled, spec);
+  // One program build serves timing, PMU counters and the profiled
+  // timeline; the kernel is never re-simulated for the extra outputs.
+  sim::SimProgram program = sim::BuildSimProgram(compiled, spec);
+  sim::ReplayArena arena;
+  sim::KernelPmu pmu;
+  sim::KernelTiming timing = sim::ReplaySimProgram(program, &arena, &pmu);
+  sim::BatchTimeline batch = sim::ReplayTimeline(program, &arena);
 
   obs::KernelProfile profile = obs::ProfileBatch(batch);
   obs::AttachModelVerdict(&profile, op, config, spec);
@@ -296,7 +398,7 @@ int CmdProfile(int argc, char** argv) {
   }
 
   if (json) {
-    std::printf("%s\n", obs::ProfileToJson(profile, &timing).c_str());
+    std::printf("%s\n", obs::ProfileToJson(profile, &timing, &pmu).c_str());
     return 0;
   }
   std::printf("workload: %s  schedule: %s\n", op.name.c_str(),
@@ -304,8 +406,60 @@ int CmdProfile(int argc, char** argv) {
   std::printf("timing: %.0f cycles, %.1f us, %.1f TFLOP/s\n", timing.cycles,
               timing.microseconds, timing.tflops);
   std::printf("%s", obs::RenderProfile(profile).c_str());
+  if (counters) {
+    std::printf("\n%s", sim::RenderPmu(pmu).c_str());
+  }
   std::printf("\n--- host metrics ---\n%s",
               obs::Registry::Global().RenderText().c_str());
+  return 0;
+}
+
+int CmdCalibrate(int argc, char** argv) {
+  bool json = false;
+  std::vector<char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  target::GpuSpec spec = target::AmpereSpec();
+  schedule::GemmOp op;
+  if (!ParseWorkload(positional, &op)) return 1;
+
+  schedule::ScheduleConfig config = BestConfig(op, spec, 16);
+  perfmodel::CalibrationResult result =
+      perfmodel::CalibrateConfig(op, config, spec);
+  if (!result.feasible) {
+    std::fprintf(stderr, "infeasible schedule: %s\n", result.reason.c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("%s\n", perfmodel::CalibrationToJson(result).c_str());
+    return 0;
+  }
+  std::printf("workload: %s  schedule: %s\n", op.name.c_str(),
+              config.ToString().c_str());
+  std::printf("cycles: %.0f measured, %.0f analytical\n",
+              result.measured_cycles, result.predicted_cycles);
+  std::printf("%-14s %14s %14s %9s\n", "term", "analytical", "measured",
+              "rel-err");
+  for (const perfmodel::TermError& term : result.terms) {
+    std::printf("%-14s %14.1f %14.1f %8.1f%%\n", term.name.c_str(),
+                term.analytical, term.measured, term.rel_error * 100.0);
+  }
+  const perfmodel::RooflinePoint& r = result.roofline;
+  std::printf("roofline: %s-bound; AI %.1f dram / %.1f llc / %.1f lds "
+              "flop/B; %.0f of %.0f flop/cycle (%.0f%% of roof)\n",
+              r.regime.c_str(), r.ai_dram, r.ai_llc, r.ai_lds,
+              r.attained_flops_per_cycle, r.roof_flops_per_cycle,
+              r.efficiency * 100.0);
+  std::printf("bottleneck model: %s-limited (roofline %s)\n",
+              result.bottleneck_limiter.c_str(),
+              result.roofline_agrees ? "agrees" : "disagrees");
+  std::printf("stall profiler: %s (%s)\n", result.profile_verdict.c_str(),
+              result.profile_agrees ? "agrees" : "disagrees");
   return 0;
 }
 
@@ -314,12 +468,13 @@ int CmdProfile(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: alcop_cli "
-                 "compile|tune|timeline|profile|ops|models|parse|verify ...\n");
+                 "usage: alcop_cli compile|tune|timeline|profile|calibrate|"
+                 "ops|models|parse|verify ...\n");
     return 1;
   }
   const char* cmd = argv[1];
   if (std::strcmp(cmd, "profile") == 0) return CmdProfile(argc, argv);
+  if (std::strcmp(cmd, "calibrate") == 0) return CmdCalibrate(argc, argv);
   if (std::strcmp(cmd, "compile") == 0) return CmdCompile(argc, argv);
   if (std::strcmp(cmd, "tune") == 0) return CmdTune(argc, argv);
   if (std::strcmp(cmd, "timeline") == 0) return CmdTimeline(argc, argv);

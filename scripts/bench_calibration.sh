@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the model-calibration bench (Table-I analytical terms vs PMU/stall
+# measurements over the Fig. 10 sweep) and writes machine-readable
+# results to BENCH_calibration.json (repo root by default), so per-term
+# model error and the bottleneck-verdict agreement rate are tracked from
+# PR to PR.
+#
+# Usage: scripts/bench_calibration.sh [--quick] [output.json]
+#   --quick      stride the schedule space 16x (the CI perf-smoke mode)
+#   output.json  where to write the result (default: ./BENCH_calibration.json)
+#
+# Exit status is the bench's own: nonzero only when the sampled PMU
+# differential mismatches or the roofline agreement rate drops below
+# 0.90 — never because of wall time or error magnitudes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=""
+OUT="BENCH_calibration.json"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    *) OUT="$arg" ;;
+  esac
+done
+BIN=build/bench/calibration
+
+if [[ ! -x "$BIN" ]]; then
+  echo "building $BIN..." >&2
+  cmake -B build -S . >/dev/null
+  cmake --build build --target calibration -j "$(nproc)" >/dev/null
+fi
+
+echo "running model-calibration bench${QUICK:+ (quick)}..." >&2
+"$BIN" $QUICK > "$OUT"
+# Stamp run provenance (git SHA, date, thread setting) into the meta
+# block; skipped gracefully when python3 is unavailable.
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/bench_meta.py "$OUT"
+fi
+cat "$OUT"
+echo "wrote $OUT" >&2

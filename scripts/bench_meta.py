@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Stamps run provenance into bench result files.
+
+Usage: bench_meta.py BENCH_foo.json [BENCH_bar.json ...]
+
+Rewrites each JSON file in place with a populated top-level "meta"
+object: the git commit the bench ran at, an ISO-8601 UTC timestamp, and
+the ALCOP_THREADS setting (empty string when unset, i.e. hardware
+default). Benches emit "meta": {} themselves (or no meta at all); this
+script is the single place provenance is attached, so the bench binaries
+stay free of git/clock dependencies and their output stays deterministic.
+
+Standard library only — no pip installs.
+"""
+
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+
+def git_sha():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    meta = {
+        "git_sha": git_sha(),
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "alcop_threads": os.environ.get("ALCOP_THREADS", ""),
+    }
+    status = 0
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"bench_meta: skipping {path}: {err}", file=sys.stderr)
+            status = 1
+            continue
+        if not isinstance(doc, dict):
+            print(f"bench_meta: skipping {path}: not a JSON object",
+                  file=sys.stderr)
+            status = 1
+            continue
+        doc["meta"] = meta
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,5 +33,10 @@ fi
 
 echo "running simulator-throughput bench${QUICK:+ (quick)}..." >&2
 "$BIN" $QUICK > "$OUT"
+# Stamp run provenance (git SHA, date, thread setting) into the meta
+# block; skipped gracefully when python3 is unavailable.
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/bench_meta.py "$OUT"
+fi
 cat "$OUT"
 echo "wrote $OUT" >&2

@@ -220,7 +220,8 @@ std::string RenderProfile(const KernelProfile& profile) {
 }
 
 std::string ProfileToJson(const KernelProfile& profile,
-                          const sim::KernelTiming* timing) {
+                          const sim::KernelTiming* timing,
+                          const sim::KernelPmu* pmu) {
   std::ostringstream out;
   auto breakdown = [&](const CycleBreakdown& c) {
     std::ostringstream b;
@@ -256,6 +257,9 @@ std::string ProfileToJson(const KernelProfile& profile,
   out << "  \"model_cycles\": " << JsonNum(profile.model_cycles) << ",\n";
   out << "  \"model_agrees\": " << (profile.model_agrees ? "true" : "false")
       << ",\n";
+  if (pmu != nullptr && pmu->collected) {
+    out << "  \"pmu\": " << sim::PmuToJson(*pmu) << ",\n";
+  }
   out << "  \"total\": " << breakdown(profile.total) << ",\n";
   out << "  \"warps\": [\n";
   for (size_t i = 0; i < profile.warps.size(); ++i) {

@@ -91,9 +91,12 @@ void AttachModelVerdict(KernelProfile* profile, const schedule::GemmOp& op,
 // Human-readable table (the `alcop_cli profile` default output).
 std::string RenderProfile(const KernelProfile& profile);
 
-// Machine-readable report; includes the kernel timing when provided.
+// Machine-readable report; includes the kernel timing and the PMU
+// counter block (sim/pmu.h) when provided — one profile invocation then
+// carries trace, stalls and counters without re-simulating.
 std::string ProfileToJson(const KernelProfile& profile,
-                          const sim::KernelTiming* timing = nullptr);
+                          const sim::KernelTiming* timing = nullptr,
+                          const sim::KernelPmu* pmu = nullptr);
 
 }  // namespace obs
 }  // namespace alcop

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace alcop {
 namespace obs {
 
@@ -41,15 +43,15 @@ struct ThreadRing {
 // exits leaves its ring behind so its spans survive collection); both the
 // registry and the rings are leaked like the sim cache so no destructor
 // ordering issue can bite at process exit.
-struct Registry {
+struct RingRegistry {
   std::mutex mu;
   std::vector<ThreadRing*> rings;
   std::atomic<uint64_t> dropped{0};
   uint32_t next_thread_id = 0;
 };
 
-Registry& GlobalRegistry() {
-  static Registry* registry = new Registry();
+RingRegistry& GlobalRegistry() {
+  static RingRegistry* registry = new RingRegistry();
   return *registry;
 }
 
@@ -57,7 +59,7 @@ ThreadRing& LocalRing() {
   thread_local ThreadRing* ring = [] {
     auto* r = new ThreadRing();
     r->spans.reserve(kRingCapacity);
-    Registry& reg = GlobalRegistry();
+    RingRegistry& reg = GlobalRegistry();
     std::lock_guard<std::mutex> lock(reg.mu);
     r->thread_id = reg.next_thread_id++;
     reg.rings.push_back(r);
@@ -74,6 +76,16 @@ bool TraceEnabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void SetTraceEnabled(bool enabled) {
   Epoch();  // pin the epoch before the first span
+  // Ring-buffer overflow is observable as a metric: golden sweeps assert
+  // the gauge stays at zero (dropped spans mean a silently truncated
+  // trace). Registered here — lazily, once — so merely linking the obs
+  // library never touches the registry.
+  static std::once_flag registered;
+  std::call_once(registered, [] {
+    Registry::Global().RegisterCallback("obs.trace.dropped", [] {
+      return static_cast<double>(DroppedSpans());
+    });
+  });
   g_enabled.store(enabled, std::memory_order_relaxed);
 }
 
@@ -106,7 +118,7 @@ void RecordSpan(const char* name, const char* category, int64_t start_ns,
 }
 
 std::vector<TraceSpan> CollectTraceSpans() {
-  Registry& reg = GlobalRegistry();
+  RingRegistry& reg = GlobalRegistry();
   std::vector<ThreadRing*> rings;
   {
     std::lock_guard<std::mutex> lock(reg.mu);
@@ -129,7 +141,7 @@ std::vector<TraceSpan> CollectTraceSpans() {
 }
 
 void ClearTrace() {
-  Registry& reg = GlobalRegistry();
+  RingRegistry& reg = GlobalRegistry();
   std::vector<ThreadRing*> rings;
   {
     std::lock_guard<std::mutex> lock(reg.mu);

@@ -1,0 +1,158 @@
+#include "perfmodel/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/stall.h"
+#include "perfmodel/bottleneck.h"
+#include "sim/launch.h"
+
+namespace alcop {
+namespace perfmodel {
+
+namespace {
+
+double RelError(double analytical, double measured) {
+  constexpr double kEps = 1e-9;
+  return std::fabs(analytical - measured) /
+         std::max(std::fabs(measured), kEps);
+}
+
+void AddTerm(CalibrationResult* out, const char* name, double analytical,
+             double measured) {
+  TermError term;
+  term.name = name;
+  term.analytical = analytical;
+  term.measured = measured;
+  term.rel_error = RelError(analytical, measured);
+  out->terms.push_back(std::move(term));
+}
+
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "1e9999" : "-1e9999";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+CalibrationResult CalibrateConfig(const schedule::GemmOp& op,
+                                  const schedule::ScheduleConfig& config,
+                                  const target::GpuSpec& spec,
+                                  sim::ReplayArena* arena) {
+  thread_local sim::ReplayArena local_arena;
+  if (arena == nullptr) arena = &local_arena;
+
+  CalibrationResult out;
+  sim::SimProgram program = sim::CompileSimProgram(op, config, spec);
+  if (!program.feasible) {
+    out.reason = program.reason;
+    return out;
+  }
+  sim::KernelTiming timing = sim::ReplaySimProgram(program, arena, &out.pmu);
+  AnalyticalBreakdown model = AnalyticalModel(op, config, spec);
+  if (!model.feasible) {
+    out.reason = "analytical model rejected: " + model.reason;
+    return out;
+  }
+  out.feasible = true;
+  out.measured_cycles = timing.cycles;
+  out.predicted_cycles = model.cycles;
+
+  // One profiled batch timeline for the fill/drain split and the measured
+  // stall verdict.
+  sim::BatchTimeline batch = sim::ReplayTimeline(program, arena);
+  obs::KernelProfile profile = obs::ProfileBatch(batch);
+  obs::AttachModelVerdict(&profile, op, config, spec);
+
+  out.roofline = ClassifyRoofline(out.pmu, timing.cycles, spec);
+  BottleneckBreakdown bottleneck = BottleneckAnalyze(op, config, spec);
+  out.bottleneck_limiter = bottleneck.Limiter();
+  out.profile_verdict = profile.verdict;
+  out.roofline_agrees =
+      RooflineAgreesWithLimiter(out.roofline, out.bottleneck_limiter);
+  out.profile_agrees = profile.model_agrees;
+
+  // ---- Term-by-term audit (see header for the mapping) ----
+  const schedule::TileConfig& t = config.tile;
+  const double n_outer =
+      static_cast<double>(op.k / (t.tb_k * config.split_k));
+  const double n_inner = static_cast<double>(t.tb_k / t.warp_k);
+  const double makespan = timing.batch_cycles;
+
+  AddTerm(&out, "cycles", model.cycles, timing.cycles);
+  AddTerm(&out, "t_threadblk",
+          model.t_init + model.t_main_loop + model.t_epilogue, makespan);
+  AddTerm(&out, "t_init", model.t_init, profile.fill_fraction * makespan);
+  AddTerm(&out, "t_main_loop", model.t_main_loop,
+          (1.0 - profile.fill_fraction - profile.drain_fraction) * makespan);
+  AddTerm(&out, "t_epilogue", model.t_epilogue,
+          profile.drain_fraction * makespan);
+
+  // Rate terms, from the steady-state batch's PMU counters. The wave
+  // geometry mirrors ReplaySimProgram's full batch.
+  const sim::PmuCounters& c = out.pmu.batch;
+  int64_t per_batch = static_cast<int64_t>(program.threadblocks_per_sm) *
+                      program.num_sms;
+  int64_t batch_tbs = std::min(program.total_threadblocks, per_batch);
+  int wave_tbs = static_cast<int>(std::min<int64_t>(
+      program.threadblocks_per_sm,
+      (batch_tbs + program.num_sms - 1) / program.num_sms));
+  int active_sms = static_cast<int>(std::min<int64_t>(
+      program.num_sms, (batch_tbs + wave_tbs - 1) / wave_tbs));
+
+  const double util = std::min(
+      1.0, static_cast<double>(config.NumWarps()) * wave_tbs / 4.0);
+  AddTerm(&out, "t_compute", model.t_compute,
+          c.tensor_active_cycles / (4.0 * util * n_outer * n_inner));
+
+  const double llc_rate_sm = spec.llc_bw_bytes_per_cycle / active_sms;
+  const double dram_rate_sm = spec.dram_bw_bytes_per_cycle / active_sms;
+  const double measured_llc_load =
+      spec.llc_latency_cycles + (c.llc_read_bytes / n_outer) / llc_rate_sm;
+  const double measured_dram_load =
+      spec.dram_latency_cycles + (c.dram_read_bytes / n_outer) / dram_rate_sm;
+  AddTerm(&out, "t_smem_load", model.t_smem_load,
+          std::max(measured_llc_load, measured_dram_load));
+
+  const double lds_rate =
+      spec.lds_bytes_per_cycle_per_sm /
+      (config.swizzle ? 1.0 : spec.bank_conflict_factor);
+  AddTerm(&out, "t_reg_load", model.t_reg_load,
+          spec.smem_latency_cycles +
+              (c.lds_read_bytes / (n_outer * n_inner)) / lds_rate);
+  return out;
+}
+
+std::string CalibrationToJson(const CalibrationResult& result) {
+  std::ostringstream os;
+  os << "{\"feasible\": " << (result.feasible ? "true" : "false");
+  if (!result.feasible) {
+    os << ", \"reason\": \"" << result.reason << "\"}";
+    return os.str();
+  }
+  os << ", \"measured_cycles\": " << JsonNum(result.measured_cycles)
+     << ", \"predicted_cycles\": " << JsonNum(result.predicted_cycles)
+     << ", \"bottleneck_limiter\": \"" << result.bottleneck_limiter << "\""
+     << ", \"profile_verdict\": \"" << result.profile_verdict << "\""
+     << ", \"roofline_agrees\": "
+     << (result.roofline_agrees ? "true" : "false")
+     << ", \"profile_agrees\": "
+     << (result.profile_agrees ? "true" : "false") << ", \"terms\": {";
+  for (size_t i = 0; i < result.terms.size(); ++i) {
+    const TermError& term = result.terms[i];
+    if (i > 0) os << ", ";
+    os << "\"" << term.name << "\": {\"analytical\": "
+       << JsonNum(term.analytical)
+       << ", \"measured\": " << JsonNum(term.measured)
+       << ", \"rel_error\": " << JsonNum(term.rel_error) << "}";
+  }
+  os << "}, \"roofline\": " << RooflineToJson(result.roofline) << "}";
+  return os.str();
+}
+
+}  // namespace perfmodel
+}  // namespace alcop

@@ -1,0 +1,83 @@
+// Model-calibration audit: maps each term of the Table-I analytical
+// breakdown (perfmodel/analytical.h) to its measured counterpart — PMU
+// counters (sim/pmu.h) for the rate terms, the stall profiler's
+// fill/drain split (obs/stall.h) for the phase terms — and reports the
+// per-term relative error. This is the Fig. 12 experiment turned into a
+// permanent harness: bench/calibration.cc sweeps it over the Fig. 10
+// configs and gates on the bottleneck-verdict agreement rate.
+//
+// Term mapping (per steady-state batch of one SM; n_outer = number of
+// shared-memory main-loop iterations, n_inner = register-pipeline
+// iterations per outer step):
+//   cycles       vs  replayed KernelTiming.cycles
+//   t_threadblk  vs  batch makespan (KernelTiming.batch_cycles)
+//   t_init       vs  fill_fraction x makespan
+//   t_main_loop  vs  (1 - fill - drain) x makespan
+//   t_epilogue   vs  drain_fraction x makespan
+//   t_compute    vs  tensor-pipe active cycles per inner step, utilization
+//                    corrected (the four tensor partitions)
+//   t_smem_load  vs  max(LLC, DRAM) latency + measured bytes per outer
+//                    step over the SM's bandwidth slice
+//   t_reg_load   vs  LDS latency + measured bytes per inner step over the
+//                    LDS rate
+// t_smem_use is skipped: the model derives it from t_reg_load/t_compute
+// through the PLM, so a measured counterpart would be circular.
+#ifndef ALCOP_PERFMODEL_CALIBRATION_H_
+#define ALCOP_PERFMODEL_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/analytical.h"
+#include "perfmodel/roofline.h"
+#include "schedule/schedule.h"
+#include "sim/desim.h"
+#include "sim/pmu.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace perfmodel {
+
+// One analytical term against its measurement.
+struct TermError {
+  std::string name;
+  double analytical = 0.0;
+  double measured = 0.0;
+  double rel_error = 0.0;  // |analytical - measured| / max(|measured|, eps)
+};
+
+struct CalibrationResult {
+  bool feasible = false;
+  std::string reason;
+
+  double measured_cycles = 0.0;
+  double predicted_cycles = 0.0;
+  std::vector<TermError> terms;
+
+  sim::KernelPmu pmu;
+  RooflinePoint roofline;
+
+  // Verdict cross-checks: the bottleneck model's limiter against the
+  // PMU-derived roofline regime and against the stall profiler's
+  // measured verdict (both binarized compute-vs-memory).
+  std::string bottleneck_limiter;
+  std::string profile_verdict;
+  bool roofline_agrees = false;
+  bool profile_agrees = false;
+};
+
+// Simulates one schedule (replay core, PMU enabled, one profiled batch
+// timeline) and audits the analytical model against the measurements.
+// `arena` may be null (a thread-local arena is used).
+CalibrationResult CalibrateConfig(const schedule::GemmOp& op,
+                                  const schedule::ScheduleConfig& config,
+                                  const target::GpuSpec& spec,
+                                  sim::ReplayArena* arena = nullptr);
+
+// JSON object (no trailing newline).
+std::string CalibrationToJson(const CalibrationResult& result);
+
+}  // namespace perfmodel
+}  // namespace alcop
+
+#endif  // ALCOP_PERFMODEL_CALIBRATION_H_

@@ -1,0 +1,72 @@
+// Roofline classification from measured PMU counters (sim/pmu.h).
+//
+// The PMU's byte and FLOP totals are per-SM (one simulated SM times the
+// launch's batch structure), so every demand below is a per-SM quantity:
+// peak tensor throughput per SM against the SM's 1/num_sms slice of the
+// GPU-wide LLC/DRAM bandwidth, and the SM-local LDS pipe. The regime is
+// the pipe with the largest demand cycles — the classic roofline argmax,
+// phrased in cycles so the four pipes are directly comparable.
+//
+// This is the measured-side counterpart of the bottleneck analysis
+// (perfmodel/bottleneck.h): that model predicts a limiter from the
+// schedule alone; the roofline derives one from what the simulator
+// actually moved. The calibration harness (perfmodel/calibration.h)
+// cross-checks the two.
+#ifndef ALCOP_PERFMODEL_ROOFLINE_H_
+#define ALCOP_PERFMODEL_ROOFLINE_H_
+
+#include <string>
+
+#include "sim/pmu.h"
+#include "target/gpu_spec.h"
+
+namespace alcop {
+namespace perfmodel {
+
+struct RooflinePoint {
+  // Arithmetic intensity, FLOPs per byte moved at each memory level
+  // (+inf when the kernel moved no bytes at that level).
+  double ai_dram = 0.0;
+  double ai_llc = 0.0;
+  double ai_lds = 0.0;
+  // Ridge points: the intensity at which each level's roofline meets the
+  // compute peak. AI above the ridge means the level cannot bind.
+  double ridge_ai_dram = 0.0;
+  double ridge_ai_llc = 0.0;
+  double ridge_ai_lds = 0.0;
+  // Per-SM demand cycles of each pipe: the time the kernel's traffic
+  // would take at that pipe's peak, everything else infinitely fast.
+  double compute_cycles = 0.0;
+  double llc_cycles = 0.0;
+  double dram_cycles = 0.0;
+  double lds_cycles = 0.0;
+  // Argmax of the demands: "compute", "llc", "dram" or "lds" (ties break
+  // in that order).
+  std::string regime;
+  // Measured throughput against the roofline ceiling.
+  double peak_flops_per_cycle = 0.0;      // per-SM tensor peak
+  double roof_flops_per_cycle = 0.0;      // min(peak, bandwidth ceilings)
+  double attained_flops_per_cycle = 0.0;  // flops / measured cycles
+  double efficiency = 0.0;                // attained / roof
+};
+
+// Classifies a kernel from its PMU totals and measured cycle count.
+RooflinePoint ClassifyRoofline(const sim::KernelPmu& pmu,
+                               double measured_cycles,
+                               const target::GpuSpec& spec);
+
+// Binarized agreement with the bottleneck model's limiter ("compute",
+// "smem" or "dram"): both say compute-bound, or both say memory-bound.
+// The roofline's "llc" maps to the model's "smem" (shared-memory loading
+// through the LLC) and "lds" to memory in general — the comparison only
+// binarizes, the full strings are reported for inspection.
+bool RooflineAgreesWithLimiter(const RooflinePoint& point,
+                               const std::string& limiter);
+
+// JSON object (no trailing newline) for the calibration bench and CLI.
+std::string RooflineToJson(const RooflinePoint& point);
+
+}  // namespace perfmodel
+}  // namespace alcop
+
+#endif  // ALCOP_PERFMODEL_ROOFLINE_H_

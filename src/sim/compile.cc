@@ -115,8 +115,8 @@ class MicroOpCompiler {
   // Interns an operand row, keyed by exact bit pattern (identical values
   // must share a row; nothing may be merged across rounding differences).
   int32_t Intern(const MicroOpOperands& v) {
-    std::array<uint64_t, 4> key;
-    static_assert(sizeof(key) == sizeof(v), "pool rows are four doubles");
+    std::array<uint64_t, 5> key;
+    static_assert(sizeof(key) == sizeof(v), "pool rows are five doubles");
     std::memcpy(key.data(), &v, sizeof(v));
     auto [it, inserted] =
         pool_index_.emplace(key, static_cast<int32_t>(program_.pool.size()));
@@ -184,6 +184,7 @@ class MicroOpCompiler {
         out.kind = MicroOpKind::kMma;
         MicroOpOperands v;
         v.op0 = static_cast<double>(op->Flops()) / tc_rate_;
+        v.payload = static_cast<double>(op->Flops());
         out.aux = Intern(v);
         Emit(out);
         return;
@@ -244,6 +245,7 @@ class MicroOpCompiler {
       v.op0 = static_cast<double>(bytes) / spec_.copy_issue_bytes_per_cycle;
       v.op1 = static_cast<double>(bytes);
       v.op2 = spec_.dram_latency_cycles;
+      v.payload = static_cast<double>(bytes);
       out.aux = Intern(v);
       Emit(out);
       return;
@@ -259,6 +261,7 @@ class MicroOpCompiler {
     }
     out.group = static_cast<int16_t>(op->pipeline_group);
     v.op0 = static_cast<double>(bytes) / spec_.copy_issue_bytes_per_cycle;
+    v.payload = static_cast<double>(bytes);
     if (src == MemScope::kGlobal) {
       out.kind = op->is_async ? MicroOpKind::kCopyAsyncGlobal
                               : MicroOpKind::kCopySyncGlobal;
@@ -283,7 +286,7 @@ class MicroOpCompiler {
   const target::GpuSpec& spec_;
   const TraceCompileOptions& options_;
   MicroOpProgram program_;
-  std::map<std::array<uint64_t, 4>, int32_t> pool_index_;
+  std::map<std::array<uint64_t, 5>, int32_t> pool_index_;
   std::vector<std::vector<MicroOp>> warps_;
   double tc_rate_ = 1.0;
   double lds_rate_ = 1.0;

@@ -83,11 +83,16 @@ inline constexpr uint8_t kMicroOpHasDram = 1;
 //   kStoreGlobal:  op0 issue cycles, op1 store bytes, op2 DRAM latency
 //   kMma:          op0 tensor-core cycles (flops / per-partition rate)
 //   kFill:         op0 register-write cycles
+// `payload` is the PMU quantity of the op — raw bytes moved for copies
+// and stores, FLOPs for kMma, 0 otherwise. It never feeds the timing
+// expressions; the counter layer (sim/pmu.h) reads it so byte and FLOP
+// totals survive the operand pre-division above.
 struct MicroOpOperands {
   double op0 = 0.0;
   double op1 = 0.0;
   double op2 = 0.0;
   double op3 = 0.0;
+  double payload = 0.0;
 };
 
 // One flat 8-byte instruction. `aux` is the operand-pool row for the

@@ -119,6 +119,15 @@ class Desim {
         s.copy_max.assign(num_groups, 0.0);
       }
     }
+    // PMU accumulators: one f64/i64 slot row per stream plus the
+    // per-(stream, group) async-copy depth (sim/pmu.h). Only sized when
+    // the caller asked for counters.
+    pmu_ = params.pmu != nullptr;
+    if (pmu_) {
+      pmu_f64_.assign(streams_.size() * kPmuF64Count, 0.0);
+      pmu_i64_.assign(streams_.size() * kPmuI64Count, 0);
+      pmu_depth_.assign(streams_.size() * num_groups, 0);
+    }
     barriers_.resize(static_cast<size_t>(params.threadblocks));
     // Instances: [tb][group] -> instance (register-scope instances are
     // per (tb, warp, group)).
@@ -154,6 +163,10 @@ class Desim {
     double makespan = store_completion_;
     for (const Stream& s : streams_) makespan = std::max(makespan, s.time);
     if (params_.timeline != nullptr) params_.timeline->makespan = makespan;
+    if (pmu_) {
+      AccumulatePmuStreams(params_.pmu, pmu_f64_.data(), pmu_i64_.data(),
+                           streams_.size());
+    }
     // Every stream must have drained its trace; anything else is a
     // synchronization deadlock in the input program.
     for (const Stream& s : streams_) {
@@ -232,16 +245,27 @@ class Desim {
         double t0 = s.time;
         s.time += static_cast<double>(e.bytes) / 256.0;
         Record(s.tb, s.warp, SpanKind::kFill, t0, s.time);
+        if (pmu_) {
+          PmuF(id)[kPmuFill] += static_cast<double>(e.bytes) / 256.0;
+        }
         break;
       }
       case EventKind::kMma: {
-        DrainSyncLoads(s);
+        DrainSyncLoads(id, s);
         // Warps are distributed round-robin over the four sub-partitions.
         Server& partition =
             tc_[static_cast<size_t>((s.tb * trace_.num_warps + s.warp) % 4)];
         double start = 0.0;
         s.time = partition.Serve(s.time, static_cast<double>(e.flops), &start);
         Record(s.tb, s.warp, SpanKind::kCompute, start, s.time);
+        if (pmu_) {
+          double* f = PmuF(id);
+          // The same quotient the trace compiler bakes as the op's
+          // tensor-core cycles, so the counter is bit-identical to replay.
+          f[kPmuTensorActive] +=
+              static_cast<double>(e.flops) / partition.rate;
+          f[kPmuFlops] += static_cast<double>(e.flops);
+        }
         break;
       }
       case EventKind::kCopyAsync: {
@@ -252,6 +276,20 @@ class Desim {
         ALCOP_CHECK_GE(e.group, 0) << "async copy without a pipeline group";
         s.copy_max[static_cast<size_t>(e.group)] =
             std::max(s.copy_max[static_cast<size_t>(e.group)], completion);
+        if (pmu_) {
+          PmuCountCopy(id, e);
+          double* f = PmuF(id);
+          int64_t* n = PmuN(id);
+          f[kPmuCpAsyncBytes] += static_cast<double>(e.bytes);
+          ++n[kPmuCpAsyncTx];
+          int32_t depth = ++pmu_depth_[static_cast<size_t>(id) *
+                                           params_.groups.size() +
+                                       static_cast<size_t>(e.group)];
+          ++n[kPmuDepthHist0 + std::min(depth - 1, kPmuDepthBuckets - 1)];
+          if (params_.blocking_async) {
+            f[kPmuExposedCopy] += completion - s.time;
+          }
+        }
         if (params_.blocking_async) {
           Record(s.tb, s.warp, SpanKind::kBlockingCopy, s.time, completion);
           s.time = completion;
@@ -264,10 +302,11 @@ class Desim {
         Record(s.tb, s.warp, SpanKind::kIssue, t0, s.time);
         s.pending_sync =
             std::max(s.pending_sync, TransferCompletion(s.time, e, s.tb));
+        if (pmu_) PmuCountCopy(id, e);
         break;
       }
       case EventKind::kStoreGlobal: {
-        DrainSyncLoads(s);
+        DrainSyncLoads(id, s);
         double t0 = s.time;
         s.time += static_cast<double>(e.bytes) / spec_.copy_issue_bytes_per_cycle;
         Record(s.tb, s.warp, SpanKind::kStore, t0, s.time);
@@ -275,6 +314,13 @@ class Desim {
             dram_write_.Serve(s.time, static_cast<double>(e.bytes)) +
             spec_.dram_latency_cycles;
         store_completion_ = std::max(store_completion_, completion);
+        if (pmu_) {
+          double* f = PmuF(id);
+          f[kPmuCopyIssue] +=
+              static_cast<double>(e.bytes) / spec_.copy_issue_bytes_per_cycle;
+          f[kPmuDramWriteBytes] += static_cast<double>(e.bytes);
+          ++PmuN(id)[kPmuDramWriteTx];
+        }
         break;
       }
       case EventKind::kAcquire: {
@@ -283,6 +329,7 @@ class Desim {
         int64_t needed = n - (params_.groups[static_cast<size_t>(e.group)].stages - 1);
         if (needed > inst.MinReleases()) {
           inst.acquire_waiters.push_back({id, needed, s.time});
+          if (pmu_) ++PmuN(id)[kPmuAcquireParks];
           return;  // parked
         }
         s.time += spec_.sync_overhead_cycles;
@@ -303,6 +350,10 @@ class Desim {
         }
         ++s.commits[static_cast<size_t>(e.group)];
         s.time += spec_.sync_overhead_cycles * 0.5;
+        if (pmu_) {
+          pmu_depth_[static_cast<size_t>(id) * params_.groups.size() +
+                     static_cast<size_t>(e.group)] = 0;
+        }
         break;
       }
       case EventKind::kWait: {
@@ -311,12 +362,22 @@ class Desim {
         if (static_cast<size_t>(idx) >= inst.is_complete.size() ||
             !inst.is_complete[static_cast<size_t>(idx)]) {
           inst.wait_waiters.push_back({id, idx, s.time});
-          return;  // parked
+          return;  // parked (counted at wake; see kPmuWaitParks contract)
         }
         double t0 = s.time;
         s.time = std::max(s.time, inst.complete[static_cast<size_t>(idx)]) +
                  spec_.sync_overhead_cycles;
         Record(s.tb, s.warp, SpanKind::kSyncStall, t0, s.time);
+        if (pmu_) {
+          PmuF(id)[kPmuWaitStall] += s.time - t0;
+          // Whether a wait physically parks depends on scheduling order
+          // (the eager replay core parks where the strict interpreter
+          // passes through), so the counter records the invariant fact
+          // instead: the data was not ready on arrival.
+          if (s.time - t0 > spec_.sync_overhead_cycles) {
+            ++PmuN(id)[kPmuWaitParks];
+          }
+        }
         ++s.waits[static_cast<size_t>(e.group)];
         break;
       }
@@ -328,11 +389,12 @@ class Desim {
         break;
       }
       case EventKind::kBarrier: {
-        DrainSyncLoads(s);
+        DrainSyncLoads(id, s);
         BarrierState& barrier = barriers_[static_cast<size_t>(s.tb)];
         barrier.max_time = std::max(barrier.max_time, s.time);
         if (++barrier.arrived < trace_.num_warps) {
           barrier.parked.emplace_back(id, s.time);
+          if (pmu_) ++PmuN(id)[kPmuBarrierArrivals];
           ++s.pc;  // the releaser advances everyone past the barrier
           return;
         }
@@ -340,6 +402,7 @@ class Desim {
         for (const auto& [parked_id, arrival] : barrier.parked) {
           Stream& p = streams_[static_cast<size_t>(parked_id)];
           Record(p.tb, p.warp, SpanKind::kBarrier, arrival, resume);
+          if (pmu_) PmuF(parked_id)[kPmuBarrierStall] += resume - arrival;
           p.time = resume;
           Push(parked_id);
         }
@@ -347,6 +410,10 @@ class Desim {
         barrier.arrived = 0;
         barrier.max_time = 0.0;
         Record(s.tb, s.warp, SpanKind::kBarrier, s.time, resume);
+        if (pmu_) {
+          ++PmuN(id)[kPmuBarrierArrivals];
+          PmuF(id)[kPmuBarrierStall] += resume - s.time;
+        }
         s.time = resume;
         break;
       }
@@ -356,12 +423,45 @@ class Desim {
     if (s.pc < events.size()) Push(id);
   }
 
-  void DrainSyncLoads(Stream& s) {
+  void DrainSyncLoads(int id, Stream& s) {
     if (s.pending_sync > s.time) {
       Record(s.tb, s.warp, SpanKind::kBlockingCopy, s.time, s.pending_sync);
+      if (pmu_) PmuF(id)[kPmuExposedCopy] += s.pending_sync - s.time;
       s.time = s.pending_sync;
     }
     s.pending_sync = 0.0;
+  }
+
+  // Byte/transaction counters shared by sync and async copies — the same
+  // bytes, LDS quotient and DRAM-fraction product the trace compiler
+  // bakes into the pooled operands (bit-identity with replay).
+  void PmuCountCopy(int id, const TraceEvent& e) {
+    double* f = PmuF(id);
+    int64_t* n = PmuN(id);
+    double bytes = static_cast<double>(e.bytes);
+    f[kPmuCopyIssue] += bytes / spec_.copy_issue_bytes_per_cycle;
+    if (e.src_scope == ir::MemScope::kGlobal) {
+      f[kPmuLlcReadBytes] += bytes;
+      ++n[kPmuLlcReadTx];
+      double fraction = 1.0;
+      auto it = params_.dram_fraction.find(e.src_tensor);
+      if (it != params_.dram_fraction.end()) fraction = it->second;
+      if (fraction > 1e-3) {
+        f[kPmuDramReadBytes] += bytes * fraction;
+        ++n[kPmuDramReadTx];
+      }
+    } else {
+      f[kPmuLdsActive] += bytes / lds_.rate;
+      f[kPmuLdsReadBytes] += bytes;
+      ++n[kPmuLdsReadTx];
+    }
+  }
+
+  double* PmuF(int id) {
+    return pmu_f64_.data() + static_cast<size_t>(id) * kPmuF64Count;
+  }
+  int64_t* PmuN(int id) {
+    return pmu_i64_.data() + static_cast<size_t>(id) * kPmuI64Count;
   }
 
   void WakeWaitWaiters(Instance& inst, int64_t group_index) {
@@ -375,6 +475,12 @@ class Desim {
                           inst.complete[static_cast<size_t>(group_index)]) +
                  spec_.sync_overhead_cycles;
         Record(s.tb, s.warp, SpanKind::kSyncStall, it->park_time, s.time);
+        if (pmu_) {
+          PmuF(it->stream)[kPmuWaitStall] += s.time - it->park_time;
+          if (s.time - it->park_time > spec_.sync_overhead_cycles) {
+            ++PmuN(it->stream)[kPmuWaitParks];
+          }
+        }
         ++s.waits[static_cast<size_t>(e.group)];
         ++s.pc;
         if (s.pc < trace_.warps[static_cast<size_t>(s.warp)].events.size()) {
@@ -398,6 +504,9 @@ class Desim {
         s.time = std::max(it->park_time, release_time) +
                  spec_.sync_overhead_cycles;
         Record(s.tb, s.warp, SpanKind::kSyncStall, it->park_time, s.time);
+        if (pmu_) {
+          PmuF(it->stream)[kPmuAcquireStall] += s.time - it->park_time;
+        }
         ++s.acquires[static_cast<size_t>(e.group)];
         ++s.pc;
         if (s.pc < trace_.warps[static_cast<size_t>(s.warp)].events.size()) {
@@ -422,6 +531,11 @@ class Desim {
   std::vector<std::vector<std::vector<Instance>>> instances_;
   std::priority_queue<QueueEntry> queue_;  // (-time, stream): min-time first
   double store_completion_ = 0.0;
+  // PMU state (sized only when params.pmu != nullptr).
+  bool pmu_ = false;
+  std::vector<double> pmu_f64_;
+  std::vector<int64_t> pmu_i64_;
+  std::vector<int32_t> pmu_depth_;  // per (stream, group) in-flight copies
 };
 
 }  // namespace
@@ -447,7 +561,10 @@ size_t ReplayArena::CapacityBytes() const {
                  slot_done.capacity() * sizeof(uint8_t) +
                  waiters.capacity() * sizeof(WaiterLists) +
                  barriers.capacity() * sizeof(Barrier) +
-                 heap.capacity() * sizeof(HeapEntry);
+                 heap.capacity() * sizeof(HeapEntry) +
+                 pmu_f64.capacity() * sizeof(double) +
+                 pmu_i64.capacity() * sizeof(int64_t) +
+                 pmu_depth.capacity() * sizeof(int32_t);
   for (const WaiterLists& lists : waiters) {
     total += (lists.wait.capacity() + lists.acquire.capacity()) *
              sizeof(Waiter);
@@ -486,12 +603,22 @@ namespace {
 // the full operator sweep. The timeline instantiation executes in exact
 // pop order so that the recorded spans match the interpreter's byte for
 // byte, order included.
-template <bool kTimeline>
+//
+// The second template flag enables PMU counter collection (sim/pmu.h):
+// disabled, every counter hook compiles out and the arena's PMU rows are
+// never sized — the warm zero-allocation contract is unchanged. Enabled,
+// each stream accumulates into its own slot row; eager execution runs
+// streams out of global order, but a stream's own additions still follow
+// its program order, and the rows merge through AccumulatePmuStreams in
+// fixed stream order — so the counters are bit-identical to the
+// interpreter's despite the reordering.
+template <bool kTimeline, bool kPmu>
 class Replayer {
  public:
   Replayer(const MicroOpProgram& program, const ReplayWave& wave,
-           ReplayArena& arena, Timeline* timeline)
-      : p_(program), wave_(wave), a_(arena), timeline_(timeline) {}
+           ReplayArena& arena, Timeline* timeline, PmuCounters* pmu)
+      : p_(program), wave_(wave), a_(arena), timeline_(timeline),
+        pmu_out_(pmu) {}
 
   double Run() {
     Reset();
@@ -565,6 +692,7 @@ class Replayer {
     const double t0 = s->time;
     s->time += spool_[op->aux * 8];
     Record(s->tb, s->warp, SpanKind::kFill, t0, s->time);
+    if constexpr (kPmu) Pf(id)[kPmuFill] += spool_[op->aux * 8];
     ALCOP_NEXT();
   }
 
@@ -577,6 +705,11 @@ class Replayer {
     free = start + spool_[op->aux * 8];
     s->time = free;
     Record(s->tb, s->warp, SpanKind::kCompute, start, s->time);
+    if constexpr (kPmu) {
+      double* f = Pf(id);
+      f[kPmuTensorActive] += spool_[op->aux * 8];
+      f[kPmuFlops] += spool_[op->aux * 8 + 7];  // payload: FLOPs
+    }
     ALCOP_NEXT();
   }
 
@@ -588,6 +721,17 @@ class Replayer {
     const double completion = GlobalTransfer(s->time, v, op->flags, s->tb);
     double& copy_max = cmax_[GroupIndex(id, op->group)];
     copy_max = std::max(copy_max, completion);
+    if constexpr (kPmu) {
+      PmuGlobalRead(id, v, op->flags);
+      double* f = Pf(id);
+      int64_t* n = Pn(id);
+      f[kPmuCpAsyncBytes] += v[7];
+      ++n[kPmuCpAsyncTx];
+      const int32_t depth = ++pd_[GroupIndex(id, op->group)];
+      ++n[kPmuDepthHist0 +
+          (depth < kPmuDepthBuckets ? depth - 1 : kPmuDepthBuckets - 1)];
+      if (blocking_async_) f[kPmuExposedCopy] += completion - s->time;
+    }
     if (blocking_async_) {
       Record(s->tb, s->warp, SpanKind::kBlockingCopy, s->time, completion);
       s->time = completion;
@@ -603,6 +747,17 @@ class Replayer {
     const double completion = SharedTransfer(s->time, v, s->tb);
     double& copy_max = cmax_[GroupIndex(id, op->group)];
     copy_max = std::max(copy_max, completion);
+    if constexpr (kPmu) {
+      PmuSharedRead(id, v);
+      double* f = Pf(id);
+      int64_t* n = Pn(id);
+      f[kPmuCpAsyncBytes] += v[7];
+      ++n[kPmuCpAsyncTx];
+      const int32_t depth = ++pd_[GroupIndex(id, op->group)];
+      ++n[kPmuDepthHist0 +
+          (depth < kPmuDepthBuckets ? depth - 1 : kPmuDepthBuckets - 1)];
+      if (blocking_async_) f[kPmuExposedCopy] += completion - s->time;
+    }
     if (blocking_async_) {
       Record(s->tb, s->warp, SpanKind::kBlockingCopy, s->time, completion);
       s->time = completion;
@@ -617,6 +772,7 @@ class Replayer {
     Record(s->tb, s->warp, SpanKind::kIssue, t0, s->time);
     const double completion = GlobalTransfer(s->time, v, op->flags, s->tb);
     s->pending_sync = std::max(s->pending_sync, completion);
+    if constexpr (kPmu) PmuGlobalRead(id, v, op->flags);
     ALCOP_NEXT();
   }
 
@@ -627,6 +783,7 @@ class Replayer {
     Record(s->tb, s->warp, SpanKind::kIssue, t0, s->time);
     const double completion = SharedTransfer(s->time, v, s->tb);
     s->pending_sync = std::max(s->pending_sync, completion);
+    if constexpr (kPmu) PmuSharedRead(id, v);
     ALCOP_NEXT();
   }
 
@@ -640,6 +797,12 @@ class Replayer {
     dram_write_free_ = start + v[6];  // op1 / dram-write rate
     const double completion = dram_write_free_ + v[2];
     store_completion_ = std::max(store_completion_, completion);
+    if constexpr (kPmu) {
+      double* f = Pf(id);
+      f[kPmuCopyIssue] += v[0];
+      f[kPmuDramWriteBytes] += v[7];
+      ++Pn(id)[kPmuDramWriteTx];
+    }
     ALCOP_NEXT();
   }
 
@@ -650,6 +813,7 @@ class Replayer {
     if (needed > imin_[inst]) {
       a_.waiters[static_cast<size_t>(inst)].acquire.push_back(
           {id, needed, s->time});
+      if constexpr (kPmu) ++Pn(id)[kPmuAcquireParks];
       goto pop_next;  // parked
     }
     s->time += sync_;
@@ -672,6 +836,7 @@ class Replayer {
     }
     com_[gi] = count + 1;
     s->time += half_sync_;
+    if constexpr (kPmu) pd_[gi] = 0;
     ALCOP_NEXT();
   }
 
@@ -684,11 +849,17 @@ class Replayer {
         !sdone_[ibase_[inst] + idx]) {
       a_.waiters[static_cast<size_t>(inst)].wait.push_back(
           {id, idx, s->time});
-      goto pop_next;  // parked
+      goto pop_next;  // parked (counted at wake; see kPmuWaitParks contract)
     }
     const double t0 = s->time;
     s->time = std::max(s->time, scomplete_[ibase_[inst] + idx]) + sync_;
     Record(s->tb, s->warp, SpanKind::kSyncStall, t0, s->time);
+    if constexpr (kPmu) {
+      Pf(id)[kPmuWaitStall] += s->time - t0;
+      // Scheduling-invariant park criterion (interpreter passes through
+      // where this core parks): count data-not-ready, not physical parks.
+      if (s->time - t0 > sync_) ++Pn(id)[kPmuWaitParks];
+    }
     ++wai_[gi];
     ALCOP_NEXT();
   }
@@ -711,6 +882,7 @@ class Replayer {
     barrier.max_time = std::max(barrier.max_time, s->time);
     if (++barrier.arrived < p_.num_warps) {
       barrier.parked.emplace_back(id, s->time);
+      if constexpr (kPmu) ++Pn(id)[kPmuBarrierArrivals];
       ++s->pc;  // the releaser advances everyone past the barrier
       goto pop_next;
     }
@@ -718,6 +890,9 @@ class Replayer {
     for (const auto& [parked_id, arrival] : barrier.parked) {
       Stream& parked = streams_[parked_id];
       Record(parked.tb, parked.warp, SpanKind::kBarrier, arrival, resume);
+      if constexpr (kPmu) {
+        Pf(parked_id)[kPmuBarrierStall] += resume - arrival;
+      }
       parked.time = resume;
       Push(parked_id, resume);
     }
@@ -725,6 +900,10 @@ class Replayer {
     barrier.arrived = 0;
     barrier.max_time = 0.0;
     Record(s->tb, s->warp, SpanKind::kBarrier, s->time, resume);
+    if constexpr (kPmu) {
+      ++Pn(id)[kPmuBarrierArrivals];
+      Pf(id)[kPmuBarrierStall] += resume - s->time;
+    }
     s->time = resume;
     ALCOP_NEXT();
   }
@@ -737,6 +916,9 @@ class Replayer {
       makespan = std::max(makespan, st.time);
     }
     if constexpr (kTimeline) timeline_->makespan = makespan;
+    if constexpr (kPmu) {
+      AccumulatePmuStreams(pmu_out_, pf_, pn_, a_.streams.size());
+    }
     for (const ReplayArena::Stream& st : a_.streams) {
       ALCOP_CHECK_EQ(st.pc, st.end)
           << "stream deadlocked at event "
@@ -849,7 +1031,8 @@ class Replayer {
     a_.heap.resize(num_streams);
 
     // Wave-scaled pool rows: [0..3] the raw operands, [4] op1 / llc
-    // rate, [5] op2 / dram rate, [6] op1 / dram-write rate, [7] pad.
+    // rate, [5] op2 / dram rate, [6] op1 / dram-write rate, [7] the PMU
+    // payload (raw bytes / FLOPs).
     a_.pool_scaled.resize(p_.pool.size() * 8);
     for (size_t r = 0; r < p_.pool.size(); ++r) {
       const MicroOpOperands& v = p_.pool[r];
@@ -861,7 +1044,18 @@ class Replayer {
       d[4] = v.op1 / wave_.llc_rate;
       d[5] = v.op2 / wave_.dram_rate;
       d[6] = v.op1 / wave_.dram_write_rate;
-      d[7] = 0.0;
+      d[7] = v.payload;
+    }
+
+    // PMU accumulator rows — only when collecting, so a counter-free
+    // replay never allocates them (the zero-allocation contract).
+    if constexpr (kPmu) {
+      a_.pmu_f64.assign(num_streams * kPmuF64Count, 0.0);
+      a_.pmu_i64.assign(num_streams * kPmuI64Count, 0);
+      a_.pmu_depth.assign(counters, 0);
+      pf_ = a_.pmu_f64.data();
+      pn_ = a_.pmu_i64.data();
+      pd_ = a_.pmu_depth.data();
     }
 
     // Raw-pointer views for the hot loop (set after every resize above).
@@ -999,9 +1193,43 @@ class Replayer {
   void DrainSyncLoads(Stream& s) {
     if (s.pending_sync > s.time) {
       Record(s.tb, s.warp, SpanKind::kBlockingCopy, s.time, s.pending_sync);
+      if constexpr (kPmu) {
+        const int32_t sid = static_cast<int32_t>(&s - streams_);
+        Pf(sid)[kPmuExposedCopy] += s.pending_sync - s.time;
+      }
       s.time = s.pending_sync;
     }
     s.pending_sync = 0.0;
+  }
+
+  // ---- PMU helpers (instantiated only when kPmu). Every expression
+  // reads pre-resolved pool values the trace compiler produced with the
+  // interpreter's own formulas, so the counters are bit-identical. ----
+
+  double* Pf(int32_t id) {
+    return pf_ + static_cast<size_t>(id) * kPmuF64Count;
+  }
+  int64_t* Pn(int32_t id) {
+    return pn_ + static_cast<size_t>(id) * kPmuI64Count;
+  }
+
+  void PmuGlobalRead(int32_t id, const double* v, uint8_t flags) {
+    double* f = Pf(id);
+    f[kPmuCopyIssue] += v[0];
+    f[kPmuLlcReadBytes] += v[7];  // payload: raw bytes
+    ++Pn(id)[kPmuLlcReadTx];
+    if (flags & kMicroOpHasDram) {
+      f[kPmuDramReadBytes] += v[2];  // bytes * dram fraction
+      ++Pn(id)[kPmuDramReadTx];
+    }
+  }
+
+  void PmuSharedRead(int32_t id, const double* v) {
+    double* f = Pf(id);
+    f[kPmuCopyIssue] += v[0];
+    f[kPmuLdsActive] += v[1];  // bytes / LDS rate
+    f[kPmuLdsReadBytes] += v[7];
+    ++Pn(id)[kPmuLdsReadTx];
   }
 
   void WakeWaitWaiters(int32_t inst, int64_t group_index) {
@@ -1018,6 +1246,10 @@ class Replayer {
       const MicroOp& op = ops_[s.pc];
       s.time = std::max(w.park_time, complete) + sync_;
       Record(s.tb, s.warp, SpanKind::kSyncStall, w.park_time, s.time);
+      if constexpr (kPmu) {
+        Pf(w.stream)[kPmuWaitStall] += s.time - w.park_time;
+        if (s.time - w.park_time > sync_) ++Pn(w.stream)[kPmuWaitParks];
+      }
       ++wai_[GroupIndex(w.stream, op.group)];
       if (++s.pc < s.end) Push(w.stream, s.time);
     }
@@ -1040,6 +1272,9 @@ class Replayer {
       const MicroOp& op = ops_[s.pc];
       s.time = std::max(w.park_time, release_time) + sync_;
       Record(s.tb, s.warp, SpanKind::kSyncStall, w.park_time, s.time);
+      if constexpr (kPmu) {
+        Pf(w.stream)[kPmuAcquireStall] += s.time - w.park_time;
+      }
       ++acq_[GroupIndex(w.stream, op.group)];
       if (++s.pc < s.end) Push(w.stream, s.time);
     }
@@ -1050,6 +1285,7 @@ class Replayer {
   const ReplayWave& wave_;
   ReplayArena& a_;
   Timeline* timeline_;
+  PmuCounters* pmu_out_;
 
   // Raw-pointer views into the arena (valid between Reset and Run's end).
   const MicroOp* ops_ = nullptr;
@@ -1071,6 +1307,9 @@ class Replayer {
   int32_t* rel_ = nullptr;
   int32_t* imin_ = nullptr;
   HeapEntry* tree_ = nullptr;
+  double* pf_ = nullptr;    // PMU f64 rows (kPmu only)
+  int64_t* pn_ = nullptr;   // PMU i64 rows (kPmu only)
+  int32_t* pd_ = nullptr;   // PMU per-(stream, group) in-flight depth
   bool blocking_async_ = false;
   double sync_ = 0.0;       // p_.sync_overhead_cycles
   double half_sync_ = 0.0;  // p_.half_sync_overhead_cycles
@@ -1088,13 +1327,21 @@ class Replayer {
 }  // namespace
 
 double ReplayBatch(const MicroOpProgram& program, const ReplayWave& wave,
-                   ReplayArena* arena, Timeline* timeline) {
+                   ReplayArena* arena, Timeline* timeline, PmuCounters* pmu) {
   ALCOP_CHECK_GT(wave.threadblocks, 0);
   ALCOP_CHECK(arena != nullptr);
   if (timeline == nullptr) {
-    return Replayer<false>(program, wave, *arena, nullptr).Run();
+    if (pmu == nullptr) {
+      return Replayer<false, false>(program, wave, *arena, nullptr, nullptr)
+          .Run();
+    }
+    return Replayer<false, true>(program, wave, *arena, nullptr, pmu).Run();
   }
-  return Replayer<true>(program, wave, *arena, timeline).Run();
+  if (pmu == nullptr) {
+    return Replayer<true, false>(program, wave, *arena, timeline, nullptr)
+        .Run();
+  }
+  return Replayer<true, true>(program, wave, *arena, timeline, pmu).Run();
 }
 
 }  // namespace sim

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "sim/compile.h"
+#include "sim/pmu.h"
 #include "sim/timeline.h"
 #include "sim/trace.h"
 #include "target/gpu_spec.h"
@@ -72,6 +73,11 @@ struct DesimParams {
   // When non-null, per-warp execution spans are recorded here (see
   // timeline.h) for visualization.
   Timeline* timeline = nullptr;
+  // When non-null, the batch's performance counters are ADDED into this
+  // struct (the caller zeroes it per wave). Collection must not perturb
+  // timing: counters are accumulated per stream and merged in fixed
+  // stream order (see sim/pmu.h).
+  PmuCounters* pmu = nullptr;
 };
 
 // Simulates one batch by interpreting the per-warp event trace; returns
@@ -163,8 +169,17 @@ struct ReplayArena {
   // row plus every "amount / wave rate" quotient the handlers need,
   // divided once per wave instead of once per event (the quotient of the
   // hoisted division is bit-identical to the interpreter's per-event
-  // division).
+  // division). Row slot 7 carries the op's PMU payload (raw bytes /
+  // FLOPs).
   std::vector<double> pool_scaled;
+  // PMU accumulator rows, sized ONLY when a replay runs with counters
+  // enabled (a PmuCounters sink was passed): per-stream f64/i64 slot rows
+  // (sim/pmu.h layout) and the per-(stream, group) async-copy in-flight
+  // depth. Counter-free replays never touch these, keeping the disabled
+  // warm path zero-allocation.
+  std::vector<double> pmu_f64;
+  std::vector<int64_t> pmu_i64;
+  std::vector<int32_t> pmu_depth;
 
   // Total reserved heap memory; constant across warm replays.
   size_t CapacityBytes() const;
@@ -172,8 +187,11 @@ struct ReplayArena {
 
 // Replays one threadblock wave of a compiled program; returns the makespan
 // in cycles. Bit-identical to SimulateBatch on the equivalent trace.
+// When `pmu` is non-null the wave's performance counters are ADDED into
+// it (bit-identical to the interpreter's; see sim/pmu.h).
 double ReplayBatch(const MicroOpProgram& program, const ReplayWave& wave,
-                   ReplayArena* arena, Timeline* timeline = nullptr);
+                   ReplayArena* arena, Timeline* timeline = nullptr,
+                   PmuCounters* pmu = nullptr);
 
 }  // namespace sim
 }  // namespace alcop

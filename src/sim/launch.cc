@@ -1,7 +1,12 @@
 #include "sim/launch.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pipeline/detect.h"
 #include "sim/desim.h"
@@ -134,7 +139,7 @@ DesimSetup PrepareDesim(const CompiledKernel& compiled,
 }  // namespace
 
 KernelTiming InterpretKernel(const CompiledKernel& compiled,
-                             const target::GpuSpec& spec) {
+                             const target::GpuSpec& spec, KernelPmu* pmu) {
   ALCOP_TRACE_SCOPE("interpret", "sim");
   const LoweredKernel& kernel = compiled.kernel;
   KernelTiming timing;
@@ -155,19 +160,24 @@ KernelTiming InterpretKernel(const CompiledKernel& compiled,
   // Simulates a wave of `tbs` threadblocks: each active SM hosts up to the
   // occupancy complement; small waves leave SMs idle, and the active SMs
   // then receive a larger slice of the GPU-wide bandwidth.
-  auto simulate_wave = [&](int64_t tbs) {
+  auto simulate_wave = [&](int64_t tbs, PmuCounters* wave_pmu) {
     DesimParams wave = params;
     wave.threadblocks = static_cast<int>(std::min<int64_t>(
         occ.threadblocks_per_sm,
         (tbs + spec.num_sms - 1) / spec.num_sms));
     wave.active_sms = static_cast<int>(std::min<int64_t>(
         spec.num_sms, (tbs + wave.threadblocks - 1) / wave.threadblocks));
+    wave.pmu = wave_pmu;
     return SimulateBatch(trace, spec, wave);
   };
 
   int64_t per_batch =
       static_cast<int64_t>(occ.threadblocks_per_sm) * spec.num_sms;
-  double full_batch = simulate_wave(std::min(total_tbs, per_batch));
+  PmuCounters full_pmu;
+  PmuCounters rem_pmu;
+  bool have_rem = false;
+  double full_batch = simulate_wave(std::min(total_tbs, per_batch),
+                                    pmu != nullptr ? &full_pmu : nullptr);
   timing.batch_cycles = full_batch;
 
   double cycles = spec.launch_overhead_cycles;
@@ -175,7 +185,18 @@ KernelTiming InterpretKernel(const CompiledKernel& compiled,
   int64_t remainder = total_tbs - full_batches * per_batch;
   cycles += static_cast<double>(full_batches) * full_batch;
   if (remainder > 0) {
-    cycles += full_batches == 0 ? full_batch : simulate_wave(remainder);
+    cycles += full_batches == 0
+                  ? full_batch
+                  : simulate_wave(remainder,
+                                  pmu != nullptr ? &rem_pmu : nullptr);
+    have_rem = full_batches > 0;
+  }
+  if (pmu != nullptr) {
+    ScaleKernelPmu(pmu, full_pmu, have_rem ? &rem_pmu : nullptr,
+                   full_batches);
+    pmu->achieved_occupancy =
+        static_cast<double>(occ.threadblocks_per_sm * kernel.num_warps) /
+        static_cast<double>(spec.max_warps_per_sm);
   }
 
   // Standalone elementwise pass (InlineOrder::kNone): a memory-bound
@@ -263,6 +284,7 @@ SimProgram BuildSimProgram(const CompiledKernel& compiled,
   out.total_threadblocks = kernel.TotalThreadblocks();
   out.batches =
       target::NumThreadblockBatches(spec, occ, out.total_threadblocks);
+  out.max_warps_per_sm = spec.max_warps_per_sm;
   out.llc_bw_bytes_per_cycle = spec.llc_bw_bytes_per_cycle;
   out.dram_bw_bytes_per_cycle = spec.dram_bw_bytes_per_cycle;
   out.dram_write_bw_bytes_per_cycle = spec.dram_write_bw_bytes_per_cycle;
@@ -320,7 +342,8 @@ ReplayWave WaveFor(const SimProgram& program, int64_t tbs) {
 
 }  // namespace
 
-KernelTiming ReplaySimProgram(const SimProgram& program, ReplayArena* arena) {
+KernelTiming ReplaySimProgram(const SimProgram& program, ReplayArena* arena,
+                              KernelPmu* pmu) {
   // The hot measurement path: with tracing disabled this scope is one
   // relaxed atomic load (zero-allocation warm replay is gated in
   // tests/obs_test.cc); enabled, it records host wall time but never
@@ -337,10 +360,15 @@ KernelTiming ReplaySimProgram(const SimProgram& program, ReplayArena* arena) {
   int64_t total_tbs = program.total_threadblocks;
   int64_t per_batch = static_cast<int64_t>(program.threadblocks_per_sm) *
                       program.num_sms;
-  auto replay_wave = [&](int64_t tbs) {
-    return ReplayBatch(program.program, WaveFor(program, tbs), arena);
+  auto replay_wave = [&](int64_t tbs, PmuCounters* wave_pmu) {
+    return ReplayBatch(program.program, WaveFor(program, tbs), arena,
+                       nullptr, wave_pmu);
   };
-  double full_batch = replay_wave(std::min(total_tbs, per_batch));
+  PmuCounters full_pmu;
+  PmuCounters rem_pmu;
+  bool have_rem = false;
+  double full_batch = replay_wave(std::min(total_tbs, per_batch),
+                                  pmu != nullptr ? &full_pmu : nullptr);
   timing.batch_cycles = full_batch;
 
   double cycles = program.launch_overhead_cycles;
@@ -348,7 +376,18 @@ KernelTiming ReplaySimProgram(const SimProgram& program, ReplayArena* arena) {
   int64_t remainder = total_tbs - full_batches * per_batch;
   cycles += static_cast<double>(full_batches) * full_batch;
   if (remainder > 0) {
-    cycles += full_batches == 0 ? full_batch : replay_wave(remainder);
+    cycles += full_batches == 0
+                  ? full_batch
+                  : replay_wave(remainder,
+                                pmu != nullptr ? &rem_pmu : nullptr);
+    have_rem = full_batches > 0;
+  }
+  if (pmu != nullptr) {
+    ScaleKernelPmu(pmu, full_pmu, have_rem ? &rem_pmu : nullptr,
+                   full_batches);
+    pmu->achieved_occupancy =
+        static_cast<double>(program.threadblocks_per_sm * program.num_warps) /
+        static_cast<double>(program.max_warps_per_sm);
   }
   if (program.has_ewise) cycles += program.ewise_cycles;
   if (program.has_splitk) cycles += program.splitk_cycles;
@@ -374,9 +413,59 @@ BatchTimeline ReplayTimeline(const SimProgram& program, ReplayArena* arena) {
 
 namespace {
 
-ReplayArena& ThreadLocalArena() {
-  thread_local ReplayArena arena;
-  return arena;
+// Published capacity of one thread's pooled arena. The replay thread
+// stores into its own atomic after each run; the `sim.arena.bytes`
+// callback gauge sums the slots at dump time — so the gauge never reads
+// ReplayArena's vectors concurrently with a replay.
+struct ArenaGauge {
+  std::atomic<int64_t> bytes{0};
+};
+
+std::mutex g_arena_gauges_mu;
+std::vector<std::shared_ptr<ArenaGauge>>& ArenaGauges() {
+  static std::vector<std::shared_ptr<ArenaGauge>> gauges;
+  return gauges;
+}
+
+// One per simulation thread: the pooled arena plus its published-bytes
+// slot. Registration of the callback gauge happens once, on the first
+// thread that simulates.
+struct ThreadArenaHolder {
+  ReplayArena arena;
+  std::shared_ptr<ArenaGauge> gauge = std::make_shared<ArenaGauge>();
+
+  ThreadArenaHolder() {
+    {
+      std::lock_guard<std::mutex> lock(g_arena_gauges_mu);
+      ArenaGauges().push_back(gauge);
+    }
+    static std::once_flag registered;
+    std::call_once(registered, [] {
+      obs::Registry::Global().RegisterCallback("sim.arena.bytes", [] {
+        double total = 0.0;
+        std::lock_guard<std::mutex> lock(g_arena_gauges_mu);
+        for (const std::shared_ptr<ArenaGauge>& g : ArenaGauges()) {
+          total += static_cast<double>(g->bytes.load(std::memory_order_relaxed));
+        }
+        return total;
+      });
+    });
+  }
+  ~ThreadArenaHolder() {
+    // The shared_ptr slot outlives the thread; zero it so exited threads
+    // stop contributing resident bytes.
+    gauge->bytes.store(0, std::memory_order_relaxed);
+  }
+
+  void Update() {
+    gauge->bytes.store(static_cast<int64_t>(arena.CapacityBytes()),
+                       std::memory_order_relaxed);
+  }
+};
+
+ThreadArenaHolder& ThreadLocalArena() {
+  thread_local ThreadArenaHolder holder;
+  return holder;
 }
 
 }  // namespace
@@ -384,20 +473,29 @@ ReplayArena& ThreadLocalArena() {
 KernelTiming SimulateKernel(const CompiledKernel& compiled,
                             const target::GpuSpec& spec) {
   SimProgram program = BuildSimProgram(compiled, spec);
-  return ReplaySimProgram(program, &ThreadLocalArena());
+  ThreadArenaHolder& holder = ThreadLocalArena();
+  KernelTiming timing = ReplaySimProgram(program, &holder.arena);
+  holder.Update();
+  return timing;
 }
 
 KernelTiming CompileAndSimulate(const GemmOp& op, const ScheduleConfig& config,
                                 const target::GpuSpec& spec,
                                 schedule::InlineOrder inline_order) {
   SimProgram program = CompileSimProgram(op, config, spec, inline_order);
-  return ReplaySimProgram(program, &ThreadLocalArena());
+  ThreadArenaHolder& holder = ThreadLocalArena();
+  KernelTiming timing = ReplaySimProgram(program, &holder.arena);
+  holder.Update();
+  return timing;
 }
 
 BatchTimeline CaptureTimeline(const CompiledKernel& compiled,
                               const target::GpuSpec& spec) {
   SimProgram program = BuildSimProgram(compiled, spec);
-  return ReplayTimeline(program, &ThreadLocalArena());
+  ThreadArenaHolder& holder = ThreadLocalArena();
+  BatchTimeline timeline = ReplayTimeline(program, &holder.arena);
+  holder.Update();
+  return timeline;
 }
 
 }  // namespace sim

@@ -70,6 +70,8 @@ struct SimProgram {
   int num_sms = 0;
   int64_t total_threadblocks = 0;
   int64_t batches = 0;
+  // Spec's per-SM warp capacity (for the PMU's achieved-occupancy ratio).
+  int max_warps_per_sm = 64;
 
   // GPU-wide bandwidths; replay divides by the wave's active SM count.
   double llc_bw_bytes_per_cycle = 1.0;
@@ -108,8 +110,12 @@ SimProgram CompileSimProgram(
 
 // Phase 2: replays every threadblock wave of the launch through `arena`
 // (pooled across calls; see ReplayArena). Bit-identical to the
-// interpreter-based InterpretKernel.
-KernelTiming ReplaySimProgram(const SimProgram& program, ReplayArena* arena);
+// interpreter-based InterpretKernel. When `pmu` is non-null, per-kernel
+// performance counters are collected during the same replay (sim/pmu.h) —
+// the totals scale the replayed waves by the launch's batch structure and
+// are bit-identical to InterpretKernel's.
+KernelTiming ReplaySimProgram(const SimProgram& program, ReplayArena* arena,
+                              KernelPmu* pmu = nullptr);
 
 // Simulates a compiled kernel on the device (phase 1 + phase 2 with a
 // thread-local arena).
@@ -127,9 +133,11 @@ KernelTiming CompileAndSimulate(
 
 // Reference path: simulates by interpreting the AST-derived event trace
 // (sim/trace.h). Kept as the differential-testing oracle for the bytecode
-// replay; must produce bit-identical KernelTiming.
+// replay; must produce bit-identical KernelTiming — and, when `pmu` is
+// non-null, a bit-identical KernelPmu.
 KernelTiming InterpretKernel(const CompiledKernel& compiled,
-                             const target::GpuSpec& spec);
+                             const target::GpuSpec& spec,
+                             KernelPmu* pmu = nullptr);
 
 // Records the execution timeline of one steady-state threadblock batch
 // for visualization (see timeline.h).

@@ -156,7 +156,7 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
   // Proposal and refitting stay on the caller thread (the single Rng and
   // the model are not shared with the pool); only candidate measurement
   // and batch prediction fan out, so trial order is thread-count invariant.
-  auto refit = [&]() {
+  auto refit = [&](int round_number) {
     ALCOP_TRACE_SCOPE("refit", "tuner");
     static obs::Counter& refits =
         obs::Registry::Global().GetCounter("tuner.refits");
@@ -183,14 +183,50 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
       w.push_back(1.0);
     }
     if (!x.empty()) model.Fit(x, y, w);
+    if (options.logger) {
+      TrialEvent event;
+      event.kind = TrialEvent::Kind::kRefit;
+      event.round = round_number;
+      event.training_size = static_cast<int64_t>(result.trials.size());
+      event.rank_accuracy = std::numeric_limits<double>::quiet_NaN();
+      // Pairwise rank accuracy of the freshly fit model over everything
+      // measured so far: of the pairs the measurements order, how many
+      // does the model order the same way.
+      if (result.trials.size() >= 2 && model.IsFitted()) {
+        std::vector<std::vector<double>> measured_x;
+        measured_x.reserve(result.trials.size());
+        for (size_t index : result.trials) {
+          measured_x.push_back(features[index]);
+        }
+        std::vector<double> predicted = model.PredictBatch(measured_x);
+        int64_t concordant = 0;
+        int64_t comparable = 0;
+        for (size_t i = 0; i < predicted.size(); ++i) {
+          for (size_t j = i + 1; j < predicted.size(); ++j) {
+            double truth = ScoreOf(result.measured[i]) -
+                           ScoreOf(result.measured[j]);
+            double guess = predicted[i] - predicted[j];
+            if (truth == 0.0 || guess == 0.0) continue;  // ties carry no rank
+            ++comparable;
+            if ((truth > 0.0) == (guess > 0.0)) ++concordant;
+          }
+        }
+        if (comparable > 0) {
+          event.rank_accuracy = static_cast<double>(concordant) /
+                                static_cast<double>(comparable);
+        }
+      }
+      options.logger(event);
+    }
   };
 
-  if (options.pretrain_with_analytical) refit();  // prior knowledge only
+  if (options.pretrain_with_analytical) refit(-1);  // prior knowledge only
 
   static obs::Counter& rounds =
       obs::Registry::Global().GetCounter("tuner.rounds");
   static obs::Counter& trials =
       obs::Registry::Global().GetCounter("tuner.trials");
+  int round = 0;
   while (result.trials.size() < max_trials &&
          measured_set.size() < task.space.size()) {
     ALCOP_TRACE_SCOPE("xgb-round", "tuner");
@@ -198,6 +234,7 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
     size_t batch =
         std::min(options.batch_size, max_trials - result.trials.size());
     std::vector<size_t> proposals;
+    std::vector<double> predicted;  // whole-space scores; empty cold start
     if (!model.IsFitted()) {
       // Cold start: random batch, deduplicated in O(1) per draw.
       std::unordered_set<size_t> proposed;
@@ -213,22 +250,46 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
       // Predict the whole space in one parallel batch; the annealing walk
       // then scores candidates by table lookup.
       if (neighbors.empty()) neighbors = BuildNeighborLists(task.space);
-      std::vector<double> predicted = model.PredictBatch(features);
+      predicted = model.PredictBatch(features);
       auto score = [&](size_t index) { return predicted[index]; };
       proposals = ProposeBatch(task.space, score, measured_set, batch, rng,
                                {}, &neighbors);
     }
     if (proposals.empty()) break;
+    if (options.logger) {
+      for (size_t i = 0; i < proposals.size(); ++i) {
+        TrialEvent event;
+        event.kind = TrialEvent::Kind::kProposed;
+        event.round = round;
+        event.trial = result.trials.size() + i;
+        event.space_index = proposals[i];
+        event.config = task.space[proposals[i]].ToString();
+        event.predicted_score =
+            predicted.empty() ? std::numeric_limits<double>::quiet_NaN()
+                              : predicted[proposals[i]];
+        options.logger(event);
+      }
+    }
     std::vector<double> cycles = support::ParallelMap(
         proposals.size(),
         [&](size_t i) { return task.measure(task.space[proposals[i]]); });
     trials.Add(proposals.size());
     for (size_t i = 0; i < proposals.size(); ++i) {
+      if (options.logger) {
+        TrialEvent event;
+        event.kind = TrialEvent::Kind::kMeasured;
+        event.round = round;
+        event.trial = result.trials.size();
+        event.space_index = proposals[i];
+        event.measured_cycles = cycles[i];
+        options.logger(event);
+      }
       result.trials.push_back(proposals[i]);
       result.measured.push_back(cycles[i]);
       measured_set.insert(proposals[i]);
     }
-    refit();
+    refit(round);
+    ++round;
   }
   return result;
 }

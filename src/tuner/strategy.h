@@ -66,12 +66,41 @@ TuningResult ExhaustiveSearch(const TuningTask& task);
 TuningResult AnalyticalRanking(const TuningTask& task, size_t max_trials);
 TuningResult BottleneckRanking(const TuningTask& task, size_t max_trials);
 
+// One event of the XGB search loop, for the JSONL telemetry log behind
+// `alcop_cli tune --log`. Events are emitted synchronously from the
+// caller thread (never from the measurement pool), in a deterministic
+// order: per round, one kProposed per candidate, one kMeasured per
+// candidate, then one kRefit. The search itself is unaffected by
+// logging — trials and measured values stay bit-identical with the
+// logger unset.
+struct TrialEvent {
+  enum class Kind { kProposed, kMeasured, kRefit };
+  Kind kind = Kind::kProposed;
+  // Model-guided round counter; -1 for the analytical pretrain refit
+  // that precedes the first round.
+  int round = 0;
+  size_t trial = 0;        // index into TuningResult.trials
+  size_t space_index = 0;  // the candidate's index in task.space
+  std::string config;      // candidate ToString() (kProposed only)
+  // GBT score of the candidate at proposal time; NaN on cold-start
+  // rounds (no fitted model yet).
+  double predicted_score = 0.0;
+  double measured_cycles = 0.0;  // kMeasured only
+  // kRefit only: measured rows in the fit, and the model's pairwise
+  // rank accuracy over them (concordant pairs / comparable pairs; NaN
+  // with fewer than two distinct measurements).
+  int64_t training_size = 0;
+  double rank_accuracy = 0.0;
+};
+
 struct XgbOptions {
   size_t batch_size = 8;
   bool pretrain_with_analytical = false;  // ALCOP's Model-Assisted XGB
   uint64_t seed = 0;
   // Weight of pre-training pseudo-samples relative to measured ones.
   double pretrain_weight = 0.25;
+  // Search telemetry sink (see TrialEvent); unset = no logging cost.
+  std::function<void(const TrialEvent&)> logger;
 };
 
 TuningResult XgbTuner(const TuningTask& task, size_t max_trials,

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -132,13 +133,30 @@ TEST_P(PipelineFuzz, TimingIsFiniteAndDeterministic) {
   EXPECT_EQ(first.cycles, second.cycles);
   // Interpreter-vs-replay differential on the random schedule: the
   // bytecode path (which CompileAndSimulate uses) must agree bit for bit
-  // with the AST-interpreter oracle on every mutated draw.
+  // with the AST-interpreter oracle on every mutated draw — including
+  // the PMU counter payload (memcmp over the raw counter structs).
   sim::CompiledKernel compiled = sim::CompileKernel(c.op, c.config, spec);
-  sim::KernelTiming interpreted = sim::InterpretKernel(compiled, spec);
+  sim::KernelPmu interp_pmu;
+  sim::KernelTiming interpreted =
+      sim::InterpretKernel(compiled, spec, &interp_pmu);
   EXPECT_TRUE(interpreted.feasible);
   EXPECT_EQ(interpreted.cycles, first.cycles) << c.config.ToString();
   EXPECT_EQ(interpreted.microseconds, first.microseconds);
   EXPECT_EQ(interpreted.batches, first.batches);
+  sim::SimProgram program = sim::CompileSimProgram(c.op, c.config, spec);
+  sim::ReplayArena arena;
+  sim::KernelPmu replay_pmu;
+  sim::ReplaySimProgram(program, &arena, &replay_pmu);
+  EXPECT_TRUE(interp_pmu.collected);
+  EXPECT_EQ(std::memcmp(&interp_pmu.total, &replay_pmu.total,
+                        sizeof(sim::PmuCounters)),
+            0)
+      << c.config.ToString();
+  EXPECT_EQ(std::memcmp(&interp_pmu.batch, &replay_pmu.batch,
+                        sizeof(sim::PmuCounters)),
+            0)
+      << c.config.ToString();
+  EXPECT_EQ(interp_pmu.achieved_occupancy, replay_pmu.achieved_occupancy);
   // The analytical model must also be finite on any feasible schedule.
   double predicted = perfmodel::PredictCycles(c.op, c.config, spec);
   EXPECT_TRUE(std::isfinite(predicted)) << c.config.ToString();

@@ -434,5 +434,70 @@ TEST(ObsOverheadTest, WarmReplayIsZeroAllocationWithTracingDisabled) {
 #endif
 }
 
+TEST(ObsOverheadTest, WarmReplayStaysZeroAllocationWithPmuEnabled) {
+  // The PMU rows live in the pooled arena: one warm-up with a counter
+  // sink sizes them, after which collecting replays allocate nothing —
+  // and the counters are byte-deterministic run over run.
+  target::GpuSpec spec = target::AmpereSpec();
+  sim::CompiledKernel compiled = SmallKernel(spec);
+  sim::SimProgram program = sim::BuildSimProgram(compiled, spec);
+  sim::ReplayArena arena;
+
+  obs::SetTraceEnabled(false);
+  sim::KernelPmu warmup_pmu;
+  sim::ReplaySimProgram(program, &arena, &warmup_pmu);
+  size_t capacity = arena.CapacityBytes();
+
+  sim::KernelPmu pmu;
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  sim::KernelTiming timing = sim::ReplaySimProgram(program, &arena, &pmu);
+  uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_TRUE(timing.feasible);
+  EXPECT_TRUE(pmu.collected);
+  EXPECT_EQ(arena.CapacityBytes(), capacity)
+      << "collecting warm replay grew the arena";
+#if !defined(ALCOP_OBS_NO_ALLOC_COUNTING)
+  EXPECT_EQ(after - before, 0u) << "collecting warm replay allocated";
+#else
+  (void)before;
+  (void)after;
+#endif
+  EXPECT_EQ(std::memcmp(&warmup_pmu.total, &pmu.total,
+                        sizeof(sim::PmuCounters)),
+            0);
+  EXPECT_EQ(std::memcmp(&warmup_pmu.batch, &pmu.batch,
+                        sizeof(sim::PmuCounters)),
+            0);
+}
+
+// ------------------------------------------------------- callback gauges
+
+TEST(ObsGaugeTest, TraceRingDropsNothingOnAProfileSweep) {
+  ScopedTracing tracing;
+  target::GpuSpec spec = target::AmpereSpec();
+  sim::CompiledKernel compiled = SmallKernel(spec);
+  sim::SimProgram program = sim::BuildSimProgram(compiled, spec);
+  sim::ReplayArena arena;
+  for (int i = 0; i < 32; ++i) sim::ReplaySimProgram(program, &arena);
+  EXPECT_EQ(obs::DroppedSpans(), 0u)
+      << "profile-scale tracing must fit the span rings";
+  // Enabling tracing registered the overflow gauge; it must dump as 0.
+  std::string json = obs::Registry::Global().RenderJson();
+  EXPECT_NE(json.find("\"obs.trace.dropped\": 0"), std::string::npos);
+}
+
+TEST(ObsGaugeTest, ArenaBytesGaugeTracksTheThreadLocalArena) {
+  target::GpuSpec spec = target::AmpereSpec();
+  sim::CompiledKernel compiled = SmallKernel(spec);
+  // SimulateKernel goes through the registered thread-local arena.
+  sim::KernelTiming timing = sim::SimulateKernel(compiled, spec);
+  ASSERT_TRUE(timing.feasible);
+  std::string json = obs::Registry::Global().RenderJson();
+  size_t pos = json.find("\"sim.arena.bytes\": ");
+  ASSERT_NE(pos, std::string::npos);
+  double bytes = std::atof(json.c_str() + pos + std::strlen("\"sim.arena.bytes\": "));
+  EXPECT_GT(bytes, 0.0) << "resident arena bytes must be published";
+}
+
 }  // namespace
 }  // namespace alcop

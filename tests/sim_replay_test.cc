@@ -82,6 +82,30 @@ bool BitEqual(double a, double b) {
   return ::testing::AssertionSuccess();
 }
 
+// PMU counter sets are compared as raw bytes: the bit-identity contract
+// (sim/pmu.h) says both cores must produce memcmp-equal counters.
+::testing::AssertionResult SamePmu(const sim::KernelPmu& interp,
+                                   const sim::KernelPmu& replay) {
+  if (interp.collected != replay.collected) {
+    return ::testing::AssertionFailure()
+           << "collected " << interp.collected << " vs " << replay.collected;
+  }
+  if (std::memcmp(&interp.total, &replay.total, sizeof(sim::PmuCounters)) !=
+      0) {
+    return ::testing::AssertionFailure() << "total counters differ";
+  }
+  if (std::memcmp(&interp.batch, &replay.batch, sizeof(sim::PmuCounters)) !=
+      0) {
+    return ::testing::AssertionFailure() << "batch counters differ";
+  }
+  if (!BitEqual(interp.achieved_occupancy, replay.achieved_occupancy)) {
+    return ::testing::AssertionFailure()
+           << "occupancy " << interp.achieved_occupancy << " vs "
+           << replay.achieved_occupancy;
+  }
+  return ::testing::AssertionSuccess();
+}
+
 ::testing::AssertionResult SameTraffic(const sim::TrafficReport& a,
                                        const sim::TrafficReport& b) {
   if (!BitEqual(a.dram_read_bytes, b.dram_read_bytes) ||
@@ -113,15 +137,27 @@ TEST(SimReplayGolden, EveryFig10ConfigMatchesInterpreterExactly) {
     for (const schedule::ScheduleConfig& config : task.space) {
       ++configs;
       sim::CompiledKernel compiled = sim::CompileKernel(op, config, spec);
-      sim::KernelTiming interp = sim::InterpretKernel(compiled, spec);
+      sim::KernelPmu interp_pmu;
+      sim::KernelTiming interp = sim::InterpretKernel(compiled, spec,
+                                                      &interp_pmu);
       sim::SimProgram program = sim::BuildSimProgram(compiled, spec);
-      sim::KernelTiming replay = sim::ReplaySimProgram(program, &arena);
+      sim::KernelPmu replay_pmu;
+      sim::KernelTiming replay =
+          sim::ReplaySimProgram(program, &arena, &replay_pmu);
 
       ::testing::AssertionResult timing_ok = SameTiming(interp, replay);
       if (!timing_ok) {
         if (++failures <= 5) {
           ADD_FAILURE() << op.name << " " << config.ToString() << ": "
                         << timing_ok.message();
+        }
+        continue;
+      }
+      ::testing::AssertionResult pmu_ok = SamePmu(interp_pmu, replay_pmu);
+      if (!pmu_ok) {
+        if (++failures <= 5) {
+          ADD_FAILURE() << op.name << " " << config.ToString()
+                        << " pmu: " << pmu_ok.message();
         }
         continue;
       }
