@@ -7,9 +7,20 @@
 //   alcop_cli models                   list the end-to-end model graphs
 //   alcop_cli parse    FILE            parse a textual IR file, validate by
 //                                      re-printing it (round-trip check)
-//   alcop_cli verify   FILE            statically verify the pipeline
+//   alcop_cli verify   FILE [--json]   statically verify the pipeline
 //                                      synchronization of a textual IR file
-//                                      (exit 1 on errors; see src/verify/)
+//                                      (exit 1 on errors; see src/verify/);
+//                                      --json emits the shared diagnostic
+//                                      JSON schema (same renderer as lint)
+//   alcop_cli lint     WORKLOAD|FILE [--json] [--no-swizzle]
+//                                      run the static analysis framework
+//                                      (src/analysis/): bounds proofs,
+//                                      region-level race detection, bank
+//                                      conflicts, occupancy feasibility.
+//                                      A workload is compiled with its best
+//                                      schedule first; a .tir file is
+//                                      linted as written (with source
+//                                      spans). Exit 1 on L-code errors.
 //   alcop_cli profile  WORKLOAD [--json] [--trace FILE] [--counters]
 //                                      full observability report: per-warp
 //                                      stall attribution, pipe utilization,
@@ -41,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/pass.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "obs/chrome_trace.h"
@@ -306,14 +318,35 @@ int CmdParse(int argc, char** argv) {
   }
 }
 
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') { out += "\\n"; continue; }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 int CmdVerify(int argc, char** argv) {
-  if (argc < 3) {
+  bool json = false;
+  std::vector<char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty()) {
     std::fprintf(stderr, "expected a file path\n");
     return 1;
   }
-  std::ifstream file(argv[2]);
+  const char* path = positional[0];
+  std::ifstream file(path);
   if (!file) {
-    std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
+    std::fprintf(stderr, "cannot open '%s'\n", path);
     return 1;
   }
   std::ostringstream content;
@@ -326,13 +359,155 @@ int CmdVerify(int argc, char** argv) {
     return 1;
   }
   verify::VerifyResult result = verify::VerifyProgram(program);
+  if (json) {
+    size_t errors = 0;
+    for (const verify::Diagnostic& d : result.diagnostics) {
+      if (d.severity == verify::Severity::kError) ++errors;
+    }
+    std::printf(
+        "{\"command\": \"verify\", \"file\": %s, \"clean\": %s, "
+        "\"errors\": %zu, \"step_limit_reached\": %s,\n \"diagnostics\": "
+        "%s}\n",
+        JsonString(path).c_str(), result.Clean() ? "true" : "false", errors,
+        result.reached_step_limit ? "true" : "false",
+        verify::DiagnosticsToJson(result.diagnostics).c_str());
+    return result.HasErrors() ? 1 : 0;
+  }
   if (result.Clean()) {
-    std::printf("%s: verified, no pipeline-synchronization issues\n", argv[2]);
+    std::printf("%s: verified, no pipeline-synchronization issues\n", path);
     return 0;
   }
   std::printf("%s", result.Render().c_str());
   if (result.reached_step_limit) {
     std::fprintf(stderr, "warning: step limit reached, verdict incomplete\n");
+  }
+  return result.HasErrors() ? 1 : 0;
+}
+
+int CmdLint(int argc, char** argv) {
+  // lint WORKLOAD|FILE [--json] [--no-swizzle]; a readable file is linted
+  // as textual IR (source spans in diagnostics), anything else resolves
+  // as a workload and lints the compiled best schedule.
+  bool json = false;
+  analysis::LintOptions options;
+  std::vector<char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--no-swizzle") == 0) {
+      options.swizzle = false;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "expected a workload (see `alcop_cli ops`), M N K [batch], "
+                 "or a .tir file\n");
+    return 1;
+  }
+
+  std::string subject = positional[0];
+  std::string schedule_str;
+  ir::Stmt program;
+  std::ifstream file(positional[0]);
+  if (file) {
+    std::ostringstream content;
+    content << file.rdbuf();
+    try {
+      program = ir::ParseStmt(content.str());
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else {
+    target::GpuSpec spec = target::AmpereSpec();
+    schedule::GemmOp op;
+    if (!ParseWorkload(positional, &op)) return 1;
+    schedule::ScheduleConfig config = BestConfig(op, spec, 16);
+    sim::CompiledKernel compiled = sim::CompileKernel(op, config, spec);
+    program = compiled.transformed.stmt;
+    subject = op.name;
+    schedule_str = config.ToString();
+    options.swizzle = config.swizzle;
+  }
+
+  analysis::LintResult result = analysis::LintProgram(program, options);
+
+  if (json) {
+    std::ostringstream out;
+    out << "{\"command\": \"lint\", \"subject\": " << JsonString(subject)
+        << ", \"schedule\": " << JsonString(schedule_str)
+        << ", \"clean\": " << (result.Clean() ? "true" : "false")
+        << ", \"errors\": " << (result.HasErrors() ? "true" : "false");
+    if (result.feasibility.has_value()) {
+      const analysis::StaticFeasibility& f = *result.feasibility;
+      out << ",\n \"feasibility\": {\"feasible\": "
+          << (f.feasible ? "true" : "false")
+          << ", \"reason\": " << JsonString(f.reason)
+          << ", \"smem_bytes\": " << f.resources.smem_bytes
+          << ", \"reg_bytes\": " << f.resources.reg_bytes
+          << ", \"warps\": " << f.resources.warps
+          << ", \"threadblocks_per_sm\": " << f.occupancy.threadblocks_per_sm
+          << ", \"limiter\": "
+          << JsonString(target::LimiterName(f.occupancy.limiter)) << "}";
+    }
+    if (result.bank.has_value()) {
+      const analysis::BankReport& b = *result.bank;
+      out << ",\n \"bank\": {\"max_degree\": " << b.max_degree
+          << ", \"sim_divisor\": " << JsonDouble(b.sim_divisor)
+          << ", \"predicted_lds_read_bytes\": "
+          << JsonDouble(b.predicted_lds_read_bytes)
+          << ", \"accesses\": " << b.accesses.size() << "}";
+    }
+    out << ",\n \"passes\": [";
+    for (size_t i = 0; i < result.pass_stats.size(); ++i) {
+      const analysis::PassStats& p = result.pass_stats[i];
+      if (i > 0) out << ", ";
+      out << "{\"name\": " << JsonString(p.name)
+          << ", \"findings\": " << p.findings
+          << ", \"millis\": " << JsonDouble(p.millis) << "}";
+    }
+    out << "],\n \"diagnostics\": "
+        << verify::DiagnosticsToJson(result.diagnostics) << "}";
+    std::printf("%s\n", out.str().c_str());
+    return result.HasErrors() ? 1 : 0;
+  }
+
+  std::printf("lint: %s", subject.c_str());
+  if (!schedule_str.empty()) {
+    std::printf("  schedule: %s", schedule_str.c_str());
+  }
+  std::printf("\n");
+  for (const analysis::PassStats& p : result.pass_stats) {
+    std::printf("  %-20s %3zu finding%s  %7.2f ms\n", p.name.c_str(),
+                p.findings, p.findings == 1 ? " " : "s", p.millis);
+  }
+  if (result.feasibility.has_value()) {
+    const analysis::StaticFeasibility& f = *result.feasibility;
+    if (f.feasible) {
+      std::printf("feasibility: fits, %d threadblock(s)/SM (limiter: %s); "
+                  "%ld B shared, %ld B registers, %d warps\n",
+                  f.occupancy.threadblocks_per_sm,
+                  target::LimiterName(f.occupancy.limiter),
+                  f.resources.smem_bytes, f.resources.reg_bytes,
+                  f.resources.warps);
+    } else {
+      std::printf("feasibility: %s\n", f.reason.c_str());
+    }
+  }
+  if (result.bank.has_value()) {
+    const analysis::BankReport& b = *result.bank;
+    std::printf("bank: %zu shared access(es), max conflict degree %d "
+                "(%s), LDS divisor %.1f, predicted %.1f MB shared->reg\n",
+                b.accesses.size(), b.max_degree,
+                options.swizzle ? "swizzled" : "unswizzled", b.sim_divisor,
+                b.predicted_lds_read_bytes / 1e6);
+  }
+  if (result.Clean()) {
+    std::printf("clean: no findings\n");
+  } else {
+    std::printf("%s", result.Render().c_str());
   }
   return result.HasErrors() ? 1 : 0;
 }
@@ -469,10 +644,11 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: alcop_cli compile|tune|timeline|profile|calibrate|"
-                 "ops|models|parse|verify ...\n");
+                 "ops|models|parse|verify|lint ...\n");
     return 1;
   }
   const char* cmd = argv[1];
+  if (std::strcmp(cmd, "lint") == 0) return CmdLint(argc, argv);
   if (std::strcmp(cmd, "profile") == 0) return CmdProfile(argc, argv);
   if (std::strcmp(cmd, "calibrate") == 0) return CmdCalibrate(argc, argv);
   if (std::strcmp(cmd, "compile") == 0) return CmdCompile(argc, argv);

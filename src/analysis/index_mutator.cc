@@ -1,0 +1,214 @@
+#include "analysis/index_mutator.h"
+
+#include <utility>
+
+#include "support/check.h"
+
+namespace alcop {
+namespace analysis {
+
+using namespace alcop::ir;  // NOLINT(google-build-using-namespace)
+
+const char* IndexMutationName(IndexMutation mutation) {
+  switch (mutation) {
+    case IndexMutation::kPlusOne: return "plus-one";
+    case IndexMutation::kMinusOne: return "minus-one";
+    case IndexMutation::kPlusExtent: return "plus-extent";
+    case IndexMutation::kScaleTwo: return "scale-two";
+    case IndexMutation::kSetZero: return "set-zero";
+  }
+  return "?";
+}
+
+namespace {
+
+// Regions of a statement in their canonical field order; null for
+// statements without regions.
+std::vector<const BufferRegion*> RegionsOf(const StmtNode* s) {
+  switch (s->kind) {
+    case StmtKind::kCopy: {
+      const auto* op = static_cast<const CopyNode*>(s);
+      return {&op->dst, &op->src};
+    }
+    case StmtKind::kFill: {
+      const auto* op = static_cast<const FillNode*>(s);
+      return {&op->dst};
+    }
+    case StmtKind::kMma: {
+      const auto* op = static_cast<const MmaNode*>(s);
+      return {&op->c, &op->a, &op->b};
+    }
+    default:
+      return {};
+  }
+}
+
+void Collect(const Stmt& s, std::vector<IndexSite>* out) {
+  switch (s->kind) {
+    case StmtKind::kBlock:
+      for (const Stmt& child : static_cast<const BlockNode*>(s.get())->seq) {
+        Collect(child, out);
+      }
+      return;
+    case StmtKind::kFor:
+      Collect(static_cast<const ForNode*>(s.get())->body, out);
+      return;
+    case StmtKind::kPragma:
+      Collect(static_cast<const PragmaNode*>(s.get())->body, out);
+      return;
+    case StmtKind::kIfThenElse: {
+      const auto* op = static_cast<const IfThenElseNode*>(s.get());
+      Collect(op->then_case, out);
+      if (op->else_case != nullptr) Collect(op->else_case, out);
+      return;
+    }
+    default: {
+      std::vector<const BufferRegion*> regions = RegionsOf(s.get());
+      for (size_t r = 0; r < regions.size(); ++r) {
+        for (size_t d = 0; d < regions[r]->offsets.size(); ++d) {
+          out->push_back(IndexSite{s.get(), static_cast<int>(r),
+                                   static_cast<int>(d)});
+        }
+      }
+      return;
+    }
+  }
+}
+
+Expr ApplyMutation(const Expr& offset, const BufferRegion& region, int dim,
+                   IndexMutation mutation) {
+  switch (mutation) {
+    case IndexMutation::kPlusOne:
+      return Add(offset, 1);
+    case IndexMutation::kMinusOne:
+      return Sub(offset, Int(1));
+    case IndexMutation::kPlusExtent:
+      return Add(offset, region.buffer->shape[static_cast<size_t>(dim)]);
+    case IndexMutation::kScaleTwo:
+      return Mul(offset, 2);
+    case IndexMutation::kSetZero:
+      return Int(0);
+  }
+  return offset;
+}
+
+BufferRegion MutateRegion(const BufferRegion& region, int dim,
+                          IndexMutation mutation) {
+  BufferRegion out = region;
+  out.offsets[static_cast<size_t>(dim)] =
+      ApplyMutation(region.offsets[static_cast<size_t>(dim)], region, dim,
+                    mutation);
+  return out;
+}
+
+// Rebuilds the spine from the root to `site.stmt`, sharing everything
+// else. Returns null when the subtree does not contain the site.
+Stmt Rewrite(const Stmt& s, const IndexSite& site, IndexMutation mutation) {
+  if (s.get() == site.stmt) {
+    switch (s->kind) {
+      case StmtKind::kCopy: {
+        const auto* op = static_cast<const CopyNode*>(s.get());
+        auto copy = std::make_shared<CopyNode>(
+            site.region == 0 ? MutateRegion(op->dst, site.dim, mutation)
+                             : op->dst,
+            site.region == 1 ? MutateRegion(op->src, site.dim, mutation)
+                             : op->src,
+            op->op, op->op_param);
+        copy->is_async = op->is_async;
+        copy->accumulate = op->accumulate;
+        copy->pipeline_group = op->pipeline_group;
+        copy->span = op->span;
+        return copy;
+      }
+      case StmtKind::kFill: {
+        const auto* op = static_cast<const FillNode*>(s.get());
+        Stmt fill = Fill(MutateRegion(op->dst, site.dim, mutation), op->value);
+        fill->span = op->span;
+        return fill;
+      }
+      case StmtKind::kMma: {
+        const auto* op = static_cast<const MmaNode*>(s.get());
+        Stmt mma = Mma(
+            site.region == 0 ? MutateRegion(op->c, site.dim, mutation) : op->c,
+            site.region == 1 ? MutateRegion(op->a, site.dim, mutation) : op->a,
+            site.region == 2 ? MutateRegion(op->b, site.dim, mutation)
+                             : op->b);
+        mma->span = op->span;
+        return mma;
+      }
+      default:
+        ALCOP_CHECK(false) << "index site on a statement without regions";
+    }
+  }
+  switch (s->kind) {
+    case StmtKind::kBlock: {
+      const auto* op = static_cast<const BlockNode*>(s.get());
+      for (size_t i = 0; i < op->seq.size(); ++i) {
+        Stmt child = Rewrite(op->seq[i], site, mutation);
+        if (child == nullptr) continue;
+        std::vector<Stmt> seq = op->seq;
+        seq[i] = std::move(child);
+        Stmt block = Block(std::move(seq));
+        block->span = op->span;
+        return block;
+      }
+      return nullptr;
+    }
+    case StmtKind::kFor: {
+      const auto* op = static_cast<const ForNode*>(s.get());
+      Stmt body = Rewrite(op->body, site, mutation);
+      if (body == nullptr) return nullptr;
+      Stmt loop = For(op->var, op->extent, op->for_kind, std::move(body));
+      loop->span = op->span;
+      return loop;
+    }
+    case StmtKind::kPragma: {
+      const auto* op = static_cast<const PragmaNode*>(s.get());
+      Stmt body = Rewrite(op->body, site, mutation);
+      if (body == nullptr) return nullptr;
+      Stmt pragma = Pragma(op->key, op->buffer, op->value, std::move(body));
+      pragma->span = op->span;
+      return pragma;
+    }
+    case StmtKind::kIfThenElse: {
+      const auto* op = static_cast<const IfThenElseNode*>(s.get());
+      Stmt then_case = Rewrite(op->then_case, site, mutation);
+      if (then_case != nullptr) {
+        Stmt ite =
+            IfThenElse(op->cond, std::move(then_case), op->else_case);
+        ite->span = op->span;
+        return ite;
+      }
+      if (op->else_case != nullptr) {
+        Stmt else_case = Rewrite(op->else_case, site, mutation);
+        if (else_case != nullptr) {
+          Stmt ite =
+              IfThenElse(op->cond, op->then_case, std::move(else_case));
+          ite->span = op->span;
+          return ite;
+        }
+      }
+      return nullptr;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+std::vector<IndexSite> ListIndexSites(const Stmt& program) {
+  std::vector<IndexSite> sites;
+  Collect(program, &sites);
+  return sites;
+}
+
+Stmt MutateIndexSite(const Stmt& program, const IndexSite& site,
+                     IndexMutation mutation) {
+  Stmt mutated = Rewrite(program, site, mutation);
+  ALCOP_CHECK(mutated != nullptr) << "index site not found in program";
+  return mutated;
+}
+
+}  // namespace analysis
+}  // namespace alcop

@@ -1,0 +1,54 @@
+// Index-mutation corpus for the bounds fuzz differential.
+//
+// The static bounds checker is validated the same way the sync verifier
+// was (PR-1's sync-mutant fuzz): enumerate every mutable index site of a
+// lowered kernel, apply one small mechanical mutation per mutant, and
+// require the static verdict ("an L001 provable-OOB error is present")
+// to equal the executor's dynamic verdict ("a region check throws") on
+// every mutant. A site is one (statement, region, dimension) offset
+// expression; regions are numbered in the statement's field order
+// (copy: dst=0, src=1; fill: dst=0; mma: c=0, a=1, b=2) so the corpus
+// is deterministic.
+#ifndef ALCOP_ANALYSIS_INDEX_MUTATOR_H_
+#define ALCOP_ANALYSIS_INDEX_MUTATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace alcop {
+namespace analysis {
+
+enum class IndexMutation {
+  kPlusOne,     // offset + 1 (off-by-one past the end)
+  kMinusOne,    // offset - 1 (off-by-one before the start)
+  kPlusExtent,  // offset + buffer extent (whole-buffer overshoot)
+  kScaleTwo,    // offset * 2 (doubled stride)
+  kSetZero,     // offset -> 0 (dropped index; often still in bounds)
+};
+
+constexpr int kNumIndexMutations = 5;
+
+const char* IndexMutationName(IndexMutation mutation);
+
+// One mutable offset expression in a program.
+struct IndexSite {
+  const ir::StmtNode* stmt = nullptr;
+  int region = 0;  // field order within the statement (see header comment)
+  int dim = 0;     // offset dimension within the region
+};
+
+// Every (statement, region, dim) offset site, in pre-order statement
+// order. The mutation corpus is sites x mutations.
+std::vector<IndexSite> ListIndexSites(const ir::Stmt& program);
+
+// Returns `program` with the one site's offset rewritten. The rest of
+// the tree is structurally shared.
+ir::Stmt MutateIndexSite(const ir::Stmt& program, const IndexSite& site,
+                         IndexMutation mutation);
+
+}  // namespace analysis
+}  // namespace alcop
+
+#endif  // ALCOP_ANALYSIS_INDEX_MUTATOR_H_

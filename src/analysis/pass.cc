@@ -1,0 +1,76 @@
+#include "analysis/pass.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "analysis/bank.h"
+#include "analysis/bounds.h"
+#include "analysis/races.h"
+#include "analysis/resources.h"
+
+namespace alcop {
+namespace analysis {
+
+bool LintResult::HasErrors() const {
+  for (const verify::Diagnostic& diag : diagnostics) {
+    if (diag.severity == verify::Severity::kError) return true;
+  }
+  return false;
+}
+
+bool LintResult::HasBoundsError() const {
+  for (const verify::Diagnostic& diag : diagnostics) {
+    if (diag.code == "L001") return true;
+  }
+  return false;
+}
+
+std::string LintResult::Render() const {
+  std::ostringstream out;
+  for (const verify::Diagnostic& diag : diagnostics) {
+    out << diag.Render() << "\n";
+  }
+  return out.str();
+}
+
+std::vector<std::unique_ptr<AnalysisPass>> MakeDefaultPasses() {
+  std::vector<std::unique_ptr<AnalysisPass>> passes;
+  passes.push_back(std::make_unique<StaticBoundsPass>());
+  passes.push_back(std::make_unique<RegionRacePass>());
+  passes.push_back(std::make_unique<BankConflictPass>());
+  passes.push_back(std::make_unique<ResourceEstimatorPass>());
+  return passes;
+}
+
+LintResult RunPasses(
+    const ir::Stmt& program, const LintOptions& options,
+    const std::vector<std::unique_ptr<AnalysisPass>>& passes) {
+  AnalysisContext ctx(program, options);
+  verify::DiagnosticEngine diags;
+  LintResult result;
+  for (const std::unique_ptr<AnalysisPass>& pass : passes) {
+    size_t before = diags.diagnostics().size();
+    auto t0 = std::chrono::steady_clock::now();
+    pass->Run(ctx, diags);
+    auto t1 = std::chrono::steady_clock::now();
+    PassStats stats;
+    stats.name = pass->name();
+    stats.findings = diags.diagnostics().size() - before;
+    stats.millis =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    result.pass_stats.push_back(std::move(stats));
+  }
+  result.diagnostics = diags.diagnostics();
+  verify::SortDiagnostics(&result.diagnostics);
+  result.feasibility = ctx.feasibility();
+  result.bank = ctx.bank_report();
+  return result;
+}
+
+LintResult LintProgram(const ir::Stmt& program, const LintOptions& options) {
+  return RunPasses(program, options, MakeDefaultPasses());
+}
+
+}  // namespace analysis
+}  // namespace alcop

@@ -1,0 +1,37 @@
+// Region-level race detector (codes L003/L004).
+//
+// The sync verifier (V001-V009) tracks in-flight async data at *slot*
+// granularity: one leading-dimension index per copy. That is exact for
+// the IR this compiler emits today, where every async copy writes a
+// whole stage slot — but warp-specialized schedules split a slot between
+// producer warps, and a slot-granular checker cannot see two sub-slot
+// writes alias or a consumer touch only the written half. This pass
+// generalizes the same abstract interpretation to full rectangular
+// *regions*: each in-flight commit group records the concrete per-dim
+// boxes its async copies wrote, and
+//   L003 (error)   a read's box intersects a box that is still
+//                  in flight (committed or uncommitted, not yet
+//                  promoted by a consumer_wait);
+//   L004 (warning) an async write's box intersects a live box of an
+//                  *earlier* commit group (region aliasing between two
+//                  live groups - the region-level V005).
+// Serial loops are enumerated in full; parallel loops run the
+// representative instance 0, exactly like the verifier.
+#ifndef ALCOP_ANALYSIS_RACES_H_
+#define ALCOP_ANALYSIS_RACES_H_
+
+#include "analysis/pass.h"
+
+namespace alcop {
+namespace analysis {
+
+class RegionRacePass : public AnalysisPass {
+ public:
+  const char* name() const override { return "region-races"; }
+  void Run(AnalysisContext& ctx, verify::DiagnosticEngine& diags) override;
+};
+
+}  // namespace analysis
+}  // namespace alcop
+
+#endif  // ALCOP_ANALYSIS_RACES_H_

@@ -34,6 +34,16 @@ struct SpaceOptions {
   // bench.
   std::vector<int> split_k = {1};
 
+  // Static pre-simulation filter: configurations whose occupancy-based
+  // StaticFeasibility verdict (src/analysis/resources) is infeasible are
+  // short-circuited to an infinite measurement without compiling or
+  // simulating. The verdict agrees with the simulator's own feasibility
+  // check by construction, so the search space, trial order and
+  // best-found schedule are bit-identical with the filter on or off —
+  // only the work per infeasible trial changes (counted in the
+  // "tuner.pruned_static" metric).
+  bool static_prefilter = true;
+
   static SpaceOptions WithSplitK();
 
   // Restrictions used by the ablation variants of the paper's Fig. 10.

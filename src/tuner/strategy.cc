@@ -6,6 +6,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "analysis/resources.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perfmodel/analytical.h"
@@ -76,7 +77,19 @@ TuningTask MakeSimulatorTask(const schedule::GemmOp& op,
   // Measurement goes through the process-wide compile+simulate cache, so
   // repeated sweeps of the same space (other strategies, other seeds,
   // other trial budgets) are lookups instead of recompiles.
-  task.measure = [op, spec](const schedule::ScheduleConfig& config) {
+  // The static pre-filter answers "infeasible" from config arithmetic
+  // alone; because CheckConfigFeasibility mirrors the simulator's
+  // feasibility verdict, the returned value is the same kInf the
+  // simulator would have produced after compiling.
+  bool prefilter = options.static_prefilter;
+  task.measure = [op, spec, prefilter](const schedule::ScheduleConfig& config) {
+    if (prefilter &&
+        !analysis::CheckConfigFeasibility(op, config, spec).feasible) {
+      static obs::Counter& pruned =
+          obs::Registry::Global().GetCounter("tuner.pruned_static");
+      pruned.Increment();
+      return kInf;
+    }
     sim::KernelTiming timing = sim::CachedCompileAndSimulate(op, config, spec);
     return timing.feasible ? timing.cycles : kInf;
   };

@@ -1,6 +1,8 @@
 #include "verify/diagnostic.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace alcop {
 namespace verify {
@@ -59,6 +61,69 @@ std::string DiagnosticEngine::Render() const {
   for (const Diagnostic& diag : diagnostics_) {
     out << diag.Render() << "\n";
   }
+  return out.str();
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics) {
+  std::stable_sort(diagnostics->begin(), diagnostics->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::make_tuple(a.span.line, a.span.column,
+                                            std::cref(a.code)) <
+                            std::make_tuple(b.span.line, b.span.column,
+                                            std::cref(b.code));
+                   });
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& diag = diagnostics[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"severity\": ";
+    AppendJsonString(out, SeverityName(diag.severity));
+    out << ", \"code\": ";
+    AppendJsonString(out, diag.code);
+    out << ", \"line\": " << (diag.span.IsKnown() ? diag.span.line : 0)
+        << ", \"column\": " << (diag.span.IsKnown() ? diag.span.column : 0)
+        << ", \"message\": ";
+    AppendJsonString(out, diag.message);
+    out << ", \"path\": ";
+    AppendJsonString(out, diag.path);
+    out << ", \"notes\": [";
+    for (size_t n = 0; n < diag.notes.size(); ++n) {
+      if (n > 0) out << ", ";
+      AppendJsonString(out, diag.notes[n]);
+    }
+    out << "]}";
+  }
+  if (!diagnostics.empty()) out << "\n";
+  out << "]";
   return out.str();
 }
 

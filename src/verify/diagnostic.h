@@ -61,6 +61,20 @@ class DiagnosticEngine {
   std::vector<Diagnostic> diagnostics_;
 };
 
+// Stable-sorts diagnostics by (line, column, code). Diagnostics with no
+// source span (programmatically built IR) sort first and keep their
+// emission order within equal keys, so multi-pass output is
+// deterministic regardless of pass order.
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics);
+
+// Renders diagnostics as a stable JSON array, shared by
+// `alcop_cli verify --json` and `alcop_cli lint --json`. Schema per
+// element (all keys always present, in this order):
+//   {"severity": "error", "code": "V001", "line": 12, "column": 5,
+//    "message": "...", "path": "...", "notes": ["..."]}
+// line/column are 0 when the span is unknown.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
 }  // namespace verify
 }  // namespace alcop
 

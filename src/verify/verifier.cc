@@ -519,6 +519,7 @@ VerifyResult VerifyProgram(const ir::Stmt& program,
   interp.Run(program);
   VerifyResult result;
   result.diagnostics = engine.diagnostics();
+  SortDiagnostics(&result.diagnostics);
   result.reached_step_limit = interp.reached_step_limit();
   return result;
 }

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <set>
 
+#include "obs/metrics.h"
 #include "schedule/tensor.h"
 #include "sim/sim_cache.h"
 #include "support/check.h"
@@ -346,6 +347,57 @@ TEST(GbtTest, FitIsThreadCountInvariant) {
   std::vector<double> parallel_pred = parallel.PredictBatch(x);
   EXPECT_EQ(serial_pred, parallel_pred);
   support::SetGlobalThreads(support::ThreadsFromEnv());
+}
+
+// The static pre-filter answers infeasible configs from config arithmetic
+// without compiling or simulating. Because its verdict mirrors the
+// simulator's, the TuningResult — trial order, every measured value, and
+// therefore the best-found schedule — must be bit-identical with the
+// filter on or off; only the "tuner.pruned_static" counter moves.
+TEST(StrategyTest, StaticPrefilterIsBitIdenticalAndPrunes) {
+  GemmOp op = MakeMatmul("mm", 512, 512, 1024);
+  tuner::SpaceOptions options;
+  // A space straddling the occupancy cliff: 64-wide tiles fit at any
+  // stage count, 256x256 tiles at 4 shared stages want 256 KB of shared
+  // memory and cannot fit one SM.
+  options.tb_m = {64, 256};
+  options.tb_n = {64, 256};
+  options.tb_k = {32, 64};
+  options.warp_splits = {{2, 2}, {2, 4}};
+  options.smem_stages = {2, 4};
+
+  options.static_prefilter = false;
+  tuner::TuningTask unfiltered =
+      tuner::MakeSimulatorTask(op, target::AmpereSpec(), options);
+  options.static_prefilter = true;
+  tuner::TuningTask filtered =
+      tuner::MakeSimulatorTask(op, target::AmpereSpec(), options);
+  ASSERT_GE(unfiltered.space.size(), 8u);
+  ASSERT_EQ(unfiltered.space.size(), filtered.space.size())
+      << "the filter must not change the enumerated space";
+
+  tuner::TuningResult baseline = tuner::ExhaustiveSearch(unfiltered);
+
+  obs::Counter& pruned =
+      obs::Registry::Global().GetCounter("tuner.pruned_static");
+  uint64_t before = pruned.Value();
+  tuner::TuningResult prefiltered = tuner::ExhaustiveSearch(filtered);
+  uint64_t skipped = pruned.Value() - before;
+
+  EXPECT_EQ(baseline.trials, prefiltered.trials);
+  EXPECT_EQ(baseline.measured, prefiltered.measured);
+  EXPECT_EQ(baseline.BestIndex(unfiltered), prefiltered.BestIndex(filtered));
+
+  // The space really straddles the cliff, and every infeasible trial was
+  // answered statically.
+  size_t infeasible = 0;
+  for (double cycles : prefiltered.measured) {
+    infeasible += !std::isfinite(cycles);
+  }
+  EXPECT_GT(infeasible, 0u) << "space must contain infeasible configs";
+  EXPECT_LT(infeasible, prefiltered.measured.size());
+  EXPECT_EQ(skipped, infeasible)
+      << "each infeasible trial is pruned exactly once";
 }
 
 TEST(StrategyTest, PretrainingHelpsEarlyTrials) {
