@@ -1,7 +1,11 @@
 // alcop_cli — command-line driver for the whole stack.
 //
 //   alcop_cli compile  M N K [batch]   compile + print pipelined IR & timing
-//   alcop_cli tune     M N K [trials]  model-assisted tuning, print winner
+//   alcop_cli tune     M N K [trials] [--log FILE] [--model-topk N]
+//                                      model-assisted tuning, print winner;
+//                                      --model-topk simulates only the
+//                                      analytical model's N favorites
+//                                      (plus an exploration tail)
 //   alcop_cli timeline M N K           render the execution timeline
 //   alcop_cli ops                      list the benchmark operator suite
 //   alcop_cli models                   list the end-to-end model graphs
@@ -40,6 +44,13 @@
 //                                      per-term relative error, roofline
 //                                      regime, bottleneck-verdict
 //                                      cross-check.
+//   alcop_cli calibrate --fit [--stride N] [--json]
+//                                      re-derive the spec's model-fit
+//                                      corrections (per-term residuals +
+//                                      composition constants) from a
+//                                      strided Fig. 10 sweep; exits 1 if
+//                                      the checked-in spec constants are
+//                                      stale.
 //
 // Shapes use the best schedule found by a 16-trial analytical ranking.
 #include <cctype>
@@ -183,9 +194,13 @@ int CmdCompile(int argc, char** argv) {
 }
 
 int CmdTune(int argc, char** argv) {
-  // tune M N K [trials] [--log FILE]; --log streams one JSON object per
-  // search event (proposals, measurements, refits with rank accuracy).
+  // tune M N K [trials] [--log FILE] [--model-topk N]; --log streams one
+  // JSON object per search event (proposals with GBT + analytical scores,
+  // measurements, refits with rank accuracy); --model-topk prunes the
+  // space to the analytical model's N favorites plus an exploration tail
+  // (N=0 disables; bare --model-topk uses the default cut).
   std::string log_path;
+  int model_topk = 0;
   std::vector<char*> positional;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--log") == 0) {
@@ -194,6 +209,11 @@ int CmdTune(int argc, char** argv) {
         return 1;
       }
       log_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--model-topk") == 0) {
+      model_topk = tuner::SpaceOptions::kDefaultModelTopK;
+      if (i + 1 < argc && std::isdigit(argv[i + 1][0])) {
+        model_topk = std::atoi(argv[++i]);
+      }
     } else {
       positional.push_back(argv[i]);
     }
@@ -211,7 +231,9 @@ int CmdTune(int argc, char** argv) {
                       ? static_cast<size_t>(std::atoll(positional[3]))
                       : 50;
 
-  tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
+  tuner::SpaceOptions space_options;
+  space_options.model_topk = model_topk;
+  tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec, space_options);
   tuner::XgbOptions options;
   options.pretrain_with_analytical = true;
   std::ofstream log;
@@ -229,7 +251,9 @@ int CmdTune(int argc, char** argv) {
           log << ", \"trial\": " << e.trial
               << ", \"space_index\": " << e.space_index << ", \"config\": \""
               << e.config << "\", \"predicted_score\": "
-              << JsonDouble(e.predicted_score);
+              << JsonDouble(e.predicted_score)
+              << ", \"analytical_cycles\": "
+              << JsonDouble(e.analytical_cycles);
           break;
         case tuner::TrialEvent::Kind::kMeasured:
           log << ", \"trial\": " << e.trial
@@ -591,15 +615,62 @@ int CmdProfile(int argc, char** argv) {
 
 int CmdCalibrate(int argc, char** argv) {
   bool json = false;
+  bool fit = false;
+  size_t stride = 8;
   std::vector<char*> positional;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--fit") == 0) {
+      fit = true;
+    } else if (std::strcmp(argv[i], "--stride") == 0 && i + 1 < argc) {
+      stride = static_cast<size_t>(std::atoll(argv[++i]));
     } else {
       positional.push_back(argv[i]);
     }
   }
   target::GpuSpec spec = target::AmpereSpec();
+  if (fit) {
+    // Re-derive the spec's checked-in model corrections from the Fig. 10
+    // suite (strided sweep; the fit zeroes existing corrections first, so
+    // it is idempotent). Prints the fitted constants and whether they
+    // match what the spec ships.
+    perfmodel::ModelFitReport report = perfmodel::FitModelCorrections(
+        workloads::BenchmarkOps(), spec, stride);
+    if (json) {
+      std::printf("%s\n", perfmodel::ModelFitReportToJson(report).c_str());
+      return 0;
+    }
+    std::printf("model fit over %lld sweep samples (stride %zu):\n",
+                static_cast<long long>(report.composition_samples), stride);
+    for (const perfmodel::TermFitReport& term : report.terms) {
+      std::printf(
+          "  %-10s scale %.4f bias %.1f  (mean rel-err %.4f -> %.4f, "
+          "p90 %.4f, %lld samples)\n",
+          term.name.c_str(), term.fit.scale, term.fit.bias_cycles,
+          term.mean_rel_error_before, term.mean_rel_error_after,
+          term.p90_rel_error_after, static_cast<long long>(term.samples));
+    }
+    std::printf(
+        "  composition: iter_overhead %.0f dep_scale %.2f fill_scale %.2f "
+        "inner_latency %.0f  (objective %.4f, mean |log err| %.4f)\n",
+        report.fit.iter_overhead_cycles, report.fit.dep_latency_scale,
+        report.fit.fill_scale, report.fit.inner_latency_cycles,
+        report.composition_objective, report.composition_mean_log_error);
+    const target::ModelFit& shipped = spec.model_fit;
+    bool matches =
+        std::fabs(report.fit.t_compute.scale - shipped.t_compute.scale) <
+            1e-3 &&
+        std::fabs(report.fit.t_reg_load.scale - shipped.t_reg_load.scale) <
+            1e-3 &&
+        report.fit.iter_overhead_cycles == shipped.iter_overhead_cycles &&
+        report.fit.dep_latency_scale == shipped.dep_latency_scale &&
+        report.fit.fill_scale == shipped.fill_scale &&
+        report.fit.inner_latency_cycles == shipped.inner_latency_cycles;
+    std::printf("  spec '%s' checked-in constants: %s\n", spec.name.c_str(),
+                matches ? "match" : "STALE (update target/gpu_spec.cc)");
+    return matches ? 0 : 1;
+  }
   schedule::GemmOp op;
   if (!ParseWorkload(positional, &op)) return 1;
 

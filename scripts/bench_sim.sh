@@ -40,3 +40,25 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 cat "$OUT"
 echo "wrote $OUT" >&2
+
+# One-line delta against the committed baseline, so a local run shows at
+# a glance whether replay throughput or skeleton sharing moved.
+if command -v python3 >/dev/null 2>&1 \
+    && git show HEAD:BENCH_sim.json > "$OUT.base" 2>/dev/null; then
+  python3 - "$OUT" "$OUT.base" >&2 <<'EOF' || true
+import json, sys
+new, old = (json.load(open(p)) for p in sys.argv[1:3])
+def pick(doc, *path):
+    for key in path:
+        doc = doc.get(key, {}) if isinstance(doc, dict) else {}
+    return doc if isinstance(doc, (int, float)) else 0.0
+rate_n, rate_o = (pick(d, "replay_configs_per_sec") for d in (new, old))
+gain_n, gain_o = (pick(d, "cache", "skeleton_sharing_gain") for d in (new, old))
+bpc_n, bpc_o = (pick(d, "cache", "bytes_per_config") for d in (new, old))
+ratio = rate_n / rate_o if rate_o else float("inf")
+print(f"delta vs HEAD: replay {rate_o:.0f} -> {rate_n:.0f} configs/s "
+      f"({ratio:.2f}x), sharing gain {gain_o:.2f} -> {gain_n:.2f}, "
+      f"bytes/config {bpc_o:.0f} -> {bpc_n:.0f}")
+EOF
+  rm -f "$OUT.base"
+fi

@@ -30,3 +30,26 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 cat "$OUT"
 echo "wrote $OUT" >&2
+
+# One-line delta against the committed baseline: effective model-pruned
+# throughput and the cache speedup, at a glance.
+if command -v python3 >/dev/null 2>&1 \
+    && git show HEAD:BENCH_tuning.json > "$OUT.base" 2>/dev/null; then
+  python3 - "$OUT" "$OUT.base" >&2 <<'EOF' || true
+import json, sys
+new, old = (json.load(open(p)) for p in sys.argv[1:3])
+def pick(doc, *path):
+    for key in path:
+        doc = doc.get(key, {}) if isinstance(doc, dict) else {}
+    return doc if isinstance(doc, (int, float)) else 0.0
+eff_n, eff_o = (pick(d, "model_pruning", "effective_configs_per_sec")
+                for d in (new, old))
+gain_n, gain_o = (pick(d, "model_pruning", "effective_configs_per_sec_gain")
+                  for d in (new, old))
+cs_n, cs_o = (pick(d, "cache_speedup") for d in (new, old))
+print(f"delta vs HEAD: effective {eff_o:.0f} -> {eff_n:.0f} configs/s "
+      f"(gain {gain_o:.1f}x -> {gain_n:.1f}x), "
+      f"cache speedup {cs_o:.1f}x -> {cs_n:.1f}x")
+EOF
+  rm -f "$OUT.base"
+fi

@@ -70,6 +70,15 @@ AnalyticalBreakdown AnalyticalModel(const GemmOp& op,
   out.batches = target::NumThreadblockBatches(spec, occ, total_tbs);
   int64_t batch_tbs = std::min<int64_t>(
       total_tbs, static_cast<int64_t>(occ.threadblocks_per_sm) * spec.num_sms);
+  // Threadblocks actually resident on one SM in a full batch. Occupancy
+  // bounds it from above, but a small grid spreads across SMs first (the
+  // simulator's wave scheduler does the same min in sim/launch.cc), so the
+  // per-SM multiplexing terms must use the wave residency, not the
+  // occupancy bound — this was the source of the large t_compute and
+  // t_reg_load calibration errors on low-residency configs.
+  int wave_tbs = static_cast<int>(std::min<int64_t>(
+      occ.threadblocks_per_sm, (batch_tbs + spec.num_sms - 1) / spec.num_sms));
+  out.resident_tbs = wave_tbs;
 
   int warps = config.NumWarps();
   int64_t n_smem_loop = op.k / (t.tb_k * config.split_k);
@@ -78,9 +87,10 @@ AnalyticalBreakdown AnalyticalModel(const GemmOp& op,
   // ---- Computation latency model ----
   // One inner-loop step of every resident warp, on the SM's tensor cores.
   double flops_sm_step = 2.0 * static_cast<double>(t.warp_m) * t.warp_n *
-                         t.warp_k * warps * occ.threadblocks_per_sm;
-  out.t_compute = flops_sm_step / (spec.tc_flops_per_sm_per_cycle *
-                                   Util(warps, occ.threadblocks_per_sm));
+                         t.warp_k * warps * wave_tbs;
+  out.t_compute = spec.model_fit.t_compute.Apply(
+      flops_sm_step /
+      (spec.tc_flops_per_sm_per_cycle * Util(warps, wave_tbs)));
 
   // ---- Memory latency model (shared-memory load: one outer iteration) ----
   sim::TrafficAnalysis traffic =
@@ -106,28 +116,80 @@ AnalyticalBreakdown AnalyticalModel(const GemmOp& op,
   double lds_rate = spec.lds_bytes_per_cycle_per_sm /
                     (config.swizzle ? 1.0 : spec.bank_conflict_factor);
   double reg_bytes_step = static_cast<double>(t.warp_m + t.warp_n) *
-                          t.warp_k * 2.0 * warps * occ.threadblocks_per_sm;
-  out.t_reg_load = spec.smem_latency_cycles + reg_bytes_step / lds_rate;
+                          t.warp_k * 2.0 * warps * wave_tbs;
+  out.t_reg_load = spec.model_fit.t_reg_load.Apply(
+      spec.smem_latency_cycles + reg_bytes_step / lds_rate);
 
   // ---- Inner pipeline: the use phase of the outer loop ----
+  // The PLM view of the inner loop, kept for the Table-I breakdown and
+  // the stall profiler's load-bound verdicts.
   out.t_smem_use =
       PipelineLatencyModel(out.t_reg_load, out.t_compute, n_reg_loop,
                            config.reg_stages, warps);
   out.load_bound_inner =
       out.t_reg_load >
       static_cast<double>(config.reg_stages * warps - 1) * out.t_compute;
-
-  // ---- Outer pipeline: the main loop ----
-  out.t_main_loop =
-      PipelineLatencyModel(out.t_smem_load, out.t_smem_use, n_smem_loop,
-                           config.smem_stages, occ.threadblocks_per_sm);
   out.load_bound_outer =
       out.t_smem_load >
-      static_cast<double>(config.smem_stages * occ.threadblocks_per_sm - 1) *
-          out.t_smem_use;
+      static_cast<double>(config.smem_stages * wave_tbs - 1) * out.t_smem_use;
 
-  // ---- Init: first chunks travel the full hierarchy ----
-  out.t_init = out.t_smem_load + out.t_reg_load;
+  // ---- Steady-state main loop (DELTA on Table I) ----
+  // Table I's PLM assumes pipeline stages and multiplexed threadblocks
+  // hide whole load phases; the event-driven simulator (and a real SM)
+  // charges per-iteration costs the PLM cannot see. The main loop is
+  // instead modeled as n_smem_loop repetitions of an initiation interval:
+  // the binding per-outer-iteration resource bound on one SM, plus the
+  // fitted per-iteration scheduling overhead. Resource candidates:
+  //   - tensor pipe and LDS pipe busy time of all resident warps,
+  //   - LLC / DRAM transfer time of the SM's tile traffic slice,
+  //   - the per-warp serial path (copy issue + inner-loop issue),
+  //   - the dependence chain (issue + blended latency + transfer) that
+  //     smem_stages-deep pipelining divides but cannot eliminate.
+  const target::ModelFit& fit = spec.model_fit;
+  int active_sms = static_cast<int>(std::min<int64_t>(
+      spec.num_sms, (batch_tbs + wave_tbs - 1) / wave_tbs));
+  double c_tensor = static_cast<double>(n_reg_loop) * out.t_compute;
+  double c_lds = static_cast<double>(n_reg_loop) *
+                 std::max(0.0, out.t_reg_load - spec.smem_latency_cycles);
+  double c_llc = bytes_one_smem_loop * wave_tbs * active_sms /
+                 spec.llc_bw_bytes_per_cycle;
+  double c_dram = dram_bytes_one_loop * wave_tbs * active_sms /
+                  spec.dram_bw_bytes_per_cycle;
+  double c_issue =
+      bytes_one_smem_loop / warps / spec.copy_issue_bytes_per_cycle;
+  double warp_mma = 2.0 * static_cast<double>(t.warp_m) * t.warp_n *
+                    t.warp_k / (spec.tc_flops_per_sm_per_cycle / 4.0);
+  double warp_reg = static_cast<double>(t.warp_m + t.warp_n) * t.warp_k *
+                    2.0 * warps * wave_tbs / lds_rate;
+  double inner_serial =
+      static_cast<double>(n_reg_loop) * std::max(warp_mma, warp_reg) +
+      (config.reg_stages == 1
+           ? fit.inner_latency_cycles * static_cast<double>(n_reg_loop)
+           : fit.inner_latency_cycles);
+  double c_serial = c_issue + inner_serial + fit.iter_overhead_cycles;
+  double dram_frac =
+      std::max(traffic.a_dram_fraction, traffic.b_dram_fraction);
+  double blended_latency = (1.0 - dram_frac) * spec.llc_latency_cycles +
+                           dram_frac * spec.dram_latency_cycles;
+  // Dependence chain: with one effective buffer the next load waits for
+  // this iteration's consumers (full serialization); with more, the
+  // chain overlaps stage-deep. Register pipelining holds shared-memory
+  // stages longer (the inner pipeline drains before the buffer frees),
+  // so the effective depth is smem_stages - (reg_stages - 1).
+  int eff_stages =
+      std::max(1, config.smem_stages - (config.reg_stages - 1));
+  double load_chain = c_issue + blended_latency + std::max(c_llc, c_dram);
+  double c_dep = eff_stages == 1
+                     ? (load_chain + inner_serial) * fit.dep_latency_scale
+                     : load_chain * fit.dep_latency_scale / eff_stages;
+  out.t_iter = std::max({c_tensor, c_lds, c_llc, c_dram, c_serial, c_dep}) +
+               fit.iter_overhead_cycles;
+  out.t_main_loop = static_cast<double>(n_smem_loop) * out.t_iter;
+
+  // ---- Init: first chunks travel the full hierarchy, then the pipeline
+  // ramps for smem_stages - 1 iterations ----
+  out.t_init = fit.fill_scale * (out.t_smem_load + out.t_reg_load) +
+               static_cast<double>(config.smem_stages - 1) * out.t_iter;
 
   // ---- Epilogue model (DELTA) ----
   // Split-K kernels write fp32 partial tiles to the workspace.

@@ -41,9 +41,17 @@ struct AnalyticalBreakdown {
   double t_smem_use = 0.0;   // one outer-loop use (the inner pipeline)
   double t_compute = 0.0;    // one inner-loop tensor-core step
   double t_reg_load = 0.0;   // one inner-loop register load
+  // Steady-state initiation interval of one outer-loop iteration (the
+  // binding per-SM resource bound plus fitted overhead); t_main_loop is
+  // n_smem_loop of these. See the DELTA note in analytical.cc.
+  double t_iter = 0.0;
   bool load_bound_outer = false;
   bool load_bound_inner = false;
   int threadblocks_per_sm = 0;
+  // Threadblocks actually resident on one SM during a full batch:
+  // min(threadblocks_per_sm, ceil(grid / num_sms)). The per-SM
+  // multiplexing terms use this, not the occupancy bound.
+  int resident_tbs = 0;
   int64_t batches = 0;
 };
 

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "obs/stall.h"
 #include "perfmodel/bottleneck.h"
 #include "sim/launch.h"
+#include "tuner/space.h"
 
 namespace alcop {
 namespace perfmodel {
@@ -125,6 +129,313 @@ CalibrationResult CalibrateConfig(const schedule::GemmOp& op,
           spec.smem_latency_cycles +
               (c.lds_read_bytes / (n_outer * n_inner)) / lds_rate);
   return out;
+}
+
+RankQuality ComputeRankQuality(const std::vector<double>& predicted,
+                               const std::vector<double>& measured, int k) {
+  RankQuality out;
+  const size_t n = std::min(predicted.size(), measured.size());
+  out.count = static_cast<int64_t>(n);
+  out.k = std::min<int>(k, static_cast<int>(n));
+  if (n < 2 || out.k == 0) return out;
+
+  // Kendall tau-b: concordant minus discordant over the tie-corrected
+  // pair count. O(n^2) — the per-operator spaces are a few thousand
+  // configs, well within budget for a bench-time metric.
+  int64_t concordant = 0, discordant = 0, ties_p = 0, ties_m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double dp = predicted[i] - predicted[j];
+      double dm = measured[i] - measured[j];
+      bool tie_p = dp == 0.0 || (std::isinf(predicted[i]) &&
+                                 std::isinf(predicted[j]));
+      bool tie_m = dm == 0.0;
+      if (tie_p) ++ties_p;
+      if (tie_m) ++ties_m;
+      if (tie_p || tie_m) continue;
+      if ((dp > 0) == (dm > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double total = static_cast<double>(n) * (n - 1) / 2.0;
+  const double denom = std::sqrt((total - ties_p) * (total - ties_m));
+  out.kendall_tau =
+      denom > 0 ? static_cast<double>(concordant - discordant) / denom : 0.0;
+
+  // Top-k recall: of the k best measured configs, how many the predicted
+  // ordering also puts in its top k. Ties break by index (stable).
+  auto top_indices = [n](const std::vector<double>& v, int count) {
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&v](size_t a, size_t b) { return v[a] < v[b]; });
+    idx.resize(static_cast<size_t>(count));
+    return idx;
+  };
+  std::vector<size_t> best_measured = top_indices(measured, out.k);
+  std::vector<size_t> best_predicted = top_indices(predicted, out.k);
+  std::sort(best_predicted.begin(), best_predicted.end());
+  int hits = 0;
+  for (size_t i : best_measured) {
+    if (std::binary_search(best_predicted.begin(), best_predicted.end(), i)) {
+      ++hits;
+    }
+  }
+  out.topk_recall = static_cast<double>(hits) / out.k;
+  return out;
+}
+
+CoverageRecall ComputeCoverageRecall(const std::vector<double>& predicted,
+                                     const std::vector<double>& measured,
+                                     int top, int cut, double tolerance) {
+  CoverageRecall out;
+  const size_t n = std::min(predicted.size(), measured.size());
+  out.count = static_cast<int64_t>(n);
+  out.top = std::min<int>(top, static_cast<int>(n));
+  out.cut = std::min<int>(cut, static_cast<int>(n));
+  if (out.top == 0 || out.cut == 0) return out;
+
+  std::vector<size_t> by_meas(n), by_pred(n);
+  for (size_t i = 0; i < n; ++i) by_meas[i] = by_pred[i] = i;
+  std::stable_sort(by_meas.begin(), by_meas.end(), [&](size_t a, size_t b) {
+    return measured[a] < measured[b];
+  });
+  std::stable_sort(by_pred.begin(), by_pred.end(), [&](size_t a, size_t b) {
+    return predicted[a] < predicted[b];
+  });
+
+  std::vector<char> kept(n, 0);
+  double kept_best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < out.cut; ++i) {
+    kept[by_pred[static_cast<size_t>(i)]] = 1;
+    kept_best =
+        std::min(kept_best, measured[by_pred[static_cast<size_t>(i)]]);
+  }
+  int covered = 0;
+  for (int i = 0; i < out.top; ++i) {
+    const size_t idx = by_meas[static_cast<size_t>(i)];
+    if (kept[idx] || kept_best <= tolerance * measured[idx]) ++covered;
+  }
+  out.coverage = static_cast<double>(covered) / out.top;
+  out.best_survives = kept[by_meas[0]] != 0;
+  return out;
+}
+
+namespace {
+
+// One (analytical, measured) sample pair for a fitted term.
+struct FitSample {
+  double analytical = 0.0;
+  double measured = 0.0;
+};
+
+// Weighted least squares of scale*a + bias against m, weights 1/m^2 so
+// the objective matches the relative-error metric the gates use.
+target::TermFit SolveTermFit(const std::vector<FitSample>& samples) {
+  target::TermFit fit;
+  double sww = 0, swa = 0, swm = 0, swaa = 0, swam = 0;
+  for (const FitSample& s : samples) {
+    double w = 1.0 / std::max(s.measured * s.measured, 1e-9);
+    sww += w;
+    swa += w * s.analytical;
+    swm += w * s.measured;
+    swaa += w * s.analytical * s.analytical;
+    swam += w * s.analytical * s.measured;
+  }
+  double det = sww * swaa - swa * swa;
+  if (samples.size() < 2 || std::fabs(det) < 1e-12) return fit;
+  fit.scale = (sww * swam - swa * swm) / det;
+  fit.bias_cycles = (swaa * swm - swa * swam) / det;
+  fit.fitted = true;
+  return fit;
+}
+
+double MeanRelError(const std::vector<FitSample>& samples,
+                    const target::TermFit& fit) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const FitSample& s : samples) {
+    sum += RelError(fit.Apply(s.analytical), s.measured);
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+double P90RelError(const std::vector<FitSample>& samples,
+                   const target::TermFit& fit) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> errs;
+  errs.reserve(samples.size());
+  for (const FitSample& s : samples) {
+    errs.push_back(RelError(fit.Apply(s.analytical), s.measured));
+  }
+  std::sort(errs.begin(), errs.end());
+  return errs[static_cast<size_t>(0.9 * (errs.size() - 1))];
+}
+
+}  // namespace
+
+namespace {
+
+// One sweep sample for the composition-constant grid search.
+struct CompositionSample {
+  size_t op_index = 0;
+  schedule::ScheduleConfig config;
+  double measured = 0.0;
+};
+
+}  // namespace
+
+ModelFitReport FitModelCorrections(const std::vector<schedule::GemmOp>& ops,
+                                   const target::GpuSpec& spec,
+                                   size_t stride) {
+  if (stride == 0) stride = 1;
+  // Fit against the structural model: zero out any checked-in residuals
+  // so the derived correction composes with the formulas, not with a
+  // previous fit.
+  target::GpuSpec base = spec;
+  base.model_fit = target::ModelFit();
+
+  std::vector<FitSample> compute_samples, reg_samples;
+  std::vector<CompositionSample> comp_samples;
+  sim::ReplayArena arena;
+  for (size_t oi = 0; oi < ops.size(); ++oi) {
+    const schedule::GemmOp& op = ops[oi];
+    std::vector<schedule::ScheduleConfig> space = tuner::EnumerateSpace(op);
+    for (size_t i = 0; i < space.size(); i += stride) {
+      CalibrationResult r = CalibrateConfig(op, space[i], base, &arena);
+      if (!r.feasible) continue;
+      comp_samples.push_back({oi, space[i], r.measured_cycles});
+      for (const TermError& term : r.terms) {
+        if (term.name == "t_compute") {
+          compute_samples.push_back({term.analytical, term.measured});
+        } else if (term.name == "t_reg_load") {
+          reg_samples.push_back({term.analytical, term.measured});
+        }
+      }
+    }
+  }
+
+  ModelFitReport report;
+  auto fit_term = [&report](const char* name,
+                            const std::vector<FitSample>& samples) {
+    TermFitReport term;
+    term.name = name;
+    term.fit = SolveTermFit(samples);
+    term.samples = static_cast<int64_t>(samples.size());
+    term.mean_rel_error_before = MeanRelError(samples, target::TermFit());
+    term.mean_rel_error_after = MeanRelError(samples, term.fit);
+    term.p90_rel_error_after = P90RelError(samples, term.fit);
+    report.terms.push_back(std::move(term));
+  };
+  fit_term("t_compute", compute_samples);
+  fit_term("t_reg_load", reg_samples);
+  report.fit.t_compute = report.terms[0].fit;
+  report.fit.t_reg_load = report.terms[1].fit;
+
+  // ---- Composition-constant grid search ----
+  // Objective: mean |log(predicted / measured)| over the sweep, plus ten
+  // times the mean per-operator regret of the predicted top 16 (best
+  // measured cycles among the model's 16 favorites, relative to the
+  // sample's best). The regret penalty keeps the fit honest as a ranker:
+  // cycle error alone admits constants that misorder the frontier.
+  report.composition_samples = static_cast<int64_t>(comp_samples.size());
+  if (!comp_samples.empty()) {
+    target::GpuSpec probe = base;
+    probe.model_fit.t_compute = report.fit.t_compute;
+    probe.model_fit.t_reg_load = report.fit.t_reg_load;
+    double best_objective = 0.0, best_log_error = 0.0;
+    bool first = true;
+    target::ModelFit best_fit = probe.model_fit;
+    for (double iter_overhead : {0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0,
+                                 105.0, 120.0}) {
+      for (double dep_scale : {1.0, 1.25, 1.5, 1.75, 2.0, 2.5}) {
+        for (double fill_scale : {0.5, 1.0, 1.5, 2.0}) {
+          for (double inner_latency : {0.0, 25.0, 50.0, 75.0}) {
+            probe.model_fit.iter_overhead_cycles = iter_overhead;
+            probe.model_fit.dep_latency_scale = dep_scale;
+            probe.model_fit.fill_scale = fill_scale;
+            probe.model_fit.inner_latency_cycles = inner_latency;
+            double log_error_sum = 0.0;
+            std::map<size_t, std::vector<std::pair<double, double>>> per_op;
+            for (const CompositionSample& s : comp_samples) {
+              double predicted =
+                  PredictCycles(ops[s.op_index], s.config, probe);
+              log_error_sum += std::fabs(std::log(
+                  predicted / std::max(s.measured, 1e-9)));
+              per_op[s.op_index].push_back({predicted, s.measured});
+            }
+            double regret_sum = 0.0;
+            for (auto& [oi, pairs] : per_op) {
+              std::stable_sort(pairs.begin(), pairs.end());
+              double best_measured = pairs[0].second, sample_best = 0.0;
+              bool have_best = false;
+              for (size_t i = 0; i < pairs.size(); ++i) {
+                if (i < 16) {
+                  best_measured = have_best ? std::min(best_measured,
+                                                       pairs[i].second)
+                                            : pairs[i].second;
+                  have_best = true;
+                }
+                sample_best = i == 0 ? pairs[i].second
+                                     : std::min(sample_best,
+                                                pairs[i].second);
+              }
+              regret_sum += best_measured / sample_best - 1.0;
+            }
+            double log_error =
+                log_error_sum / static_cast<double>(comp_samples.size());
+            double objective =
+                log_error +
+                10.0 * regret_sum / static_cast<double>(per_op.size());
+            if (first || objective < best_objective) {
+              first = false;
+              best_objective = objective;
+              best_log_error = log_error;
+              best_fit = probe.model_fit;
+              best_fit.composition_fitted = true;
+            }
+          }
+        }
+      }
+    }
+    report.fit = best_fit;
+    report.composition_objective = best_objective;
+    report.composition_mean_log_error = best_log_error;
+  }
+  return report;
+}
+
+std::string ModelFitReportToJson(const ModelFitReport& report) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < report.terms.size(); ++i) {
+    const TermFitReport& term = report.terms[i];
+    if (i > 0) os << ", ";
+    os << "\"" << term.name << "\": {\"scale\": " << JsonNum(term.fit.scale)
+       << ", \"bias_cycles\": " << JsonNum(term.fit.bias_cycles)
+       << ", \"samples\": " << term.samples
+       << ", \"mean_rel_error_before\": "
+       << JsonNum(term.mean_rel_error_before)
+       << ", \"mean_rel_error_after\": " << JsonNum(term.mean_rel_error_after)
+       << ", \"p90_rel_error_after\": " << JsonNum(term.p90_rel_error_after)
+       << "}";
+  }
+  if (!report.terms.empty()) os << ", ";
+  os << "\"composition\": {\"iter_overhead_cycles\": "
+     << JsonNum(report.fit.iter_overhead_cycles)
+     << ", \"dep_latency_scale\": " << JsonNum(report.fit.dep_latency_scale)
+     << ", \"fill_scale\": " << JsonNum(report.fit.fill_scale)
+     << ", \"inner_latency_cycles\": "
+     << JsonNum(report.fit.inner_latency_cycles)
+     << ", \"samples\": " << report.composition_samples
+     << ", \"objective\": " << JsonNum(report.composition_objective)
+     << ", \"mean_log_error\": "
+     << JsonNum(report.composition_mean_log_error) << "}";
+  os << "}";
+  return os.str();
 }
 
 std::string CalibrationToJson(const CalibrationResult& result) {

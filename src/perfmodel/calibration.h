@@ -77,6 +77,74 @@ CalibrationResult CalibrateConfig(const schedule::GemmOp& op,
 // JSON object (no trailing newline).
 std::string CalibrationToJson(const CalibrationResult& result);
 
+// ---- Rank quality ----
+// How well a predicted ordering (smaller = better) agrees with measured
+// ground truth: Kendall tau-b over all pairs plus top-k recall (of the k
+// best measured configs, the fraction also ranked in the predicted top
+// k). Infinite predictions sort last; ties break by index so the metric
+// is deterministic.
+struct RankQuality {
+  int64_t count = 0;
+  int k = 0;
+  double kendall_tau = 0.0;
+  double topk_recall = 0.0;
+};
+
+RankQuality ComputeRankQuality(const std::vector<double>& predicted,
+                               const std::vector<double>& measured, int k);
+
+// The metric the model-guided pruning cut (tuner::SpaceOptions::model_topk)
+// is gated on: of the `top` best *measured* configs, the fraction that is
+// effectively preserved when only the predicted top-`cut` survive. A top
+// config counts as covered if it survives the cut itself, or if some
+// survivor measures within `tolerance` (e.g. 1.01 = 1%) of it — pruning a
+// config is harmless when an equally-fast one is kept. `best_survives`
+// additionally reports whether the exact measured optimum survives the
+// cut (the best-found-unchanged guarantee the tuning bench asserts).
+struct CoverageRecall {
+  int64_t count = 0;
+  int top = 0;
+  int cut = 0;
+  double coverage = 0.0;
+  bool best_survives = false;
+};
+
+CoverageRecall ComputeCoverageRecall(const std::vector<double>& predicted,
+                                     const std::vector<double>& measured,
+                                     int top, int cut, double tolerance);
+
+// ---- Residual-term fitting (`alcop_cli calibrate --fit`) ----
+// Weighted least squares of `scale * analytical + bias` against the
+// PMU-measured counterpart for the two flagged Table-I terms, over a
+// strided sweep of each operator's schedule space. The fit is computed
+// against the *structural* model (spec's checked-in corrections zeroed
+// out), so re-running it is idempotent.
+struct TermFitReport {
+  std::string name;
+  target::TermFit fit;
+  int64_t samples = 0;
+  double mean_rel_error_before = 0.0;
+  double mean_rel_error_after = 0.0;
+  double p90_rel_error_after = 0.0;
+};
+
+struct ModelFitReport {
+  target::ModelFit fit;
+  std::vector<TermFitReport> terms;  // t_compute, t_reg_load
+  // Composition-constant grid search: mean |log(pred/measured)| over the
+  // sweep plus a top-16 regret penalty per operator (so the fit favors
+  // constants that rank well, not just ones that minimize cycle error).
+  double composition_objective = 0.0;
+  double composition_mean_log_error = 0.0;
+  int64_t composition_samples = 0;
+};
+
+ModelFitReport FitModelCorrections(const std::vector<schedule::GemmOp>& ops,
+                                   const target::GpuSpec& spec,
+                                   size_t stride = 8);
+
+std::string ModelFitReportToJson(const ModelFitReport& report);
+
 }  // namespace perfmodel
 }  // namespace alcop
 

@@ -4,6 +4,9 @@
 #include <array>
 #include <cstring>
 #include <map>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 
 #include "support/check.h"
 
@@ -22,9 +25,9 @@ class MicroOpCompiler {
   MicroOpCompiler(int num_warps, const target::GpuSpec& spec,
                   const TraceCompileOptions& options)
       : spec_(spec), options_(options) {
-    program_.num_warps = num_warps;
-    program_.groups = options.groups;
-    program_.blocking_async = options.blocking_async;
+    skeleton_.num_warps = num_warps;
+    skeleton_.groups = options.groups;
+    skeleton_.blocking_async = options.blocking_async;
     program_.sync_overhead_cycles = spec.sync_overhead_cycles;
     program_.half_sync_overhead_cycles = spec.sync_overhead_cycles * 0.5;
     // The same rate expressions the interpreter's servers are built with.
@@ -39,37 +42,42 @@ class MicroOpCompiler {
     // Flatten the per-warp streams into one contiguous arena.
     size_t total = 0;
     for (const std::vector<MicroOp>& warp : warps_) total += warp.size();
-    program_.ops.reserve(total);
-    program_.warp_begin.reserve(warps_.size() + 1);
-    program_.warp_begin.push_back(0);
+    skeleton_.ops.reserve(total);
+    skeleton_.warp_begin.reserve(warps_.size() + 1);
+    skeleton_.warp_begin.push_back(0);
     for (std::vector<MicroOp>& warp : warps_) {
-      program_.ops.insert(program_.ops.end(), warp.begin(), warp.end());
-      program_.warp_begin.push_back(
-          static_cast<uint32_t>(program_.ops.size()));
+      skeleton_.ops.insert(skeleton_.ops.end(), warp.begin(), warp.end());
+      skeleton_.warp_begin.push_back(
+          static_cast<uint32_t>(skeleton_.ops.size()));
     }
     // Per-group commit counts (max over warps) size the replay arena's
     // group slots exactly, so a run never grows them.
     for (size_t w = 0; w < warps_.size(); ++w) {
-      std::vector<int64_t> commits(program_.groups.size(), 0);
+      std::vector<int64_t> commits(skeleton_.groups.size(), 0);
       for (const MicroOp& op : warps_[w]) {
         if (op.kind == MicroOpKind::kCommit) {
           ++commits[static_cast<size_t>(op.group)];
         }
       }
       for (size_t g = 0; g < commits.size(); ++g) {
-        program_.groups[g].max_commits =
-            std::max(program_.groups[g].max_commits, commits[g]);
+        skeleton_.groups[g].max_commits =
+            std::max(skeleton_.groups[g].max_commits, commits[g]);
       }
     }
     // Bake each wait's commit capacity next to its wait_ahead so the
     // replay core never touches the group table.
-    for (MicroOp& op : program_.ops) {
+    for (MicroOp& op : skeleton_.ops) {
       if (op.kind != MicroOpKind::kWait) continue;
       const int64_t cap =
-          program_.groups[static_cast<size_t>(op.group)].max_commits;
+          skeleton_.groups[static_cast<size_t>(op.group)].max_commits;
       ALCOP_CHECK_LT(cap, int64_t{1} << 22) << "commit count overflows aux";
       op.aux = static_cast<int32_t>(cap << 8) | (op.aux & 0xff);
     }
+    // Structure sharing: configs that walked an identical instruction
+    // sequence (only the pool values differ) get the same skeleton object
+    // from the process-wide pool.
+    skeleton_.hash = SkeletonHash(skeleton_);
+    program_.skeleton = InternSkeleton(std::move(skeleton_));
     return std::move(program_);
   }
 
@@ -87,9 +95,9 @@ class MicroOpCompiler {
       prod *= static_cast<int>(extent);
       fold = fold * static_cast<int>(extent) + static_cast<int>(value);
     }
-    ALCOP_CHECK_EQ(program_.num_warps % prod, 0)
+    ALCOP_CHECK_EQ(skeleton_.num_warps % prod, 0)
         << "warp loop nest does not evenly cover the threadblock's warps";
-    int span = program_.num_warps / prod;
+    int span = skeleton_.num_warps / prod;
     return {fold * span, (fold + 1) * span};
   }
 
@@ -200,7 +208,7 @@ class MicroOpCompiler {
           case SyncKind::kProducerAcquire:
             out.kind = MicroOpKind::kAcquire;
             out.aux = static_cast<int32_t>(
-                          program_.groups[static_cast<size_t>(op->group)]
+                          skeleton_.groups[static_cast<size_t>(op->group)]
                               .stages) -
                       1;
             break;
@@ -221,7 +229,7 @@ class MicroOpCompiler {
         if (out.kind != MicroOpKind::kBarrier) {
           ALCOP_CHECK_GE(op->group, 0) << "pipeline sync without a group";
           ALCOP_CHECK_LT(static_cast<size_t>(op->group),
-                         program_.groups.size())
+                         skeleton_.groups.size())
               << "pipeline group ids must be dense";
         }
         Emit(out);
@@ -256,7 +264,7 @@ class MicroOpCompiler {
       ALCOP_CHECK_GE(op->pipeline_group, 0)
           << "async copy without a pipeline group";
       ALCOP_CHECK_LT(static_cast<size_t>(op->pipeline_group),
-                     program_.groups.size())
+                     skeleton_.groups.size())
           << "pipeline group ids must be dense";
     }
     out.group = static_cast<int16_t>(op->pipeline_group);
@@ -286,6 +294,7 @@ class MicroOpCompiler {
   const target::GpuSpec& spec_;
   const TraceCompileOptions& options_;
   MicroOpProgram program_;
+  MicroOpSkeleton skeleton_;
   std::map<std::array<uint64_t, 5>, int32_t> pool_index_;
   std::vector<std::vector<MicroOp>> warps_;
   double tc_rate_ = 1.0;
@@ -294,7 +303,114 @@ class MicroOpCompiler {
   std::vector<std::pair<int64_t, int64_t>> warp_stack_;  // (extent, value)
 };
 
+// ---- Skeleton intern pool ----
+
+bool SkeletonEqual(const MicroOpSkeleton& a, const MicroOpSkeleton& b) {
+  if (a.num_warps != b.num_warps || a.blocking_async != b.blocking_async ||
+      a.ops.size() != b.ops.size() ||
+      a.warp_begin.size() != b.warp_begin.size() ||
+      a.groups.size() != b.groups.size()) {
+    return false;
+  }
+  if (!a.ops.empty() &&
+      std::memcmp(a.ops.data(), b.ops.data(),
+                  a.ops.size() * sizeof(MicroOp)) != 0) {
+    return false;
+  }
+  if (a.warp_begin != b.warp_begin) return false;
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    if (a.groups[g].stages != b.groups[g].stages ||
+        a.groups[g].tb_scope != b.groups[g].tb_scope ||
+        a.groups[g].max_commits != b.groups[g].max_commits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SkeletonPool {
+  std::mutex mu;
+  // Bucketed by structural hash; equality confirmed before sharing, so a
+  // hash collision costs a bucket scan, never a wrong skeleton.
+  std::unordered_map<uint64_t,
+                     std::vector<std::shared_ptr<const MicroOpSkeleton>>>
+      buckets;
+  uint64_t interns = 0;
+  uint64_t shared = 0;
+};
+
+SkeletonPool& GlobalSkeletonPool() {
+  static SkeletonPool* pool = new SkeletonPool();  // leaked: outlives threads
+  return *pool;
+}
+
 }  // namespace
+
+uint64_t SkeletonHash(const MicroOpSkeleton& skeleton) {
+  // FNV-1a over the structural fields, bytewise for the POD instruction
+  // arena.
+  uint64_t h = 1469598103934665603ull;
+  auto mix_bytes = [&h](const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_u64 = [&mix_bytes](uint64_t v) { mix_bytes(&v, sizeof(v)); };
+  mix_u64(static_cast<uint64_t>(skeleton.num_warps));
+  mix_u64(skeleton.blocking_async ? 1 : 0);
+  mix_bytes(skeleton.ops.data(), skeleton.ops.size() * sizeof(MicroOp));
+  mix_bytes(skeleton.warp_begin.data(),
+            skeleton.warp_begin.size() * sizeof(uint32_t));
+  for (const MicroOpGroup& g : skeleton.groups) {
+    mix_u64(static_cast<uint64_t>(g.stages));
+    mix_u64(g.tb_scope ? 1 : 0);
+    mix_u64(static_cast<uint64_t>(g.max_commits));
+  }
+  return h;
+}
+
+std::shared_ptr<const MicroOpSkeleton> InternSkeleton(
+    MicroOpSkeleton&& skeleton) {
+  SkeletonPool& pool = GlobalSkeletonPool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  ++pool.interns;
+  std::vector<std::shared_ptr<const MicroOpSkeleton>>& bucket =
+      pool.buckets[skeleton.hash];
+  for (const std::shared_ptr<const MicroOpSkeleton>& existing : bucket) {
+    if (SkeletonEqual(*existing, skeleton)) {
+      ++pool.shared;
+      return existing;
+    }
+  }
+  bucket.push_back(
+      std::make_shared<const MicroOpSkeleton>(std::move(skeleton)));
+  return bucket.back();
+}
+
+SkeletonPoolStats GetSkeletonPoolStats() {
+  SkeletonPool& pool = GlobalSkeletonPool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  SkeletonPoolStats stats;
+  stats.interns = pool.interns;
+  stats.shared = pool.shared;
+  for (const auto& [hash, bucket] : pool.buckets) {
+    stats.skeletons += bucket.size();
+    for (const std::shared_ptr<const MicroOpSkeleton>& s : bucket) {
+      stats.bytes += static_cast<uint64_t>(s->MemoryBytes());
+    }
+  }
+  return stats;
+}
+
+void ResetSkeletonPool() {
+  SkeletonPool& pool = GlobalSkeletonPool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  pool.buckets.clear();
+  pool.interns = 0;
+  pool.shared = 0;
+}
 
 MicroOpProgram CompileTraceProgram(const ir::Stmt& program, int num_warps,
                                    const target::GpuSpec& spec,

@@ -617,8 +617,8 @@ class Replayer {
  public:
   Replayer(const MicroOpProgram& program, const ReplayWave& wave,
            ReplayArena& arena, Timeline* timeline, PmuCounters* pmu)
-      : p_(program), wave_(wave), a_(arena), timeline_(timeline),
-        pmu_out_(pmu) {}
+      : p_(program), sk_(*program.skeleton), wave_(wave), a_(arena),
+        timeline_(timeline), pmu_out_(pmu) {}
 
   double Run() {
     Reset();
@@ -880,7 +880,7 @@ class Replayer {
     DrainSyncLoads(*s);
     ReplayArena::Barrier& barrier = a_.barriers[static_cast<size_t>(s->tb)];
     barrier.max_time = std::max(barrier.max_time, s->time);
-    if (++barrier.arrived < p_.num_warps) {
+    if (++barrier.arrived < sk_.num_warps) {
       barrier.parked.emplace_back(id, s->time);
       if constexpr (kPmu) ++Pn(id)[kPmuBarrierArrivals];
       ++s->pc;  // the releaser advances everyone past the barrier
@@ -922,7 +922,7 @@ class Replayer {
     for (const ReplayArena::Stream& st : a_.streams) {
       ALCOP_CHECK_EQ(st.pc, st.end)
           << "stream deadlocked at event "
-          << (st.pc - p_.warp_begin[static_cast<size_t>(st.warp)]) << " (tb "
+          << (st.pc - sk_.warp_begin[static_cast<size_t>(st.warp)]) << " (tb "
           << st.tb << ", warp " << st.warp << ")";
     }
     return makespan;
@@ -934,8 +934,8 @@ class Replayer {
   using HeapEntry = ReplayArena::HeapEntry;
 
   void Reset() {
-    num_groups_ = p_.groups.size();
-    const int warps = p_.num_warps;
+    num_groups_ = sk_.groups.size();
+    const int warps = sk_.num_warps;
     const int tbs = wave_.threadblocks;
     const size_t num_streams =
         static_cast<size_t>(tbs) * static_cast<size_t>(warps);
@@ -946,8 +946,8 @@ class Replayer {
         Stream& s = a_.streams[static_cast<size_t>(tb * warps + w)];
         s.time = 0.0;
         s.pending_sync = 0.0;
-        s.pc = p_.warp_begin[static_cast<size_t>(w)];
-        s.end = p_.warp_begin[static_cast<size_t>(w) + 1];
+        s.pc = sk_.warp_begin[static_cast<size_t>(w)];
+        s.end = sk_.warp_begin[static_cast<size_t>(w) + 1];
         s.tb = tb;
         s.warp = w;
       }
@@ -962,16 +962,13 @@ class Replayer {
     // owns one instance per tb (all warps participate), a register-scope
     // group one per (tb, warp).
     size_t per_tb_insts = 0, per_tb_slots = 0, per_tb_rel = 0;
-    for (const MicroOpGroup& g : p_.groups) {
+    for (const MicroOpGroup& g : sk_.groups) {
       per_tb_insts += g.tb_scope ? 1 : static_cast<size_t>(warps);
       per_tb_slots += static_cast<size_t>(g.max_commits) *
                       (g.tb_scope ? 1 : static_cast<size_t>(warps));
       per_tb_rel += static_cast<size_t>(warps);
     }
     const size_t num_insts = static_cast<size_t>(tbs) * per_tb_insts;
-    a_.inst_participants.resize(num_insts);
-    a_.inst_slot_base.resize(num_insts);
-    a_.inst_rel_base.resize(num_insts);
     a_.inst_min_rel.assign(num_insts, 0);
     a_.slot_commits.assign(static_cast<size_t>(tbs) * per_tb_slots, 0);
     a_.slot_partial_max.assign(static_cast<size_t>(tbs) * per_tb_slots, 0.0);
@@ -984,10 +981,21 @@ class Replayer {
       lists.wait.clear();
       lists.acquire.clear();
     }
-    {
+    // The static addressing tables below depend only on (skeleton, wave
+    // size): when this arena last replayed the *same* shared skeleton at
+    // the same threadblock count, they are already correct and the fills
+    // are skipped — a structure-sharing sweep pays the layout walk once
+    // per skeleton instead of once per config. Pointer identity is safe
+    // because the arena holds a shared_ptr to the tagged skeleton.
+    const bool layout_reused = a_.layout_skeleton.get() == p_.skeleton.get() &&
+                               a_.layout_threadblocks == tbs;
+    if (!layout_reused) {
+      a_.inst_participants.resize(num_insts);
+      a_.inst_slot_base.resize(num_insts);
+      a_.inst_rel_base.resize(num_insts);
       int32_t inst = 0, slot = 0, rel = 0;
       for (int tb = 0; tb < tbs; ++tb) {
-        for (const MicroOpGroup& g : p_.groups) {
+        for (const MicroOpGroup& g : sk_.groups) {
           const int count = g.tb_scope ? 1 : warps;
           const int parts = g.tb_scope ? warps : 1;
           for (int i = 0; i < count; ++i) {
@@ -1000,26 +1008,28 @@ class Replayer {
           }
         }
       }
-    }
-    // Pre-resolve (stream, group) -> instance id and release slot, indexed
-    // like the per-stream counters.
-    a_.stream_inst.resize(counters);
-    a_.stream_rel.resize(counters);
-    for (int tb = 0; tb < tbs; ++tb) {
-      int32_t group_base = static_cast<int32_t>(tb * per_tb_insts);
-      for (int w = 0; w < warps; ++w) {
-        const size_t id = static_cast<size_t>(tb * warps + w);
-        int32_t inst_cursor = group_base;
-        for (size_t g = 0; g < num_groups_; ++g) {
-          const MicroOpGroup& meta = p_.groups[g];
-          const int32_t inst = inst_cursor + (meta.tb_scope ? 0 : w);
-          a_.stream_inst[id * num_groups_ + g] = inst;
-          a_.stream_rel[id * num_groups_ + g] =
-              a_.inst_rel_base[static_cast<size_t>(inst)] +
-              (meta.tb_scope ? w : 0);
-          inst_cursor += meta.tb_scope ? 1 : warps;
+      // Pre-resolve (stream, group) -> instance id and release slot,
+      // indexed like the per-stream counters.
+      a_.stream_inst.resize(counters);
+      a_.stream_rel.resize(counters);
+      for (int tb = 0; tb < tbs; ++tb) {
+        int32_t group_base = static_cast<int32_t>(tb * per_tb_insts);
+        for (int w = 0; w < warps; ++w) {
+          const size_t id = static_cast<size_t>(tb * warps + w);
+          int32_t inst_cursor = group_base;
+          for (size_t g = 0; g < num_groups_; ++g) {
+            const MicroOpGroup& meta = sk_.groups[g];
+            const int32_t ginst = inst_cursor + (meta.tb_scope ? 0 : w);
+            a_.stream_inst[id * num_groups_ + g] = ginst;
+            a_.stream_rel[id * num_groups_ + g] =
+                a_.inst_rel_base[static_cast<size_t>(ginst)] +
+                (meta.tb_scope ? w : 0);
+            inst_cursor += meta.tb_scope ? 1 : warps;
+          }
         }
       }
+      a_.layout_skeleton = p_.skeleton;
+      a_.layout_threadblocks = tbs;
     }
 
     a_.barriers.resize(static_cast<size_t>(tbs));
@@ -1059,7 +1069,7 @@ class Replayer {
     }
 
     // Raw-pointer views for the hot loop (set after every resize above).
-    ops_ = p_.ops.data();
+    ops_ = sk_.ops.data();
     spool_ = a_.pool_scaled.data();
     streams_ = a_.streams.data();
     acq_ = a_.acquires.data();
@@ -1079,7 +1089,7 @@ class Replayer {
     imin_ = a_.inst_min_rel.data();
     tree_ = a_.heap.data();
 
-    blocking_async_ = p_.blocking_async;
+    blocking_async_ = sk_.blocking_async;
     sync_ = p_.sync_overhead_cycles;
     half_sync_ = p_.half_sync_overhead_cycles;
     store_completion_ = 0.0;
@@ -1282,6 +1292,7 @@ class Replayer {
   }
 
   const MicroOpProgram& p_;
+  const MicroOpSkeleton& sk_;  // p_.skeleton, the shared structural half
   const ReplayWave& wave_;
   ReplayArena& a_;
   Timeline* timeline_;

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 
@@ -67,6 +68,12 @@ Cache& GlobalCache() {
     });
     registry.RegisterCallback("sim.cache.program.bytes", [] {
       return static_cast<double>(GetSimCacheStats().program_bytes);
+    });
+    registry.RegisterCallback("sim.cache.program.skeletons", [] {
+      return static_cast<double>(GetSimCacheStats().program_skeletons);
+    });
+    registry.RegisterCallback("sim.cache.program.skeleton_bytes", [] {
+      return static_cast<double>(GetSimCacheStats().skeleton_bytes);
     });
     return c;
   }();
@@ -193,27 +200,47 @@ SimCacheStats GetSimCacheStats() {
     stats.program_misses += shard.program_misses;
     stats.entries += shard.map.size();
     stats.program_entries += shard.programs.size();
+  }
+  std::unordered_set<const MicroOpSkeleton*> skeletons;
+  for (Shard& shard : cache.shards) {
     for (const auto& [key, program] : shard.programs) {
-      stats.program_bytes += static_cast<uint64_t>(program->MemoryBytes());
+      const uint64_t bytes = static_cast<uint64_t>(program->MemoryBytes());
+      stats.program_bytes += bytes;
+      stats.program_bytes_unshared += bytes;
+      const MicroOpSkeleton* skeleton = program->program.skeleton.get();
+      if (skeleton == nullptr) continue;
+      const uint64_t sk_bytes =
+          static_cast<uint64_t>(skeleton->MemoryBytes());
+      stats.program_bytes_unshared += sk_bytes;
+      if (skeletons.insert(skeleton).second) {
+        stats.skeleton_bytes += sk_bytes;
+      }
     }
   }
+  stats.program_skeletons = skeletons.size();
   return stats;
 }
 
 void ResetSimCache() {
   Cache& cache = GlobalCache();
-  // Maps and counters are cleared under one all-shards lock, so a
-  // concurrent snapshot sees either the whole pre-reset or the whole
-  // post-reset state, never a mix.
-  AllShardsLock lock(cache);
-  for (Shard& shard : cache.shards) {
-    shard.map.clear();
-    shard.programs.clear();
-    shard.hits = 0;
-    shard.misses = 0;
-    shard.program_hits = 0;
-    shard.program_misses = 0;
+  {
+    // Maps and counters are cleared under one all-shards lock, so a
+    // concurrent snapshot sees either the whole pre-reset or the whole
+    // post-reset state, never a mix.
+    AllShardsLock lock(cache);
+    for (Shard& shard : cache.shards) {
+      shard.map.clear();
+      shard.programs.clear();
+      shard.hits = 0;
+      shard.misses = 0;
+      shard.program_hits = 0;
+      shard.program_misses = 0;
+    }
   }
+  // A cold cache should also mean cold structure-sharing stats: drop the
+  // interned skeletons too (in-flight programs keep theirs alive through
+  // their shared_ptrs).
+  ResetSkeletonPool();
 }
 
 }  // namespace sim

@@ -48,7 +48,19 @@ struct SimCacheStats {
   uint64_t program_hits = 0;
   uint64_t program_misses = 0;
   uint64_t program_entries = 0;
-  uint64_t program_bytes = 0;  // heap footprint of the cached programs
+  uint64_t program_bytes = 0;  // per-config footprint (patch tables etc.)
+  // Structure sharing: distinct skeletons referenced by the cached
+  // programs, and their footprint counted once each (configs that differ
+  // only numerically share one skeleton, so program_skeletons <<
+  // program_entries on a tuning sweep — the bytes-per-config win).
+  uint64_t program_skeletons = 0;
+  uint64_t skeleton_bytes = 0;
+  // What the program layer would weigh if every entry held a private copy
+  // of its skeleton (the pre-sharing layout): program_bytes plus each
+  // program's skeleton counted once *per program*. The sharing gain the
+  // throughput bench reports is program_bytes_unshared /
+  // (program_bytes + skeleton_bytes).
+  uint64_t program_bytes_unshared = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
+#include <string>
 #include <unordered_set>
 
 #include "analysis/resources.h"
@@ -65,6 +67,41 @@ std::vector<size_t> RankByModel(
   return order;
 }
 
+// Keys of the configurations the model-guided pre-filter keeps: the
+// model_topk best analytical predictions among statically-feasible
+// configs, plus every explore_stride-th feasible config in model-rank
+// order (the exploration tail that keeps learners honest about the rest
+// of the space). Keyed by ToString(), which uniquely identifies a config
+// within an enumerated space.
+std::unordered_set<std::string> ModelKeepSet(
+    const schedule::GemmOp& op, const target::GpuSpec& spec,
+    const std::vector<schedule::ScheduleConfig>& space, int topk,
+    int explore_stride) {
+  std::vector<double> predicted =
+      support::ParallelMap(space.size(), [&](size_t i) {
+        if (!analysis::CheckConfigFeasibility(op, space[i], spec).feasible) {
+          return kInf;
+        }
+        return perfmodel::PredictCycles(op, space[i], spec);
+      });
+  std::vector<size_t> order;
+  order.reserve(space.size());
+  for (size_t i = 0; i < space.size(); ++i) {
+    if (std::isfinite(predicted[i])) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return predicted[a] < predicted[b];
+  });
+  std::unordered_set<std::string> keep;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    if (rank < static_cast<size_t>(topk) ||
+        (explore_stride > 0 && rank % static_cast<size_t>(explore_stride) == 0)) {
+      keep.insert(space[order[rank]].ToString());
+    }
+  }
+  return keep;
+}
+
 }  // namespace
 
 TuningTask MakeSimulatorTask(const schedule::GemmOp& op,
@@ -82,11 +119,27 @@ TuningTask MakeSimulatorTask(const schedule::GemmOp& op,
   // feasibility verdict, the returned value is the same kInf the
   // simulator would have produced after compiling.
   bool prefilter = options.static_prefilter;
-  task.measure = [op, spec, prefilter](const schedule::ScheduleConfig& config) {
+  // The model-guided cut is resolved once, here, into an immutable key
+  // set; `measure` stays a pure function of the config (the shared_ptr is
+  // read-only after construction, so concurrent measurement is safe).
+  std::shared_ptr<const std::unordered_set<std::string>> model_keep;
+  if (options.model_topk > 0) {
+    model_keep = std::make_shared<const std::unordered_set<std::string>>(
+        ModelKeepSet(op, spec, task.space, options.model_topk,
+                     options.model_explore_stride));
+  }
+  task.measure = [op, spec, prefilter,
+                  model_keep](const schedule::ScheduleConfig& config) {
     if (prefilter &&
         !analysis::CheckConfigFeasibility(op, config, spec).feasible) {
       static obs::Counter& pruned =
           obs::Registry::Global().GetCounter("tuner.pruned_static");
+      pruned.Increment();
+      return kInf;
+    }
+    if (model_keep && model_keep->count(config.ToString()) == 0) {
+      static obs::Counter& pruned =
+          obs::Registry::Global().GetCounter("tuner.pruned_model");
       pruned.Increment();
       return kInf;
     }
@@ -280,6 +333,8 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
         event.predicted_score =
             predicted.empty() ? std::numeric_limits<double>::quiet_NaN()
                               : predicted[proposals[i]];
+        event.analytical_cycles = perfmodel::PredictCycles(
+            task.op, task.space[proposals[i]], task.spec);
         options.logger(event);
       }
     }

@@ -85,6 +85,9 @@ struct TrialEvent {
   // GBT score of the candidate at proposal time; NaN on cold-start
   // rounds (no fitted model yet).
   double predicted_score = 0.0;
+  // Table-I analytical prediction for the candidate (kProposed only);
+  // computed only when a logger is set, so logging-off runs pay nothing.
+  double analytical_cycles = 0.0;
   double measured_cycles = 0.0;  // kMeasured only
   // kRefit only: measured rows in the fit, and the model's pairwise
   // rank accuracy over them (concordant pairs / comparable pairs; NaN

@@ -1,0 +1,189 @@
+// Structure-sharing skeleton layer: the intern pool must deduplicate the
+// structural half of compiled programs across a schedule space, the
+// arena's layout-reuse tag must never leak state between programs (every
+// replay bit-identical to a fresh-arena replay, in any interleaving), and
+// ReplaySimProgramBatch must equal per-program replays in input order.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "sim/compile.h"
+#include "sim/desim.h"
+#include "sim/launch.h"
+#include "sim/sim_cache.h"
+#include "target/gpu_spec.h"
+#include "tuner/strategy.h"
+#include "workloads/ops.h"
+
+namespace alcop {
+namespace {
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+::testing::AssertionResult SameTiming(const sim::KernelTiming& a,
+                                      const sim::KernelTiming& b) {
+  if (a.feasible != b.feasible || a.reason != b.reason) {
+    return ::testing::AssertionFailure() << "feasibility differs";
+  }
+  if (!BitEqual(a.cycles, b.cycles) ||
+      !BitEqual(a.microseconds, b.microseconds) ||
+      !BitEqual(a.tflops, b.tflops) ||
+      !BitEqual(a.batch_cycles, b.batch_cycles) || a.batches != b.batches ||
+      a.threadblocks_per_sm != b.threadblocks_per_sm) {
+    return ::testing::AssertionFailure()
+           << "timing differs: " << a.cycles << " vs " << b.cycles;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Feasible programs of one operator's (strided) space, shared from the
+// program cache.
+std::vector<std::shared_ptr<const sim::SimProgram>> FeasiblePrograms(
+    const std::string& op_name, const target::GpuSpec& spec, size_t stride,
+    size_t limit) {
+  const schedule::GemmOp& op = workloads::FindOp(op_name);
+  tuner::TuningTask task = tuner::MakeSimulatorTask(op, spec);
+  std::vector<std::shared_ptr<const sim::SimProgram>> programs;
+  for (size_t c = 0; c < task.space.size() && programs.size() < limit;
+       c += stride) {
+    auto program = sim::CachedSimProgram(op, task.space[c], spec);
+    if (program->feasible) programs.push_back(std::move(program));
+  }
+  return programs;
+}
+
+TEST(SkeletonPool, DeduplicatesAcrossScheduleSpace) {
+  sim::ResetSimCache();
+  target::GpuSpec spec = target::AmpereSpec();
+  auto programs = FeasiblePrograms("MM_RN50_FC", spec, 4, 200);
+  ASSERT_GT(programs.size(), 10u);
+
+  // Schedules differing only numerically share one skeleton object.
+  sim::SkeletonPoolStats pool = sim::GetSkeletonPoolStats();
+  EXPECT_GT(pool.interns, 0u);
+  EXPECT_GT(pool.shared, 0u) << "no structure sharing across the space";
+  EXPECT_LT(pool.skeletons, pool.interns);
+
+  // The cache's per-config footprint counts each distinct skeleton once.
+  sim::SimCacheStats stats = sim::GetSimCacheStats();
+  EXPECT_GT(stats.program_entries, stats.program_skeletons);
+  EXPECT_GT(stats.skeleton_bytes, 0u);
+  EXPECT_GT(stats.program_bytes_unshared,
+            stats.program_bytes + stats.skeleton_bytes);
+
+  // Every feasible program holds a pooled skeleton.
+  for (const auto& program : programs) {
+    ASSERT_NE(program->program.skeleton, nullptr);
+  }
+}
+
+TEST(SkeletonPool, InternReturnsExistingEqualSkeleton) {
+  sim::ResetSimCache();
+  target::GpuSpec spec = target::AmpereSpec();
+  auto programs = FeasiblePrograms("MM_RN50_FC", spec, 16, 4);
+  ASSERT_FALSE(programs.empty());
+  std::shared_ptr<const sim::MicroOpSkeleton> skeleton =
+      programs[0]->program.skeleton;
+
+  // A field-for-field copy interns to the same object, not a new one.
+  sim::MicroOpSkeleton copy = *skeleton;
+  EXPECT_EQ(sim::SkeletonHash(copy), skeleton->hash);
+  auto interned = sim::InternSkeleton(std::move(copy));
+  EXPECT_EQ(interned.get(), skeleton.get());
+
+  // A structural change (different warp count) makes a distinct entry.
+  sim::MicroOpSkeleton changed = *skeleton;
+  changed.num_warps += 1;
+  changed.hash = sim::SkeletonHash(changed);
+  EXPECT_NE(changed.hash, skeleton->hash);
+  auto other = sim::InternSkeleton(std::move(changed));
+  EXPECT_NE(other.get(), skeleton.get());
+}
+
+TEST(SkeletonReplay, LayoutReuseBitExactUnderInterleaving) {
+  sim::ResetSimCache();
+  target::GpuSpec spec = target::AmpereSpec();
+  // Two operators -> a mix of skeletons and wave sizes.
+  auto programs = FeasiblePrograms("MM_RN50_FC", spec, 8, 40);
+  auto more = FeasiblePrograms("BMM_BERT_QK", spec, 8, 40);
+  programs.insert(programs.end(), more.begin(), more.end());
+  ASSERT_GT(programs.size(), 20u);
+
+  // Ground truth: every program through its own fresh arena.
+  std::vector<sim::KernelTiming> fresh;
+  for (const auto& program : programs) {
+    sim::ReplayArena arena;
+    fresh.push_back(sim::ReplaySimProgram(*program, &arena));
+  }
+
+  // One shared arena, adversarial interleaving: forward, backward, and
+  // alternating ends — every transition exercises the layout-reuse tag
+  // (same skeleton back-to-back reuses tables; any change refills them).
+  sim::ReplayArena shared;
+  std::vector<size_t> order;
+  for (size_t i = 0; i < programs.size(); ++i) order.push_back(i);
+  for (size_t i = programs.size(); i > 0; --i) order.push_back(i - 1);
+  for (size_t i = 0; i < programs.size(); ++i) {
+    order.push_back(i % 2 == 0 ? i / 2 : programs.size() - 1 - i / 2);
+  }
+  for (size_t idx : order) {
+    sim::KernelTiming replay = sim::ReplaySimProgram(*programs[idx], &shared);
+    EXPECT_TRUE(SameTiming(fresh[idx], replay)) << "program " << idx;
+  }
+}
+
+TEST(SkeletonReplay, BatchedReplayMatchesSingleInInputOrder) {
+  sim::ResetSimCache();
+  target::GpuSpec spec = target::AmpereSpec();
+  auto programs = FeasiblePrograms("MM_BERT_QKV", spec, 16, 60);
+  ASSERT_GT(programs.size(), 5u);
+  std::vector<const sim::SimProgram*> ptrs;
+  for (const auto& p : programs) ptrs.push_back(p.get());
+
+  std::vector<sim::KernelTiming> single;
+  sim::ReplayArena arena_single;
+  for (const sim::SimProgram* p : ptrs) {
+    single.push_back(sim::ReplaySimProgram(*p, &arena_single));
+  }
+
+  sim::ReplayArena arena_batch;
+  std::vector<sim::KernelTiming> batched =
+      sim::ReplaySimProgramBatch(ptrs, &arena_batch);
+  ASSERT_EQ(batched.size(), single.size());
+  for (size_t i = 0; i < single.size(); ++i) {
+    EXPECT_TRUE(SameTiming(single[i], batched[i])) << "program " << i;
+  }
+
+  // Warm batched replay performs no allocation: capacity is stable across
+  // a second pass over the same programs.
+  size_t capacity = arena_batch.CapacityBytes();
+  std::vector<sim::KernelTiming> again =
+      sim::ReplaySimProgramBatch(ptrs, &arena_batch);
+  EXPECT_EQ(arena_batch.CapacityBytes(), capacity);
+  for (size_t i = 0; i < single.size(); ++i) {
+    EXPECT_TRUE(SameTiming(batched[i], again[i])) << "program " << i;
+  }
+}
+
+TEST(SkeletonPool, ResetSimCacheResetsPoolStats) {
+  target::GpuSpec spec = target::AmpereSpec();
+  auto programs = FeasiblePrograms("MM_RN50_FC", spec, 64, 4);
+  ASSERT_FALSE(programs.empty());
+  EXPECT_GT(sim::GetSkeletonPoolStats().interns, 0u);
+  sim::ResetSimCache();
+  sim::SkeletonPoolStats pool = sim::GetSkeletonPoolStats();
+  EXPECT_EQ(pool.skeletons, 0u);
+  EXPECT_EQ(pool.interns, 0u);
+  // Held programs stay valid after the reset (their shared_ptrs keep the
+  // skeletons alive).
+  sim::ReplayArena arena;
+  sim::KernelTiming timing = sim::ReplaySimProgram(*programs[0], &arena);
+  EXPECT_TRUE(timing.feasible);
+}
+
+}  // namespace
+}  // namespace alcop
