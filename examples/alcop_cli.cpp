@@ -51,6 +51,35 @@
 //                                      strided Fig. 10 sweep; exits 1 if
 //                                      the checked-in spec constants are
 //                                      stale.
+//   alcop_cli cache    [stats|clear|persist|load] [--json] [--path FILE]
+//                                      inspect or manage the sim cache and
+//                                      its persistent on-disk form. The
+//                                      path defaults to $ALCOP_CACHE_DIR/
+//                                      sim_cache.alcp; load exits 1 when
+//                                      the file is missing or incompatible
+//                                      (wrong version/spec/fitted
+//                                      constants).
+//   alcop_cli serve    SOCKET [--trials N] [--seed N] [--no-warm]
+//                             [--cache FILE] [--no-persist] [--budget B]
+//                                      run alcopd on a unix socket: the
+//                                      long-lived tuning service (fast
+//                                      lane for cache hits, batched slow
+//                                      lane for compiles and searches);
+//                                      loads the on-disk cache at start,
+//                                      persists at shutdown. Stop it with
+//                                      `client SOCKET shutdown`.
+//   alcop_cli client   SOCKET METHOD [...]
+//                                      talk to a running alcopd:
+//                                        ping|stats|persist|load|shutdown
+//                                        tune M N K [batch] [--trials N]
+//                                             [--no-warm] [--force]
+//                                        compile|profile M N K [batch]
+//                                             --tb M,N,K [--warp M,N,K]
+//                                             [--smem S] [--reg R]
+//                                             [--split-k S]
+//                                        '{...}'   raw protocol JSON
+//                                      prints the response payload; exit 0
+//                                      iff the daemon answered ok:true.
 //
 // Shapes use the best schedule found by a 16-trial analytical ranking.
 #include <cctype>
@@ -71,12 +100,18 @@
 #include "obs/stall.h"
 #include "obs/trace.h"
 #include "perfmodel/calibration.h"
+#include "serving/client.h"
+#include "serving/persist.h"
+#include "serving/protocol.h"
+#include "serving/server.h"
 #include "support/check.h"
 #include "sim/launch.h"
 #include "sim/pmu.h"
+#include "sim/sim_cache.h"
 #include "sim/timeline.h"
 #include "sim/traffic_report.h"
 #include "target/gpu_spec.h"
+#include "tuner/records.h"
 #include "tuner/strategy.h"
 #include "verify/verifier.h"
 #include "workloads/models.h"
@@ -709,16 +744,310 @@ int CmdCalibrate(int argc, char** argv) {
   return 0;
 }
 
+int CmdCache(int argc, char** argv) {
+  // cache [stats|clear|persist|load] [--json] [--path FILE]
+  bool json = false;
+  std::string path;
+  std::vector<char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--path") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  std::string action = positional.empty() ? "stats" : positional[0];
+  if (path.empty()) path = serving::DefaultCachePath();
+  target::GpuSpec spec = target::AmpereSpec();
+
+  if (action == "stats") {
+    sim::SimCacheStats s = sim::GetSimCacheStats();
+    size_t tunings = tuner::TuningStore::Global().Size();
+    if (json) {
+      std::printf(
+          "{\"command\": \"cache\", \"action\": \"stats\", "
+          "\"path\": %s,\n \"timing\": {\"hits\": %llu, \"misses\": %llu, "
+          "\"entries\": %llu, \"bytes\": %llu},\n \"program\": {\"hits\": "
+          "%llu, \"misses\": %llu, \"entries\": %llu, \"skeletons\": %llu, "
+          "\"bytes\": %llu, \"skeleton_bytes\": %llu},\n \"resident_bytes\": "
+          "%llu, \"budget_bytes\": %llu, \"evictions\": %llu,\n \"disk\": "
+          "{\"hits\": %llu, \"misses\": %llu, \"load_bytes\": %llu},\n "
+          "\"stored_tunings\": %zu}\n",
+          JsonString(path).c_str(), (unsigned long long)s.hits,
+          (unsigned long long)s.misses, (unsigned long long)s.entries,
+          (unsigned long long)s.timing_bytes, (unsigned long long)s.program_hits,
+          (unsigned long long)s.program_misses,
+          (unsigned long long)s.program_entries,
+          (unsigned long long)s.program_skeletons,
+          (unsigned long long)s.program_bytes,
+          (unsigned long long)s.skeleton_bytes,
+          (unsigned long long)s.resident_bytes,
+          (unsigned long long)s.budget_bytes, (unsigned long long)s.evictions,
+          (unsigned long long)s.disk_hits, (unsigned long long)s.disk_misses,
+          (unsigned long long)s.disk_load_bytes, tunings);
+      return 0;
+    }
+    std::printf("timing layer:  %llu entries, %llu hits / %llu misses\n",
+                (unsigned long long)s.entries, (unsigned long long)s.hits,
+                (unsigned long long)s.misses);
+    std::printf("program layer: %llu entries sharing %llu skeletons, %llu "
+                "hits / %llu misses\n",
+                (unsigned long long)s.program_entries,
+                (unsigned long long)s.program_skeletons,
+                (unsigned long long)s.program_hits,
+                (unsigned long long)s.program_misses);
+    std::printf("resident: %llu B (budget %llu B, %llu evictions)\n",
+                (unsigned long long)s.resident_bytes,
+                (unsigned long long)s.budget_bytes,
+                (unsigned long long)s.evictions);
+    std::printf("disk: %llu hits / %llu misses, %llu B loaded\n",
+                (unsigned long long)s.disk_hits,
+                (unsigned long long)s.disk_misses,
+                (unsigned long long)s.disk_load_bytes);
+    std::printf("stored tunings: %zu\n", tunings);
+    std::printf("path: %s\n", path.empty() ? "(unset)" : path.c_str());
+    return 0;
+  }
+
+  if (action == "clear") {
+    sim::ResetSimCache();
+    tuner::TuningStore::Global().Clear();
+    bool removed = !path.empty() && std::remove(path.c_str()) == 0;
+    if (json) {
+      std::printf(
+          "{\"command\": \"cache\", \"action\": \"clear\", \"path\": %s, "
+          "\"removed_file\": %s}\n",
+          JsonString(path).c_str(), removed ? "true" : "false");
+    } else {
+      std::printf("cleared in-memory caches%s\n",
+                  removed ? (", removed " + path).c_str() : "");
+    }
+    return 0;
+  }
+
+  if (action == "persist" || action == "load") {
+    if (path.empty()) {
+      std::fprintf(stderr,
+                   "no cache path: pass --path FILE or set ALCOP_CACHE_DIR\n");
+      return 1;
+    }
+    serving::PersistStats stats = action == "persist"
+                                      ? serving::SaveCache(path, spec)
+                                      : serving::LoadCache(path, spec);
+    if (json) {
+      std::printf(
+          "{\"command\": \"cache\", \"action\": %s, \"path\": %s, \"ok\": "
+          "%s, \"error\": %s,\n \"bytes\": %llu, \"timings\": %llu, "
+          "\"programs\": %llu, \"skeletons\": %llu, \"tunings\": %llu, "
+          "\"skipped\": %llu}\n",
+          JsonString(action).c_str(), JsonString(path).c_str(),
+          stats.ok ? "true" : "false", JsonString(stats.error).c_str(),
+          (unsigned long long)stats.bytes, (unsigned long long)stats.timings,
+          (unsigned long long)stats.programs,
+          (unsigned long long)stats.skeletons,
+          (unsigned long long)stats.tunings,
+          (unsigned long long)stats.skipped);
+      return stats.ok ? 0 : 1;
+    }
+    if (!stats.ok) {
+      std::fprintf(stderr, "cache %s failed: %s\n", action.c_str(),
+                   stats.error.c_str());
+      return 1;
+    }
+    std::printf("%s %s: %llu B, %llu timings, %llu programs, %llu skeletons, "
+                "%llu tunings (%llu skipped)\n",
+                action == "persist" ? "wrote" : "loaded", path.c_str(),
+                (unsigned long long)stats.bytes,
+                (unsigned long long)stats.timings,
+                (unsigned long long)stats.programs,
+                (unsigned long long)stats.skeletons,
+                (unsigned long long)stats.tunings,
+                (unsigned long long)stats.skipped);
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown cache action '%s' (stats|clear|persist|load)\n",
+               action.c_str());
+  return 1;
+}
+
+int CmdServe(int argc, char** argv) {
+  serving::ServerOptions options;
+  options.spec = target::AmpereSpec();
+  uint64_t budget = 0;
+  std::vector<char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      options.default_trials = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--no-warm") == 0) {
+      options.warm_start = false;
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      options.cache_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-persist") == 0) {
+      options.persist_on_shutdown = false;
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      budget = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty()) {
+    std::fprintf(stderr, "expected a unix socket path\n");
+    return 1;
+  }
+  options.socket_path = positional[0];
+  if (budget != 0) sim::SetSimCacheBudgetBytes(budget);
+
+  serving::Server server(std::move(options));
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "alcopd: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "alcopd listening on %s (cache: %s)\n",
+               server.options().socket_path.c_str(),
+               server.options().cache_path.empty()
+                   ? "disabled"
+                   : server.options().cache_path.c_str());
+  server.Wait();
+  server.Stop();
+  std::fprintf(stderr, "alcopd served %llu requests\n",
+               (unsigned long long)server.requests_served());
+  return 0;
+}
+
+// "128,64,32" -> JSON "[128,64,32]"; empty on malformed input.
+std::string TripleToJson(const char* text) {
+  long long a = 0, b = 0, c = 0;
+  if (std::sscanf(text, "%lld,%lld,%lld", &a, &b, &c) != 3 || a <= 0 ||
+      b <= 0 || c <= 0) {
+    return "";
+  }
+  std::ostringstream out;
+  out << "[" << a << "," << b << "," << c << "]";
+  return out.str();
+}
+
+int CmdClient(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: alcop_cli client SOCKET METHOD [...] (see header "
+                 "comment)\n");
+    return 1;
+  }
+  const char* socket_path = argv[2];
+  std::string method = argv[3];
+  std::string payload;
+  if (method[0] == '{') {
+    payload = method;  // raw protocol JSON, sent verbatim
+  } else if (method == "ping" || method == "stats" || method == "persist" ||
+             method == "load" || method == "shutdown") {
+    payload = "{\"id\":1,\"method\":\"" + method + "\"}";
+  } else if (method == "tune" || method == "compile" || method == "profile") {
+    std::string tb, warp;
+    int smem = 0, reg = 0, split_k = 0;
+    long long trials = 0;
+    bool no_warm = false, force = false;
+    std::vector<char*> positional;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--tb") == 0 && i + 1 < argc) {
+        tb = TripleToJson(argv[++i]);
+        if (tb.empty()) {
+          std::fprintf(stderr, "--tb expects M,N,K\n");
+          return 1;
+        }
+      } else if (std::strcmp(argv[i], "--warp") == 0 && i + 1 < argc) {
+        warp = TripleToJson(argv[++i]);
+        if (warp.empty()) {
+          std::fprintf(stderr, "--warp expects M,N,K\n");
+          return 1;
+        }
+      } else if (std::strcmp(argv[i], "--smem") == 0 && i + 1 < argc) {
+        smem = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--reg") == 0 && i + 1 < argc) {
+        reg = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--split-k") == 0 && i + 1 < argc) {
+        split_k = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+        trials = std::atoll(argv[++i]);
+      } else if (std::strcmp(argv[i], "--no-warm") == 0) {
+        no_warm = true;
+      } else if (std::strcmp(argv[i], "--force") == 0) {
+        force = true;
+      } else {
+        positional.push_back(argv[i]);
+      }
+    }
+    if (positional.size() < 3) {
+      std::fprintf(stderr, "expected M N K [batch]\n");
+      return 1;
+    }
+    long long m = std::atoll(positional[0]);
+    long long n = std::atoll(positional[1]);
+    long long k = std::atoll(positional[2]);
+    long long batch = positional.size() > 3 ? std::atoll(positional[3]) : 1;
+    std::ostringstream out;
+    out << "{\"id\":1,\"method\":\"" << method << "\",\"family\":\""
+        << (batch > 1 ? "batch_matmul" : "matmul") << "\",\"batch\":" << batch
+        << ",\"m\":" << m << ",\"n\":" << n << ",\"k\":" << k;
+    if (method == "tune") {
+      if (trials > 0) out << ",\"trials\":" << trials;
+      if (no_warm) out << ",\"warm\":false";
+      if (force) out << ",\"force\":true";
+    } else {
+      if (tb.empty()) {
+        std::fprintf(stderr, "%s needs --tb M,N,K\n", method.c_str());
+        return 1;
+      }
+      out << ",\"config\":{\"tb\":" << tb;
+      if (!warp.empty()) out << ",\"warp\":" << warp;
+      if (smem > 0) out << ",\"smem\":" << smem;
+      if (reg > 0) out << ",\"reg\":" << reg;
+      if (split_k > 0) out << ",\"split_k\":" << split_k;
+      out << "}";
+    }
+    out << "}";
+    payload = out.str();
+  } else {
+    std::fprintf(stderr, "unknown client method '%s'\n", method.c_str());
+    return 1;
+  }
+
+  serving::Client client;
+  std::string error;
+  if (!client.Connect(socket_path, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::optional<std::string> response = client.CallRaw(payload);
+  if (!response.has_value()) {
+    std::fprintf(stderr, "no response from %s\n", socket_path);
+    return 1;
+  }
+  std::printf("%s\n", response->c_str());
+  std::optional<serving::JsonValue> parsed = serving::ParseJson(*response);
+  const serving::JsonValue* ok =
+      parsed.has_value() ? parsed->Find("ok") : nullptr;
+  return ok != nullptr && ok->BoolOr(false) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: alcop_cli compile|tune|timeline|profile|calibrate|"
-                 "ops|models|parse|verify|lint ...\n");
+                 "ops|models|parse|verify|lint|cache|serve|client ...\n");
     return 1;
   }
   const char* cmd = argv[1];
+  if (std::strcmp(cmd, "cache") == 0) return CmdCache(argc, argv);
+  if (std::strcmp(cmd, "serve") == 0) return CmdServe(argc, argv);
+  if (std::strcmp(cmd, "client") == 0) return CmdClient(argc, argv);
   if (std::strcmp(cmd, "lint") == 0) return CmdLint(argc, argv);
   if (std::strcmp(cmd, "profile") == 0) return CmdProfile(argc, argv);
   if (std::strcmp(cmd, "calibrate") == 0) return CmdCalibrate(argc, argv);

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs the serving bench (cold search vs warm restart from the persisted
+# cache, warm-start transfer, LRU residency under budget, and in-process
+# alcopd hot-shape latency) and writes machine-readable results to
+# BENCH_serving.json (repo root by default), so the tuning-as-a-service
+# gates — warm restart >= 5x, transfer reaching cold best on every
+# Fig. 10 operator, residency <= ALCOP_CACHE_BYTES with real evictions,
+# and hot-shape p99 <= 10 ms — are tracked from PR to PR.
+#
+# Usage: scripts/bench_serving.sh [--quick] [output.json]
+#   --quick      4 operators / 10 trials (the CI serving-smoke mode)
+#   output.json  where to write the result (default: ./BENCH_serving.json)
+#
+# Exit status is the bench's own: nonzero only when a correctness or
+# latency gate fails — never because of raw wall time.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=""
+OUT="BENCH_serving.json"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    *) OUT="$arg" ;;
+  esac
+done
+BIN=build/bench/serving
+
+if [[ ! -x "$BIN" ]]; then
+  echo "building $BIN..." >&2
+  cmake -B build -S . >/dev/null
+  cmake --build build --target serving -j "$(nproc)" >/dev/null
+fi
+
+echo "running serving bench${QUICK:+ (quick)}..." >&2
+"$BIN" $QUICK > "$OUT"
+# Stamp run provenance (git SHA, date, thread setting) into the meta
+# block; skipped gracefully when python3 is unavailable.
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/bench_meta.py "$OUT"
+fi
+cat "$OUT"
+echo "wrote $OUT" >&2
+
+# One-line delta against the committed baseline, so a local run shows at
+# a glance whether restart speedup or daemon latency moved.
+if command -v python3 >/dev/null 2>&1 \
+    && git show HEAD:BENCH_serving.json > "$OUT.base" 2>/dev/null; then
+  python3 - "$OUT" "$OUT.base" >&2 <<'EOF' || true
+import json, sys
+new, old = (json.load(open(p)) for p in sys.argv[1:3])
+def pick(doc, *path):
+    for key in path:
+        doc = doc.get(key, {}) if isinstance(doc, dict) else {}
+    return doc if isinstance(doc, (int, float)) else 0.0
+spd_n, spd_o = (pick(d, "tuning", "warm_restart_speedup") for d in (new, old))
+p99_n, p99_o = (pick(d, "daemon", "hot_p99_ms") for d in (new, old))
+ev_n, ev_o = (pick(d, "lru", "evictions") for d in (new, old))
+print(f"delta vs HEAD: warm restart {spd_o:.0f}x -> {spd_n:.0f}x, "
+      f"hot p99 {p99_o:.3f} -> {p99_n:.3f} ms, "
+      f"evictions {ev_o:.0f} -> {ev_n:.0f}")
+EOF
+fi
+rm -f "$OUT.base"

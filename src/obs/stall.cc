@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "perfmodel/bottleneck.h"
 
 namespace alcop {
@@ -260,6 +261,12 @@ std::string ProfileToJson(const KernelProfile& profile,
   if (pmu != nullptr && pmu->collected) {
     out << "  \"pmu\": " << sim::PmuToJson(*pmu) << ",\n";
   }
+  // The host-side metrics registry (sim.cache.* residency/eviction/disk
+  // gauges, tuner counters) — so one profile --json capture carries the
+  // cache-economics story alongside the kernel's.
+  std::string metrics = Registry::Global().RenderJson();
+  while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+  out << "  \"metrics\": " << metrics << ",\n";
   out << "  \"total\": " << breakdown(profile.total) << ",\n";
   out << "  \"warps\": [\n";
   for (size_t i = 0; i < profile.warps.size(); ++i) {

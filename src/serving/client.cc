@@ -1,0 +1,71 @@
+#include "serving/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace alcop {
+namespace serving {
+
+Client::~Client() { Close(); }
+
+bool Client::Connect(const std::string& socket_path, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (fd_ >= 0) return fail("already connected");
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path too long for AF_UNIX");
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail("socket() failed");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return fail("connect(" + socket_path + ") failed — is alcopd running?");
+  }
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Send(const std::string& payload) {
+  return fd_ >= 0 && WriteFrame(fd_, payload);
+}
+
+std::optional<std::string> Client::RecvRaw() {
+  std::string payload;
+  if (fd_ < 0 || !ReadFrame(fd_, &payload)) return std::nullopt;
+  return payload;
+}
+
+std::optional<JsonValue> Client::Recv() {
+  std::optional<std::string> payload = RecvRaw();
+  if (!payload.has_value()) return std::nullopt;
+  return ParseJson(*payload);
+}
+
+std::optional<JsonValue> Client::Call(const std::string& payload) {
+  if (!Send(payload)) return std::nullopt;
+  return Recv();
+}
+
+std::optional<std::string> Client::CallRaw(const std::string& payload) {
+  if (!Send(payload)) return std::nullopt;
+  return RecvRaw();
+}
+
+}  // namespace serving
+}  // namespace alcop

@@ -1,0 +1,48 @@
+// Minimal synchronous client for the alcopd protocol. Used by the CLI's
+// `client` subcommand and the serving benchmark; a request is one frame
+// out, one frame back (Call), or the two halves separately (Send/Recv)
+// when the caller pipelines several requests on one connection.
+#ifndef ALCOP_SERVING_CLIENT_H_
+#define ALCOP_SERVING_CLIENT_H_
+
+#include <optional>
+#include <string>
+
+#include "serving/protocol.h"
+
+namespace alcop {
+namespace serving {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();  // closes the socket
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to the daemon's unix socket. False (with `error` filled) on
+  // failure.
+  bool Connect(const std::string& socket_path, std::string* error = nullptr);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // One frame out / one frame back. Returns the parsed response, or
+  // nullopt on IO failure or unparseable payload. Responses are matched
+  // positionally — fine for the synchronous Call, Recv after pipelined
+  // Sends must match ids itself. The *Raw variants hand back the payload
+  // text verbatim (the CLI prints it without re-serializing).
+  bool Send(const std::string& payload);
+  std::optional<std::string> RecvRaw();
+  std::optional<JsonValue> Recv();
+  std::optional<JsonValue> Call(const std::string& payload);
+  std::optional<std::string> CallRaw(const std::string& payload);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace serving
+}  // namespace alcop
+
+#endif  // ALCOP_SERVING_CLIENT_H_

@@ -1,0 +1,276 @@
+#include "serving/protocol.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace alcop {
+namespace serving {
+
+namespace {
+
+bool ReadExact(int fd, char* out, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::read(fd, out + done, size - done);
+    if (n == 0) return false;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteExact(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ReadFrame(int fd, std::string* payload) {
+  uint32_t len = 0;
+  if (!ReadExact(fd, reinterpret_cast<char*>(&len), sizeof(len))) return false;
+  if (len > kMaxFrameBytes) return false;
+  payload->resize(len);
+  return len == 0 || ReadExact(fd, payload->data(), len);
+}
+
+bool WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  if (!WriteExact(fd, reinterpret_cast<const char*>(&len), sizeof(len))) {
+    return false;
+  }
+  return WriteExact(fd, payload.data(), payload.size());
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(double fallback) const {
+  return kind == Kind::kNumber ? number : fallback;
+}
+
+bool JsonValue::BoolOr(bool fallback) const {
+  return kind == Kind::kBool ? boolean : fallback;
+}
+
+const std::string& JsonValue::StringOr(const std::string& fallback) const {
+  return kind == Kind::kString ? string : fallback;
+}
+
+namespace {
+
+// Recursive-descent parser over the protocol's JSON subset. Depth is
+// bounded so a hostile payload cannot overflow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!Value(out, 0)) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          default: return false;  // \uXXXX not needed by the protocol
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return false;
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object(out, depth);
+    if (c == '[') return Array(out, depth);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return String(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    return Number(out);
+  }
+
+  bool Number(JsonValue* out) {
+    size_t consumed = 0;
+    try {
+      out->number = std::stod(text_.substr(pos_), &consumed);
+    } catch (...) {
+      return false;
+    }
+    if (consumed == 0) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    pos_ += consumed;
+    return true;
+  }
+
+  bool Object(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!String(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue value;
+      if (!Value(&value, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!Value(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> ParseJson(const std::string& text) {
+  JsonValue value;
+  JsonParser parser(text);
+  if (!parser.Parse(&value)) return std::nullopt;
+  return value;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace serving
+}  // namespace alcop

@@ -1,0 +1,85 @@
+// alcopd wire protocol: length-prefixed JSON over a unix-domain socket.
+//
+// Every message — request or response — is one frame:
+//
+//   u32 payload length (host-endian, capped at kMaxFrameBytes) | payload
+//
+// and every payload is one JSON object. Requests carry an integer "id"
+// and a "method"; responses echo the id, so a client may pipeline many
+// requests on one connection and match completions out of order (the
+// open-loop latency bench does exactly that). Methods:
+//
+//   ping                       liveness probe
+//   stats                      cache + tuning-store counters
+//   compile                    op+config -> KernelTiming (cache-routed)
+//   profile                    compile plus PMU counters
+//   tune                       search the schedule space (warm-started)
+//   persist / load             save/load the on-disk cache
+//   shutdown                   stop the daemon
+//
+// Request fields: op as {"family","batch","m","n","k"}, an explicit
+// config as {"tb":[m,n,k],"warp":[m,n,k],"smem","reg","split_k",
+// "raster","fusion","swizzle","async"} (all but "tb" optional), tune
+// takes "trials" and "warm" (default true). Responses are
+// {"id":..,"ok":true,...} or {"id":..,"ok":false,"error":"..."}.
+//
+// This header also hosts the minimal JSON value parser the daemon and
+// client share. It is deliberately small (objects, arrays, strings
+// without escapes beyond \" and \\, doubles, bools, null) — enough for
+// the protocol's own grammar, not a general-purpose parser.
+#ifndef ALCOP_SERVING_PROTOCOL_H_
+#define ALCOP_SERVING_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alcop {
+namespace serving {
+
+// Upper bound on one frame's payload: large enough for any tune response
+// (a few KB), small enough that a corrupt length prefix cannot make the
+// reader allocate gigabytes.
+inline constexpr uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
+
+// Blocking frame IO on a connected socket. Both return false on EOF,
+// error, or an over-sized length prefix (the connection should then be
+// closed). Short reads/writes are retried internally; EINTR is handled.
+bool ReadFrame(int fd, std::string* payload);
+bool WriteFrame(int fd, const std::string& payload);
+
+// ---------------------------------------------------------------------------
+// JSON values.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  // Object member lookup (nullptr when absent or not an object).
+  const JsonValue* Find(const std::string& key) const;
+  // Typed accessors with defaults (tolerant: wrong kind => default).
+  double NumberOr(double fallback) const;
+  bool BoolOr(bool fallback) const;
+  const std::string& StringOr(const std::string& fallback) const;
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed);
+// nullopt on any syntax error.
+std::optional<JsonValue> ParseJson(const std::string& text);
+
+// Escapes a string for embedding in a JSON literal (quotes, backslash,
+// control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace serving
+}  // namespace alcop
+
+#endif  // ALCOP_SERVING_PROTOCOL_H_

@@ -1,0 +1,725 @@
+#include "serving/server.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serving/persist.h"
+#include "serving/protocol.h"
+#include "sim/pmu.h"
+#include "sim/sim_cache.h"
+#include "tuner/records.h"
+#include "tuner/strategy.h"
+#include "tuner/transfer.h"
+
+namespace alcop {
+namespace serving {
+
+namespace {
+
+// One client connection. Responses may be written by either lane, so
+// writes are serialized per connection; frame order between different
+// requests is unconstrained (clients match by id).
+struct Conn {
+  int fd = -1;
+  std::mutex write_mu;
+
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void Send(const std::string& payload) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    WriteFrame(fd, payload);  // a dead peer just drops the response
+  }
+};
+
+struct Request {
+  std::shared_ptr<Conn> conn;
+  JsonValue body;
+  int64_t id = 0;
+  std::string method;
+};
+
+std::string ErrorResponse(int64_t id, const std::string& message) {
+  std::ostringstream out;
+  out << "{\"id\":" << id << ",\"ok\":false,\"error\":\""
+      << JsonEscape(message) << "\"}";
+  return out.str();
+}
+
+bool FamilyFromName(const std::string& name, schedule::OpFamily* family) {
+  for (schedule::OpFamily f :
+       {schedule::OpFamily::kMatmul, schedule::OpFamily::kBatchMatmul,
+        schedule::OpFamily::kConv1x1, schedule::OpFamily::kConv3x3}) {
+    if (name == schedule::OpFamilyName(f)) {
+      *family = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+// {"family":"matmul","batch":1,"m":...,"n":...,"k":...} from the request
+// root (fields at top level, matching the CLI's workload flags).
+bool ParseOpJson(const JsonValue& root, schedule::GemmOp* op,
+                 std::string* err) {
+  const JsonValue* family = root.Find("family");
+  std::string family_name = family == nullptr ? "matmul" : family->StringOr("");
+  if (!FamilyFromName(family_name, &op->family)) {
+    *err = "unknown family \"" + family_name + "\"";
+    return false;
+  }
+  const JsonValue* m = root.Find("m");
+  const JsonValue* n = root.Find("n");
+  const JsonValue* k = root.Find("k");
+  if (m == nullptr || n == nullptr || k == nullptr) {
+    *err = "op needs m, n, k";
+    return false;
+  }
+  op->m = static_cast<int64_t>(m->NumberOr(0));
+  op->n = static_cast<int64_t>(n->NumberOr(0));
+  op->k = static_cast<int64_t>(k->NumberOr(0));
+  const JsonValue* batch = root.Find("batch");
+  op->batch = batch == nullptr ? 1 : static_cast<int64_t>(batch->NumberOr(1));
+  if (op->m <= 0 || op->n <= 0 || op->k <= 0 || op->batch <= 0) {
+    *err = "op sizes must be positive";
+    return false;
+  }
+  std::ostringstream name;
+  name << schedule::OpFamilyName(op->family) << "_" << op->m << "x" << op->n
+       << "x" << op->k;
+  op->name = name.str();
+  return true;
+}
+
+// {"tb":[m,n,k],"warp":[m,n,k],"smem":..,"reg":..,...}; only "tb" is
+// required, everything else keeps the ScheduleConfig default.
+bool ParseConfigJson(const JsonValue& config, schedule::ScheduleConfig* out,
+                     std::string* err) {
+  auto triple = [&](const char* key, int64_t* a, int64_t* b, int64_t* c,
+                    bool required) {
+    const JsonValue* v = config.Find(key);
+    if (v == nullptr) return !required;
+    if (v->kind != JsonValue::Kind::kArray || v->array.size() != 3) {
+      return false;
+    }
+    *a = static_cast<int64_t>(v->array[0].NumberOr(0));
+    *b = static_cast<int64_t>(v->array[1].NumberOr(0));
+    *c = static_cast<int64_t>(v->array[2].NumberOr(0));
+    return *a > 0 && *b > 0 && *c > 0;
+  };
+  if (!triple("tb", &out->tile.tb_m, &out->tile.tb_n, &out->tile.tb_k,
+              /*required=*/true)) {
+    *err = "config needs \"tb\":[m,n,k]";
+    return false;
+  }
+  // Default warp tile: one warp owning the whole threadblock tile is
+  // rarely valid, so default to the tb tile split 2x2 when divisible.
+  out->tile.warp_m = out->tile.tb_m % 2 == 0 ? out->tile.tb_m / 2 : out->tile.tb_m;
+  out->tile.warp_n = out->tile.tb_n % 2 == 0 ? out->tile.tb_n / 2 : out->tile.tb_n;
+  out->tile.warp_k = out->tile.tb_k;
+  if (!triple("warp", &out->tile.warp_m, &out->tile.warp_n, &out->tile.warp_k,
+              /*required=*/false)) {
+    *err = "\"warp\" must be [m,n,k]";
+    return false;
+  }
+  if (const JsonValue* v = config.Find("smem")) {
+    out->smem_stages = static_cast<int>(v->NumberOr(out->smem_stages));
+  }
+  if (const JsonValue* v = config.Find("reg")) {
+    out->reg_stages = static_cast<int>(v->NumberOr(out->reg_stages));
+  }
+  if (const JsonValue* v = config.Find("split_k")) {
+    out->split_k = static_cast<int>(v->NumberOr(out->split_k));
+  }
+  if (const JsonValue* v = config.Find("raster")) {
+    out->raster_block = static_cast<int>(v->NumberOr(out->raster_block));
+  }
+  if (const JsonValue* v = config.Find("fusion")) {
+    out->inner_fusion = v->BoolOr(out->inner_fusion);
+  }
+  if (const JsonValue* v = config.Find("swizzle")) {
+    out->swizzle = v->BoolOr(out->swizzle);
+  }
+  if (const JsonValue* v = config.Find("async")) {
+    out->async_copies = v->BoolOr(out->async_copies);
+  }
+  return true;
+}
+
+void AppendTimingJson(std::ostringstream* out, const sim::KernelTiming& t) {
+  (*out) << "\"feasible\":" << (t.feasible ? "true" : "false");
+  if (!t.feasible) {
+    (*out) << ",\"reason\":\"" << JsonEscape(t.reason) << "\"";
+    return;
+  }
+  (*out) << ",\"cycles\":" << t.cycles << ",\"microseconds\":"
+         << t.microseconds << ",\"tflops\":" << t.tflops
+         << ",\"threadblocks_per_sm\":" << t.threadblocks_per_sm
+         << ",\"batches\":" << t.batches;
+}
+
+obs::Counter& ServingCounter(const char* name) {
+  return obs::Registry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions options;
+
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};  // interrupts poll() on Stop
+
+  std::thread io_thread;
+  std::thread fast_thread;
+  std::thread slow_thread;
+
+  std::mutex queue_mu;
+  std::condition_variable fast_cv;
+  std::condition_variable slow_cv;
+  std::deque<Request> fast_queue;
+  std::deque<Request> slow_queue;
+
+  std::atomic<bool> stopping{false};
+  std::atomic<uint64_t> served{0};
+  bool started = false;
+
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+
+  // ---------------------------------------------------------------------
+  // IO thread: accept connections, read frames, classify into lanes.
+  // ---------------------------------------------------------------------
+
+  void IoLoop() {
+    std::vector<std::shared_ptr<Conn>> conns;
+    while (!stopping.load(std::memory_order_relaxed)) {
+      std::vector<pollfd> fds;
+      fds.push_back({wake_pipe[0], POLLIN, 0});
+      fds.push_back({listen_fd, POLLIN, 0});
+      for (const auto& conn : conns) fds.push_back({conn->fd, POLLIN, 0});
+      if (::poll(fds.data(), fds.size(), -1) < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (fds[0].revents != 0) break;  // woken by Stop
+      if (fds[1].revents & POLLIN) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) {
+          auto conn = std::make_shared<Conn>();
+          conn->fd = fd;
+          conns.push_back(std::move(conn));
+          continue;  // re-poll with the new fd included
+        }
+      }
+      for (size_t i = 2; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        std::shared_ptr<Conn>& conn = conns[i - 2];
+        std::string payload;
+        if (!ReadFrame(conn->fd, &payload)) {
+          conns.erase(conns.begin() + static_cast<ptrdiff_t>(i - 2));
+          break;  // indices shifted; re-poll
+        }
+        Dispatch(conn, payload);
+      }
+    }
+  }
+
+  void Dispatch(const std::shared_ptr<Conn>& conn, const std::string& payload) {
+    ServingCounter("serving.requests").Increment();
+    served.fetch_add(1, std::memory_order_relaxed);
+    Request request;
+    request.conn = conn;
+    std::optional<JsonValue> body = ParseJson(payload);
+    if (!body.has_value()) {
+      conn->Send(ErrorResponse(0, "malformed JSON"));
+      return;
+    }
+    request.body = std::move(*body);
+    const JsonValue* id = request.body.Find("id");
+    request.id = id == nullptr ? 0 : static_cast<int64_t>(id->NumberOr(0));
+    const JsonValue* method = request.body.Find("method");
+    request.method = method == nullptr ? "" : method->StringOr("");
+    if (FastLane(request)) {
+      ServingCounter("serving.fast_lane").Increment();
+      std::lock_guard<std::mutex> lock(queue_mu);
+      fast_queue.push_back(std::move(request));
+      fast_cv.notify_one();
+    } else {
+      ServingCounter("serving.slow_lane").Increment();
+      std::lock_guard<std::mutex> lock(queue_mu);
+      slow_queue.push_back(std::move(request));
+      slow_cv.notify_one();
+    }
+  }
+
+  // Routing: anything that can be answered without compiling or
+  // searching goes to the fast lane. The probes here are O(1) lookups —
+  // never a compile.
+  bool FastLane(const Request& request) {
+    const std::string& m = request.method;
+    if (m == "ping" || m == "stats" || m == "persist" || m == "load" ||
+        m == "shutdown" || m.empty()) {
+      return true;
+    }
+    if (m == "compile") {
+      schedule::GemmOp op;
+      schedule::ScheduleConfig config;
+      std::string err;
+      const JsonValue* cfg = request.body.Find("config");
+      if (!ParseOpJson(request.body, &op, &err) || cfg == nullptr ||
+          !ParseConfigJson(*cfg, &config, &err)) {
+        return true;  // malformed: answer the error quickly
+      }
+      // Probe without counting (no LRU touch side effects beyond a hit):
+      sim::KernelTiming timing;
+      return sim::ProbeCachedTiming(op, config, options.spec,
+                                    schedule::InlineOrder::kAfterPipelining,
+                                    &timing);
+    }
+    if (m == "tune") {
+      schedule::GemmOp op;
+      std::string err;
+      if (!ParseOpJson(request.body, &op, &err)) return true;
+      const JsonValue* force = request.body.Find("force");
+      if (force != nullptr && force->BoolOr(false)) return false;
+      return tuner::TuningStore::Global().Get(tuner::OpKey(op)).has_value();
+    }
+    return false;  // profile and anything unknown-but-heavy
+  }
+
+  // ---------------------------------------------------------------------
+  // Fast lane.
+  // ---------------------------------------------------------------------
+
+  void FastLoop() {
+    while (true) {
+      Request request;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        fast_cv.wait(lock, [&] {
+          return stopping.load(std::memory_order_relaxed) ||
+                 !fast_queue.empty();
+        });
+        if (fast_queue.empty()) return;  // stopping and drained
+        request = std::move(fast_queue.front());
+        fast_queue.pop_front();
+      }
+      request.conn->Send(HandleFast(request));
+      if (request.method == "shutdown") {
+        RequestStop();
+        return;
+      }
+    }
+  }
+
+  std::string HandleFast(const Request& request) {
+    const std::string& m = request.method;
+    if (m == "ping") {
+      std::ostringstream out;
+      out << "{\"id\":" << request.id << ",\"ok\":true,\"pong\":true}";
+      return out.str();
+    }
+    if (m == "shutdown") {
+      std::ostringstream out;
+      out << "{\"id\":" << request.id << ",\"ok\":true,\"stopping\":true}";
+      return out.str();
+    }
+    if (m == "stats") return HandleStats(request);
+    if (m == "persist" || m == "load") return HandlePersist(request);
+    if (m == "compile") return HandleCompile(request, /*probe_only=*/true);
+    if (m == "tune") return HandleStoredTune(request);
+    return ErrorResponse(request.id, "unknown method \"" + m + "\"");
+  }
+
+  std::string HandleStats(const Request& request) {
+    sim::SimCacheStats stats = sim::GetSimCacheStats();
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"id\":" << request.id << ",\"ok\":true"
+        << ",\"timing_hits\":" << stats.hits
+        << ",\"timing_misses\":" << stats.misses
+        << ",\"timing_entries\":" << stats.entries
+        << ",\"program_entries\":" << stats.program_entries
+        << ",\"program_skeletons\":" << stats.program_skeletons
+        << ",\"resident_bytes\":" << stats.resident_bytes
+        << ",\"budget_bytes\":" << stats.budget_bytes
+        << ",\"evictions\":" << stats.evictions
+        << ",\"disk_hits\":" << stats.disk_hits
+        << ",\"disk_misses\":" << stats.disk_misses
+        << ",\"disk_load_bytes\":" << stats.disk_load_bytes
+        << ",\"stored_tunings\":" << tuner::TuningStore::Global().Size()
+        << ",\"requests\":" << served.load(std::memory_order_relaxed) << "}";
+    return out.str();
+  }
+
+  std::string HandlePersist(const Request& request) {
+    std::string path = options.cache_path;
+    if (const JsonValue* p = request.body.Find("path")) {
+      path = p->StringOr(path);
+    }
+    if (path.empty()) path = DefaultCachePath();
+    PersistStats stats = request.method == "persist"
+                             ? SaveCache(path, options.spec)
+                             : LoadCache(path, options.spec);
+    if (!stats.ok) return ErrorResponse(request.id, stats.error);
+    std::ostringstream out;
+    out << "{\"id\":" << request.id << ",\"ok\":true,\"path\":\""
+        << JsonEscape(path) << "\",\"bytes\":" << stats.bytes
+        << ",\"timings\":" << stats.timings
+        << ",\"programs\":" << stats.programs
+        << ",\"skeletons\":" << stats.skeletons
+        << ",\"tunings\":" << stats.tunings
+        << ",\"skipped\":" << stats.skipped << "}";
+    return out.str();
+  }
+
+  // Warm-restart tune: the store already holds a finished search for
+  // this exact op_key; answer from it in microseconds.
+  std::string HandleStoredTune(const Request& request) {
+    schedule::GemmOp op;
+    std::string err;
+    if (!ParseOpJson(request.body, &op, &err)) {
+      return ErrorResponse(request.id, err);
+    }
+    std::optional<tuner::StoredTuning> stored =
+        tuner::TuningStore::Global().Get(tuner::OpKey(op));
+    if (!stored.has_value()) {
+      // Raced with a concurrent store clear; degrade to an error the
+      // client can retry with "force".
+      return ErrorResponse(request.id, "tuning no longer stored");
+    }
+    std::optional<tuner::StoredTrial> best = stored->Best();
+    if (!best.has_value()) {
+      return ErrorResponse(request.id, "stored tuning has no feasible trial");
+    }
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"id\":" << request.id << ",\"ok\":true,\"op_key\":\""
+        << JsonEscape(stored->op_key) << "\",\"source\":\"store\""
+        << ",\"best_config\":\"" << JsonEscape(best->config.ToString())
+        << "\",\"best_cycles\":" << best->cycles
+        << ",\"trials\":" << stored->trials.size() << "}";
+    return out.str();
+  }
+
+  std::string HandleCompile(const Request& request, bool probe_only) {
+    schedule::GemmOp op;
+    schedule::ScheduleConfig config;
+    std::string err;
+    const JsonValue* cfg = request.body.Find("config");
+    if (!ParseOpJson(request.body, &op, &err)) {
+      return ErrorResponse(request.id, err);
+    }
+    if (cfg == nullptr || !ParseConfigJson(*cfg, &config, &err)) {
+      return ErrorResponse(
+          request.id, err.empty() ? "compile needs a \"config\" object" : err);
+    }
+    sim::KernelTiming timing;
+    if (!sim::ProbeCachedTiming(op, config, options.spec,
+                                schedule::InlineOrder::kAfterPipelining,
+                                &timing)) {
+      if (probe_only) {
+        // Routing raced an eviction; the slow path below is still correct,
+        // just slower than the lane promised.
+        ServingCounter("serving.fast_lane_fallback").Increment();
+      }
+      timing = sim::CachedCompileAndSimulate(op, config, options.spec);
+    }
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"id\":" << request.id << ",\"ok\":true,";
+    AppendTimingJson(&out, timing);
+    out << "}";
+    return out.str();
+  }
+
+  // ---------------------------------------------------------------------
+  // Slow lane: drain-and-batch.
+  // ---------------------------------------------------------------------
+
+  void SlowLoop() {
+    sim::ReplayArena arena;
+    while (true) {
+      std::vector<Request> batch;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        slow_cv.wait(lock, [&] {
+          return stopping.load(std::memory_order_relaxed) ||
+                 !slow_queue.empty();
+        });
+        if (slow_queue.empty()) return;  // stopping and drained
+        while (!slow_queue.empty()) {
+          batch.push_back(std::move(slow_queue.front()));
+          slow_queue.pop_front();
+        }
+      }
+      HandleSlowBatch(batch, &arena);
+    }
+  }
+
+  void HandleSlowBatch(std::vector<Request>& batch, sim::ReplayArena* arena) {
+    // Phase 1 for every compile/profile request in the round (program
+    // cache deduplicates identical triples), then one batched phase-2
+    // replay — programs sharing a skeleton run back-to-back off the
+    // arena's reused layout tables.
+    struct Pending {
+      size_t request_index;
+      schedule::GemmOp op;
+      schedule::ScheduleConfig config;
+      std::shared_ptr<const sim::SimProgram> program;
+    };
+    std::vector<Pending> replays;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Request& request = batch[i];
+      if (request.method != "compile" && request.method != "profile") {
+        continue;
+      }
+      schedule::GemmOp op;
+      schedule::ScheduleConfig config;
+      std::string err;
+      const JsonValue* cfg = request.body.Find("config");
+      if (!ParseOpJson(request.body, &op, &err) || cfg == nullptr ||
+          !ParseConfigJson(*cfg, &config, &err)) {
+        request.conn->Send(ErrorResponse(
+            request.id, err.empty() ? "need op fields and \"config\"" : err));
+        request.method.clear();  // answered
+        continue;
+      }
+      Pending pending;
+      pending.request_index = i;
+      pending.op = op;
+      pending.config = config;
+      pending.program = sim::CachedSimProgram(op, config, options.spec);
+      replays.push_back(std::move(pending));
+    }
+    if (!replays.empty()) {
+      ServingCounter("serving.batched_replays").Add(replays.size());
+      std::vector<const sim::SimProgram*> programs;
+      programs.reserve(replays.size());
+      for (const Pending& pending : replays) {
+        programs.push_back(pending.program.get());
+      }
+      std::vector<sim::KernelTiming> timings =
+          sim::ReplaySimProgramBatch(programs, arena);
+      for (size_t i = 0; i < replays.size(); ++i) {
+        Request& request = batch[replays[i].request_index];
+        // Warm the timing layer so the next identical request is a
+        // fast-lane probe hit (bit-identical: batched replay equals
+        // individual replay).
+        sim::InsertCachedTiming(
+            sim::SimCacheKey(replays[i].op, replays[i].config, options.spec,
+                             schedule::InlineOrder::kAfterPipelining),
+            timings[i]);
+        std::ostringstream out;
+        out.precision(17);
+        out << "{\"id\":" << request.id << ",\"ok\":true,";
+        AppendTimingJson(&out, timings[i]);
+        if (request.method == "profile" && timings[i].feasible) {
+          sim::KernelPmu pmu;
+          sim::ReplaySimProgram(*replays[i].program, arena, &pmu);
+          out << ",\"pmu\":" << sim::PmuToJson(pmu);
+        }
+        out << "}";
+        request.conn->Send(out.str());
+        request.method.clear();  // answered
+      }
+    }
+    for (Request& request : batch) {
+      if (request.method.empty()) continue;
+      if (request.method == "tune") {
+        request.conn->Send(HandleTune(request));
+      } else {
+        request.conn->Send(
+            ErrorResponse(request.id, "unknown method \"" + request.method + "\""));
+      }
+    }
+  }
+
+  std::string HandleTune(const Request& request) {
+    schedule::GemmOp op;
+    std::string err;
+    if (!ParseOpJson(request.body, &op, &err)) {
+      return ErrorResponse(request.id, err);
+    }
+    size_t trials = options.default_trials;
+    if (const JsonValue* t = request.body.Find("trials")) {
+      trials = static_cast<size_t>(t->NumberOr(static_cast<double>(trials)));
+    }
+    bool warm = options.warm_start;
+    if (const JsonValue* w = request.body.Find("warm")) {
+      warm = w->BoolOr(warm);
+    }
+    tuner::TuningTask task =
+        tuner::MakeSimulatorTask(op, options.spec, options.space);
+    if (task.space.empty()) {
+      return ErrorResponse(request.id, "empty schedule space for op");
+    }
+    tuner::XgbOptions xgb;
+    xgb.pretrain_with_analytical = true;
+    xgb.seed = options.seed;
+    tuner::WarmStart warm_start;
+    if (warm) {
+      warm_start = tuner::FindWarmStart(task, tuner::TuningStore::Global());
+      xgb.warm_seeds = warm_start.seeds;
+      if (!warm_start.seeds.empty()) {
+        ServingCounter("serving.warm_starts").Increment();
+      }
+    }
+    tuner::TuningResult result = tuner::XgbTuner(task, trials, xgb);
+    tuner::StoreTuning(task, result, tuner::TuningStore::Global());
+    size_t best = result.BestIndex(task);
+    if (best >= task.space.size()) {
+      return ErrorResponse(request.id, "no feasible schedule found");
+    }
+    double best_cycles = result.BestInFirstK(result.trials.size());
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"id\":" << request.id << ",\"ok\":true,\"op_key\":\""
+        << JsonEscape(tuner::OpKey(op)) << "\",\"source\":\"search\""
+        << ",\"best_config\":\"" << JsonEscape(task.space[best].ToString())
+        << "\",\"best_cycles\":" << best_cycles
+        << ",\"trials\":" << result.trials.size() << ",\"warm_source\":\""
+        << JsonEscape(warm_start.source_op_key) << "\",\"warm_seeds\":"
+        << warm_start.seeds.size() << "}";
+    return out.str();
+  }
+
+  // ---------------------------------------------------------------------
+  // Lifecycle.
+  // ---------------------------------------------------------------------
+
+  void RequestStop() {
+    if (stopping.exchange(true)) return;
+    // Wake the poll loop and both lanes.
+    if (wake_pipe[1] >= 0) {
+      char byte = 'x';
+      ssize_t ignored = ::write(wake_pipe[1], &byte, 1);
+      (void)ignored;
+    }
+    fast_cv.notify_all();
+    slow_cv.notify_all();
+    std::lock_guard<std::mutex> lock(stop_mu);
+    stop_cv.notify_all();
+  }
+};
+
+Server::Server(ServerOptions options) : impl_(std::make_unique<Impl>()) {
+  impl_->options = std::move(options);
+  if (impl_->options.cache_path.empty()) {
+    impl_->options.cache_path = DefaultCachePath();
+  }
+}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start(std::string* error) {
+  Impl& impl = *impl_;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (impl.started) return fail("already started");
+  if (impl.options.socket_path.empty()) return fail("empty socket path");
+
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (impl.options.socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path too long for AF_UNIX");
+  }
+  std::strncpy(addr.sun_path, impl.options.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  // A dead peer mid-write must not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  impl.listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl.listen_fd < 0) return fail("socket() failed");
+  ::unlink(impl.options.socket_path.c_str());  // stale socket from a crash
+  if (::bind(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+    return fail("bind(" + impl.options.socket_path + ") failed");
+  }
+  if (::listen(impl.listen_fd, 64) < 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+    return fail("listen() failed");
+  }
+  if (::pipe(impl.wake_pipe) < 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+    return fail("pipe() failed");
+  }
+
+  // Warm-start the process from the persisted cache when one matches.
+  if (!impl.options.cache_path.empty()) {
+    LoadCache(impl.options.cache_path, impl.options.spec);  // best-effort
+  }
+
+  impl.io_thread = std::thread([&impl] { impl.IoLoop(); });
+  impl.fast_thread = std::thread([&impl] { impl.FastLoop(); });
+  impl.slow_thread = std::thread([&impl] { impl.SlowLoop(); });
+  impl.started = true;
+  return true;
+}
+
+void Server::Wait() {
+  Impl& impl = *impl_;
+  std::unique_lock<std::mutex> lock(impl.stop_mu);
+  impl.stop_cv.wait(
+      lock, [&impl] { return impl.stopping.load(std::memory_order_relaxed); });
+}
+
+void Server::Stop() {
+  Impl& impl = *impl_;
+  if (!impl.started) return;
+  impl.RequestStop();
+  if (impl.io_thread.joinable()) impl.io_thread.join();
+  if (impl.fast_thread.joinable()) impl.fast_thread.join();
+  if (impl.slow_thread.joinable()) impl.slow_thread.join();
+  if (impl.listen_fd >= 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+  }
+  for (int& fd : impl.wake_pipe) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  ::unlink(impl.options.socket_path.c_str());
+  if (impl.options.persist_on_shutdown && !impl.options.cache_path.empty()) {
+    SaveCache(impl.options.cache_path, impl.options.spec);  // best-effort
+  }
+  impl.started = false;
+}
+
+const ServerOptions& Server::options() const { return impl_->options; }
+
+uint64_t Server::requests_served() const {
+  return impl_->served.load(std::memory_order_relaxed);
+}
+
+}  // namespace serving
+}  // namespace alcop

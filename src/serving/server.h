@@ -1,0 +1,87 @@
+// alcopd: the long-lived compile/tune daemon behind tuning-as-a-service.
+//
+// One process owns the warm state — the two-layer sim cache, the interned
+// skeleton pool, the TuningStore, and the persisted on-disk cache — and
+// many clients share it over a unix-domain socket speaking the
+// length-prefixed JSON protocol (serving/protocol.h). Request handling is
+// split into two lanes so a multi-second cold tune can never sit in front
+// of a microsecond cache hit:
+//
+//   fast lane: ping/stats/persist/load/shutdown, compile requests whose
+//     timing is already cached (ProbeCachedTiming routes them without
+//     compiling), and tune requests whose exact op_key is in the
+//     TuningStore (the warm-restart path: the stored best is returned
+//     directly). Hot-shape p99 is bounded by scheduling delay, not by
+//     whatever the slow lane is chewing on.
+//
+//   slow lane: everything that must compile or search. The worker drains
+//     the whole queue each round and batches the compile/profile
+//     requests' phase-2 replays through one ReplaySimProgramBatch call —
+//     programs sharing a skeleton replay back-to-back off one arena, the
+//     same structure-sharing win the tuner gets. Cold tunes run the
+//     XgbTuner (analytical pretrain + warm_seeds from the nearest stored
+//     shape via tuner/transfer.h) and store their result for the next
+//     neighbor.
+//
+// Startup loads the persisted cache if one matches this spec; shutdown
+// saves it — so the daemon's lifetime, not the process's, is the unit of
+// amortization the ROADMAP's serving axis asks for.
+#ifndef ALCOP_SERVING_SERVER_H_
+#define ALCOP_SERVING_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "target/gpu_spec.h"
+#include "tuner/space.h"
+
+namespace alcop {
+namespace serving {
+
+struct ServerOptions {
+  std::string socket_path;
+  target::GpuSpec spec;
+  // Search defaults for `tune` requests that do not override them.
+  size_t default_trials = 32;
+  tuner::SpaceOptions space;
+  bool warm_start = true;  // seed searches from the TuningStore
+  uint64_t seed = 0;       // XgbTuner seed (deterministic service)
+  // On-disk cache: loaded (if compatible) at Start, saved at Stop.
+  // Empty = DefaultCachePath() ($ALCOP_CACHE_DIR); if that is also empty,
+  // persistence is disabled.
+  std::string cache_path;
+  bool persist_on_shutdown = true;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the socket and starts the IO + lane threads. False (with
+  // `error` filled) if the path is unusable.
+  bool Start(std::string* error = nullptr);
+
+  // Blocks until a shutdown request arrives (or Stop is called).
+  void Wait();
+
+  // Stops the daemon: closes the socket, drains the lanes, joins the
+  // threads, persists the cache (per options). Idempotent.
+  void Stop();
+
+  const ServerOptions& options() const;
+  uint64_t requests_served() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace serving
+}  // namespace alcop
+
+#endif  // ALCOP_SERVING_SERVER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -337,6 +338,11 @@ struct SkeletonPool {
       buckets;
   uint64_t interns = 0;
   uint64_t shared = 0;
+  uint64_t compactions = 0;
+  uint64_t dropped = 0;
+  // Resident bytes mirrored outside the lock for the sim cache's budget
+  // check (exact under the lock, relaxed for readers).
+  std::atomic<uint64_t> approx_bytes{0};
 };
 
 SkeletonPool& GlobalSkeletonPool() {
@@ -386,6 +392,9 @@ std::shared_ptr<const MicroOpSkeleton> InternSkeleton(
   }
   bucket.push_back(
       std::make_shared<const MicroOpSkeleton>(std::move(skeleton)));
+  pool.approx_bytes.fetch_add(
+      static_cast<uint64_t>(bucket.back()->MemoryBytes()),
+      std::memory_order_relaxed);
   return bucket.back();
 }
 
@@ -395,6 +404,8 @@ SkeletonPoolStats GetSkeletonPoolStats() {
   SkeletonPoolStats stats;
   stats.interns = pool.interns;
   stats.shared = pool.shared;
+  stats.compactions = pool.compactions;
+  stats.dropped = pool.dropped;
   for (const auto& [hash, bucket] : pool.buckets) {
     stats.skeletons += bucket.size();
     for (const std::shared_ptr<const MicroOpSkeleton>& s : bucket) {
@@ -410,6 +421,39 @@ void ResetSkeletonPool() {
   pool.buckets.clear();
   pool.interns = 0;
   pool.shared = 0;
+  pool.compactions = 0;
+  pool.dropped = 0;
+  pool.approx_bytes.store(0, std::memory_order_relaxed);
+}
+
+uint64_t CompactSkeletonPool() {
+  SkeletonPool& pool = GlobalSkeletonPool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  ++pool.compactions;
+  uint64_t dropped = 0;
+  uint64_t dropped_bytes = 0;
+  for (auto it = pool.buckets.begin(); it != pool.buckets.end();) {
+    std::vector<std::shared_ptr<const MicroOpSkeleton>>& bucket = it->second;
+    for (size_t i = bucket.size(); i > 0; --i) {
+      // use_count() == 1 means the pool holds the only reference: no
+      // cached program and no in-flight replay can reach this skeleton.
+      // (A racing CachedSimProgram cannot resurrect it — interning
+      // happens under this same mutex.)
+      if (bucket[i - 1].use_count() == 1) {
+        dropped_bytes += static_cast<uint64_t>(bucket[i - 1]->MemoryBytes());
+        bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(i - 1));
+        ++dropped;
+      }
+    }
+    it = bucket.empty() ? pool.buckets.erase(it) : std::next(it);
+  }
+  pool.dropped += dropped;
+  pool.approx_bytes.fetch_sub(dropped_bytes, std::memory_order_relaxed);
+  return dropped;
+}
+
+uint64_t ApproxSkeletonPoolBytes() {
+  return GlobalSkeletonPool().approx_bytes.load(std::memory_order_relaxed);
 }
 
 MicroOpProgram CompileTraceProgram(const ir::Stmt& program, int num_warps,

@@ -161,9 +161,25 @@ struct SkeletonPoolStats {
   uint64_t bytes = 0;      // their total footprint
   uint64_t interns = 0;    // InternSkeleton calls
   uint64_t shared = 0;     // calls that found an existing equal skeleton
+  uint64_t compactions = 0;  // CompactSkeletonPool calls
+  uint64_t dropped = 0;      // orphan skeletons dropped by compaction
 };
 SkeletonPoolStats GetSkeletonPoolStats();
 void ResetSkeletonPool();
+
+// Arena compaction for the intern pool: drops every skeleton whose only
+// remaining reference is the pool itself (its programs were evicted or
+// destroyed), returning the number dropped. In-flight programs keep
+// their skeletons alive through their shared_ptrs, so compaction can
+// never invalidate a replay. The sim cache calls this after LRU
+// eviction so orphaned instruction arenas do not count against the
+// ALCOP_CACHE_BYTES budget forever.
+uint64_t CompactSkeletonPool();
+
+// The pool's resident bytes as a relaxed atomic (maintained by
+// intern/compact/reset), so the sim cache's budget check on every insert
+// does not take the pool mutex.
+uint64_t ApproxSkeletonPoolBytes();
 
 // The compiled program: a shared structural skeleton plus this config's
 // numeric operands — the interned patch-table rows the skeleton's

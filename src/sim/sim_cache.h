@@ -28,12 +28,33 @@
 // and resets (hammered by the TSan-covered snapshot test). They feed the
 // throughput benches, the cache tests, and the obs metrics registry
 // (`sim.cache.*` callback gauges).
+//
+// Residency is bounded: under an ALCOP_CACHE_BYTES budget (or
+// SetSimCacheBudgetBytes) both layers evict least-recently-used entries.
+// Recency is a per-shard tick clock bumped in the same critical section
+// as the map touch; an insert that pushes the resident footprint —
+// timing entries + per-config program tables + the skeleton pool counted
+// once — over budget evicts the stalest entries of its own shard (only
+// that shard's lock is held, so eviction never blocks other shards; if
+// that shard alone cannot free enough, a follow-up pass visits the other
+// shards one lock at a time) and compacts the skeleton intern pool so
+// orphaned instruction arenas are returned too. Shared-ptr hand-out makes eviction safe against
+// in-flight replays, and warm replay stays zero-allocation: eviction
+// only drops ownership, it never touches a caller's ReplayArena.
+//
+// The persistence layer (serving/persist.h) round-trips both layers
+// through SnapshotCachedTimings/SnapshotCachedPrograms and the
+// InsertCached* entry points; its disk hit/miss/byte counters are
+// carried here so `sim.cache.disk.*` renders alongside the in-memory
+// gauges.
 #ifndef ALCOP_SIM_SIM_CACHE_H_
 #define ALCOP_SIM_SIM_CACHE_H_
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/launch.h"
 
@@ -62,6 +83,26 @@ struct SimCacheStats {
   // (program_bytes + skeleton_bytes).
   uint64_t program_bytes_unshared = 0;
 
+  // LRU accounting. timing_bytes is the timing layer's footprint (keys,
+  // reasons, entry structs); resident_bytes is what the budget bounds:
+  // timing_bytes + program-layer bytes (keys + patch tables) + the
+  // skeleton *pool* bytes counted once per pool — never once per sharing
+  // program, and including orphans awaiting compaction, so the gauge can
+  // only over-report vs. the budget, not under-report.
+  uint64_t timing_bytes = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t budget_bytes = 0;  // 0 = unbounded
+  uint64_t evictions = 0;     // timing_evictions + program_evictions
+  uint64_t timing_evictions = 0;
+  uint64_t program_evictions = 0;
+
+  // Persistent-store counters (maintained by serving/persist.cc via
+  // AddSimCacheDiskStats): entries served from / missing in the on-disk
+  // cache, and payload bytes deserialized on load.
+  uint64_t disk_hits = 0;
+  uint64_t disk_misses = 0;
+  uint64_t disk_load_bytes = 0;
+
   double HitRate() const {
     uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -89,6 +130,17 @@ std::shared_ptr<const SimProgram> CachedSimProgram(
     schedule::InlineOrder inline_order =
         schedule::InlineOrder::kAfterPipelining);
 
+// Lookup-only probe of the timing layer: fills `out` and counts a hit
+// (with an LRU touch) when the triple is cached; counts nothing when
+// absent — the caller's eventual CachedCompileAndSimulate counts the
+// miss. The serving fast lane uses this to route cache-hot requests
+// without ever paying a compile on the latency-critical path.
+bool ProbeCachedTiming(const schedule::GemmOp& op,
+                       const schedule::ScheduleConfig& config,
+                       const target::GpuSpec& spec,
+                       schedule::InlineOrder inline_order,
+                       KernelTiming* out);
+
 // CompileAndSimulate through the process-wide cache. A timing miss
 // replays the (cached) program rather than re-walking the IR.
 KernelTiming CachedCompileAndSimulate(
@@ -101,8 +153,44 @@ KernelTiming CachedCompileAndSimulate(
 SimCacheStats GetSimCacheStats();
 
 // Drops every entry and zeroes the counters (tests and benches that need
-// a cold cache).
+// a cold cache). The byte budget itself is NOT reset — it is
+// configuration, not state.
 void ResetSimCache();
+
+// ---------------------------------------------------------------------------
+// Residency budget.
+// ---------------------------------------------------------------------------
+
+// Caps the resident footprint (see SimCacheStats::resident_bytes). 0
+// disables eviction. The initial value comes from the ALCOP_CACHE_BYTES
+// environment variable (unset/unparsable = unbounded); SetSimCacheBudget-
+// Bytes overrides it at runtime and applies to subsequent inserts.
+void SetSimCacheBudgetBytes(uint64_t bytes);
+uint64_t GetSimCacheBudgetBytes();
+
+// ---------------------------------------------------------------------------
+// Persistence hooks (serving/persist.h).
+// ---------------------------------------------------------------------------
+
+// Consistent copies of each layer under the all-shards lock, for
+// serialization. Program entries are shared_ptrs, so a snapshot stays
+// valid while eviction proceeds underneath it.
+std::vector<std::pair<std::string, KernelTiming>> SnapshotCachedTimings();
+std::vector<std::pair<std::string, std::shared_ptr<const SimProgram>>>
+SnapshotCachedPrograms();
+
+// Seed an entry loaded from disk. Counts neither hit nor miss (the disk
+// layer has its own counters); an existing in-memory entry for the key
+// wins — the live cache is never clobbered by a stale load. Subject to
+// the same LRU budget as compiled entries.
+void InsertCachedTiming(const std::string& key, const KernelTiming& timing);
+void InsertCachedProgram(const std::string& key,
+                         std::shared_ptr<const SimProgram> program);
+
+// Accumulates persistent-store counters into the sim.cache.disk.* gauges
+// (relaxed; called by the persistence layer, read by stats snapshots).
+void AddSimCacheDiskStats(uint64_t hits, uint64_t misses,
+                          uint64_t load_bytes);
 
 }  // namespace sim
 }  // namespace alcop

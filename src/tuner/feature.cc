@@ -1,6 +1,7 @@
 #include "tuner/feature.h"
 
 #include <cmath>
+#include <limits>
 
 #include "schedule/lower.h"
 #include "support/check.h"
@@ -51,6 +52,29 @@ std::vector<double> ExtractFeatures(const schedule::GemmOp& op,
   };
   ALCOP_CHECK_EQ(static_cast<int>(features.size()), kNumFeatures);
   return features;
+}
+
+std::vector<double> CanonicalSignature(const schedule::GemmOp& op,
+                                       const target::GpuSpec& spec) {
+  // The default-constructed config is the fixed reference point: every
+  // workload is featurized under the same schedule, so signature distance
+  // compares problem structure, never tuning choices. ExtractFeatures is
+  // total (Log2 clamps non-positive terms), so this holds even for shapes
+  // the reference tile does not divide.
+  return ExtractFeatures(op, schedule::ScheduleConfig{}, spec);
+}
+
+double SignatureDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
 }
 
 const std::vector<std::string>& FeatureNames() {

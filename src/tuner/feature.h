@@ -24,6 +24,18 @@ std::vector<double> ExtractFeatures(const schedule::GemmOp& op,
 // Names, index-aligned with ExtractFeatures (for diagnostics).
 const std::vector<std::string>& FeatureNames();
 
+// Shape signature for warm-start transfer: the feature vector of the op
+// under one fixed reference schedule, so the config contribution cancels
+// and the L2 distance between two signatures orders workloads purely by
+// problem structure (family, sizes, arithmetic intensity, occupancy
+// pressure). Same op + spec => identical signature.
+std::vector<double> CanonicalSignature(const schedule::GemmOp& op,
+                                       const target::GpuSpec& spec);
+
+// Euclidean distance between signatures (+inf on dimension mismatch).
+double SignatureDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
 }  // namespace tuner
 }  // namespace alcop
 

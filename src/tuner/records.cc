@@ -1,7 +1,9 @@
 #include "tuner/records.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <utility>
 
 #include "schedule/tensor.h"
 
@@ -103,6 +105,50 @@ std::optional<TuningRecord> FromJsonLine(const std::string& line) {
   record.config.inner_fusion = fusion != 0;
   record.config.swizzle = swizzle != 0;
   return record;
+}
+
+std::optional<StoredTrial> StoredTuning::Best() const {
+  std::optional<StoredTrial> best;
+  for (const StoredTrial& trial : trials) {
+    if (!std::isfinite(trial.cycles)) continue;
+    if (!best.has_value() || trial.cycles < best->cycles) best = trial;
+  }
+  return best;
+}
+
+TuningStore& TuningStore::Global() {
+  static TuningStore* store = new TuningStore();  // leaked: outlives threads
+  return *store;
+}
+
+void TuningStore::Put(StoredTuning tuning) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[tuning.op_key] = std::move(tuning);
+}
+
+std::optional<StoredTuning> TuningStore::Get(const std::string& op_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(op_key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<StoredTuning> TuningStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StoredTuning> out;
+  out.reserve(map_.size());
+  for (const auto& [key, tuning] : map_) out.push_back(tuning);
+  return out;
+}
+
+size_t TuningStore::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void TuningStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
 }
 
 void RecordLog::Append(TuningRecord record) {

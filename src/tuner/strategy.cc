@@ -288,6 +288,56 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
 
   if (options.pretrain_with_analytical) refit(-1);  // prior knowledge only
 
+  // Warm-start seeds: measured as one batch before the first proposal
+  // round. They consume trial budget like any other batch, and the refit
+  // below means the main loop starts model-guided instead of from the
+  // cold-start random round.
+  if (!options.warm_seeds.empty()) {
+    std::vector<size_t> seeds;
+    for (size_t index : options.warm_seeds) {
+      if (index >= task.space.size()) continue;
+      if (measured_set.count(index) != 0) continue;
+      if (seeds.size() >= max_trials) break;
+      if (std::find(seeds.begin(), seeds.end(), index) != seeds.end()) {
+        continue;
+      }
+      seeds.push_back(index);
+    }
+    if (!seeds.empty()) {
+      if (options.logger) {
+        for (size_t i = 0; i < seeds.size(); ++i) {
+          TrialEvent event;
+          event.kind = TrialEvent::Kind::kProposed;
+          event.round = -1;
+          event.trial = result.trials.size() + i;
+          event.space_index = seeds[i];
+          event.config = task.space[seeds[i]].ToString();
+          event.predicted_score = std::numeric_limits<double>::quiet_NaN();
+          event.analytical_cycles =
+              perfmodel::PredictCycles(task.op, task.space[seeds[i]], task.spec);
+          options.logger(event);
+        }
+      }
+      std::vector<double> seed_cycles = support::ParallelMap(
+          seeds.size(), [&](size_t i) { return task.measure(task.space[seeds[i]]); });
+      for (size_t i = 0; i < seeds.size(); ++i) {
+        if (options.logger) {
+          TrialEvent event;
+          event.kind = TrialEvent::Kind::kMeasured;
+          event.round = -1;
+          event.trial = result.trials.size();
+          event.space_index = seeds[i];
+          event.measured_cycles = seed_cycles[i];
+          options.logger(event);
+        }
+        result.trials.push_back(seeds[i]);
+        result.measured.push_back(seed_cycles[i]);
+        measured_set.insert(seeds[i]);
+      }
+      refit(-1);
+    }
+  }
+
   static obs::Counter& rounds =
       obs::Registry::Global().GetCounter("tuner.rounds");
   static obs::Counter& trials =

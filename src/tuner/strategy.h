@@ -104,6 +104,15 @@ struct XgbOptions {
   double pretrain_weight = 0.25;
   // Search telemetry sink (see TrialEvent); unset = no logging cost.
   std::function<void(const TrialEvent&)> logger;
+  // Warm-start transfer (tuner/transfer.h): space indices measured as the
+  // first batch, before any proposal round, and folded into the refit —
+  // so a warm model replaces the cold-start random round. Purely
+  // additive: with no seeds the search is bit-identical to a cold run
+  // (the Rng is never consumed by seeding), and because seeds are real
+  // measurements in the same TuningResult, best-found can only improve.
+  // Out-of-range and duplicate indices are ignored. Logged with
+  // round = -1 (like the analytical pretrain, they precede round 0).
+  std::vector<size_t> warm_seeds;
 };
 
 TuningResult XgbTuner(const TuningTask& task, size_t max_trials,

@@ -1,0 +1,88 @@
+#include "tuner/transfer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "tuner/feature.h"
+
+namespace alcop {
+namespace tuner {
+
+WarmStart FindWarmStart(const TuningTask& task, const TuningStore& store,
+                        size_t top_k) {
+  WarmStart warm;
+  if (task.space.empty() || top_k == 0) return warm;
+  const std::string op_key = OpKey(task.op);
+  const std::vector<double> signature = CanonicalSignature(task.op, task.spec);
+
+  // Nearest stored shape; an exact op_key match is distance 0 by
+  // construction (same op, same spec => same signature), and key-ordered
+  // snapshot + strict < make ties deterministic.
+  std::vector<StoredTuning> stored = store.Snapshot();
+  const StoredTuning* best = nullptr;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const StoredTuning& tuning : stored) {
+    const double d = tuning.op_key == op_key
+                         ? 0.0
+                         : SignatureDistance(signature, tuning.signature);
+    if (d < best_distance) {
+      best_distance = d;
+      best = &tuning;
+    }
+  }
+  if (best == nullptr) return warm;
+
+  // The neighbor's measured trials, best-first, mapped into this task's
+  // space by ToString identity. Configs the space does not enumerate are
+  // dropped (a different shape legitimately has different tile divisors).
+  std::unordered_map<std::string, size_t> by_string;
+  by_string.reserve(task.space.size());
+  for (size_t i = 0; i < task.space.size(); ++i) {
+    by_string.emplace(task.space[i].ToString(), i);
+  }
+  std::vector<const StoredTrial*> ranked;
+  ranked.reserve(best->trials.size());
+  for (const StoredTrial& trial : best->trials) {
+    if (std::isfinite(trial.cycles)) ranked.push_back(&trial);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const StoredTrial* a, const StoredTrial* b) {
+                     return a->cycles < b->cycles;
+                   });
+  for (const StoredTrial* trial : ranked) {
+    if (warm.seeds.size() >= top_k) break;
+    auto it = by_string.find(trial->config.ToString());
+    if (it == by_string.end()) continue;
+    if (std::find(warm.seeds.begin(), warm.seeds.end(), it->second) !=
+        warm.seeds.end()) {
+      continue;
+    }
+    warm.seeds.push_back(it->second);
+  }
+  if (warm.seeds.empty()) return warm;  // nothing mapped: stay cold
+  warm.source_op_key = best->op_key;
+  warm.distance = best_distance;
+  return warm;
+}
+
+void StoreTuning(const TuningTask& task, const TuningResult& result,
+                 TuningStore& store) {
+  if (result.trials.empty()) return;
+  StoredTuning tuning;
+  tuning.op_key = OpKey(task.op);
+  tuning.op = task.op;
+  tuning.signature = CanonicalSignature(task.op, task.spec);
+  tuning.trials.reserve(result.trials.size());
+  for (size_t i = 0; i < result.trials.size(); ++i) {
+    StoredTrial trial;
+    trial.config = task.space[result.trials[i]];
+    trial.cycles = result.measured[i];
+    tuning.trials.push_back(std::move(trial));
+  }
+  store.Put(std::move(tuning));
+}
+
+}  // namespace tuner
+}  // namespace alcop

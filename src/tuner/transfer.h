@@ -1,0 +1,57 @@
+// Warm-start transfer: seed a new search from the nearest completed one.
+//
+// The Halide GPU autoscheduler and TVM's tuning logs both show the same
+// economics — most of a search's cost buys knowledge that transfers
+// across similar problem shapes. We make that transfer explicit: every
+// completed search is stored (tuner/records.h TuningStore) together with
+// its CanonicalSignature, and a new task asks for the nearest stored
+// shape by L2 signature distance. The neighbor's best-measured configs
+// are mapped into the new task's enumerated space (by ToString identity;
+// configs the new space does not contain are dropped) and handed to
+// XgbTuner as warm_seeds: measured as the first batch, before any
+// model-guided round, so the cost model starts from transferred truth
+// instead of random samples.
+//
+// The transfer is gated to never worsen best-found: seeds are real
+// measurements folded into the same TuningResult, so the warm search's
+// best is min(seed best, searched best) — a bad neighbor costs trial
+// budget, never correctness — and an exact op_key match replays the
+// previous best directly (the warm-restart case).
+#ifndef ALCOP_TUNER_TRANSFER_H_
+#define ALCOP_TUNER_TRANSFER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tuner/records.h"
+#include "tuner/strategy.h"
+
+namespace alcop {
+namespace tuner {
+
+struct WarmStart {
+  // op_key of the stored tuning the seeds came from; empty = cold (store
+  // had nothing usable).
+  std::string source_op_key;
+  double distance = 0.0;  // signature distance to the source
+  // Space indices of the transferred configs, best-first (XgbOptions::
+  // warm_seeds format).
+  std::vector<size_t> seeds;
+};
+
+// Picks the nearest stored shape (exact op_key match wins at distance 0)
+// and maps its top_k best finite-cycles configs into `task.space`.
+// Returns a cold WarmStart if the store is empty or nothing maps.
+WarmStart FindWarmStart(const TuningTask& task, const TuningStore& store,
+                        size_t top_k = 8);
+
+// Stores a completed search for future transfer (converts space indices
+// to explicit configs and attaches the canonical signature).
+void StoreTuning(const TuningTask& task, const TuningResult& result,
+                 TuningStore& store);
+
+}  // namespace tuner
+}  // namespace alcop
+
+#endif  // ALCOP_TUNER_TRANSFER_H_

@@ -1,0 +1,312 @@
+// Tests of the alcopd serving stack: the wire protocol (framing + JSON
+// subset), the client, and an end-to-end daemon on a unix socket —
+// fast-lane routing, slow-lane batched compiles, warm-started tuning and
+// the stored-tuning warm-restart path.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "schedule/tensor.h"
+#include "serving/client.h"
+#include "serving/persist.h"
+#include "serving/protocol.h"
+#include "serving/server.h"
+#include "sim/sim_cache.h"
+#include "target/gpu_spec.h"
+#include "tuner/records.h"
+
+namespace alcop {
+namespace {
+
+using serving::JsonValue;
+using serving::ParseJson;
+
+TEST(ProtocolJsonTest, ParsesScalarsObjectsAndArrays) {
+  std::optional<JsonValue> v = ParseJson(
+      "{\"id\": 7, \"ok\": true, \"name\": \"a\\\"b\", \"x\": null, "
+      "\"tb\": [128, 64, 32], \"f\": -1.5e3}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Find("id")->NumberOr(0), 7.0);
+  EXPECT_TRUE(v->Find("ok")->BoolOr(false));
+  EXPECT_EQ(v->Find("name")->StringOr(""), "a\"b");
+  EXPECT_EQ(v->Find("x")->kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(v->Find("tb")->array.size(), 3u);
+  EXPECT_EQ(v->Find("tb")->array[1].NumberOr(0), 64.0);
+  EXPECT_EQ(v->Find("f")->NumberOr(0), -1500.0);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(ProtocolJsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "{\"a\":}", "{\"a\":1,}", "[1,2", "{\"a\" 1}", "tru",
+        "{\"a\":1} extra", "\"unterminated"}) {
+    EXPECT_FALSE(ParseJson(bad).has_value()) << bad;
+  }
+}
+
+TEST(ProtocolJsonTest, DepthIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).has_value());
+}
+
+TEST(ProtocolJsonTest, EscapeRoundTripsThroughParser) {
+  std::string nasty = "a\"b\\c\nd\te\rf";
+  std::string doc = "{\"s\": \"" + serving::JsonEscape(nasty) + "\"}";
+  std::optional<JsonValue> v = ParseJson(doc);
+  ASSERT_TRUE(v.has_value()) << doc;
+  EXPECT_EQ(v->Find("s")->StringOr(""), nasty);
+}
+
+TEST(ProtocolFrameTest, RoundTripsOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string big(100000, 'x');
+  for (const std::string& payload : {std::string("{}"), std::string(), big}) {
+    ASSERT_TRUE(serving::WriteFrame(fds[0], payload));
+    std::string read_back;
+    ASSERT_TRUE(serving::ReadFrame(fds[1], &read_back));
+    EXPECT_EQ(read_back, payload);
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ProtocolFrameTest, OversizedLengthPrefixIsRejected) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  uint32_t huge = serving::kMaxFrameBytes + 1;
+  ASSERT_EQ(::write(fds[0], &huge, sizeof(huge)),
+            static_cast<ssize_t>(sizeof(huge)));
+  std::string payload;
+  EXPECT_FALSE(serving::ReadFrame(fds[1], &payload));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end daemon tests.
+// ---------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::ResetSimCache();
+    tuner::TuningStore::Global().Clear();
+    socket_path_ =
+        ::testing::TempDir() + "/alcopd_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".sock";
+    // TempDir test names can push an AF_UNIX path past sun_path; keep it
+    // short instead of silently truncating.
+    if (socket_path_.size() >= 100) {
+      socket_path_ = "/tmp/alcopd_test_" + std::to_string(::getpid()) + ".sock";
+    }
+    options_.socket_path = socket_path_;
+    options_.spec = target::AmpereSpec();
+    options_.default_trials = 6;
+    options_.space.tb_m = {64, 128};
+    options_.space.tb_n = {64};
+    options_.space.tb_k = {32};
+    options_.cache_path = "";  // no persistence unless a test opts in
+    options_.persist_on_shutdown = false;
+  }
+
+  void TearDown() override {
+    std::remove(socket_path_.c_str());
+    sim::ResetSimCache();
+    tuner::TuningStore::Global().Clear();
+  }
+
+  std::string socket_path_;
+  serving::ServerOptions options_;
+};
+
+TEST_F(ServerTest, PingStatsAndErrorPaths) {
+  serving::Server server(options_);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  serving::Client client;
+  ASSERT_TRUE(client.Connect(socket_path_, &error)) << error;
+
+  std::optional<JsonValue> pong = client.Call("{\"id\":1,\"method\":\"ping\"}");
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->Find("ok")->BoolOr(false));
+  EXPECT_EQ(pong->Find("id")->NumberOr(0), 1.0);
+
+  std::optional<JsonValue> stats =
+      client.Call("{\"id\":2,\"method\":\"stats\"}");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->Find("ok")->BoolOr(false));
+  EXPECT_NE(stats->Find("resident_bytes"), nullptr);
+
+  std::optional<JsonValue> bad = client.Call("{\"id\":3,\"method\":\"nope\"}");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(bad->Find("ok")->BoolOr(true));
+  EXPECT_NE(bad->Find("error")->StringOr("").find("unknown method"),
+            std::string::npos);
+
+  std::optional<JsonValue> malformed = client.Call("this is not json");
+  ASSERT_TRUE(malformed.has_value());
+  EXPECT_FALSE(malformed->Find("ok")->BoolOr(true));
+
+  server.Stop();
+}
+
+TEST_F(ServerTest, CompileMissesThenHitsFastLane) {
+  serving::Server server(options_);
+  ASSERT_TRUE(server.Start());
+  serving::Client client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+
+  std::string request =
+      "{\"id\":1,\"method\":\"compile\",\"m\":512,\"n\":512,\"k\":512,"
+      "\"config\":{\"tb\":[128,128,32],\"warp\":[64,64,16],\"smem\":2}}";
+  std::optional<JsonValue> cold = client.Call(request);
+  ASSERT_TRUE(cold.has_value());
+  ASSERT_TRUE(cold->Find("ok")->BoolOr(false))
+      << cold->Find("error")->StringOr("");
+  ASSERT_TRUE(cold->Find("feasible")->BoolOr(false));
+  double cold_cycles = cold->Find("cycles")->NumberOr(0);
+  EXPECT_GT(cold_cycles, 0);
+
+  // Second time through: the timing is cached, the fast lane answers,
+  // and the value is identical.
+  std::optional<JsonValue> warm = client.Call(request);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->Find("cycles")->NumberOr(-1), cold_cycles);
+
+  sim::SimCacheStats stats = sim::GetSimCacheStats();
+  EXPECT_GE(stats.hits, 1u);
+
+  std::optional<JsonValue> invalid = client.Call(
+      "{\"id\":9,\"method\":\"compile\",\"m\":512,\"n\":512,\"k\":512}");
+  ASSERT_TRUE(invalid.has_value());
+  EXPECT_FALSE(invalid->Find("ok")->BoolOr(true));
+  server.Stop();
+}
+
+TEST_F(ServerTest, BatchedCompilesFromConcurrentClientsAllAnswer) {
+  serving::Server server(options_);
+  ASSERT_TRUE(server.Start());
+
+  // Several clients slam the slow lane at once; the worker drains them
+  // as one batched replay round. Every request must get its own answer.
+  std::vector<std::thread> clients;
+  std::vector<double> cycles(6, 0.0);
+  for (int i = 0; i < 6; ++i) {
+    clients.emplace_back([&, i] {
+      serving::Client client;
+      ASSERT_TRUE(client.Connect(socket_path_));
+      std::string request =
+          "{\"id\":" + std::to_string(i) +
+          ",\"method\":\"compile\",\"m\":512,\"n\":512,\"k\":" +
+          std::to_string(512 + 128 * i) +
+          ",\"config\":{\"tb\":[128,128,32],\"warp\":[64,64,16],"
+          "\"smem\":2}}";
+      std::optional<JsonValue> response = client.Call(request);
+      ASSERT_TRUE(response.has_value());
+      ASSERT_TRUE(response->Find("ok")->BoolOr(false));
+      EXPECT_EQ(response->Find("id")->NumberOr(-1), i);
+      cycles[static_cast<size_t>(i)] = response->Find("cycles")->NumberOr(0);
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (double c : cycles) EXPECT_GT(c, 0.0);
+
+  // Batched replay must be bit-identical to the direct path.
+  schedule::ScheduleConfig config;
+  config.tile = {128, 128, 32, 64, 64, 16};
+  config.smem_stages = 2;
+  sim::KernelTiming direct = sim::CachedCompileAndSimulate(
+      schedule::MakeMatmul("mm", 512, 512, 640), config, options_.spec);
+  EXPECT_EQ(cycles[1], direct.cycles);
+  server.Stop();
+}
+
+TEST_F(ServerTest, TuneSearchesThenWarmRestartsFromStore) {
+  serving::Server server(options_);
+  ASSERT_TRUE(server.Start());
+  serving::Client client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+
+  std::string request =
+      "{\"id\":1,\"method\":\"tune\",\"m\":512,\"n\":768,\"k\":1024}";
+  std::optional<JsonValue> cold = client.Call(request);
+  ASSERT_TRUE(cold.has_value());
+  ASSERT_TRUE(cold->Find("ok")->BoolOr(false))
+      << cold->Find("error")->StringOr("");
+  EXPECT_EQ(cold->Find("source")->StringOr(""), "search");
+  double best = cold->Find("best_cycles")->NumberOr(0);
+  EXPECT_GT(best, 0);
+
+  // Same shape again: answered from the TuningStore without a search,
+  // with the identical best.
+  std::optional<JsonValue> warm = client.Call(request);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->Find("source")->StringOr(""), "store");
+  EXPECT_EQ(warm->Find("best_cycles")->NumberOr(-1), best);
+
+  // A neighboring shape warm-starts from the stored one.
+  std::optional<JsonValue> neighbor = client.Call(
+      "{\"id\":2,\"method\":\"tune\",\"m\":512,\"n\":768,\"k\":1280}");
+  ASSERT_TRUE(neighbor.has_value());
+  ASSERT_TRUE(neighbor->Find("ok")->BoolOr(false));
+  EXPECT_EQ(neighbor->Find("source")->StringOr(""), "search");
+  EXPECT_EQ(neighbor->Find("warm_source")->StringOr(""),
+            "matmul/1/512x768x1024");
+  EXPECT_GT(neighbor->Find("warm_seeds")->NumberOr(0), 0);
+
+  // force re-runs the search even for a stored shape, and never returns
+  // a worse best than the store (the seeds replay the stored best).
+  std::optional<JsonValue> forced = client.Call(
+      "{\"id\":3,\"method\":\"tune\",\"m\":512,\"n\":768,\"k\":1024,"
+      "\"force\":true}");
+  ASSERT_TRUE(forced.has_value());
+  ASSERT_TRUE(forced->Find("ok")->BoolOr(false));
+  EXPECT_EQ(forced->Find("source")->StringOr(""), "search");
+  EXPECT_LE(forced->Find("best_cycles")->NumberOr(1e30), best);
+  server.Stop();
+}
+
+TEST_F(ServerTest, ShutdownMethodStopsTheDaemonAndPersists) {
+  options_.cache_path = ::testing::TempDir() + "/alcopd_shutdown_cache.alcp";
+  std::remove(options_.cache_path.c_str());
+  options_.persist_on_shutdown = true;
+
+  serving::Server server(options_);
+  ASSERT_TRUE(server.Start());
+  serving::Client client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+  std::optional<JsonValue> compiled = client.Call(
+      "{\"id\":1,\"method\":\"compile\",\"m\":512,\"n\":512,\"k\":512,"
+      "\"config\":{\"tb\":[128,128,32],\"warp\":[64,64,16],\"smem\":2}}");
+  ASSERT_TRUE(compiled.has_value());
+
+  std::optional<JsonValue> ack =
+      client.Call("{\"id\":2,\"method\":\"shutdown\"}");
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->Find("ok")->BoolOr(false));
+  server.Wait();  // returns because shutdown was requested
+  server.Stop();
+
+  // Shutdown persisted the cache; a fresh load finds the compiled entry.
+  sim::ResetSimCache();
+  serving::PersistStats loaded =
+      serving::LoadCache(options_.cache_path, options_.spec);
+  EXPECT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_GE(loaded.timings, 1u);
+  std::remove(options_.cache_path.c_str());
+}
+
+}  // namespace
+}  // namespace alcop

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -166,6 +169,231 @@ TEST(SimCacheTest, ResetClearsEntriesAndCounters) {
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.misses, 0u);
   EXPECT_EQ(stats.entries, 0u);
+}
+
+// RAII budget override: tests below bound the cache and must restore the
+// unbounded default even on assertion failure.
+struct ScopedBudget {
+  explicit ScopedBudget(uint64_t bytes)
+      : saved(sim::GetSimCacheBudgetBytes()) {
+    sim::SetSimCacheBudgetBytes(bytes);
+  }
+  ~ScopedBudget() { sim::SetSimCacheBudgetBytes(saved); }
+  uint64_t saved;
+};
+
+TEST(SimCacheLruTest, ProbeCountsHitOnlyWhenPresent) {
+  sim::ResetSimCache();
+  schedule::GemmOp op = MakeMatmul("mm", 512, 512, 512);
+  schedule::ScheduleConfig config;
+  target::GpuSpec spec = target::AmpereSpec();
+
+  sim::KernelTiming probed;
+  EXPECT_FALSE(sim::ProbeCachedTiming(
+      op, config, spec, schedule::InlineOrder::kAfterPipelining, &probed));
+  sim::SimCacheStats stats = sim::GetSimCacheStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);  // a probe miss is not a miss
+
+  sim::KernelTiming direct = sim::CachedCompileAndSimulate(op, config, spec);
+  EXPECT_TRUE(sim::ProbeCachedTiming(
+      op, config, spec, schedule::InlineOrder::kAfterPipelining, &probed));
+  EXPECT_EQ(probed.cycles, direct.cycles);
+  stats = sim::GetSimCacheStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(SimCacheLruTest, BudgetBoundsResidencyAndCountsEvictions) {
+  tuner::TuningTask task = SmallSimTask();
+  ASSERT_GE(task.space.size(), 8u);
+
+  // Measure the unbounded footprint of the sweep, then re-run it under
+  // half that budget: evictions must fire and residency must converge
+  // under the cap.
+  sim::ResetSimCache();
+  tuner::ExhaustiveSearch(task);
+  uint64_t unbounded = sim::GetSimCacheStats().resident_bytes;
+  ASSERT_GT(unbounded, 0u);
+
+  sim::ResetSimCache();
+  {
+    ScopedBudget budget(unbounded / 2);
+    tuner::ExhaustiveSearch(task);
+    sim::SimCacheStats stats = sim::GetSimCacheStats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_EQ(stats.evictions,
+              stats.timing_evictions + stats.program_evictions);
+    EXPECT_LE(stats.resident_bytes, unbounded / 2);
+    EXPECT_EQ(stats.budget_bytes, unbounded / 2);
+
+    // Evicted or not, results stay correct: a re-sweep recompiles what
+    // was dropped and returns the same cycles as the unbounded run.
+    tuner::TuningResult rerun = tuner::ExhaustiveSearch(task);
+    for (double cycles : rerun.measured) {
+      EXPECT_TRUE(cycles > 0 || std::isinf(cycles));
+    }
+  }
+  sim::ResetSimCache();
+}
+
+TEST(SimCacheLruTest, EvictionTakesStalestEntriesFirst) {
+  // Synthetic timing entries give exact control over recency: insertion
+  // order IS tick order. With ~20 entries per shard and a budget that
+  // overflows by a few entries, eviction must take each shard's stalest
+  // — so every evicted key comes from the old end of the insertion
+  // order, and the just-inserted keys all survive.
+  sim::ResetSimCache();
+  sim::KernelTiming timing;
+  timing.feasible = true;
+  timing.cycles = 1000.0;
+  auto key_for = [](int i) {
+    return "synthetic-entry-" + std::to_string(i) + std::string(40, 'k');
+  };
+  constexpr int kEntries = 320;  // ~20 per shard
+  for (int i = 0; i < kEntries; ++i) {
+    sim::InsertCachedTiming(key_for(i), timing);
+  }
+  sim::SimCacheStats before = sim::GetSimCacheStats();
+  ASSERT_EQ(before.entries, static_cast<uint64_t>(kEntries));
+  ASSERT_EQ(before.evictions, 0u);
+
+  {
+    ScopedBudget budget(before.resident_bytes);  // full to the brim
+    for (int i = kEntries; i < kEntries + 8; ++i) {
+      sim::InsertCachedTiming(key_for(i), timing);  // pushes over budget
+    }
+    sim::SimCacheStats after = sim::GetSimCacheStats();
+    EXPECT_GT(after.evictions, 0u);
+    EXPECT_LE(after.resident_bytes, before.resident_bytes);
+
+    std::set<std::string> present;
+    for (auto& [key, value] : sim::SnapshotCachedTimings()) {
+      present.insert(key);
+    }
+    // Every freshly inserted entry survives; every evicted entry comes
+    // from the stale half of the insertion order.
+    for (int i = kEntries; i < kEntries + 8; ++i) {
+      EXPECT_TRUE(present.count(key_for(i)))
+          << "fresh entry " << i << " was evicted";
+    }
+    for (int i = kEntries / 2; i < kEntries; ++i) {
+      EXPECT_TRUE(present.count(key_for(i)))
+          << "recent entry " << i << " evicted before stale ones";
+    }
+  }
+  sim::ResetSimCache();
+}
+
+TEST(SimCacheLruTest, ProbeTouchPromotesEntryAndOverflowPassConverges) {
+  // Compile-path entries are probe-addressable, so recency bumps via the
+  // hit path are observable. A one-byte budget then forces the global
+  // overflow pass: everything but the inserting key must go, regardless
+  // of which shard it hashed into.
+  sim::ResetSimCache();
+  target::GpuSpec spec = target::AmpereSpec();
+  schedule::ScheduleConfig config;
+  config.tile = {128, 128, 32, 64, 64, 16};
+  config.smem_stages = 2;
+
+  schedule::GemmOp a = MakeMatmul("mm", 512, 512, 512);
+  schedule::GemmOp b = MakeMatmul("mm", 512, 512, 768);
+  sim::CachedCompileAndSimulate(a, config, spec);
+  sim::CachedCompileAndSimulate(b, config, spec);
+
+  sim::KernelTiming probed;
+  ASSERT_TRUE(sim::ProbeCachedTiming(
+      a, config, spec, schedule::InlineOrder::kAfterPipelining, &probed));
+  uint64_t hits = sim::GetSimCacheStats().hits;
+  EXPECT_GE(hits, 1u);  // the probe counted a hit and touched the entry
+
+  {
+    ScopedBudget budget(1);
+    schedule::GemmOp c = MakeMatmul("mm", 512, 512, 1024);
+    sim::CachedCompileAndSimulate(c, config, spec);
+    sim::SimCacheStats stats = sim::GetSimCacheStats();
+    EXPECT_GT(stats.evictions, 0u);
+    // a and b live in arbitrary shards; only the cross-shard pass can
+    // reclaim both when the inserting shard is not theirs.
+    EXPECT_FALSE(sim::ProbeCachedTiming(
+        a, config, spec, schedule::InlineOrder::kAfterPipelining, &probed));
+    EXPECT_FALSE(sim::ProbeCachedTiming(
+        b, config, spec, schedule::InlineOrder::kAfterPipelining, &probed));
+  }
+  sim::ResetSimCache();
+}
+
+TEST(SimCacheLruTest, InsertCachedNeverClobbersAndCountsNothing) {
+  sim::ResetSimCache();
+  schedule::GemmOp op = MakeMatmul("mm", 512, 512, 512);
+  schedule::ScheduleConfig config;
+  target::GpuSpec spec = target::AmpereSpec();
+  std::string key = sim::SimCacheKey(op, config, spec,
+                                     schedule::InlineOrder::kAfterPipelining);
+
+  sim::KernelTiming live = sim::CachedCompileAndSimulate(op, config, spec);
+  uint64_t misses = sim::GetSimCacheStats().misses;
+
+  sim::KernelTiming stale;
+  stale.feasible = true;
+  stale.cycles = -1.0;  // a poisoned value that must never surface
+  sim::InsertCachedTiming(key, stale);
+
+  sim::SimCacheStats stats = sim::GetSimCacheStats();
+  EXPECT_EQ(stats.misses, misses);  // insert counted neither hit nor miss
+  sim::KernelTiming after = sim::CachedCompileAndSimulate(op, config, spec);
+  EXPECT_EQ(after.cycles, live.cycles) << "loaded entry clobbered live one";
+
+  // Into an empty slot the insert lands and is served.
+  sim::ResetSimCache();
+  sim::InsertCachedTiming(key, live);
+  sim::KernelTiming probed;
+  EXPECT_TRUE(sim::ProbeCachedTiming(
+      op, config, spec, schedule::InlineOrder::kAfterPipelining, &probed));
+  EXPECT_EQ(probed.cycles, live.cycles);
+}
+
+// Concurrent sweeps under a tight budget: inserts, hits, evictions and
+// snapshots all race. TSan (the CI tsan job runs this suite) proves the
+// LRU bookkeeping — tick clock, byte accounting, compaction — is
+// race-free; the assertions prove the stats stay coherent.
+TEST(SimCacheLruTest, ConcurrentSweepsUnderBudgetStayCoherent) {
+  tuner::TuningTask task = SmallSimTask();
+  sim::ResetSimCache();
+  tuner::ExhaustiveSearch(task);
+  uint64_t unbounded = sim::GetSimCacheStats().resident_bytes;
+  sim::ResetSimCache();
+
+  {
+    ScopedBudget budget(unbounded / 2);
+    std::atomic<bool> done{false};
+    std::thread observer([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        sim::SimCacheStats now = sim::GetSimCacheStats();
+        EXPECT_EQ(now.evictions,
+                  now.timing_evictions + now.program_evictions);
+      }
+    });
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 3; ++w) {
+      workers.emplace_back([&task] {
+        for (int sweep = 0; sweep < 3; ++sweep) {
+          for (const schedule::ScheduleConfig& config : task.space) {
+            sim::KernelTiming timing =
+                sim::CachedCompileAndSimulate(task.op, config, task.spec);
+            EXPECT_TRUE(timing.feasible || !timing.reason.empty());
+          }
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    done.store(true, std::memory_order_release);
+    observer.join();
+
+    sim::SimCacheStats stats = sim::GetSimCacheStats();
+    EXPECT_LE(stats.resident_bytes, unbounded / 2);
+  }
+  sim::ResetSimCache();
 }
 
 }  // namespace
