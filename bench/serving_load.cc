@@ -1,0 +1,457 @@
+// Serving load bench: what the observability layer costs and how alcopd
+// holds up under an open-loop arrival process. Two sections, one JSON
+// object (consumed by scripts/bench_serving_load.sh into
+// BENCH_serving_load.json):
+//
+//   1. observability overhead — the same closed-loop hot-shape loop as
+//      bench/serving.cc section 4, run twice: once against a daemon with
+//      the full observability stack enabled (HTTP front end, JSONL
+//      access log, per-request spans + histograms) and once against a
+//      plain daemon. Gate: obs-enabled hot p99 <= 1.1x the larger of
+//      the plain run and the committed BENCH_serving.json baseline
+//      (passed in via --baseline-p99), i.e. turning on metrics and the
+//      access log may not regress the hot path by more than 10%.
+//
+//   2. open-loop load — a deterministic-seeded arrival schedule (fixed
+//      send times, NOT closed-loop: the sender never waits for a
+//      response before sending the next request) drives a mixed
+//      hot/cold shape distribution through one pipelined connection.
+//      ~85% of requests are fast-lane probe hits on the hot 512^3
+//      shape; the rest are fresh shapes that must compile on the slow
+//      lane. Reported: offered vs achieved rate, client-side
+//      p50/p99/p999, and the same quantiles recomputed from the
+//      daemon's own scraped /metrics histograms. Gate: the access-log
+//      line count equals the scraped latency-histogram _count summed
+//      over both lanes (every request is logged exactly once, and
+//      completion bookkeeping happens before the response is sent).
+//
+// The obs-enabled daemon runs (and is scraped) before the plain daemon
+// starts, so the process-global registry holds only its requests when
+// the access-log gate is checked.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serving/client.h"
+#include "serving/http.h"
+#include "serving/server.h"
+#include "target/gpu_spec.h"
+
+using namespace alcop;  // NOLINT(build/namespaces) - bench driver
+
+namespace {
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values.size()));
+  if (idx >= values.size()) idx = values.size() - 1;
+  return values[idx];
+}
+
+std::string CompileRequest(uint64_t id, int64_t m, int64_t n, int64_t k) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"id\":%llu,\"method\":\"compile\",\"family\":\"matmul\","
+                "\"batch\":1,\"m\":%lld,\"n\":%lld,\"k\":%lld,"
+                "\"config\":{\"tb\":[128,128,32],\"warp\":[64,64,16],"
+                "\"smem\":2}}",
+                static_cast<unsigned long long>(id), static_cast<long long>(m),
+                static_cast<long long>(n), static_cast<long long>(k));
+  return buf;
+}
+
+// Closed-loop hot-shape latency against a running daemon: one warmup
+// compile (may hit the slow lane), then `requests` fast-lane probe hits
+// timed individually. Returns client-side milliseconds; empty on error.
+std::vector<double> ClosedLoopHot(const std::string& socket_path,
+                                  int requests) {
+  serving::Client client;
+  if (!client.Connect(socket_path)) return {};
+  std::optional<serving::JsonValue> first =
+      client.Call(CompileRequest(0, 512, 512, 512));
+  const serving::JsonValue* ok = first ? first->Find("ok") : nullptr;
+  if (ok == nullptr || !ok->BoolOr(false)) return {};
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(requests));
+  for (int i = 1; i <= requests; ++i) {
+    obs::Stopwatch watch;
+    std::optional<serving::JsonValue> response =
+        client.Call(CompileRequest(static_cast<uint64_t>(i), 512, 512, 512));
+    double elapsed_ms = watch.Seconds() * 1e3;
+    const serving::JsonValue* rok = response ? response->Find("ok") : nullptr;
+    if (rok == nullptr || !rok->BoolOr(false)) return {};
+    ms.push_back(elapsed_ms);
+  }
+  return ms;
+}
+
+// Splitmix-style step: deterministic across platforms, no libc rand.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct OpenLoopResult {
+  bool ok = false;
+  uint64_t requests = 0;
+  uint64_t answered = 0;
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  uint64_t hot = 0;
+  uint64_t cold = 0;
+};
+
+// Open loop: send times are fixed by the seeded schedule before the
+// first byte goes out; the sender thread sleeps until each deadline and
+// writes the frame whether or not earlier responses have arrived. A
+// receiver thread matches responses to requests by id.
+OpenLoopResult OpenLoop(const std::string& socket_path, uint64_t requests,
+                        double rate_rps, double hot_fraction, uint64_t seed) {
+  OpenLoopResult result;
+  result.requests = requests;
+
+  struct Slot {
+    int64_t send_ns = 0;
+    std::atomic<int64_t> done_ns{-1};
+  };
+  std::vector<Slot> slots(requests);
+  std::vector<std::string> payloads(requests);
+  uint64_t state = seed;
+  const double interval_ns = 1e9 / rate_rps;
+  double when = 0.0;
+  for (uint64_t i = 0; i < requests; ++i) {
+    // Uniform jitter in [0.5, 1.5) of the mean interval: deterministic,
+    // mean rate exactly `rate_rps`, but not metronome-regular.
+    double jitter =
+        0.5 + static_cast<double>(NextRand(&state) >> 11) * 0x1.0p-53;
+    when += interval_ns * jitter;
+    slots[i].send_ns = static_cast<int64_t>(when);
+    bool hot = (static_cast<double>(NextRand(&state) >> 11) * 0x1.0p-53) <
+               hot_fraction;
+    if (hot) {
+      ++result.hot;
+      payloads[i] = CompileRequest(i + 1, 512, 512, 512);
+    } else {
+      ++result.cold;
+      // A shape the daemon has never seen: forces a slow-lane compile.
+      payloads[i] =
+          CompileRequest(i + 1, 512, 512,
+                         4096 + 128 * static_cast<int64_t>(result.cold));
+    }
+  }
+
+  serving::Client client;
+  if (!client.Connect(socket_path)) return result;
+  // Warm the hot shape so the schedule starts against a warm cache.
+  std::optional<serving::JsonValue> warm =
+      client.Call(CompileRequest(0, 512, 512, 512));
+  const serving::JsonValue* warm_ok = warm ? warm->Find("ok") : nullptr;
+  if (warm_ok == nullptr || !warm_ok->BoolOr(false)) return result;
+
+  std::atomic<uint64_t> answered{0};
+  std::atomic<bool> receive_failed{false};
+  int64_t t0 = obs::NowNanos();
+  std::thread receiver([&] {
+    for (uint64_t i = 0; i < requests; ++i) {
+      std::optional<std::string> raw = client.RecvRaw();
+      if (!raw) {
+        receive_failed.store(true);
+        return;
+      }
+      const char* id_pos = std::strstr(raw->c_str(), "\"id\":");
+      uint64_t id = id_pos != nullptr
+                        ? static_cast<uint64_t>(std::atoll(id_pos + 5))
+                        : 0;
+      if (id >= 1 && id <= requests &&
+          raw->find("\"ok\":true") != std::string::npos) {
+        slots[id - 1].done_ns.store(obs::NowNanos() - t0);
+        answered.fetch_add(1);
+      }
+    }
+  });
+
+  for (uint64_t i = 0; i < requests; ++i) {
+    int64_t now = obs::NowNanos() - t0;
+    int64_t wait = slots[i].send_ns - now;
+    if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+    }
+    // Restamp with the actual send time so latency excludes scheduler
+    // overshoot; the offered rate is still computed off the plan.
+    int64_t sent = obs::NowNanos() - t0;
+    if (!client.Send(payloads[i])) break;
+    slots[i].send_ns = sent;
+  }
+  receiver.join();
+
+  result.answered = answered.load();
+  result.ok = !receive_failed.load() && result.answered == requests;
+
+  int64_t last_done = 0;
+  std::vector<double> latency_ms;
+  latency_ms.reserve(requests);
+  for (Slot& slot : slots) {
+    int64_t done = slot.done_ns.load();
+    if (done < 0) continue;
+    last_done = std::max(last_done, done);
+    latency_ms.push_back(static_cast<double>(done - slot.send_ns) / 1e6);
+  }
+  double planned_seconds = static_cast<double>(slots.back().send_ns) / 1e9;
+  result.offered_rps = planned_seconds > 0.0
+                           ? static_cast<double>(requests) / planned_seconds
+                           : 0.0;
+  double run_seconds = static_cast<double>(last_done) / 1e9;
+  result.achieved_rps =
+      run_seconds > 0.0 ? static_cast<double>(result.answered) / run_seconds
+                        : 0.0;
+  result.p50_ms = Percentile(latency_ms, 0.50);
+  result.p99_ms = Percentile(latency_ms, 0.99);
+  result.p999_ms = Percentile(latency_ms, 0.999);
+  return result;
+}
+
+// Rebuilds obs::HistogramData from the Prometheus exposition text for
+// one lane of alcop_serving_request_latency_us. Buckets are cumulative
+// in the exposition and per-bucket in HistogramData; the power-of-two
+// `le` values map back to bucket indices via log2.
+bool ParseScrapedHistogram(const std::string& body, const std::string& lane,
+                           obs::HistogramData* data) {
+  *data = obs::HistogramData{};
+  const std::string bucket_prefix =
+      "alcop_serving_request_latency_us_bucket{lane=\"" + lane + "\",le=\"";
+  const std::string sum_prefix =
+      "alcop_serving_request_latency_us_sum{lane=\"" + lane + "\"} ";
+  const std::string count_prefix =
+      "alcop_serving_request_latency_us_count{lane=\"" + lane + "\"} ";
+  bool saw_count = false;
+  uint64_t cumulative[64] = {0};
+  int top = -1;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(bucket_prefix, 0) == 0) {
+      size_t quote = line.find('"', bucket_prefix.size());
+      if (quote == std::string::npos) return false;
+      std::string le = line.substr(bucket_prefix.size(),
+                                   quote - bucket_prefix.size());
+      uint64_t value = std::strtoull(line.c_str() + quote + 3, nullptr, 10);
+      if (le == "+Inf") continue;  // equals _count, checked elsewhere
+      double upper = std::strtod(le.c_str(), nullptr);
+      int index = upper >= 1.0 ? static_cast<int>(std::lround(std::log2(upper)))
+                               : 0;
+      if (index < 0 || index >= 64) return false;
+      cumulative[index] = value;
+      top = std::max(top, index);
+    } else if (line.rfind(sum_prefix, 0) == 0) {
+      data->sum = std::strtod(line.c_str() + sum_prefix.size(), nullptr);
+    } else if (line.rfind(count_prefix, 0) == 0) {
+      data->count = std::strtoull(line.c_str() + count_prefix.size(),
+                                  nullptr, 10);
+      saw_count = true;
+    }
+  }
+  uint64_t previous = 0;
+  for (int i = 0; i <= top; ++i) {
+    data->buckets[i] = cumulative[i] - previous;
+    previous = cumulative[i];
+    if (data->buckets[i] > 0) data->max = std::ldexp(1.0, i);
+  }
+  return saw_count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  double baseline_p99_ms = 0.0;  // 0 = no committed baseline available
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else if (std::string(argv[i]) == "--baseline-p99" && i + 1 < argc) {
+      baseline_p99_ms = std::atof(argv[++i]);
+    } else if (std::string(argv[i]) == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
+  }
+
+  const int hot_requests = quick ? 200 : 2000;
+  const uint64_t open_requests = quick ? 300 : 3000;
+  const double open_rate_rps = quick ? 500.0 : 1500.0;
+  const double hot_fraction = 0.85;
+  const uint64_t seed = 42;
+  const std::string base =
+      "/tmp/alcop_bench_serving_load_" + std::to_string(getpid());
+  const std::string access_log_path = base + ".access.jsonl";
+
+  // ---- Obs-enabled daemon: HTTP + access log + per-request metrics.
+  // Runs first so the global registry holds only its requests when the
+  // access-log/_count gate is checked.
+  serving::ServerOptions obs_options;
+  obs_options.socket_path = base + "_obs.sock";
+  obs_options.spec = target::AmpereSpec();
+  obs_options.default_trials = 4;
+  obs_options.persist_on_shutdown = false;
+  obs_options.http_port = 0;
+  obs_options.access_log_path = access_log_path;
+  serving::Server obs_server(obs_options);
+  std::string error;
+  if (!obs_server.Start(&error)) {
+    std::fprintf(stderr, "obs server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  int http_port = obs_server.http_port();
+
+  std::vector<double> obs_hot_ms =
+      ClosedLoopHot(obs_options.socket_path, hot_requests);
+  bool obs_hot_ok = !obs_hot_ms.empty();
+  double obs_hot_p50 = Percentile(obs_hot_ms, 0.50);
+  double obs_hot_p99 = Percentile(obs_hot_ms, 0.99);
+
+  OpenLoopResult open = OpenLoop(obs_options.socket_path, open_requests,
+                                 open_rate_rps, hot_fraction, seed);
+
+  // Scrape while the daemon is live, after every response has been
+  // received — nothing is in flight, so the histograms and the access
+  // log both cover exactly the completed requests.
+  std::optional<serving::HttpResponse> scrape =
+      serving::HttpCall(http_port, "GET", "/metrics");
+  bool scrape_ok = scrape && scrape->status == 200;
+  obs::HistogramData scraped_fast, scraped_slow;
+  bool parse_ok =
+      scrape_ok &&
+      ParseScrapedHistogram(scrape->body, "fast", &scraped_fast) &&
+      ParseScrapedHistogram(scrape->body, "slow", &scraped_slow);
+  if (scrape_ok && !metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    out << scrape->body;
+  }
+
+  uint64_t access_lines = 0;
+  {
+    std::ifstream log(access_log_path);
+    std::string line;
+    while (std::getline(log, line)) {
+      if (!line.empty()) ++access_lines;
+    }
+  }
+  uint64_t scraped_total = scraped_fast.count + scraped_slow.count;
+  bool access_matches = parse_ok && access_lines == scraped_total;
+
+  obs_server.Stop();
+  std::remove(access_log_path.c_str());
+
+  // ---- Plain daemon: no HTTP, no access log. Its requests do land in
+  // the same global histograms, but the scrape above already happened.
+  serving::ServerOptions plain_options;
+  plain_options.socket_path = base + "_plain.sock";
+  plain_options.spec = target::AmpereSpec();
+  plain_options.default_trials = 4;
+  plain_options.persist_on_shutdown = false;
+  serving::Server plain_server(plain_options);
+  if (!plain_server.Start(&error)) {
+    std::fprintf(stderr, "plain server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::vector<double> plain_hot_ms =
+      ClosedLoopHot(plain_options.socket_path, hot_requests);
+  bool plain_hot_ok = !plain_hot_ms.empty();
+  double plain_hot_p50 = Percentile(plain_hot_ms, 0.50);
+  double plain_hot_p99 = Percentile(plain_hot_ms, 0.99);
+  plain_server.Stop();
+
+  // The overhead gate compares against the larger of the plain run and
+  // the committed baseline: a noisy fast plain run cannot fail a build
+  // on its own, but a real regression against the checked-in number
+  // still does.
+  double reference_p99 = std::max(plain_hot_p99, baseline_p99_ms);
+  bool overhead_ok =
+      obs_hot_ok && plain_hot_ok && obs_hot_p99 <= 1.10 * reference_p99;
+
+  bool gates_ok = overhead_ok && open.ok && scrape_ok && parse_ok &&
+                  access_matches;
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"serving_load\",\n"
+      "  \"quick\": %s,\n"
+      "  \"seed\": %llu,\n"
+      "  \"overhead\": {\n"
+      "    \"hot_requests\": %d,\n"
+      "    \"plain_p50_ms\": %.3f,\n"
+      "    \"plain_p99_ms\": %.3f,\n"
+      "    \"obs_p50_ms\": %.3f,\n"
+      "    \"obs_p99_ms\": %.3f,\n"
+      "    \"baseline_p99_ms\": %.3f,\n"
+      "    \"reference_p99_ms\": %.3f,\n"
+      "    \"overhead_ok\": %s\n"
+      "  },\n"
+      "  \"open_loop\": {\n"
+      "    \"requests\": %llu,\n"
+      "    \"answered\": %llu,\n"
+      "    \"hot\": %llu,\n"
+      "    \"cold\": %llu,\n"
+      "    \"offered_rps\": %.1f,\n"
+      "    \"achieved_rps\": %.1f,\n"
+      "    \"client_p50_ms\": %.3f,\n"
+      "    \"client_p99_ms\": %.3f,\n"
+      "    \"client_p999_ms\": %.3f\n"
+      "  },\n"
+      "  \"scraped\": {\n"
+      "    \"fast_count\": %llu,\n"
+      "    \"fast_p50_us\": %.1f,\n"
+      "    \"fast_p99_us\": %.1f,\n"
+      "    \"fast_p999_us\": %.1f,\n"
+      "    \"slow_count\": %llu,\n"
+      "    \"slow_p50_us\": %.1f,\n"
+      "    \"slow_p99_us\": %.1f,\n"
+      "    \"slow_p999_us\": %.1f,\n"
+      "    \"access_log_lines\": %llu,\n"
+      "    \"access_log_matches_count\": %s\n"
+      "  },\n"
+      "  \"gates_ok\": %s\n"
+      "}\n",
+      quick ? "true" : "false", static_cast<unsigned long long>(seed),
+      hot_requests, plain_hot_p50, plain_hot_p99, obs_hot_p50, obs_hot_p99,
+      baseline_p99_ms, reference_p99, overhead_ok ? "true" : "false",
+      static_cast<unsigned long long>(open.requests),
+      static_cast<unsigned long long>(open.answered),
+      static_cast<unsigned long long>(open.hot),
+      static_cast<unsigned long long>(open.cold), open.offered_rps,
+      open.achieved_rps, open.p50_ms, open.p99_ms, open.p999_ms,
+      static_cast<unsigned long long>(scraped_fast.count),
+      obs::HistogramQuantile(scraped_fast, 0.50),
+      obs::HistogramQuantile(scraped_fast, 0.99),
+      obs::HistogramQuantile(scraped_fast, 0.999),
+      static_cast<unsigned long long>(scraped_slow.count),
+      obs::HistogramQuantile(scraped_slow, 0.50),
+      obs::HistogramQuantile(scraped_slow, 0.99),
+      obs::HistogramQuantile(scraped_slow, 0.999),
+      static_cast<unsigned long long>(access_lines),
+      access_matches ? "true" : "false", gates_ok ? "true" : "false");
+
+  return gates_ok ? 0 : 1;
+}

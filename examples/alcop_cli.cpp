@@ -61,6 +61,7 @@
 //                                      constants).
 //   alcop_cli serve    SOCKET [--trials N] [--seed N] [--no-warm]
 //                             [--cache FILE] [--no-persist] [--budget B]
+//                             [--http PORT] [--access-log FILE]
 //                                      run alcopd on a unix socket: the
 //                                      long-lived tuning service (fast
 //                                      lane for cache hits, batched slow
@@ -68,6 +69,11 @@
 //                                      loads the on-disk cache at start,
 //                                      persists at shutdown. Stop it with
 //                                      `client SOCKET shutdown`.
+//                                      --http adds a loopback HTTP front
+//                                      end (0 = ephemeral port): GET
+//                                      /metrics (Prometheus), /healthz,
+//                                      POST /v1/<method>. --access-log
+//                                      writes one JSONL line per request.
 //   alcop_cli client   SOCKET METHOD [...]
 //                                      talk to a running alcopd:
 //                                        ping|stats|persist|load|shutdown
@@ -766,6 +772,27 @@ int CmdCache(int argc, char** argv) {
     sim::SimCacheStats s = sim::GetSimCacheStats();
     size_t tunings = tuner::TuningStore::Global().Size();
     if (json) {
+      // The serving block mirrors the daemon's `stats` response schema
+      // (per-lane latency histograms + inflight); in a fresh CLI process
+      // the histograms are empty, but the shape matches what an
+      // in-process server (tests, benches) populates.
+      obs::Registry& registry = obs::Registry::Global();
+      auto lane_json = [&registry](const char* lane) {
+        obs::HistogramData data =
+            registry
+                .GetHistogram(std::string("serving.request.latency.us|lane=") +
+                              lane)
+                .Data();
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"count\": %llu, \"p50_us\": %g, \"p99_us\": %g, "
+                      "\"p999_us\": %g, \"max_us\": %g}",
+                      (unsigned long long)data.count,
+                      obs::HistogramQuantile(data, 0.5),
+                      obs::HistogramQuantile(data, 0.99),
+                      obs::HistogramQuantile(data, 0.999), data.max);
+        return std::string(buf);
+      };
       std::printf(
           "{\"command\": \"cache\", \"action\": \"stats\", "
           "\"path\": %s,\n \"timing\": {\"hits\": %llu, \"misses\": %llu, "
@@ -774,7 +801,8 @@ int CmdCache(int argc, char** argv) {
           "\"bytes\": %llu, \"skeleton_bytes\": %llu},\n \"resident_bytes\": "
           "%llu, \"budget_bytes\": %llu, \"evictions\": %llu,\n \"disk\": "
           "{\"hits\": %llu, \"misses\": %llu, \"load_bytes\": %llu},\n "
-          "\"stored_tunings\": %zu}\n",
+          "\"stored_tunings\": %zu,\n \"serving\": {\"inflight\": %g, "
+          "\"latency\": {\"fast\": %s, \"slow\": %s}}}\n",
           JsonString(path).c_str(), (unsigned long long)s.hits,
           (unsigned long long)s.misses, (unsigned long long)s.entries,
           (unsigned long long)s.timing_bytes, (unsigned long long)s.program_hits,
@@ -786,7 +814,9 @@ int CmdCache(int argc, char** argv) {
           (unsigned long long)s.resident_bytes,
           (unsigned long long)s.budget_bytes, (unsigned long long)s.evictions,
           (unsigned long long)s.disk_hits, (unsigned long long)s.disk_misses,
-          (unsigned long long)s.disk_load_bytes, tunings);
+          (unsigned long long)s.disk_load_bytes, tunings,
+          registry.GetGauge("serving.inflight").Value(),
+          lane_json("fast").c_str(), lane_json("slow").c_str());
       return 0;
     }
     std::printf("timing layer:  %llu entries, %llu hits / %llu misses\n",
@@ -891,6 +921,10 @@ int CmdServe(int argc, char** argv) {
       options.persist_on_shutdown = false;
     } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
       budget = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--http") == 0 && i + 1 < argc) {
+      options.http_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--access-log") == 0 && i + 1 < argc) {
+      options.access_log_path = argv[++i];
     } else {
       positional.push_back(argv[i]);
     }
@@ -913,6 +947,10 @@ int CmdServe(int argc, char** argv) {
                server.options().cache_path.empty()
                    ? "disabled"
                    : server.options().cache_path.c_str());
+  if (server.http_port() >= 0) {
+    std::fprintf(stderr, "alcopd http on 127.0.0.1:%d (/metrics /healthz)\n",
+                 server.http_port());
+  }
   server.Wait();
   server.Stop();
   std::fprintf(stderr, "alcopd served %llu requests\n",

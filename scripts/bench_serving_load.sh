@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs the serving load bench (observability overhead on the hot path +
+# an open-loop arrival process against an obs-enabled alcopd) and writes
+# machine-readable results to BENCH_serving_load.json (repo root by
+# default). The bench's own gates — obs-enabled hot p99 within 10% of
+# the larger of the plain run and the committed BENCH_serving.json
+# baseline, every open-loop request answered, and the access-log line
+# count matching the scraped latency-histogram _count — decide the exit
+# status. The /metrics scrape the bench takes is additionally validated
+# with scripts/check_prometheus.py (HELP/TYPE per family, cumulative
+# buckets, +Inf == _count).
+#
+# Usage: scripts/bench_serving_load.sh [--quick] [output.json]
+#   --quick      300 open-loop requests at 500 rps (CI serving-smoke mode)
+#   output.json  where to write the result (default: ./BENCH_serving_load.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=""
+OUT="BENCH_serving_load.json"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    *) OUT="$arg" ;;
+  esac
+done
+BIN=build/bench/serving_load
+
+if [[ ! -x "$BIN" ]]; then
+  echo "building $BIN..." >&2
+  cmake -B build -S . >/dev/null
+  cmake --build build --target serving_load -j "$(nproc)" >/dev/null
+fi
+
+# The overhead gate references the committed serving baseline so a
+# lucky-fast plain run on this machine cannot mask a real regression.
+BASELINE="0"
+if command -v python3 >/dev/null 2>&1 \
+    && git show HEAD:BENCH_serving.json > "$OUT.base" 2>/dev/null; then
+  BASELINE=$(python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+print(doc.get("daemon", {}).get("hot_p99_ms", 0))' "$OUT.base")
+  rm -f "$OUT.base"
+fi
+
+METRICS="$(mktemp /tmp/alcop_metrics.XXXXXX.txt)"
+trap 'rm -f "$METRICS"' EXIT
+
+echo "running serving load bench${QUICK:+ (quick)} (baseline p99 ${BASELINE} ms)..." >&2
+"$BIN" $QUICK --baseline-p99 "$BASELINE" --metrics-out "$METRICS" > "$OUT"
+
+# Validate the live scrape the bench took: exposition format, bucket
+# monotonicity, +Inf == _count, and the access-log tie-in.
+if command -v python3 >/dev/null 2>&1; then
+  EXPECT=$(python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+print(doc.get("scraped", {}).get("access_log_lines", 0))' "$OUT")
+  python3 scripts/check_prometheus.py "$METRICS" --expect-count "$EXPECT" >&2
+  python3 scripts/bench_meta.py "$OUT"
+fi
+cat "$OUT"
+echo "wrote $OUT" >&2

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition (0.0.4) dump from alcopd.
+
+Usage: scripts/check_prometheus.py METRICS_FILE [--expect-count N]
+
+Checks, per the acceptance gates in the serving observability PR:
+  * every sample belongs to a family that has both a # TYPE line and a
+    # HELP line, emitted before the first sample of that family;
+  * sample lines parse (name, optional {labels}, float value) and label
+    values are correctly quoted/escaped;
+  * histogram buckets are cumulative: counts are non-decreasing as `le`
+    increases, a +Inf bucket exists, and `_count` equals the +Inf
+    bucket; `_sum` exists for every histogram series;
+  * counters and histogram buckets are non-negative.
+
+With --expect-count N, additionally requires the summed `_count` of
+alcop_serving_request_latency_us across lanes to equal N (used by CI to
+tie the scrape to the access-log line count).
+
+Exit status 0 when every check passes; 1 with one line per defect
+otherwise. Stdlib only.
+"""
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?'
+    r' (?P<value>[^ ]+)$')
+LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\["\\n])*)"')
+
+
+def family_of(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(raw):
+    """Returns a dict, or None when the label section is malformed."""
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        match = LABEL_RE.match(raw, pos)
+        if not match:
+            return None
+        labels[match.group("key")] = match.group("value")
+        pos = match.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                return None
+            pos += 1
+    return labels
+
+
+def main():
+    args = sys.argv[1:]
+    expect_count = None
+    if "--expect-count" in args:
+        idx = args.index("--expect-count")
+        expect_count = int(args[idx + 1])
+        del args[idx:idx + 2]
+    if len(args) != 1:
+        sys.stderr.write(__doc__)
+        return 1
+    with open(args[0], "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+
+    errors = []
+    helps = {}
+    types = {}
+    # family -> series-labels-key -> list of (le, count) / sum / count
+    buckets = {}
+    sums = {}
+    counts = {}
+    seen_families = []
+
+    for number, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                errors.append(f"line {number}: malformed HELP")
+                continue
+            helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4:
+                errors.append(f"line {number}: malformed TYPE")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {number}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels = parse_labels(match.group("labels") or "")
+        if labels is None:
+            errors.append(f"line {number}: malformed labels: {line!r}")
+            continue
+        try:
+            value = float(match.group("value").replace("+Inf", "inf"))
+        except ValueError:
+            errors.append(f"line {number}: bad value: {line!r}")
+            continue
+
+        family = family_of(name)
+        if family not in types:
+            errors.append(f"line {number}: sample {name} before TYPE {family}")
+        if family not in helps:
+            errors.append(f"line {number}: sample {name} before HELP {family}")
+        if family not in seen_families:
+            seen_families.append(family)
+
+        kind = types.get(family, "")
+        series = ",".join(
+            f'{k}={v}' for k, v in sorted(labels.items()) if k != "le")
+        if kind == "histogram":
+            slot = buckets.setdefault(family, {}).setdefault(series, [])
+            if name.endswith("_bucket"):
+                le_raw = labels.get("le")
+                if le_raw is None:
+                    errors.append(f"line {number}: bucket without le")
+                    continue
+                le = float("inf") if le_raw == "+Inf" else float(le_raw)
+                if value < 0:
+                    errors.append(f"line {number}: negative bucket count")
+                slot.append((le, value))
+            elif name.endswith("_sum"):
+                sums.setdefault(family, {})[series] = value
+            elif name.endswith("_count"):
+                counts.setdefault(family, {})[series] = value
+            else:
+                errors.append(
+                    f"line {number}: bare sample {name} in histogram family")
+        elif kind == "counter":
+            if value < 0:
+                errors.append(f"line {number}: negative counter {name}")
+
+    for family, series_map in buckets.items():
+        for series, entries in series_map.items():
+            where = f"{family}{{{series}}}"
+            les = [le for le, _ in entries]
+            if les != sorted(les):
+                errors.append(f"{where}: buckets not in ascending le order")
+            values = [v for _, v in entries]
+            if any(b < a for a, b in zip(values, values[1:])):
+                errors.append(f"{where}: bucket counts decrease")
+            if not entries or entries[-1][0] != float("inf"):
+                errors.append(f"{where}: missing +Inf bucket")
+                continue
+            inf_count = entries[-1][1]
+            declared = counts.get(family, {}).get(series)
+            if declared is None:
+                errors.append(f"{where}: missing _count")
+            elif declared != inf_count:
+                errors.append(
+                    f"{where}: _count {declared} != +Inf bucket {inf_count}")
+            if series not in sums.get(family, {}):
+                errors.append(f"{where}: missing _sum")
+
+    if expect_count is not None:
+        family = "alcop_serving_request_latency_us"
+        total = sum(counts.get(family, {}).values())
+        if total != expect_count:
+            errors.append(
+                f"{family}: total _count {total} != expected {expect_count}")
+
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"FAIL: {len(errors)} defect(s) in {args[0]}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(seen_families)} families, "
+        f"{sum(len(s) for s in buckets.values())} histogram series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

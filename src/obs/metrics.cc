@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -70,11 +71,50 @@ std::string NumberToJson(double value) {
 
 }  // namespace
 
+static_assert(sizeof(HistogramData{}.buckets) / sizeof(uint64_t) ==
+                  Histogram::kBuckets,
+              "HistogramData bucket array must match Histogram::kBuckets");
+
+void Gauge::Add(double delta) { AtomicAdd(&value_, delta); }
+
 void Histogram::Observe(double value) {
   buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(&sum_, value);
   AtomicMax(&max_, value);
+}
+
+HistogramData Histogram::Data() const {
+  HistogramData data;
+  for (int i = 0; i < kBuckets; ++i) {
+    data.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  data.count = count_.load(std::memory_order_relaxed);
+  data.sum = sum_.load(std::memory_order_relaxed);
+  data.max = max_.load(std::memory_order_relaxed);
+  return data;
+}
+
+double HistogramQuantile(const HistogramData& data, double q) {
+  if (data.count == 0 || !(q > 0.0)) return 0.0;
+  if (q > 1.0) q = 1.0;
+  double rank = q * static_cast<double>(data.count);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    uint64_t in_bucket = data.buckets[i];
+    if (in_bucket == 0) continue;
+    double below = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    double lower = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+    double upper = std::ldexp(1.0, i);
+    // The topmost populated bucket only reaches the observed max, not
+    // its nominal power-of-two edge.
+    if (upper > data.max) upper = data.max < lower ? lower : data.max;
+    double fraction = (rank - below) / static_cast<double>(in_bucket);
+    return lower + fraction * (upper - lower);
+  }
+  return data.max;
 }
 
 void Histogram::Reset() {
@@ -92,6 +132,18 @@ struct Registry::Impl {
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
   std::map<std::string, std::function<double()>> callbacks;
+  // # HELP-style descriptions, keyed by metric name. First non-empty
+  // registration wins; metrics registered without help are absent.
+  std::map<std::string, std::string> help;
+
+  void SetHelp(const std::string& name, const std::string& text) {
+    if (!text.empty() && help.count(name) == 0) help[name] = text;
+  }
+
+  std::string HelpFor(const std::string& name) const {
+    auto it = help.find(name);
+    return it == help.end() ? std::string() : it->second;
+  }
 
   void CheckUnique(const std::string& name, const char* kind) const {
     int owners = (counters.count(name) ? 1 : 0) + (gauges.count(name) ? 1 : 0) +
@@ -113,7 +165,8 @@ Registry& Registry::Global() {
   return *registry;
 }
 
-Counter& Registry::GetCounter(const std::string& name) {
+Counter& Registry::GetCounter(const std::string& name,
+                              const std::string& help) {
   Impl& state = impl();
   std::lock_guard<std::mutex> lock(state.mu);
   auto it = state.counters.find(name);
@@ -121,10 +174,11 @@ Counter& Registry::GetCounter(const std::string& name) {
     state.CheckUnique(name, "counter");
     it = state.counters.emplace(name, std::make_unique<Counter>()).first;
   }
+  state.SetHelp(name, help);
   return *it->second;
 }
 
-Gauge& Registry::GetGauge(const std::string& name) {
+Gauge& Registry::GetGauge(const std::string& name, const std::string& help) {
   Impl& state = impl();
   std::lock_guard<std::mutex> lock(state.mu);
   auto it = state.gauges.find(name);
@@ -132,10 +186,12 @@ Gauge& Registry::GetGauge(const std::string& name) {
     state.CheckUnique(name, "gauge");
     it = state.gauges.emplace(name, std::make_unique<Gauge>()).first;
   }
+  state.SetHelp(name, help);
   return *it->second;
 }
 
-Histogram& Registry::GetHistogram(const std::string& name) {
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  const std::string& help) {
   Impl& state = impl();
   std::lock_guard<std::mutex> lock(state.mu);
   auto it = state.histograms.find(name);
@@ -143,15 +199,18 @@ Histogram& Registry::GetHistogram(const std::string& name) {
     state.CheckUnique(name, "histogram");
     it = state.histograms.emplace(name, std::make_unique<Histogram>()).first;
   }
+  state.SetHelp(name, help);
   return *it->second;
 }
 
 void Registry::RegisterCallback(const std::string& name,
-                                std::function<double()> fn) {
+                                std::function<double()> fn,
+                                const std::string& help) {
   Impl& state = impl();
   std::lock_guard<std::mutex> lock(state.mu);
   if (state.callbacks.count(name) == 0) state.CheckUnique(name, "callback");
   state.callbacks[name] = std::move(fn);
+  state.SetHelp(name, help);
 }
 
 std::string Registry::RenderText() const {
@@ -170,21 +229,77 @@ std::string Registry::RenderText() const {
   }
   std::lock_guard<std::mutex> lock(state.mu);
   std::ostringstream out;
+  // Registered help renders as a `# name: help` comment line above the
+  // value, so the text dump is self-describing like the Prometheus
+  // exposition.
+  auto describe = [&](const std::string& name) {
+    std::string help = state.HelpFor(name);
+    if (!help.empty()) out << "# " << name << ": " << help << "\n";
+  };
   for (const auto& [name, counter] : state.counters) {
+    describe(name);
     out << name << " = " << counter->Value() << "\n";
   }
   for (const auto& [name, gauge] : state.gauges) {
+    describe(name);
     out << name << " = " << NumberToJson(gauge->Value()) << "\n";
   }
   for (const auto& [name, value] : callback_values) {
+    describe(name);
     out << name << " = " << NumberToJson(value) << "\n";
   }
   for (const auto& [name, hist] : state.histograms) {
+    describe(name);
     out << name << " = {count: " << hist->Count()
         << ", mean: " << NumberToJson(hist->Mean())
         << ", max: " << NumberToJson(hist->Max()) << "}\n";
   }
   return out.str();
+}
+
+std::vector<MetricSnapshot> Registry::Snapshot() const {
+  Impl& state = impl();
+  // Callbacks run outside the registry lock (they may lock subsystem
+  // state), exactly like the dump renderers.
+  std::map<std::string, double> callback_values;
+  {
+    std::map<std::string, std::function<double()>> callbacks;
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      callbacks = state.callbacks;
+    }
+    for (const auto& [name, fn] : callbacks) callback_values[name] = fn();
+  }
+  std::vector<MetricSnapshot> out;
+  std::lock_guard<std::mutex> lock(state.mu);
+  out.reserve(state.counters.size() + state.gauges.size() +
+              callback_values.size() + state.histograms.size());
+  auto push = [&](MetricSnapshot::Kind kind, const std::string& name) {
+    MetricSnapshot snap;
+    snap.kind = kind;
+    snap.name = name;
+    snap.help = state.HelpFor(name);
+    out.push_back(std::move(snap));
+    return &out.back();
+  };
+  for (const auto& [name, counter] : state.counters) {
+    push(MetricSnapshot::Kind::kCounter, name)->value =
+        static_cast<double>(counter->Value());
+  }
+  for (const auto& [name, gauge] : state.gauges) {
+    push(MetricSnapshot::Kind::kGauge, name)->value = gauge->Value();
+  }
+  for (const auto& [name, value] : callback_values) {
+    push(MetricSnapshot::Kind::kCallback, name)->value = value;
+  }
+  for (const auto& [name, hist] : state.histograms) {
+    push(MetricSnapshot::Kind::kHistogram, name)->histogram = hist->Data();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
 }
 
 std::string Registry::RenderJson() const {

@@ -43,14 +43,25 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
-// Last-written double value.
+// Last-written double value. Add() makes it usable as an up/down gauge
+// (e.g. serving.inflight: +1 at dispatch, -1 at completion).
 class Gauge {
  public:
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
   double Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
+};
+
+// Plain-value copy of one histogram's state: what dumps, the Prometheus
+// exporter and quantile estimation work from.
+struct HistogramData {
+  uint64_t buckets[64] = {};
+  uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
 };
 
 // Power-of-two-bucketed histogram of non-negative samples: bucket i
@@ -71,6 +82,9 @@ class Histogram {
   uint64_t BucketCount(int bucket) const {
     return buckets_[bucket].load(std::memory_order_relaxed);
   }
+  // Relaxed snapshot of all buckets + count/sum/max (each field is
+  // individually coherent; the set may straddle concurrent Observes).
+  HistogramData Data() const;
   void Reset();
 
  private:
@@ -80,6 +94,25 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+// Quantile estimate (q in [0,1]) from power-of-two buckets: walks the
+// cumulative distribution to the target rank and interpolates linearly
+// inside the bucket, clamped to the observed max. 0 when empty.
+double HistogramQuantile(const HistogramData& data, double q);
+
+// One registry entry as seen by a dump or the Prometheus exporter.
+// `name` is the full registered name, which by convention may carry
+// `|key=value` label suffixes (e.g. "serving.request.latency.us|lane=fast");
+// plain text/JSON dumps print it verbatim, the Prometheus renderer splits
+// it into a metric family plus labels.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kCallback, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::string help;         // registered help text ("" when none given)
+  double value = 0.0;       // counter/gauge/callback value
+  HistogramData histogram;  // kHistogram only
+};
+
 class Registry {
  public:
   // The process-wide registry (leaked, outlives all threads).
@@ -87,17 +120,27 @@ class Registry {
 
   // Finds or creates the named metric. A name addresses exactly one
   // metric kind; requesting it as a different kind throws CheckError.
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
-  Histogram& GetHistogram(const std::string& name);
+  // `help` is # HELP-style description metadata recorded at the
+  // registration site (first non-empty string wins; "" leaves any
+  // existing help untouched) and surfaces in RenderText and the
+  // Prometheus exposition.
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& help = "");
 
   // Registers a read-on-dump gauge backed by `fn` (re-registering a name
   // replaces the callback; used by subsystems whose value is computed).
-  void RegisterCallback(const std::string& name, std::function<double()> fn);
+  void RegisterCallback(const std::string& name, std::function<double()> fn,
+                        const std::string& help = "");
 
   // Deterministic dumps, sorted by metric name.
   std::string RenderText() const;
   std::string RenderJson() const;
+
+  // Every registered metric with its current value, sorted by name.
+  // Callbacks are evaluated outside the registry lock, like the dumps.
+  std::vector<MetricSnapshot> Snapshot() const;
 
   // Zeroes every counter/gauge/histogram (callbacks are left alone:
   // their owners reset their own state). Tests and benches only.

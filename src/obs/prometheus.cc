@@ -1,0 +1,210 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace alcop {
+namespace obs {
+
+namespace {
+
+// %.17g round-trips doubles exactly; integral values print without an
+// exponent, so counters come out as plain integers.
+std::string Num(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string Uint(uint64_t value) { return std::to_string(value); }
+
+const char* TypeName(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter: return "counter";
+    case MetricSnapshot::Kind::kHistogram: return "histogram";
+    case MetricSnapshot::Kind::kGauge:
+    case MetricSnapshot::Kind::kCallback: return "gauge";
+  }
+  return "untyped";
+}
+
+// `{k="v",...}` with escaped values; "" when no labels.
+std::string LabelBlock(const std::vector<PromLabel>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += PromMetricName(labels[i].key).substr(6);  // sanitize, drop alcop_
+    out += "=\"";
+    out += PromEscapeLabelValue(labels[i].value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Same, with an `le` bound appended (histogram bucket series).
+std::string BucketLabelBlock(const std::vector<PromLabel>& labels,
+                             const std::string& le) {
+  std::string out = "{";
+  for (const PromLabel& label : labels) {
+    out += PromMetricName(label.key).substr(6);
+    out += "=\"";
+    out += PromEscapeLabelValue(label.value);
+    out += "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+struct Series {
+  const MetricSnapshot* metric = nullptr;
+  std::vector<PromLabel> labels;
+};
+
+struct Family {
+  MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+  std::string help;
+  std::vector<Series> series;
+};
+
+}  // namespace
+
+std::string SplitPromLabels(const std::string& name,
+                            std::vector<PromLabel>* labels) {
+  std::string base;
+  size_t pos = 0;
+  while (pos <= name.size()) {
+    size_t bar = name.find('|', pos);
+    if (bar == std::string::npos) bar = name.size();
+    std::string segment = name.substr(pos, bar - pos);
+    if (pos == 0) {
+      base = segment;
+    } else {
+      size_t eq = segment.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        // Not key=value: keep the bytes in the family name rather than
+        // emitting invalid label syntax.
+        base += "_" + segment;
+      } else if (labels != nullptr) {
+        labels->push_back({segment.substr(0, eq), segment.substr(eq + 1)});
+      }
+    }
+    pos = bar + 1;
+  }
+  return base;
+}
+
+std::string PromMetricName(const std::string& base) {
+  std::string out = "alcop_";
+  out.reserve(base.size() + out.size());
+  for (char c : base) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromEscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const std::vector<MetricSnapshot>& snapshot) {
+  // Group the (name-sorted) snapshot into families: series that share a
+  // base name render under one HELP/TYPE block. std::map keeps family
+  // order deterministic; series order inherits the snapshot's name sort.
+  std::map<std::string, Family> families;
+  for (const MetricSnapshot& metric : snapshot) {
+    Series series;
+    series.metric = &metric;
+    std::string base = SplitPromLabels(metric.name, &series.labels);
+    std::string fam_name = PromMetricName(base);
+    Family& family = families[fam_name];
+    if (family.series.empty()) family.kind = metric.kind;
+    // A family mixing metric kinds cannot be rendered under one TYPE;
+    // registry naming discipline avoids this, and later-kind entries
+    // are dropped rather than corrupting the exposition.
+    bool gauge_like = (metric.kind == MetricSnapshot::Kind::kGauge ||
+                       metric.kind == MetricSnapshot::Kind::kCallback) &&
+                      (family.kind == MetricSnapshot::Kind::kGauge ||
+                       family.kind == MetricSnapshot::Kind::kCallback);
+    if (metric.kind != family.kind && !gauge_like) continue;
+    if (family.help.empty()) family.help = metric.help;
+    family.series.push_back(std::move(series));
+  }
+
+  std::ostringstream out;
+  for (const auto& [fam_name, family] : families) {
+    out << "# HELP " << fam_name;
+    if (!family.help.empty()) out << " " << PromEscapeHelp(family.help);
+    out << "\n";
+    out << "# TYPE " << fam_name << " " << TypeName(family.kind) << "\n";
+    for (const Series& series : family.series) {
+      const MetricSnapshot& metric = *series.metric;
+      if (metric.kind != MetricSnapshot::Kind::kHistogram) {
+        out << fam_name << LabelBlock(series.labels) << " "
+            << Num(metric.value) << "\n";
+        continue;
+      }
+      const HistogramData& h = metric.histogram;
+      // Derive the total from the buckets themselves (not h.count) so
+      // `+Inf == _count >= every finite bucket` holds even if the
+      // snapshot raced a concurrent Observe between the two fields.
+      int top = -1;
+      uint64_t total = 0;
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        total += h.buckets[i];
+        if (h.buckets[i] != 0) top = i;
+      }
+      uint64_t cumulative = 0;
+      for (int i = 0; i <= top; ++i) {
+        cumulative += h.buckets[i];
+        out << fam_name << "_bucket"
+            << BucketLabelBlock(series.labels, Num(std::ldexp(1.0, i))) << " "
+            << Uint(cumulative) << "\n";
+      }
+      out << fam_name << "_bucket" << BucketLabelBlock(series.labels, "+Inf")
+          << " " << Uint(total) << "\n";
+      out << fam_name << "_sum" << LabelBlock(series.labels) << " "
+          << Num(h.sum) << "\n";
+      out << fam_name << "_count" << LabelBlock(series.labels) << " "
+          << Uint(total) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string RenderPrometheus() {
+  return RenderPrometheus(Registry::Global().Snapshot());
+}
+
+}  // namespace obs
+}  // namespace alcop

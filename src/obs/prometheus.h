@@ -1,0 +1,64 @@
+// Prometheus text exposition (version 0.0.4) of the metrics registry:
+// what `GET /metrics` on the alcopd HTTP front end serves.
+//
+// Mapping from registry names to the exposition:
+//   - Every metric family is prefixed `alcop_` and the registry's
+//     dotted names are sanitized to the Prometheus charset
+//     ("serving.requests" -> "alcop_serving_requests").
+//   - A registered name may carry `|key=value` label suffixes
+//     ("serving.request.latency.us|lane=fast"); the renderer splits
+//     them off, so the two lane series share one `# HELP`/`# TYPE`
+//     family block and differ only in `{lane="..."}`.
+//   - Counters/gauges/callbacks render as single samples; histograms
+//     render the cumulative `_bucket{le="..."}` series over the
+//     registry's power-of-two buckets (upper bound of bucket i is 2^i)
+//     up to the highest populated bucket, then `le="+Inf"` (== the
+//     `_count` sample) and `_sum`.
+//   - Output is byte-deterministic for a given snapshot: families in
+//     name order, series within a family in registered-name order,
+//     fixed number formatting.
+#ifndef ALCOP_OBS_PROMETHEUS_H_
+#define ALCOP_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace alcop {
+namespace obs {
+
+// One `key=value` pair split off a registered metric name.
+struct PromLabel {
+  std::string key;
+  std::string value;
+};
+
+// Splits `name` at `|` separators into the base name (returned) and its
+// labels. A suffix segment without `=` is folded back into the base
+// name, so malformed names still render (as part of the family name)
+// instead of producing invalid label syntax.
+std::string SplitPromLabels(const std::string& name,
+                            std::vector<PromLabel>* labels);
+
+// `alcop_` + `base` with every character outside
+// [a-zA-Z0-9_:] replaced by '_': a valid Prometheus metric name.
+std::string PromMetricName(const std::string& base);
+
+// Label-value escaping per the exposition format: backslash, double
+// quote and newline become \\ , \" and \n.
+std::string PromEscapeLabelValue(const std::string& value);
+
+// HELP-text escaping: backslash and newline.
+std::string PromEscapeHelp(const std::string& help);
+
+// Renders one snapshot (see Registry::Snapshot) as text exposition.
+std::string RenderPrometheus(const std::vector<MetricSnapshot>& snapshot);
+
+// Convenience: snapshot + render of the global registry.
+std::string RenderPrometheus();
+
+}  // namespace obs
+}  // namespace alcop
+
+#endif  // ALCOP_OBS_PROMETHEUS_H_

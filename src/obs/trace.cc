@@ -82,9 +82,10 @@ void SetTraceEnabled(bool enabled) {
   // library never touches the registry.
   static std::once_flag registered;
   std::call_once(registered, [] {
-    Registry::Global().RegisterCallback("obs.trace.dropped", [] {
-      return static_cast<double>(DroppedSpans());
-    });
+    Registry::Global().RegisterCallback(
+        "obs.trace.dropped",
+        [] { return static_cast<double>(DroppedSpans()); },
+        "Spans lost to ring-buffer wrap-around since the last clear.");
   });
   g_enabled.store(enabled, std::memory_order_relaxed);
 }

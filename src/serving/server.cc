@@ -1,17 +1,21 @@
 #include "serving/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -20,6 +24,9 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+#include "serving/http.h"
 #include "serving/persist.h"
 #include "serving/protocol.h"
 #include "sim/pmu.h"
@@ -33,28 +40,69 @@ namespace serving {
 
 namespace {
 
-// One client connection. Responses may be written by either lane, so
-// writes are serialized per connection; frame order between different
-// requests is unconstrained (clients match by id).
+// One client connection — either a unix-socket peer speaking
+// length-prefixed frames or an HTTP/1.1 peer. Responses may be written
+// by either lane, so writes are serialized per connection; frame order
+// between different requests is unconstrained for the socket transport
+// (clients match by id), while HTTP admits strictly one dispatched
+// request at a time so responses stay in request order.
 struct Conn {
   int fd = -1;
+  bool http = false;
+  int rescan_fd = -1;  // pokes the IO thread after an HTTP response
   std::mutex write_mu;
+
+  // HTTP state. in_buffer/close_after_response/dead are IO-thread-only;
+  // inflight is the cross-thread gate: set before Dispatch on the IO
+  // thread, cleared by whichever lane thread sends the response.
+  std::string in_buffer;
+  std::atomic<bool> inflight{false};
+  bool close_after_response = false;
+  bool dead = false;
 
   ~Conn() {
     if (fd >= 0) ::close(fd);
   }
 
+  // Dispatched-response path (both transports). A dead peer just drops
+  // the response.
   void Send(const std::string& payload) {
     std::lock_guard<std::mutex> lock(write_mu);
-    WriteFrame(fd, payload);  // a dead peer just drops the response
+    if (!http) {
+      WriteFrame(fd, payload);
+      return;
+    }
+    HttpWriteAll(fd, FormatHttpResponse(200, "application/json", payload + "\n",
+                                        {}, !close_after_response));
+    inflight.store(false, std::memory_order_release);
+    if (rescan_fd >= 0) {
+      char byte = 'r';
+      ssize_t ignored = ::write(rescan_fd, &byte, 1);
+      (void)ignored;
+    }
+  }
+
+  // Transport-level HTTP responses (scrapes, 4xx), IO thread only.
+  void SendRaw(const std::string& bytes) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    HttpWriteAll(fd, bytes);
   }
 };
 
 struct Request {
   std::shared_ptr<Conn> conn;
   JsonValue body;
-  int64_t id = 0;
+  int64_t id = 0;  // client-chosen correlation id from the payload
   std::string method;
+
+  // Per-request observability, filled in by Dispatch / the lanes.
+  uint64_t req_id = 0;     // daemon-assigned monotonic id
+  int64_t arrival_ns = 0;  // Dispatch time (trace clock)
+  int64_t dequeue_ns = 0;  // lane pickup time
+  uint64_t batch = 0;      // slow-lane drain round (0 on the fast lane)
+  const char* lane = "fast";
+  const char* outcome = "ok";  // cache outcome for the access log
+  std::string op_key;
 };
 
 std::string ErrorResponse(int64_t id, const std::string& message) {
@@ -186,7 +234,10 @@ struct Server::Impl {
   ServerOptions options;
 
   int listen_fd = -1;
-  int wake_pipe[2] = {-1, -1};  // interrupts poll() on Stop
+  int http_listen_fd = -1;       // -1 when the HTTP front end is off
+  int bound_http_port = -1;      // actual port after bind (0 resolves)
+  int wake_pipe[2] = {-1, -1};   // interrupts poll() on Stop
+  int rescan_pipe[2] = {-1, -1}; // lane->IO nudge after an HTTP response
 
   std::thread io_thread;
   std::thread fast_thread;
@@ -205,6 +256,29 @@ struct Server::Impl {
   std::mutex stop_mu;
   std::condition_variable stop_cv;
 
+  // Request-lifecycle observability (resolved once in Start, with help
+  // text; lanes then update lock-free).
+  struct LaneStats {
+    obs::Histogram* latency = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* service = nullptr;
+  };
+  LaneStats fast_stats;
+  LaneStats slow_stats;
+  obs::Gauge* inflight_gauge = nullptr;
+  obs::Counter* requests_counter = nullptr;
+  obs::Counter* fast_counter = nullptr;
+  obs::Counter* slow_counter = nullptr;
+  obs::Counter* batches_counter = nullptr;
+  obs::Counter* http_counter = nullptr;
+  obs::Counter* http_bad_counter = nullptr;
+  std::atomic<uint64_t> next_request_id{0};
+  std::atomic<uint64_t> next_batch_id{0};
+  int64_t start_ns = 0;
+
+  std::ofstream access_log;
+  std::mutex access_log_mu;
+
   // ---------------------------------------------------------------------
   // IO thread: accept connections, read frames, classify into lanes.
   // ---------------------------------------------------------------------
@@ -214,7 +288,14 @@ struct Server::Impl {
     while (!stopping.load(std::memory_order_relaxed)) {
       std::vector<pollfd> fds;
       fds.push_back({wake_pipe[0], POLLIN, 0});
+      fds.push_back({rescan_pipe[0], POLLIN, 0});
       fds.push_back({listen_fd, POLLIN, 0});
+      size_t http_slot = 0;
+      if (http_listen_fd >= 0) {
+        http_slot = fds.size();
+        fds.push_back({http_listen_fd, POLLIN, 0});
+      }
+      size_t base = fds.size();
       for (const auto& conn : conns) fds.push_back({conn->fd, POLLIN, 0});
       if (::poll(fds.data(), fds.size(), -1) < 0) {
         if (errno == EINTR) continue;
@@ -222,6 +303,27 @@ struct Server::Impl {
       }
       if (fds[0].revents != 0) break;  // woken by Stop
       if (fds[1].revents & POLLIN) {
+        // A lane finished an HTTP response. Drain the nudge bytes (a
+        // short read just means another wakeup, which is harmless), then
+        // resume any conns with buffered pipelined requests and close
+        // the Connection: close ones.
+        char drain[256];
+        ssize_t ignored = ::read(rescan_pipe[0], drain, sizeof(drain));
+        (void)ignored;
+        for (auto& conn : conns) {
+          if (!conn->http || conn->dead) continue;
+          if (conn->inflight.load(std::memory_order_acquire)) continue;
+          if (conn->close_after_response) {
+            conn->dead = true;
+            continue;
+          }
+          if (!conn->in_buffer.empty() && !ProcessHttpBuffer(conn)) {
+            conn->dead = true;
+          }
+        }
+        SweepDead(&conns);
+      }
+      if (fds[2].revents & POLLIN) {
         int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd >= 0) {
           auto conn = std::make_shared<Conn>();
@@ -230,27 +332,150 @@ struct Server::Impl {
           continue;  // re-poll with the new fd included
         }
       }
-      for (size_t i = 2; i < fds.size(); ++i) {
-        if (fds[i].revents == 0) continue;
-        std::shared_ptr<Conn>& conn = conns[i - 2];
-        std::string payload;
-        if (!ReadFrame(conn->fd, &payload)) {
-          conns.erase(conns.begin() + static_cast<ptrdiff_t>(i - 2));
-          break;  // indices shifted; re-poll
+      if (http_listen_fd >= 0 && (fds[http_slot].revents & POLLIN) != 0) {
+        int fd = ::accept(http_listen_fd, nullptr, nullptr);
+        if (fd >= 0) {
+          auto conn = std::make_shared<Conn>();
+          conn->fd = fd;
+          conn->http = true;
+          conn->rescan_fd = rescan_pipe[1];
+          conns.push_back(std::move(conn));
+          continue;
         }
-        Dispatch(conn, payload);
       }
+      for (size_t i = base; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        std::shared_ptr<Conn>& conn = conns[i - base];
+        if (conn->dead) continue;
+        if (!conn->http) {
+          std::string payload;
+          if (!ReadFrame(conn->fd, &payload)) {
+            conn->dead = true;
+          } else {
+            Dispatch(conn, payload);
+          }
+          continue;
+        }
+        char buf[65536];
+        ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+        if (n <= 0) {
+          if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+          conn->dead = true;
+          continue;
+        }
+        conn->in_buffer.append(buf, static_cast<size_t>(n));
+        if (!conn->inflight.load(std::memory_order_acquire) &&
+            !ProcessHttpBuffer(conn)) {
+          conn->dead = true;
+        }
+      }
+      SweepDead(&conns);
     }
   }
 
-  void Dispatch(const std::shared_ptr<Conn>& conn, const std::string& payload) {
-    ServingCounter("serving.requests").Increment();
-    served.fetch_add(1, std::memory_order_relaxed);
+  static void SweepDead(std::vector<std::shared_ptr<Conn>>* conns) {
+    conns->erase(std::remove_if(conns->begin(), conns->end(),
+                                [](const std::shared_ptr<Conn>& conn) {
+                                  return conn->dead;
+                                }),
+                 conns->end());
+  }
+
+  // Parses as many buffered HTTP requests as the one-inflight gate
+  // allows. False means the connection should close (protocol error or
+  // a non-keep-alive exchange answered inline).
+  bool ProcessHttpBuffer(const std::shared_ptr<Conn>& conn) {
+    while (!conn->inflight.load(std::memory_order_acquire)) {
+      if (conn->in_buffer.empty()) return true;
+      HttpRequest http_request;
+      size_t consumed = 0;
+      std::string parse_error;
+      HttpParseResult result =
+          ParseHttpRequest(conn->in_buffer, &http_request, &consumed,
+                           &parse_error);
+      if (result == HttpParseResult::kNeedMore) return true;
+      if (result == HttpParseResult::kBad) {
+        http_bad_counter->Increment();
+        conn->SendRaw(FormatHttpResponse(400, "text/plain; charset=utf-8",
+                                         "bad request: " + parse_error + "\n",
+                                         {}, /*keep_alive=*/false));
+        return false;
+      }
+      conn->in_buffer.erase(0, consumed);
+      if (!HandleHttp(conn, http_request)) return false;
+    }
+    return true;
+  }
+
+  // Transport-level HTTP routing. GET endpoints are answered inline on
+  // the IO thread (they only read the registry and cache stats); POST
+  // /v1/<method> rides the same Dispatch path as socket frames, with the
+  // URL supplying the method.
+  bool HandleHttp(const std::shared_ptr<Conn>& conn,
+                  const HttpRequest& request) {
+    http_counter->Increment();
+    bool keep = request.keep_alive;
+    auto method_not_allowed = [&] {
+      conn->SendRaw(FormatHttpResponse(405, "text/plain; charset=utf-8",
+                                       "method not allowed\n", {}, keep));
+      return keep;
+    };
+    if (request.target == "/metrics") {
+      if (request.method != "GET") return method_not_allowed();
+      conn->SendRaw(FormatHttpResponse(
+          200, "text/plain; version=0.0.4; charset=utf-8",
+          obs::RenderPrometheus(), {}, keep));
+      return keep;
+    }
+    if (request.target == "/healthz") {
+      if (request.method != "GET") return method_not_allowed();
+      sim::SimCacheStats stats = sim::GetSimCacheStats();
+      int64_t headroom =
+          stats.budget_bytes == 0
+              ? -1
+              : std::max<int64_t>(0, static_cast<int64_t>(stats.budget_bytes) -
+                                         static_cast<int64_t>(
+                                             stats.resident_bytes));
+      std::ostringstream body;
+      body.precision(17);
+      body << "{\"ok\":true,\"uptime_seconds\":"
+           << static_cast<double>(obs::NowNanos() - start_ns) / 1e9
+           << ",\"inflight\":" << inflight_gauge->Value()
+           << ",\"requests\":" << served.load(std::memory_order_relaxed)
+           << ",\"cache\":{\"resident_bytes\":" << stats.resident_bytes
+           << ",\"budget_bytes\":" << stats.budget_bytes
+           << ",\"headroom_bytes\":" << headroom << "}}\n";
+      conn->SendRaw(FormatHttpResponse(
+          200, "application/json", body.str(),
+          {{"X-Cache-Headroom-Bytes", std::to_string(headroom)}}, keep));
+      return keep;
+    }
+    if (request.target.rfind("/v1/", 0) == 0) {
+      if (request.method != "POST") return method_not_allowed();
+      std::string method = request.target.substr(4);
+      conn->close_after_response = !keep;
+      conn->inflight.store(true, std::memory_order_release);
+      Dispatch(conn, request.body.empty() ? "{}" : request.body,
+               method.c_str());
+      return true;
+    }
+    conn->SendRaw(FormatHttpResponse(404, "text/plain; charset=utf-8",
+                                     "not found\n", {}, keep));
+    return keep;
+  }
+
+  void Dispatch(const std::shared_ptr<Conn>& conn, const std::string& payload,
+                const char* method_override = nullptr) {
     Request request;
     request.conn = conn;
+    request.req_id = next_request_id.fetch_add(1, std::memory_order_relaxed) + 1;
+    request.arrival_ns = obs::NowNanos();
+    inflight_gauge->Add(1.0);
     std::optional<JsonValue> body = ParseJson(payload);
     if (!body.has_value()) {
-      conn->Send(ErrorResponse(0, "malformed JSON"));
+      request.dequeue_ns = request.arrival_ns;
+      request.outcome = "error";
+      Complete(request, ErrorResponse(0, "malformed JSON"));
       return;
     }
     request.body = std::move(*body);
@@ -258,17 +483,66 @@ struct Server::Impl {
     request.id = id == nullptr ? 0 : static_cast<int64_t>(id->NumberOr(0));
     const JsonValue* method = request.body.Find("method");
     request.method = method == nullptr ? "" : method->StringOr("");
+    if (method_override != nullptr) request.method = method_override;
     if (FastLane(request)) {
-      ServingCounter("serving.fast_lane").Increment();
       std::lock_guard<std::mutex> lock(queue_mu);
       fast_queue.push_back(std::move(request));
       fast_cv.notify_one();
     } else {
-      ServingCounter("serving.slow_lane").Increment();
+      request.lane = "slow";
       std::lock_guard<std::mutex> lock(queue_mu);
       slow_queue.push_back(std::move(request));
       slow_cv.notify_one();
     }
+  }
+
+  // Finishes one request: latency histograms, completion-time counters,
+  // queue-wait/lane spans and the access-log line, then the response
+  // send — so a stats snapshot or scrape taken after the client sees the
+  // reply always includes it, and in-flight work is visible as the gap
+  // between serving.inflight and serving.requests.
+  void Complete(Request& request, const std::string& payload) {
+    int64_t end_ns = obs::NowNanos();
+    bool fast = request.lane[0] == 'f';
+    double queue_us =
+        static_cast<double>(request.dequeue_ns - request.arrival_ns) / 1e3;
+    double service_us =
+        static_cast<double>(end_ns - request.dequeue_ns) / 1e3;
+    if (payload.find("\"ok\":false") != std::string::npos) {
+      request.outcome = "error";
+    }
+    LaneStats& lane = fast ? fast_stats : slow_stats;
+    lane.queue_wait->Observe(queue_us);
+    lane.service->Observe(service_us);
+    lane.latency->Observe(queue_us + service_us);
+    (fast ? fast_counter : slow_counter)->Increment();
+    requests_counter->Increment();
+    inflight_gauge->Add(-1.0);
+    served.fetch_add(1, std::memory_order_relaxed);
+    obs::RecordSpan("serving.queue_wait", "serving", request.arrival_ns,
+                    request.dequeue_ns);
+    obs::RecordSpan(fast ? "serving.request.fast" : "serving.request.slow",
+                    "serving", request.arrival_ns, end_ns);
+    WriteAccessLog(request, queue_us, service_us);
+    request.conn->Send(payload);
+  }
+
+  void WriteAccessLog(const Request& request, double queue_us,
+                      double service_us) {
+    if (!access_log.is_open()) return;
+    std::ostringstream line;
+    line.precision(17);
+    line << "{\"id\":" << request.req_id
+         << ",\"client_id\":" << request.id << ",\"method\":\""
+         << JsonEscape(request.method) << "\",\"op_key\":\""
+         << JsonEscape(request.op_key) << "\",\"lane\":\"" << request.lane
+         << "\",\"outcome\":\"" << request.outcome
+         << "\",\"batch\":" << request.batch << ",\"queue_us\":" << queue_us
+         << ",\"service_us\":" << service_us
+         << ",\"total_us\":" << queue_us + service_us << "}";
+    std::lock_guard<std::mutex> lock(access_log_mu);
+    access_log << line.str() << "\n";
+    access_log.flush();
   }
 
   // Routing: anything that can be answered without compiling or
@@ -323,7 +597,8 @@ struct Server::Impl {
         request = std::move(fast_queue.front());
         fast_queue.pop_front();
       }
-      request.conn->Send(HandleFast(request));
+      request.dequeue_ns = obs::NowNanos();
+      Complete(request, HandleFast(request));
       if (request.method == "shutdown") {
         RequestStop();
         return;
@@ -331,7 +606,7 @@ struct Server::Impl {
     }
   }
 
-  std::string HandleFast(const Request& request) {
+  std::string HandleFast(Request& request) {
     const std::string& m = request.method;
     if (m == "ping") {
       std::ostringstream out;
@@ -348,6 +623,21 @@ struct Server::Impl {
     if (m == "compile") return HandleCompile(request, /*probe_only=*/true);
     if (m == "tune") return HandleStoredTune(request);
     return ErrorResponse(request.id, "unknown method \"" + m + "\"");
+  }
+
+  // Per-lane latency summary from the request histograms: the socket
+  // `stats` method and `cache stats --json` surface the same numbers an
+  // HTTP scraper computes from the exposition buckets.
+  static void AppendLaneLatency(std::ostringstream* out, const char* lane,
+                                const LaneStats& stats) {
+    obs::HistogramData data = stats.latency->Data();
+    (*out) << "\"" << lane << "\":{\"count\":" << data.count << ",\"mean_us\":"
+           << (data.count == 0 ? 0.0
+                               : data.sum / static_cast<double>(data.count))
+           << ",\"p50_us\":" << obs::HistogramQuantile(data, 0.5)
+           << ",\"p99_us\":" << obs::HistogramQuantile(data, 0.99)
+           << ",\"p999_us\":" << obs::HistogramQuantile(data, 0.999)
+           << ",\"max_us\":" << data.max << "}";
   }
 
   std::string HandleStats(const Request& request) {
@@ -367,7 +657,12 @@ struct Server::Impl {
         << ",\"disk_misses\":" << stats.disk_misses
         << ",\"disk_load_bytes\":" << stats.disk_load_bytes
         << ",\"stored_tunings\":" << tuner::TuningStore::Global().Size()
-        << ",\"requests\":" << served.load(std::memory_order_relaxed) << "}";
+        << ",\"requests\":" << served.load(std::memory_order_relaxed)
+        << ",\"inflight\":" << inflight_gauge->Value() << ",\"latency\":{";
+    AppendLaneLatency(&out, "fast", fast_stats);
+    out << ",";
+    AppendLaneLatency(&out, "slow", slow_stats);
+    out << "}}";
     return out.str();
   }
 
@@ -394,12 +689,14 @@ struct Server::Impl {
 
   // Warm-restart tune: the store already holds a finished search for
   // this exact op_key; answer from it in microseconds.
-  std::string HandleStoredTune(const Request& request) {
+  std::string HandleStoredTune(Request& request) {
     schedule::GemmOp op;
     std::string err;
     if (!ParseOpJson(request.body, &op, &err)) {
       return ErrorResponse(request.id, err);
     }
+    request.op_key = op.name;
+    request.outcome = "stored";
     std::optional<tuner::StoredTuning> stored =
         tuner::TuningStore::Global().Get(tuner::OpKey(op));
     if (!stored.has_value()) {
@@ -421,7 +718,7 @@ struct Server::Impl {
     return out.str();
   }
 
-  std::string HandleCompile(const Request& request, bool probe_only) {
+  std::string HandleCompile(Request& request, bool probe_only) {
     schedule::GemmOp op;
     schedule::ScheduleConfig config;
     std::string err;
@@ -429,14 +726,17 @@ struct Server::Impl {
     if (!ParseOpJson(request.body, &op, &err)) {
       return ErrorResponse(request.id, err);
     }
+    request.op_key = op.name;
     if (cfg == nullptr || !ParseConfigJson(*cfg, &config, &err)) {
       return ErrorResponse(
           request.id, err.empty() ? "compile needs a \"config\" object" : err);
     }
+    request.outcome = "hit";
     sim::KernelTiming timing;
     if (!sim::ProbeCachedTiming(op, config, options.spec,
                                 schedule::InlineOrder::kAfterPipelining,
                                 &timing)) {
+      request.outcome = "fallback";
       if (probe_only) {
         // Routing raced an eviction; the slow path below is still correct,
         // just slower than the lane promised.
@@ -472,7 +772,17 @@ struct Server::Impl {
           slow_queue.pop_front();
         }
       }
+      uint64_t batch_id =
+          next_batch_id.fetch_add(1, std::memory_order_relaxed) + 1;
+      batches_counter->Increment();
+      int64_t batch_start_ns = obs::NowNanos();
+      for (Request& request : batch) {
+        request.dequeue_ns = batch_start_ns;
+        request.batch = batch_id;
+      }
       HandleSlowBatch(batch, &arena);
+      obs::RecordSpan("serving.batch", "serving", batch_start_ns,
+                      obs::NowNanos());
     }
   }
 
@@ -499,11 +809,13 @@ struct Server::Impl {
       const JsonValue* cfg = request.body.Find("config");
       if (!ParseOpJson(request.body, &op, &err) || cfg == nullptr ||
           !ParseConfigJson(*cfg, &config, &err)) {
-        request.conn->Send(ErrorResponse(
+        request.outcome = "error";
+        Complete(request, ErrorResponse(
             request.id, err.empty() ? "need op fields and \"config\"" : err));
         request.method.clear();  // answered
         continue;
       }
+      request.op_key = op.name;
       Pending pending;
       pending.request_index = i;
       pending.op = op;
@@ -539,27 +851,31 @@ struct Server::Impl {
           out << ",\"pmu\":" << sim::PmuToJson(pmu);
         }
         out << "}";
-        request.conn->Send(out.str());
+        request.outcome = "compiled";
+        Complete(request, out.str());
         request.method.clear();  // answered
       }
     }
     for (Request& request : batch) {
       if (request.method.empty()) continue;
       if (request.method == "tune") {
-        request.conn->Send(HandleTune(request));
+        request.outcome = "search";
+        Complete(request, HandleTune(request));
       } else {
-        request.conn->Send(
-            ErrorResponse(request.id, "unknown method \"" + request.method + "\""));
+        request.outcome = "error";
+        Complete(request, ErrorResponse(
+            request.id, "unknown method \"" + request.method + "\""));
       }
     }
   }
 
-  std::string HandleTune(const Request& request) {
+  std::string HandleTune(Request& request) {
     schedule::GemmOp op;
     std::string err;
     if (!ParseOpJson(request.body, &op, &err)) {
       return ErrorResponse(request.id, err);
     }
+    request.op_key = op.name;
     size_t trials = options.default_trials;
     if (const JsonValue* t = request.body.Find("trials")) {
       trials = static_cast<size_t>(t->NumberOr(static_cast<double>(trials)));
@@ -606,6 +922,55 @@ struct Server::Impl {
   // ---------------------------------------------------------------------
   // Lifecycle.
   // ---------------------------------------------------------------------
+
+  // Resolves every serving.* metric once, attaching # HELP metadata at
+  // the registration site; the request path then updates them lock-free.
+  void RegisterMetrics() {
+    obs::Registry& registry = obs::Registry::Global();
+    auto lane = [&registry](const char* name) {
+      LaneStats stats;
+      std::string label = std::string("|lane=") + name;
+      stats.latency = &registry.GetHistogram(
+          "serving.request.latency.us" + label,
+          "End-to-end request latency in microseconds (queue wait + "
+          "service), by lane.");
+      stats.queue_wait = &registry.GetHistogram(
+          "serving.request.queue_wait.us" + label,
+          "Time from dispatch to lane pickup in microseconds, by lane.");
+      stats.service = &registry.GetHistogram(
+          "serving.request.service.us" + label,
+          "Handler time from lane pickup to response in microseconds, by "
+          "lane.");
+      return stats;
+    };
+    fast_stats = lane("fast");
+    slow_stats = lane("slow");
+    inflight_gauge = &registry.GetGauge(
+        "serving.inflight",
+        "Requests dispatched but not yet answered (both lanes).");
+    requests_counter = &registry.GetCounter(
+        "serving.requests", "Requests completed across both lanes.");
+    fast_counter = &registry.GetCounter(
+        "serving.fast_lane", "Requests completed on the fast lane.");
+    slow_counter = &registry.GetCounter(
+        "serving.slow_lane", "Requests completed on the slow lane.");
+    batches_counter = &registry.GetCounter(
+        "serving.batches", "Slow-lane drain rounds (batched replays).");
+    http_counter = &registry.GetCounter(
+        "serving.http.requests",
+        "HTTP requests parsed, including /metrics and /healthz.");
+    http_bad_counter = &registry.GetCounter(
+        "serving.http.bad_requests",
+        "HTTP requests rejected with 400 (malformed or over limits).");
+    registry.GetCounter(
+        "serving.fast_lane_fallback",
+        "Fast-lane compiles whose probe raced an eviction and compiled.");
+    registry.GetCounter("serving.batched_replays",
+                        "Compile/profile replays answered via batched "
+                        "phase-2 replay.");
+    registry.GetCounter("serving.warm_starts",
+                        "Tune searches seeded from a stored neighbor.");
+  }
 
   void RequestStop() {
     if (stopping.exchange(true)) return;
@@ -671,6 +1036,68 @@ bool Server::Start(std::string* error) {
     impl.listen_fd = -1;
     return fail("pipe() failed");
   }
+  auto close_fds = [&impl] {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+    for (int& fd : impl.wake_pipe) {
+      ::close(fd);
+      fd = -1;
+    }
+    for (int& fd : impl.rescan_pipe) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    if (impl.http_listen_fd >= 0) {
+      ::close(impl.http_listen_fd);
+      impl.http_listen_fd = -1;
+    }
+  };
+  if (::pipe(impl.rescan_pipe) < 0) {
+    close_fds();
+    return fail("pipe() failed");
+  }
+
+  // HTTP front end (loopback only): /metrics, /healthz, POST /v1/*.
+  if (impl.options.http_port >= 0) {
+    impl.http_listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (impl.http_listen_fd < 0) {
+      close_fds();
+      return fail("http socket() failed");
+    }
+    int one = 1;
+    ::setsockopt(impl.http_listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in http_addr;
+    std::memset(&http_addr, 0, sizeof(http_addr));
+    http_addr.sin_family = AF_INET;
+    http_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    http_addr.sin_port = htons(static_cast<uint16_t>(impl.options.http_port));
+    if (::bind(impl.http_listen_fd, reinterpret_cast<sockaddr*>(&http_addr),
+               sizeof(http_addr)) < 0 ||
+        ::listen(impl.http_listen_fd, 64) < 0) {
+      close_fds();
+      return fail("http bind(127.0.0.1:" +
+                  std::to_string(impl.options.http_port) + ") failed");
+    }
+    socklen_t addr_len = sizeof(http_addr);
+    if (::getsockname(impl.http_listen_fd,
+                      reinterpret_cast<sockaddr*>(&http_addr),
+                      &addr_len) == 0) {
+      impl.bound_http_port = ntohs(http_addr.sin_port);
+    }
+  }
+
+  if (!impl.options.access_log_path.empty()) {
+    impl.access_log.open(impl.options.access_log_path,
+                         std::ios::out | std::ios::app);
+    if (!impl.access_log.is_open()) {
+      close_fds();
+      return fail("cannot open access log " + impl.options.access_log_path);
+    }
+  }
+
+  impl.RegisterMetrics();
+  impl.start_ns = obs::NowNanos();
 
   // Warm-start the process from the persisted cache when one matches.
   if (!impl.options.cache_path.empty()) {
@@ -702,12 +1129,23 @@ void Server::Stop() {
     ::close(impl.listen_fd);
     impl.listen_fd = -1;
   }
+  if (impl.http_listen_fd >= 0) {
+    ::close(impl.http_listen_fd);
+    impl.http_listen_fd = -1;
+  }
   for (int& fd : impl.wake_pipe) {
     if (fd >= 0) {
       ::close(fd);
       fd = -1;
     }
   }
+  for (int& fd : impl.rescan_pipe) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (impl.access_log.is_open()) impl.access_log.close();
   ::unlink(impl.options.socket_path.c_str());
   if (impl.options.persist_on_shutdown && !impl.options.cache_path.empty()) {
     SaveCache(impl.options.cache_path, impl.options.spec);  // best-effort
@@ -719,6 +1157,10 @@ const ServerOptions& Server::options() const { return impl_->options; }
 
 uint64_t Server::requests_served() const {
   return impl_->served.load(std::memory_order_relaxed);
+}
+
+int Server::http_port() const {
+  return impl_->http_listen_fd >= 0 ? impl_->bound_http_port : -1;
 }
 
 }  // namespace serving

@@ -23,6 +23,15 @@
 //     shape via tuner/transfer.h) and store their result for the next
 //     neighbor.
 //
+// Observability (per-request, not just global counters): every request
+// gets a monotonic id at dispatch, queue-wait and lane spans in the
+// ring-buffer tracer, per-lane latency histograms
+// (serving.request.latency.us|lane=fast/slow, with queue_wait + service
+// components that sum to the total), a serving.inflight gauge, and an
+// optional JSONL access log. An optional HTTP front end on the same IO
+// thread exposes GET /metrics (Prometheus text exposition), GET
+// /healthz, and POST /v1/<method> sharing the socket dispatch path.
+//
 // Startup loads the persisted cache if one matches this spec; shutdown
 // saves it — so the daemon's lifetime, not the process's, is the unit of
 // amortization the ROADMAP's serving axis asks for.
@@ -52,6 +61,16 @@ struct ServerOptions {
   // persistence is disabled.
   std::string cache_path;
   bool persist_on_shutdown = true;
+  // HTTP front end on 127.0.0.1 beside the unix socket: -1 = disabled,
+  // 0 = ephemeral (the bound port is readable via http_port()), >0 =
+  // fixed port. Serves GET /metrics (Prometheus exposition of the obs
+  // registry), GET /healthz, and POST /v1/<method> carrying the same
+  // JSON payloads as the socket protocol.
+  int http_port = -1;
+  // JSONL access log: one line per completed request (request id,
+  // method, op_key, lane, cache outcome, queue/service/total micros).
+  // Empty = no access log.
+  std::string access_log_path;
 };
 
 class Server {
@@ -75,6 +94,10 @@ class Server {
 
   const ServerOptions& options() const;
   uint64_t requests_served() const;
+
+  // Actual bound HTTP port (resolves options.http_port == 0 to the
+  // kernel-assigned port); -1 when the HTTP front end is disabled.
+  int http_port() const;
 
  private:
   struct Impl;

@@ -471,7 +471,8 @@ struct ThreadArenaHolder {
           total += static_cast<double>(g->bytes.load(std::memory_order_relaxed));
         }
         return total;
-      });
+      },
+      "Bytes currently held by live replay arenas across threads.");
     });
   }
   ~ThreadArenaHolder() {

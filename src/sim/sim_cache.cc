@@ -110,49 +110,64 @@ Cache& GlobalCache() {
     obs::Registry& registry = obs::Registry::Global();
     registry.RegisterCallback("sim.cache.timing.hits", [] {
       return static_cast<double>(GetSimCacheStats().hits);
-    });
+    },
+    "Timing-cache lookups answered from memory.");
     registry.RegisterCallback("sim.cache.timing.misses", [] {
       return static_cast<double>(GetSimCacheStats().misses);
-    });
+    },
+    "Timing-cache lookups that had to simulate.");
     registry.RegisterCallback("sim.cache.timing.entries", [] {
       return static_cast<double>(GetSimCacheStats().entries);
-    });
+    },
+    "Resident timing-cache entries.");
     registry.RegisterCallback("sim.cache.program.hits", [] {
       return static_cast<double>(GetSimCacheStats().program_hits);
-    });
+    },
+    "Program-cache lookups answered from memory.");
     registry.RegisterCallback("sim.cache.program.misses", [] {
       return static_cast<double>(GetSimCacheStats().program_misses);
-    });
+    },
+    "Program-cache lookups that had to compile.");
     registry.RegisterCallback("sim.cache.program.entries", [] {
       return static_cast<double>(GetSimCacheStats().program_entries);
-    });
+    },
+    "Resident compiled SimPrograms.");
     registry.RegisterCallback("sim.cache.program.bytes", [] {
       return static_cast<double>(GetSimCacheStats().program_bytes);
-    });
+    },
+    "Bytes held by resident SimPrograms.");
     registry.RegisterCallback("sim.cache.program.skeletons", [] {
       return static_cast<double>(GetSimCacheStats().program_skeletons);
-    });
+    },
+    "Interned program skeletons.");
     registry.RegisterCallback("sim.cache.program.skeleton_bytes", [] {
       return static_cast<double>(GetSimCacheStats().skeleton_bytes);
-    });
+    },
+    "Bytes held by interned skeletons.");
     registry.RegisterCallback("sim.cache.evictions", [] {
       return static_cast<double>(GetSimCacheStats().evictions);
-    });
+    },
+    "LRU evictions across both cache layers.");
     registry.RegisterCallback("sim.cache.resident_bytes", [] {
       return static_cast<double>(GetSimCacheStats().resident_bytes);
-    });
+    },
+    "Total resident bytes across both cache layers.");
     registry.RegisterCallback("sim.cache.budget_bytes", [] {
       return static_cast<double>(GetSimCacheStats().budget_bytes);
-    });
+    },
+    "Configured cache byte budget (0 = unlimited).");
     registry.RegisterCallback("sim.cache.disk.hits", [] {
       return static_cast<double>(GetSimCacheStats().disk_hits);
-    });
+    },
+    "On-disk cache frames accepted at load.");
     registry.RegisterCallback("sim.cache.disk.misses", [] {
       return static_cast<double>(GetSimCacheStats().disk_misses);
-    });
+    },
+    "On-disk cache frames rejected or absent.");
     registry.RegisterCallback("sim.cache.disk.load_bytes", [] {
       return static_cast<double>(GetSimCacheStats().disk_load_bytes);
-    });
+    },
+    "Bytes loaded from the on-disk cache.");
     return c;
   }();
   return *cache;

@@ -35,10 +35,14 @@ struct PoolMetrics {
     static PoolMetrics* metrics = [] {
       obs::Registry& registry = obs::Registry::Global();
       return new PoolMetrics{
-          registry.GetCounter("pool.parallel_for.calls"),
-          registry.GetCounter("pool.parallel_for.inline_calls"),
-          registry.GetCounter("pool.iterations"),
-          registry.GetGauge("pool.threads"),
+          registry.GetCounter("pool.parallel_for.calls",
+                              "ParallelFor invocations."),
+          registry.GetCounter("pool.parallel_for.inline_calls",
+                              "ParallelFor calls that ran serially."),
+          registry.GetCounter("pool.iterations",
+                              "Loop iterations executed by the pool."),
+          registry.GetGauge("pool.threads",
+                            "Worker threads in the shared pool."),
       };
     }();
     return *metrics;

@@ -44,8 +44,8 @@ TuningResult MeasureInOrder(const TuningTask& task,
   ALCOP_TRACE_SCOPE("measure-batch", "tuner");
   TuningResult result;
   size_t count = std::min(order.size(), max_trials);
-  static obs::Counter& trials =
-      obs::Registry::Global().GetCounter("tuner.trials");
+  static obs::Counter& trials = obs::Registry::Global().GetCounter(
+      "tuner.trials", "Schedule configs measured by the tuner.");
   trials.Add(count);
   result.trials.assign(order.begin(),
                        order.begin() + static_cast<ptrdiff_t>(count));
@@ -132,14 +132,16 @@ TuningTask MakeSimulatorTask(const schedule::GemmOp& op,
                   model_keep](const schedule::ScheduleConfig& config) {
     if (prefilter &&
         !analysis::CheckConfigFeasibility(op, config, spec).feasible) {
-      static obs::Counter& pruned =
-          obs::Registry::Global().GetCounter("tuner.pruned_static");
+      static obs::Counter& pruned = obs::Registry::Global().GetCounter(
+          "tuner.pruned_static",
+          "Configs rejected by the static feasibility pre-filter.");
       pruned.Increment();
       return kInf;
     }
     if (model_keep && model_keep->count(config.ToString()) == 0) {
-      static obs::Counter& pruned =
-          obs::Registry::Global().GetCounter("tuner.pruned_model");
+      static obs::Counter& pruned = obs::Registry::Global().GetCounter(
+          "tuner.pruned_model",
+          "Configs rejected by the learned-model pre-filter.");
       pruned.Increment();
       return kInf;
     }
@@ -224,8 +226,8 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
   // and batch prediction fan out, so trial order is thread-count invariant.
   auto refit = [&](int round_number) {
     ALCOP_TRACE_SCOPE("refit", "tuner");
-    static obs::Counter& refits =
-        obs::Registry::Global().GetCounter("tuner.refits");
+    static obs::Counter& refits = obs::Registry::Global().GetCounter(
+        "tuner.refits", "Cost-model refits during search.");
     refits.Increment();
     std::vector<std::vector<double>> x;
     std::vector<double> y;
@@ -338,10 +340,10 @@ TuningResult XgbTuner(const TuningTask& task, size_t max_trials,
     }
   }
 
-  static obs::Counter& rounds =
-      obs::Registry::Global().GetCounter("tuner.rounds");
-  static obs::Counter& trials =
-      obs::Registry::Global().GetCounter("tuner.trials");
+  static obs::Counter& rounds = obs::Registry::Global().GetCounter(
+      "tuner.rounds", "Search rounds executed by the XGB tuner.");
+  static obs::Counter& trials = obs::Registry::Global().GetCounter(
+      "tuner.trials", "Schedule configs measured by the tuner.");
   int round = 0;
   while (result.trials.size() < max_trials &&
          measured_set.size() < task.space.size()) {

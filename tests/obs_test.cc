@@ -518,6 +518,47 @@ TEST(ObsOverheadTest, WarmReplayStaysZeroAllocationWithEvictionEnabled) {
   sim::ResetSimCache();
 }
 
+TEST(ObsOverheadTest, RequestPathInstrumentationIsZeroAllocation) {
+  // alcopd's per-request bookkeeping — a gauge bump at dispatch, a span
+  // and histogram observations at completion — runs on the lane threads
+  // between a warm cache probe and the response write. It must allocate
+  // nothing even with tracing enabled, or the hot-path p99 gate in
+  // bench/serving_load.cc is at the allocator's mercy.
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Histogram& latency = registry.GetHistogram(
+      "obstest.request.latency.us|lane=fast", "test-only lane histogram");
+  obs::Gauge& inflight = registry.GetGauge("obstest.inflight");
+  ScopedTracing tracing;
+
+  // Warm-up: the first span on a thread sizes its ring, the first
+  // observations settle any lazy instrument state.
+  int64_t t0 = obs::NowNanos();
+  obs::RecordSpan("obstest.request", "serving", t0 - 100, t0);
+  inflight.Add(1.0);
+  latency.Observe(1.0);
+  inflight.Add(-1.0);
+
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 256; ++i) {
+    inflight.Add(1.0);
+    int64_t now = obs::NowNanos();
+    obs::RecordSpan("obstest.queue_wait", "serving", now - 50, now - 10);
+    obs::RecordSpan("obstest.request", "serving", now - 50, now);
+    latency.Observe(static_cast<double>(i));
+    inflight.Add(-1.0);
+  }
+  uint64_t after = g_allocations.load(std::memory_order_relaxed);
+#if !defined(ALCOP_OBS_NO_ALLOC_COUNTING)
+  EXPECT_EQ(after - before, 0u)
+      << "request-path instrumentation allocated with tracing enabled";
+#else
+  (void)before;
+  (void)after;
+#endif
+  EXPECT_EQ(latency.Data().count, 257u);
+  EXPECT_EQ(inflight.Value(), 0.0);
+}
+
 // ------------------------------------------------------- callback gauges
 
 TEST(ObsGaugeTest, TraceRingDropsNothingOnAProfileSweep) {

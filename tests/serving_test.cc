@@ -162,6 +162,38 @@ TEST_F(ServerTest, PingStatsAndErrorPaths) {
   server.Stop();
 }
 
+TEST_F(ServerTest, StatsReportsInflightAndPerLaneLatency) {
+  serving::Server server(options_);
+  ASSERT_TRUE(server.Start());
+  serving::Client client;
+  ASSERT_TRUE(client.Connect(socket_path_));
+
+  // A couple of fast-lane requests so the lane histogram has data by the
+  // time stats is answered (stats itself is a fast-lane request too).
+  ASSERT_TRUE(client.Call("{\"id\":1,\"method\":\"ping\"}").has_value());
+  ASSERT_TRUE(client.Call("{\"id\":2,\"method\":\"ping\"}").has_value());
+
+  std::optional<JsonValue> stats =
+      client.Call("{\"id\":3,\"method\":\"stats\"}");
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_TRUE(stats->Find("ok")->BoolOr(false));
+  // The stats request is still in flight while it computes its answer.
+  EXPECT_GE(stats->Find("inflight")->NumberOr(-1), 1.0);
+  const JsonValue* latency = stats->Find("latency");
+  ASSERT_NE(latency, nullptr);
+  const JsonValue* fast = latency->Find("fast");
+  ASSERT_NE(fast, nullptr);
+  EXPECT_GE(fast->Find("count")->NumberOr(0), 2.0);
+  EXPECT_GT(fast->Find("p50_us")->NumberOr(0), 0.0);
+  EXPECT_GE(fast->Find("p99_us")->NumberOr(0),
+            fast->Find("p50_us")->NumberOr(0));
+  const JsonValue* slow = latency->Find("slow");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_NE(slow->Find("count"), nullptr);
+
+  server.Stop();
+}
+
 TEST_F(ServerTest, CompileMissesThenHitsFastLane) {
   serving::Server server(options_);
   ASSERT_TRUE(server.Start());
