@@ -63,15 +63,22 @@ double Percentile(std::vector<double> values, double p) {
   return values[idx];
 }
 
-std::string CompileRequest(uint64_t id, int64_t m, int64_t n, int64_t k) {
-  char buf[256];
+std::string CompileRequest(uint64_t id, int64_t m, int64_t n, int64_t k,
+                           const char* client = nullptr) {
+  char client_field[80] = "";
+  if (client != nullptr) {
+    std::snprintf(client_field, sizeof(client_field), ",\"client\":\"%s\"",
+                  client);
+  }
+  char buf[336];
   std::snprintf(buf, sizeof(buf),
                 "{\"id\":%llu,\"method\":\"compile\",\"family\":\"matmul\","
-                "\"batch\":1,\"m\":%lld,\"n\":%lld,\"k\":%lld,"
+                "\"batch\":1,\"m\":%lld,\"n\":%lld,\"k\":%lld%s,"
                 "\"config\":{\"tb\":[128,128,32],\"warp\":[64,64,16],"
                 "\"smem\":2}}",
                 static_cast<unsigned long long>(id), static_cast<long long>(m),
-                static_cast<long long>(n), static_cast<long long>(k));
+                static_cast<long long>(n), static_cast<long long>(k),
+                client_field);
   return buf;
 }
 
@@ -108,6 +115,8 @@ uint64_t NextRand(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+constexpr int kLoaders = 4;  // open-loop client identities (loader-0..3)
+
 struct OpenLoopResult {
   bool ok = false;
   uint64_t requests = 0;
@@ -119,6 +128,7 @@ struct OpenLoopResult {
   double p999_ms = 0.0;
   uint64_t hot = 0;
   uint64_t cold = 0;
+  uint64_t sent_by_loader[kLoaders] = {0};
 };
 
 // Open loop: send times are fixed by the seeded schedule before the
@@ -148,15 +158,22 @@ OpenLoopResult OpenLoop(const std::string& socket_path, uint64_t requests,
     slots[i].send_ns = static_cast<int64_t>(when);
     bool hot = (static_cast<double>(NextRand(&state) >> 11) * 0x1.0p-53) <
                hot_fraction;
+    // Round-robin self-declared identities: the per-client scraped
+    // counters must match these send counts exactly.
+    char loader[16];
+    int loader_index = static_cast<int>(i % kLoaders);
+    std::snprintf(loader, sizeof(loader), "loader-%d", loader_index);
+    ++result.sent_by_loader[loader_index];
     if (hot) {
       ++result.hot;
-      payloads[i] = CompileRequest(i + 1, 512, 512, 512);
+      payloads[i] = CompileRequest(i + 1, 512, 512, 512, loader);
     } else {
       ++result.cold;
       // A shape the daemon has never seen: forces a slow-lane compile.
       payloads[i] =
           CompileRequest(i + 1, 512, 512,
-                         4096 + 128 * static_cast<int64_t>(result.cold));
+                         4096 + 128 * static_cast<int64_t>(result.cold),
+                         loader);
     }
   }
 
@@ -282,6 +299,28 @@ bool ParseScrapedHistogram(const std::string& body, const std::string& lane,
   return saw_count;
 }
 
+// Collects every alcop_serving_client_requests{client="..."} sample from
+// the exposition: one (identity, count) pair per labeled series.
+std::vector<std::pair<std::string, uint64_t>> ParseClientRequestCounts(
+    const std::string& body) {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  const std::string prefix = "alcop_serving_client_requests{client=\"";
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(prefix, 0) != 0) continue;
+    size_t quote = line.find('"', prefix.size());
+    if (quote == std::string::npos) continue;
+    out.emplace_back(
+        line.substr(prefix.size(), quote - prefix.size()),
+        std::strtoull(line.c_str() + quote + 3, nullptr, 10));
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -317,6 +356,14 @@ int main(int argc, char** argv) {
   obs_options.persist_on_shutdown = false;
   obs_options.http_port = 0;
   obs_options.access_log_path = access_log_path;
+  // The full flight-recorder stack, deliberately hotter than the
+  // defaults: the overhead gate below prices retention + per-client
+  // labels + the watchdog together.
+  obs_options.flight_depth = 4096;
+  obs_options.snapshot_interval_ms = 200;
+  obs_options.snapshot_depth = 300;
+  obs_options.watchdog_stall_ms = 1000;
+  obs_options.client_metrics = true;
   serving::Server obs_server(obs_options);
   std::string error;
   if (!obs_server.Start(&error)) {
@@ -361,6 +408,29 @@ int main(int argc, char** argv) {
   uint64_t scraped_total = scraped_fast.count + scraped_slow.count;
   bool access_matches = parse_ok && access_lines == scraped_total;
 
+  // Per-client attribution gates: every completed request was counted
+  // against exactly one client series, so the series sum equals the
+  // access-log line count; and each open-loop loader identity's scraped
+  // count equals what that loader actually sent.
+  std::vector<std::pair<std::string, uint64_t>> client_counts =
+      scrape_ok ? ParseClientRequestCounts(scrape->body)
+                : std::vector<std::pair<std::string, uint64_t>>{};
+  uint64_t scraped_client_sum = 0;
+  for (const auto& [name, count] : client_counts) {
+    scraped_client_sum += count;
+  }
+  bool client_sum_matches = scrape_ok && scraped_client_sum == access_lines;
+  bool loaders_match = scrape_ok;
+  uint64_t scraped_by_loader[kLoaders] = {0};
+  for (int i = 0; i < kLoaders; ++i) {
+    char loader[16];
+    std::snprintf(loader, sizeof(loader), "loader-%d", i);
+    for (const auto& [name, count] : client_counts) {
+      if (name == loader) scraped_by_loader[i] = count;
+    }
+    if (scraped_by_loader[i] != open.sent_by_loader[i]) loaders_match = false;
+  }
+
   obs_server.Stop();
   std::remove(access_log_path.c_str());
 
@@ -371,6 +441,10 @@ int main(int argc, char** argv) {
   plain_options.spec = target::AmpereSpec();
   plain_options.default_trials = 4;
   plain_options.persist_on_shutdown = false;
+  plain_options.flight_depth = 0;
+  plain_options.snapshot_interval_ms = 0;
+  plain_options.watchdog_stall_ms = 0;
+  plain_options.client_metrics = false;
   serving::Server plain_server(plain_options);
   if (!plain_server.Start(&error)) {
     std::fprintf(stderr, "plain server start failed: %s\n", error.c_str());
@@ -392,7 +466,7 @@ int main(int argc, char** argv) {
       obs_hot_ok && plain_hot_ok && obs_hot_p99 <= 1.10 * reference_p99;
 
   bool gates_ok = overhead_ok && open.ok && scrape_ok && parse_ok &&
-                  access_matches;
+                  access_matches && client_sum_matches && loaders_match;
 
   std::printf(
       "{\n"
@@ -432,6 +506,14 @@ int main(int argc, char** argv) {
       "    \"access_log_lines\": %llu,\n"
       "    \"access_log_matches_count\": %s\n"
       "  },\n"
+      "  \"client_attribution\": {\n"
+      "    \"client_series\": %zu,\n"
+      "    \"scraped_client_sum\": %llu,\n"
+      "    \"sum_matches_access_log\": %s,\n"
+      "    \"loader_sent\": [%llu, %llu, %llu, %llu],\n"
+      "    \"loader_scraped\": [%llu, %llu, %llu, %llu],\n"
+      "    \"loaders_match\": %s\n"
+      "  },\n"
       "  \"gates_ok\": %s\n"
       "}\n",
       quick ? "true" : "false", static_cast<unsigned long long>(seed),
@@ -451,7 +533,18 @@ int main(int argc, char** argv) {
       obs::HistogramQuantile(scraped_slow, 0.99),
       obs::HistogramQuantile(scraped_slow, 0.999),
       static_cast<unsigned long long>(access_lines),
-      access_matches ? "true" : "false", gates_ok ? "true" : "false");
+      access_matches ? "true" : "false", client_counts.size(),
+      static_cast<unsigned long long>(scraped_client_sum),
+      client_sum_matches ? "true" : "false",
+      static_cast<unsigned long long>(open.sent_by_loader[0]),
+      static_cast<unsigned long long>(open.sent_by_loader[1]),
+      static_cast<unsigned long long>(open.sent_by_loader[2]),
+      static_cast<unsigned long long>(open.sent_by_loader[3]),
+      static_cast<unsigned long long>(scraped_by_loader[0]),
+      static_cast<unsigned long long>(scraped_by_loader[1]),
+      static_cast<unsigned long long>(scraped_by_loader[2]),
+      static_cast<unsigned long long>(scraped_by_loader[3]),
+      loaders_match ? "true" : "false", gates_ok ? "true" : "false");
 
   return gates_ok ? 0 : 1;
 }

@@ -62,6 +62,9 @@
 //   alcop_cli serve    SOCKET [--trials N] [--seed N] [--no-warm]
 //                             [--cache FILE] [--no-persist] [--budget B]
 //                             [--http PORT] [--access-log FILE]
+//                             [--flight-depth N] [--snapshot-interval MS]
+//                             [--watchdog-ms MS] [--log-level LEVEL]
+//                             [--log-file FILE]
 //                                      run alcopd on a unix socket: the
 //                                      long-lived tuning service (fast
 //                                      lane for cache hits, batched slow
@@ -72,8 +75,17 @@
 //                                      --http adds a loopback HTTP front
 //                                      end (0 = ephemeral port): GET
 //                                      /metrics (Prometheus), /healthz,
-//                                      POST /v1/<method>. --access-log
-//                                      writes one JSONL line per request.
+//                                      /debug/{requests,timeseries,trace,
+//                                      log}, POST /v1/<method>.
+//                                      --access-log writes one JSONL line
+//                                      per request. --flight-depth sizes
+//                                      the request flight recorder,
+//                                      --snapshot-interval the periodic
+//                                      metrics time series, --watchdog-ms
+//                                      the stalled-lane threshold.
+//                                      --log-level (or $ALCOP_LOG_LEVEL)
+//                                      is debug|info|warn|error|off;
+//                                      --log-file appends the JSONL log.
 //   alcop_cli client   SOCKET METHOD [...]
 //                                      talk to a running alcopd:
 //                                        ping|stats|persist|load|shutdown
@@ -83,6 +95,10 @@
 //                                             --tb M,N,K [--warp M,N,K]
 //                                             [--smem S] [--reg R]
 //                                             [--split-k S]
+//                                        debug [requests|timeseries|log|
+//                                             trace] [N] [--client C]
+//                                             [--lane L] [--outcome O]
+//                                             [--metric M]
 //                                        '{...}'   raw protocol JSON
 //                                      prints the response payload; exit 0
 //                                      iff the daemon answered ok:true.
@@ -102,6 +118,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "obs/chrome_trace.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/stall.h"
 #include "obs/trace.h"
@@ -907,6 +924,7 @@ int CmdServe(int argc, char** argv) {
   serving::ServerOptions options;
   options.spec = target::AmpereSpec();
   uint64_t budget = 0;
+  std::string log_file;
   std::vector<char*> positional;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
@@ -925,6 +943,18 @@ int CmdServe(int argc, char** argv) {
       options.http_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--access-log") == 0 && i + 1 < argc) {
       options.access_log_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-depth") == 0 && i + 1 < argc) {
+      options.flight_depth = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--snapshot-interval") == 0 &&
+               i + 1 < argc) {
+      options.snapshot_interval_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--watchdog-ms") == 0 && i + 1 < argc) {
+      options.watchdog_stall_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+      obs::StructuredLog::Global().SetLevel(
+          obs::ParseLogLevel(argv[++i], obs::LogLevel::kInfo));
+    } else if (std::strcmp(argv[i], "--log-file") == 0 && i + 1 < argc) {
+      log_file = argv[++i];
     } else {
       positional.push_back(argv[i]);
     }
@@ -936,25 +966,41 @@ int CmdServe(int argc, char** argv) {
   options.socket_path = positional[0];
   if (budget != 0) sim::SetSimCacheBudgetBytes(budget);
 
+  // The daemon's terminal chatter is the structured log itself: every
+  // line the ring (and any --log-file sink) sees is echoed to stderr.
+  obs::StructuredLog::Global().SetStderrEcho(true);
+  if (!log_file.empty() && !obs::StructuredLog::Global().OpenFile(log_file)) {
+    std::fprintf(stderr, "alcopd: cannot open log file %s\n",
+                 log_file.c_str());
+    return 1;
+  }
+
   serving::Server server(std::move(options));
   std::string error;
   if (!server.Start(&error)) {
-    std::fprintf(stderr, "alcopd: %s\n", error.c_str());
+    obs::Log(obs::LogLevel::kError, "alcopd", "start failed",
+             obs::LogFields().Str("error", error));
     return 1;
   }
-  std::fprintf(stderr, "alcopd listening on %s (cache: %s)\n",
-               server.options().socket_path.c_str(),
-               server.options().cache_path.empty()
-                   ? "disabled"
-                   : server.options().cache_path.c_str());
+  obs::Log(obs::LogLevel::kInfo, "alcopd", "listening",
+           obs::LogFields()
+               .Str("socket", server.options().socket_path)
+               .Str("cache", server.options().cache_path.empty()
+                                 ? "disabled"
+                                 : server.options().cache_path));
   if (server.http_port() >= 0) {
-    std::fprintf(stderr, "alcopd http on 127.0.0.1:%d (/metrics /healthz)\n",
-                 server.http_port());
+    obs::Log(obs::LogLevel::kInfo, "alcopd", "http front end",
+             obs::LogFields()
+                 .Str("address",
+                      "127.0.0.1:" + std::to_string(server.http_port()))
+                 .Str("endpoints",
+                      "/metrics /healthz /debug/* POST /v1/<method>"));
   }
   server.Wait();
   server.Stop();
-  std::fprintf(stderr, "alcopd served %llu requests\n",
-               (unsigned long long)server.requests_served());
+  obs::Log(obs::LogLevel::kInfo, "alcopd", "exit",
+           obs::LogFields().Uint("requests", server.requests_served()));
+  obs::StructuredLog::Global().CloseFile();
   return 0;
 }
 
@@ -985,6 +1031,32 @@ int CmdClient(int argc, char** argv) {
   } else if (method == "ping" || method == "stats" || method == "persist" ||
              method == "load" || method == "shutdown") {
     payload = "{\"id\":1,\"method\":\"" + method + "\"}";
+  } else if (method == "debug") {
+    // client SOCKET debug [requests|timeseries|log|trace] [N]
+    //   [--client C] [--lane L] [--outcome O] [--metric M]
+    std::string what = "requests";
+    std::ostringstream extra;
+    long long n = 0;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--client") == 0 && i + 1 < argc) {
+        extra << ",\"client\":\"" << argv[++i] << "\"";
+      } else if (std::strcmp(argv[i], "--lane") == 0 && i + 1 < argc) {
+        extra << ",\"lane\":\"" << argv[++i] << "\"";
+      } else if (std::strcmp(argv[i], "--outcome") == 0 && i + 1 < argc) {
+        extra << ",\"outcome\":\"" << argv[++i] << "\"";
+      } else if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc) {
+        extra << ",\"metric\":\"" << argv[++i] << "\"";
+      } else if (std::isdigit(static_cast<unsigned char>(argv[i][0]))) {
+        n = std::atoll(argv[i]);
+      } else {
+        what = argv[i];
+      }
+    }
+    std::ostringstream out;
+    out << "{\"id\":1,\"method\":\"debug\",\"what\":\"" << what << "\"";
+    if (n > 0) out << ",\"n\":" << n;
+    out << extra.str() << "}";
+    payload = out.str();
   } else if (method == "tune" || method == "compile" || method == "profile") {
     std::string tb, warp;
     int smem = 0, reg = 0, split_k = 0;

@@ -8,7 +8,9 @@
 # count matching the scraped latency-histogram _count — decide the exit
 # status. The /metrics scrape the bench takes is additionally validated
 # with scripts/check_prometheus.py (HELP/TYPE per family, cumulative
-# buckets, +Inf == _count).
+# buckets, +Inf == _count, alcop_build_info present, and a
+# bounded-cardinality ceiling of 64 series per family so per-client
+# attribution cannot mint unbounded label sets).
 #
 # Usage: scripts/bench_serving_load.sh [--quick] [output.json]
 #   --quick      300 open-loop requests at 500 rps (CI serving-smoke mode)
@@ -58,7 +60,8 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 doc = json.load(open(sys.argv[1]))
 print(doc.get("scraped", {}).get("access_log_lines", 0))' "$OUT")
-  python3 scripts/check_prometheus.py "$METRICS" --expect-count "$EXPECT" >&2
+  python3 scripts/check_prometheus.py "$METRICS" --expect-count "$EXPECT" \
+    --max-series 64 >&2
   python3 scripts/bench_meta.py "$OUT"
 fi
 cat "$OUT"

@@ -2,6 +2,7 @@
 """Validates a Prometheus text-exposition (0.0.4) dump from alcopd.
 
 Usage: scripts/check_prometheus.py METRICS_FILE [--expect-count N]
+                                                [--max-series N]
 
 Checks, per the acceptance gates in the serving observability PR:
   * every sample belongs to a family that has both a # TYPE line and a
@@ -11,11 +12,21 @@ Checks, per the acceptance gates in the serving observability PR:
   * histogram buckets are cumulative: counts are non-decreasing as `le`
     increases, a +Inf bucket exists, and `_count` equals the +Inf
     bucket; `_sum` exists for every histogram series;
-  * counters and histogram buckets are non-negative.
+  * counters and histogram buckets are non-negative;
+  * alcop_build_info is present exactly once with value 1 and carries
+    at least the git_sha, build_type and spec_fingerprint labels.
 
 With --expect-count N, additionally requires the summed `_count` of
 alcop_serving_request_latency_us across lanes to equal N (used by CI to
-tie the scrape to the access-log line count).
+tie the scrape to the access-log line count). Series carrying a
+`client` label are excluded from the sum: per-client attribution
+duplicates each request into a {client,lane} series, so only the
+lane-level series tie 1:1 to access-log lines.
+
+With --max-series N, additionally requires every family to expose at
+most N distinct label sets — the bounded-cardinality gate for the
+top-K per-client attribution (overflow identities must collapse into
+the shared client="other" series instead of minting new ones).
 
 Exit status 0 when every check passes; 1 with one line per defect
 otherwise. Stdlib only.
@@ -62,6 +73,11 @@ def main():
         idx = args.index("--expect-count")
         expect_count = int(args[idx + 1])
         del args[idx:idx + 2]
+    max_series = None
+    if "--max-series" in args:
+        idx = args.index("--max-series")
+        max_series = int(args[idx + 1])
+        del args[idx:idx + 2]
     if len(args) != 1:
         sys.stderr.write(__doc__)
         return 1
@@ -75,6 +91,11 @@ def main():
     buckets = {}
     sums = {}
     counts = {}
+    # family -> label-dict per series-key (to test for a client label)
+    series_labels = {}
+    # family -> set of series keys, every sample kind (cardinality gate)
+    family_series = {}
+    build_info = []  # (labels, value) for every alcop_build_info sample
     seen_families = []
 
     for number, line in enumerate(lines, 1):
@@ -123,6 +144,11 @@ def main():
         kind = types.get(family, "")
         series = ",".join(
             f'{k}={v}' for k, v in sorted(labels.items()) if k != "le")
+        family_series.setdefault(family, set()).add(series)
+        series_labels.setdefault(family, {})[series] = {
+            k: v for k, v in labels.items() if k != "le"}
+        if name == "alcop_build_info":
+            build_info.append((labels, value))
         if kind == "histogram":
             slot = buckets.setdefault(family, {}).setdefault(series, [])
             if name.endswith("_bucket"):
@@ -167,12 +193,37 @@ def main():
             if series not in sums.get(family, {}):
                 errors.append(f"{where}: missing _sum")
 
+    if not build_info:
+        errors.append("alcop_build_info: missing")
+    elif len(build_info) > 1:
+        errors.append(f"alcop_build_info: {len(build_info)} samples, want 1")
+    else:
+        info_labels, info_value = build_info[0]
+        if info_value != 1:
+            errors.append(f"alcop_build_info: value {info_value} != 1")
+        missing = {"git_sha", "build_type", "spec_fingerprint"} - set(
+            info_labels)
+        if missing:
+            errors.append(
+                "alcop_build_info: missing label(s) "
+                + ", ".join(sorted(missing)))
+
     if expect_count is not None:
         family = "alcop_serving_request_latency_us"
-        total = sum(counts.get(family, {}).values())
+        total = sum(
+            value for series, value in counts.get(family, {}).items()
+            if "client" not in series_labels.get(family, {}).get(series, {}))
         if total != expect_count:
             errors.append(
-                f"{family}: total _count {total} != expected {expect_count}")
+                f"{family}: lane-level _count {total} "
+                f"!= expected {expect_count}")
+
+    if max_series is not None:
+        for family, keys in sorted(family_series.items()):
+            if len(keys) > max_series:
+                errors.append(
+                    f"{family}: {len(keys)} series "
+                    f"> --max-series {max_series}")
 
     if errors:
         for error in errors:

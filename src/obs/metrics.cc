@@ -95,26 +95,64 @@ HistogramData Histogram::Data() const {
   return data;
 }
 
+namespace {
+
+// Bucket i covers [lower, upper); the topmost populated bucket only
+// reaches the observed max, not its nominal power-of-two edge (and a
+// sub-max observed max never pushes `upper` below `lower`, so the
+// interpolated value stays inside the bucket bounds).
+void BucketEdges(const HistogramData& data, int i, bool topmost,
+                 double* lower, double* upper) {
+  *lower = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+  *upper = std::ldexp(1.0, i);
+  if (topmost && *upper > data.max) {
+    *upper = data.max < *lower ? *lower : data.max;
+  }
+}
+
+}  // namespace
+
 double HistogramQuantile(const HistogramData& data, double q) {
-  if (data.count == 0 || !(q > 0.0)) return 0.0;
+  if (data.count == 0 || std::isnan(q)) return 0.0;
+  if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
+  int first = -1;
+  int last = -1;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (data.buckets[i] == 0) continue;
+    if (first < 0) first = i;
+    last = i;
+  }
+  // count > 0 with no populated bucket can only be a racing snapshot;
+  // answer 0 rather than inventing a value.
+  if (first < 0) return 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  if (q == 0.0) {  // minimum: lower edge of the first populated bucket
+    BucketEdges(data, first, first == last, &lower, &upper);
+    return lower;
+  }
+  if (q == 1.0) {  // maximum: upper edge of the last populated bucket
+    BucketEdges(data, last, true, &lower, &upper);
+    return upper;
+  }
   double rank = q * static_cast<double>(data.count);
   uint64_t cumulative = 0;
-  for (int i = 0; i < Histogram::kBuckets; ++i) {
+  for (int i = first; i <= last; ++i) {
     uint64_t in_bucket = data.buckets[i];
     if (in_bucket == 0) continue;
     double below = static_cast<double>(cumulative);
     cumulative += in_bucket;
     if (static_cast<double>(cumulative) < rank) continue;
-    double lower = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
-    double upper = std::ldexp(1.0, i);
-    // The topmost populated bucket only reaches the observed max, not
-    // its nominal power-of-two edge.
-    if (upper > data.max) upper = data.max < lower ? lower : data.max;
+    BucketEdges(data, i, i == last, &lower, &upper);
     double fraction = (rank - below) / static_cast<double>(in_bucket);
-    return lower + fraction * (upper - lower);
+    double value = lower + fraction * (upper - lower);
+    if (value < lower) value = lower;
+    if (value > upper) value = upper;
+    return value;
   }
-  return data.max;
+  BucketEdges(data, last, true, &lower, &upper);
+  return upper;
 }
 
 void Histogram::Reset() {

@@ -185,6 +185,79 @@ const char* HttpStatusText(int status) {
   }
 }
 
+void SplitTarget(const std::string& target, std::string* path,
+                 std::string* query) {
+  size_t mark = target.find('?');
+  if (mark == std::string::npos) {
+    *path = target;
+    query->clear();
+    return;
+  }
+  *path = target.substr(0, mark);
+  *query = target.substr(mark + 1);
+}
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string UrlDecode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < text.size() &&
+               HexDigit(text[i + 1]) >= 0 && HexDigit(text[i + 2]) >= 0) {
+      out += static_cast<char>(HexDigit(text[i + 1]) * 16 +
+                               HexDigit(text[i + 2]));
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> ParseQuery(
+    const std::string& query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    if (end > start) {
+      std::string piece = query.substr(start, end - start);
+      size_t eq = piece.find('=');
+      if (eq == std::string::npos) {
+        out.emplace_back(UrlDecode(piece), "");
+      } else {
+        out.emplace_back(UrlDecode(piece.substr(0, eq)),
+                         UrlDecode(piece.substr(eq + 1)));
+      }
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string QueryParam(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    const std::string& key, const std::string& fallback) {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
 std::string FormatHttpResponse(
     int status, const std::string& content_type, const std::string& body,
     const std::vector<std::pair<std::string, std::string>>& extra_headers,
@@ -214,9 +287,10 @@ bool HttpWriteAll(int fd, const std::string& bytes) {
   return true;
 }
 
-std::optional<HttpResponse> HttpCall(int port, const std::string& method,
-                                     const std::string& target,
-                                     const std::string& body) {
+std::optional<HttpResponse> HttpCall(
+    int port, const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::nullopt;
   sockaddr_in addr;
@@ -233,6 +307,9 @@ std::optional<HttpResponse> HttpCall(int port, const std::string& method,
   request << method << " " << target << " HTTP/1.1\r\n"
           << "Host: 127.0.0.1:" << port << "\r\n"
           << "Connection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request << name << ": " << value << "\r\n";
+  }
   if (!body.empty() || method == "POST") {
     request << "Content-Length: " << body.size() << "\r\n";
   }

@@ -55,6 +55,22 @@ HttpParseResult ParseHttpRequest(const std::string& buffer, HttpRequest* out,
 
 const char* HttpStatusText(int status);
 
+// Splits a request target into path and query ("/debug/requests?n=5" →
+// "/debug/requests", "n=5"). No '?' leaves `*query` empty.
+void SplitTarget(const std::string& target, std::string* path,
+                 std::string* query);
+
+// Decodes an application/x-www-form-urlencoded query string into ordered
+// key/value pairs ("n=5&lane=fast"); %XX escapes and '+' are decoded in
+// both keys and values, a key without '=' maps to "".
+std::vector<std::pair<std::string, std::string>> ParseQuery(
+    const std::string& query);
+
+// First value for `key` in parsed query pairs; `fallback` when absent.
+std::string QueryParam(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    const std::string& key, const std::string& fallback = "");
+
 // A full response with Content-Length and Connection headers. Pass
 // extra headers as name/value pairs (e.g. cache headroom on /healthz).
 std::string FormatHttpResponse(
@@ -79,10 +95,12 @@ struct HttpResponse {
 
 // Connects to 127.0.0.1:port, sends one request (Connection: close),
 // reads to EOF and parses the response. nullopt on connect/IO/parse
-// failure.
-std::optional<HttpResponse> HttpCall(int port, const std::string& method,
-                                     const std::string& target,
-                                     const std::string& body = "");
+// failure. `extra_headers` are appended verbatim to the request (e.g.
+// X-Alcop-Client for attribution tests).
+std::optional<HttpResponse> HttpCall(
+    int port, const std::string& method, const std::string& target,
+    const std::string& body = "",
+    const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
 
 }  // namespace serving
 }  // namespace alcop

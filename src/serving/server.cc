@@ -12,6 +12,8 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <filesystem>
@@ -23,6 +25,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/chrome_trace.h"
+#include "obs/flight.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
@@ -50,6 +55,7 @@ struct Conn {
   int fd = -1;
   bool http = false;
   int rescan_fd = -1;  // pokes the IO thread after an HTTP response
+  std::string client = "anon";  // peer identity (unix: "uid:<uid>")
   std::mutex write_mu;
 
   // HTTP state. in_buffer/close_after_response/dead are IO-thread-only;
@@ -102,6 +108,8 @@ struct Request {
   uint64_t batch = 0;      // slow-lane drain round (0 on the fast lane)
   const char* lane = "fast";
   const char* outcome = "ok";  // cache outcome for the access log
+  const char* transport = "unix";
+  std::string client = "anon";  // attributed identity (see ServerOptions)
   std::string op_key;
 };
 
@@ -228,6 +236,28 @@ obs::Counter& ServingCounter(const char* name) {
   return obs::Registry::Global().GetCounter(name);
 }
 
+// Client identities become metric label values and access-log fields, so
+// they are clamped to a label-safe charset and length before use.
+std::string SanitizeClient(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == ':' ||
+              c == '-';
+    out += ok ? c : '_';
+    if (out.size() >= 48) break;
+  }
+  return out.empty() ? "anon" : out;
+}
+
+#ifndef ALCOP_GIT_SHA
+#define ALCOP_GIT_SHA "unknown"
+#endif
+#ifndef ALCOP_BUILD_TYPE
+#define ALCOP_BUILD_TYPE "unknown"
+#endif
+
 }  // namespace
 
 struct Server::Impl {
@@ -272,12 +302,77 @@ struct Server::Impl {
   obs::Counter* batches_counter = nullptr;
   obs::Counter* http_counter = nullptr;
   obs::Counter* http_bad_counter = nullptr;
+  obs::Counter* watchdog_counter = nullptr;
+  struct LaneWatch {
+    obs::Gauge* depth = nullptr;  // serving.queue.depth|lane=...
+    obs::Gauge* age = nullptr;    // serving.queue.age.us|lane=...
+    bool stalled = false;         // one-shot dump armed while false
+  };
+  LaneWatch fast_watch;
+  LaneWatch slow_watch;
   std::atomic<uint64_t> next_request_id{0};
   std::atomic<uint64_t> next_batch_id{0};
   int64_t start_ns = 0;
+  int64_t last_snapshot_ns = 0;  // IO-thread-only
+  bool prev_trace_enabled = false;
 
   std::ofstream access_log;
   std::mutex access_log_mu;
+
+  // Flight recorder + periodic registry snapshots (created in Start from
+  // the options; null when disabled).
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::unique_ptr<obs::MetricsTimeSeries> timeseries;
+
+  // Per-client attribution: top-K identities get their own labeled
+  // series, everyone past the cap shares the "other" slot so label
+  // cardinality is bounded by max_clients + 1 regardless of traffic.
+  struct ClientStats {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Histogram* fast_latency = nullptr;
+    obs::Histogram* slow_latency = nullptr;
+  };
+  std::mutex clients_mu;
+  std::unordered_map<std::string, ClientStats*> clients;
+  std::deque<ClientStats> client_storage;  // stable addresses
+  ClientStats* other_client = nullptr;     // shared overflow slot
+
+  ClientStats* MakeClientStats(const std::string& label) {
+    obs::Registry& registry = obs::Registry::Global();
+    client_storage.emplace_back();
+    ClientStats& stats = client_storage.back();
+    stats.requests = &registry.GetCounter(
+        "serving.client.requests|client=" + label,
+        "Requests completed, by attributed client (top-K + other).");
+    stats.errors = &registry.GetCounter(
+        "serving.client.errors|client=" + label,
+        "Requests answered with ok=false, by attributed client.");
+    stats.bytes = &registry.GetCounter(
+        "serving.client.response.bytes|client=" + label,
+        "Response payload bytes sent, by attributed client.");
+    stats.fast_latency = &registry.GetHistogram(
+        "serving.request.latency.us|client=" + label + "|lane=fast",
+        "End-to-end request latency in microseconds, by client and lane.");
+    stats.slow_latency = &registry.GetHistogram(
+        "serving.request.latency.us|client=" + label + "|lane=slow",
+        "End-to-end request latency in microseconds, by client and lane.");
+    return &stats;
+  }
+
+  ClientStats* ClientStatsFor(const std::string& client) {
+    std::lock_guard<std::mutex> lock(clients_mu);
+    auto it = clients.find(client);
+    if (it != clients.end()) return it->second;
+    if (clients.size() < options.max_clients) {
+      return clients.emplace(client, MakeClientStats(client)).first->second;
+    }
+    // Past the cap: share the "other" series (and don't memoize, so the
+    // identity map stays as bounded as the label space).
+    if (other_client == nullptr) other_client = MakeClientStats("other");
+    return other_client;
+  }
 
   // ---------------------------------------------------------------------
   // IO thread: accept connections, read frames, classify into lanes.
@@ -297,10 +392,11 @@ struct Server::Impl {
       }
       size_t base = fds.size();
       for (const auto& conn : conns) fds.push_back({conn->fd, POLLIN, 0});
-      if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (::poll(fds.data(), fds.size(), MonitorTimeoutMs()) < 0) {
         if (errno == EINTR) continue;
         break;
       }
+      MonitorTick(obs::NowNanos());
       if (fds[0].revents != 0) break;  // woken by Stop
       if (fds[1].revents & POLLIN) {
         // A lane finished an HTTP response. Drain the nudge bytes (a
@@ -328,6 +424,14 @@ struct Server::Impl {
         if (fd >= 0) {
           auto conn = std::make_shared<Conn>();
           conn->fd = fd;
+          // Kernel-verified peer identity: the unix transport attributes
+          // by uid unless the request body overrides it ("client" field).
+          ucred cred;
+          socklen_t cred_len = sizeof(cred);
+          if (::getsockopt(fd, SOL_SOCKET, SO_PEERCRED, &cred, &cred_len) ==
+              0) {
+            conn->client = "uid:" + std::to_string(cred.uid);
+          }
           conns.push_back(std::move(conn));
           continue;  // re-poll with the new fd included
         }
@@ -381,6 +485,120 @@ struct Server::Impl {
                  conns->end());
   }
 
+  // ---------------------------------------------------------------------
+  // Watchdog + periodic snapshots (IO thread).
+  // ---------------------------------------------------------------------
+
+  // How long poll() may sleep so the monitor still runs: the snapshot
+  // interval and a quarter of the stall threshold (clamped to [1ms, 1s])
+  // both bound it; -1 (block forever) when both subsystems are off.
+  int MonitorTimeoutMs() const {
+    int timeout = -1;
+    if (timeseries != nullptr && options.snapshot_interval_ms > 0) {
+      timeout = options.snapshot_interval_ms;
+    }
+    if (options.watchdog_stall_ms > 0) {
+      int tick = options.watchdog_stall_ms / 4;
+      if (tick < 1) tick = 1;
+      if (tick > 1000) tick = 1000;
+      if (timeout < 0 || tick < timeout) timeout = tick;
+    }
+    return timeout;
+  }
+
+  // Heartbeat: queue-depth/oldest-age gauges per lane, periodic registry
+  // snapshot into the time-series ring, and one-shot stall detection.
+  // Runs after every poll() return, so its cost is bounded by the poll
+  // cadence, not the request rate.
+  void MonitorTick(int64_t now_ns) {
+    struct LaneReading {
+      size_t depth = 0;
+      int64_t oldest_ns = 0;  // arrival of the queue front (0 = empty)
+    };
+    LaneReading fast_reading;
+    LaneReading slow_reading;
+    bool watch = options.watchdog_stall_ms > 0 || fast_watch.depth != nullptr;
+    if (watch) {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      fast_reading.depth = fast_queue.size();
+      if (!fast_queue.empty()) {
+        fast_reading.oldest_ns = fast_queue.front().arrival_ns;
+      }
+      slow_reading.depth = slow_queue.size();
+      if (!slow_queue.empty()) {
+        slow_reading.oldest_ns = slow_queue.front().arrival_ns;
+      }
+    }
+    auto tick_lane = [&](const char* name, LaneWatch& lane,
+                         const LaneReading& reading) {
+      double age_us =
+          reading.oldest_ns == 0
+              ? 0.0
+              : static_cast<double>(now_ns - reading.oldest_ns) / 1e3;
+      if (lane.depth != nullptr) {
+        lane.depth->Set(static_cast<double>(reading.depth));
+        lane.age->Set(age_us);
+      }
+      if (options.watchdog_stall_ms <= 0) return;
+      if (reading.depth == 0) {
+        lane.stalled = false;  // drained: re-arm the one-shot dump
+        return;
+      }
+      if (lane.stalled ||
+          age_us < static_cast<double>(options.watchdog_stall_ms) * 1e3) {
+        return;
+      }
+      lane.stalled = true;
+      watchdog_counter->Increment();
+      EmitStallDump(name, age_us, reading.depth);
+    };
+    tick_lane("fast", fast_watch, fast_reading);
+    tick_lane("slow", slow_watch, slow_reading);
+    if (timeseries != nullptr && options.snapshot_interval_ms > 0 &&
+        now_ns - last_snapshot_ns >=
+            static_cast<int64_t>(options.snapshot_interval_ms) * 1000000) {
+      last_snapshot_ns = now_ns;
+      timeseries->Sample(now_ns, obs::Registry::Global().Snapshot());
+    }
+  }
+
+  // One-shot diagnostic on a stalled lane: the flight-recorder tail and
+  // a flattened metrics snapshot, as one error-level structured-log line
+  // (ring-buffered for /debug/log, mirrored to any file sink).
+  void EmitStallDump(const char* lane, double age_us, size_t depth) {
+    obs::LogFields fields;
+    fields.Str("lane", lane)
+        .Num("oldest_age_us", age_us)
+        .Uint("queue_depth", depth)
+        .Num("inflight", inflight_gauge->Value())
+        .Uint("requests", served.load(std::memory_order_relaxed));
+    if (flight != nullptr) {
+      std::string tail = "[";
+      bool first = true;
+      for (const obs::RequestRecord& rec : flight->Snapshot(8)) {
+        if (!first) tail += ",";
+        first = false;
+        tail += obs::RequestRecordJson(rec);
+      }
+      tail += "]";
+      fields.Raw("flight_tail", tail);
+    }
+    std::string metrics = "{";
+    bool first = true;
+    for (const auto& [name, value] :
+         obs::FlattenSnapshot(obs::Registry::Global().Snapshot())) {
+      if (!first) metrics += ",";
+      first = false;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      metrics += "\"" + name + "\":" + buf;
+    }
+    metrics += "}";
+    fields.Raw("metrics", metrics);
+    obs::Log(obs::LogLevel::kError, "serving",
+             std::string("watchdog: ") + lane + " lane stalled", fields);
+  }
+
   // Parses as many buffered HTTP requests as the one-inflight gate
   // allows. False means the connection should close (protocol error or
   // a non-keep-alive exchange answered inline).
@@ -408,26 +626,42 @@ struct Server::Impl {
   }
 
   // Transport-level HTTP routing. GET endpoints are answered inline on
-  // the IO thread (they only read the registry and cache stats); POST
-  // /v1/<method> rides the same Dispatch path as socket frames, with the
-  // URL supplying the method.
+  // the IO thread (they only read the registry, rings and cache stats);
+  // POST /v1/<method> rides the same Dispatch path as socket frames,
+  // with the URL supplying the method and the X-Alcop-Client header (if
+  // any) the attributed identity.
   bool HandleHttp(const std::shared_ptr<Conn>& conn,
                   const HttpRequest& request) {
     http_counter->Increment();
     bool keep = request.keep_alive;
+    std::string path;
+    std::string query;
+    SplitTarget(request.target, &path, &query);
     auto method_not_allowed = [&] {
       conn->SendRaw(FormatHttpResponse(405, "text/plain; charset=utf-8",
                                        "method not allowed\n", {}, keep));
       return keep;
     };
-    if (request.target == "/metrics") {
+    if (path == "/metrics") {
       if (request.method != "GET") return method_not_allowed();
       conn->SendRaw(FormatHttpResponse(
           200, "text/plain; version=0.0.4; charset=utf-8",
           obs::RenderPrometheus(), {}, keep));
       return keep;
     }
-    if (request.target == "/healthz") {
+    if (path.rfind("/debug/", 0) == 0) {
+      if (request.method != "GET") return method_not_allowed();
+      std::string body;
+      if (!HandleDebugQuery(path.substr(7), ParseQuery(query), &body)) {
+        conn->SendRaw(FormatHttpResponse(404, "text/plain; charset=utf-8",
+                                         "not found\n", {}, keep));
+        return keep;
+      }
+      conn->SendRaw(
+          FormatHttpResponse(200, "application/json", body + "\n", {}, keep));
+      return keep;
+    }
+    if (path == "/healthz") {
       if (request.method != "GET") return method_not_allowed();
       sim::SimCacheStats stats = sim::GetSimCacheStats();
       int64_t headroom =
@@ -450,13 +684,15 @@ struct Server::Impl {
           {{"X-Cache-Headroom-Bytes", std::to_string(headroom)}}, keep));
       return keep;
     }
-    if (request.target.rfind("/v1/", 0) == 0) {
+    if (path.rfind("/v1/", 0) == 0) {
       if (request.method != "POST") return method_not_allowed();
-      std::string method = request.target.substr(4);
+      std::string method = path.substr(4);
       conn->close_after_response = !keep;
       conn->inflight.store(true, std::memory_order_release);
+      const std::string* client_header = request.FindHeader("X-Alcop-Client");
       Dispatch(conn, request.body.empty() ? "{}" : request.body,
-               method.c_str());
+               method.c_str(),
+               client_header == nullptr ? nullptr : client_header->c_str());
       return true;
     }
     conn->SendRaw(FormatHttpResponse(404, "text/plain; charset=utf-8",
@@ -464,15 +700,139 @@ struct Server::Impl {
     return keep;
   }
 
+  // ---------------------------------------------------------------------
+  // Debug introspection (shared by GET /debug/* and the socket `debug`
+  // method): renders the retained rings as JSON. Read-only.
+  // ---------------------------------------------------------------------
+
+  static size_t ParseCount(const std::string& text, size_t fallback) {
+    if (text.empty()) return fallback;
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return fallback;
+    return static_cast<size_t>(n);
+  }
+
+  // `{"requests":[...most recent first...],"total_recorded":N}`.
+  std::string DebugRequestsJson(size_t n, const obs::FlightRecorder::Filter&
+                                              filter) {
+    std::ostringstream out;
+    out << "{\"requests\":[";
+    if (flight != nullptr) {
+      bool first = true;
+      for (const obs::RequestRecord& rec : flight->Snapshot(n, filter)) {
+        if (!first) out << ",";
+        first = false;
+        out << obs::RequestRecordJson(rec);
+      }
+    }
+    out << "],\"total_recorded\":"
+        << (flight == nullptr ? 0 : flight->total_recorded()) << "}";
+    return out.str();
+  }
+
+  // Without `metric`: the list of sampled names. With one: up to `n`
+  // most recent points, oldest first.
+  std::string DebugTimeseriesJson(const std::string& metric, size_t n) {
+    std::ostringstream out;
+    out.precision(17);
+    if (metric.empty()) {
+      out << "{\"metrics\":[";
+      if (timeseries != nullptr) {
+        bool first = true;
+        for (const std::string& name : timeseries->Names()) {
+          if (!first) out << ",";
+          first = false;
+          out << "\"" << JsonEscape(name) << "\"";
+        }
+      }
+      out << "],\"samples\":"
+          << (timeseries == nullptr ? 0 : timeseries->samples()) << "}";
+      return out.str();
+    }
+    std::vector<obs::MetricsTimeSeries::Point> points;
+    if (timeseries != nullptr) points = timeseries->Series(metric);
+    size_t start = points.size() > n ? points.size() - n : 0;
+    out << "{\"metric\":\"" << JsonEscape(metric) << "\",\"points\":[";
+    for (size_t i = start; i < points.size(); ++i) {
+      if (i != start) out << ",";
+      out << "{\"t_ns\":" << points[i].t_ns << ",\"value\":"
+          << points[i].value << "}";
+    }
+    out << "]}";
+    return out.str();
+  }
+
+  // Drains the span rings as a Chrome/Perfetto trace snapshot.
+  static std::string DebugTraceJson() {
+    obs::ChromeTraceWriter writer;
+    obs::AppendHostSpans(&writer, obs::CollectTraceSpans());
+    std::string json = writer.ToJson();
+    obs::ClearTrace();
+    return json;
+  }
+
+  // `{"lines":[...oldest first...]}`; each line is itself a JSON object.
+  static std::string DebugLogJson(size_t n) {
+    std::ostringstream out;
+    out << "{\"lines\":[";
+    bool first = true;
+    for (const std::string& line : obs::StructuredLog::Global().Recent(n)) {
+      if (!first) out << ",";
+      first = false;
+      out << line;
+    }
+    out << "],\"total\":" << obs::StructuredLog::Global().total_lines()
+        << "}";
+    return out.str();
+  }
+
+  // `what` is the path tail ("requests", "timeseries", "trace", "log");
+  // false = unknown endpoint.
+  bool HandleDebugQuery(
+      const std::string& what,
+      const std::vector<std::pair<std::string, std::string>>& params,
+      std::string* body) {
+    if (what == "requests") {
+      obs::FlightRecorder::Filter filter;
+      filter.client = QueryParam(params, "client");
+      filter.lane = QueryParam(params, "lane");
+      filter.outcome = QueryParam(params, "outcome");
+      *body = DebugRequestsJson(ParseCount(QueryParam(params, "n"), 50),
+                                filter);
+      return true;
+    }
+    if (what == "timeseries") {
+      *body = DebugTimeseriesJson(QueryParam(params, "metric"),
+                                  ParseCount(QueryParam(params, "n"), 600));
+      return true;
+    }
+    if (what == "trace") {
+      *body = DebugTraceJson();
+      return true;
+    }
+    if (what == "log") {
+      *body = DebugLogJson(ParseCount(QueryParam(params, "n"), 100));
+      return true;
+    }
+    return false;
+  }
+
   void Dispatch(const std::shared_ptr<Conn>& conn, const std::string& payload,
-                const char* method_override = nullptr) {
+                const char* method_override = nullptr,
+                const char* client_override = nullptr) {
     Request request;
     request.conn = conn;
     request.req_id = next_request_id.fetch_add(1, std::memory_order_relaxed) + 1;
     request.arrival_ns = obs::NowNanos();
+    request.transport = conn->http ? "http" : "unix";
+    request.client = conn->client;
     inflight_gauge->Add(1.0);
     std::optional<JsonValue> body = ParseJson(payload);
     if (!body.has_value()) {
+      if (client_override != nullptr) {
+        request.client = SanitizeClient(client_override);
+      }
       request.dequeue_ns = request.arrival_ns;
       request.outcome = "error";
       Complete(request, ErrorResponse(0, "malformed JSON"));
@@ -484,6 +844,15 @@ struct Server::Impl {
     const JsonValue* method = request.body.Find("method");
     request.method = method == nullptr ? "" : method->StringOr("");
     if (method_override != nullptr) request.method = method_override;
+    // Attribution priority: transport-verified header > self-declared
+    // body field > connection default (peer uid / "anon").
+    if (const JsonValue* c = request.body.Find("client")) {
+      std::string declared = c->StringOr("");
+      if (!declared.empty()) request.client = SanitizeClient(declared);
+    }
+    if (client_override != nullptr) {
+      request.client = SanitizeClient(client_override);
+    }
     if (FastLane(request)) {
       std::lock_guard<std::mutex> lock(queue_mu);
       fast_queue.push_back(std::move(request));
@@ -517,12 +886,36 @@ struct Server::Impl {
     lane.latency->Observe(queue_us + service_us);
     (fast ? fast_counter : slow_counter)->Increment();
     requests_counter->Increment();
+    if (options.client_metrics) {
+      ClientStats* client = ClientStatsFor(request.client);
+      client->requests->Increment();
+      if (request.outcome[0] == 'e') client->errors->Increment();
+      client->bytes->Add(payload.size());
+      (fast ? client->fast_latency : client->slow_latency)
+          ->Observe(queue_us + service_us);
+    }
     inflight_gauge->Add(-1.0);
     served.fetch_add(1, std::memory_order_relaxed);
     obs::RecordSpan("serving.queue_wait", "serving", request.arrival_ns,
                     request.dequeue_ns);
     obs::RecordSpan(fast ? "serving.request.fast" : "serving.request.slow",
                     "serving", request.arrival_ns, end_ns);
+    if (flight != nullptr) {
+      obs::RequestRecord rec;
+      rec.id = request.req_id;
+      rec.client = request.client;
+      rec.method = request.method;
+      rec.op_key = request.op_key;
+      rec.lane = request.lane;
+      rec.outcome = request.outcome;
+      rec.transport = request.transport;
+      rec.batch = request.batch;
+      rec.arrival_ns = request.arrival_ns;
+      rec.queue_us = queue_us;
+      rec.service_us = service_us;
+      rec.total_us = queue_us + service_us;
+      flight->Record(rec);
+    }
     WriteAccessLog(request, queue_us, service_us);
     request.conn->Send(payload);
   }
@@ -532,7 +925,8 @@ struct Server::Impl {
     if (!access_log.is_open()) return;
     std::ostringstream line;
     line.precision(17);
-    line << "{\"id\":" << request.req_id
+    line << "{\"id\":" << request.req_id << ",\"client\":\""
+         << JsonEscape(request.client) << "\""
          << ",\"client_id\":" << request.id << ",\"method\":\""
          << JsonEscape(request.method) << "\",\"op_key\":\""
          << JsonEscape(request.op_key) << "\",\"lane\":\"" << request.lane
@@ -551,7 +945,7 @@ struct Server::Impl {
   bool FastLane(const Request& request) {
     const std::string& m = request.method;
     if (m == "ping" || m == "stats" || m == "persist" || m == "load" ||
-        m == "shutdown" || m.empty()) {
+        m == "shutdown" || m == "debug" || m.empty()) {
       return true;
     }
     if (m == "compile") {
@@ -619,10 +1013,38 @@ struct Server::Impl {
       return out.str();
     }
     if (m == "stats") return HandleStats(request);
+    if (m == "debug") return HandleDebug(request);
     if (m == "persist" || m == "load") return HandlePersist(request);
     if (m == "compile") return HandleCompile(request, /*probe_only=*/true);
     if (m == "tune") return HandleStoredTune(request);
     return ErrorResponse(request.id, "unknown method \"" + m + "\"");
+  }
+
+  // Socket-side mirror of GET /debug/*: {"method":"debug","what":...}
+  // with the same optional n/client/lane/outcome/metric parameters.
+  std::string HandleDebug(const Request& request) {
+    const JsonValue* what_value = request.body.Find("what");
+    std::string what =
+        what_value == nullptr ? "requests" : what_value->StringOr("requests");
+    std::vector<std::pair<std::string, std::string>> params;
+    for (const char* key : {"n", "client", "lane", "outcome", "metric"}) {
+      const JsonValue* v = request.body.Find(key);
+      if (v == nullptr) continue;
+      if (v->kind == JsonValue::Kind::kNumber) {
+        params.emplace_back(
+            key, std::to_string(static_cast<uint64_t>(v->NumberOr(0))));
+      } else {
+        params.emplace_back(key, v->StringOr(""));
+      }
+    }
+    std::string body;
+    if (!HandleDebugQuery(what, params, &body)) {
+      return ErrorResponse(request.id, "unknown debug view \"" + what + "\"");
+    }
+    std::ostringstream out;
+    out << "{\"id\":" << request.id << ",\"ok\":true,\"what\":\""
+        << JsonEscape(what) << "\",\"result\":" << body << "}";
+    return out.str();
   }
 
   // Per-lane latency summary from the request histograms: the socket
@@ -970,6 +1392,37 @@ struct Server::Impl {
                         "phase-2 replay.");
     registry.GetCounter("serving.warm_starts",
                         "Tune searches seeded from a stored neighbor.");
+    watchdog_counter = &registry.GetCounter(
+        "serving.watchdog.stalls",
+        "Stalled-lane detections (oldest queued request older than the "
+        "watchdog threshold; one per stall episode).");
+    auto watch = [&registry](const char* name) {
+      LaneWatch watch;
+      std::string label = std::string("|lane=") + name;
+      watch.depth = &registry.GetGauge(
+          "serving.queue.depth" + label,
+          "Requests waiting in the lane queue (watchdog heartbeat).");
+      watch.age = &registry.GetGauge(
+          "serving.queue.age.us" + label,
+          "Age in microseconds of the oldest queued request (0 when the "
+          "queue is empty; watchdog heartbeat).");
+      return watch;
+    };
+    fast_watch = watch("fast");
+    slow_watch = watch("slow");
+    // Build identity as a constant-1 gauge whose labels carry the facts,
+    // so every scrape and bench artifact is self-identifying.
+    char fingerprint[24];
+    std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                  static_cast<unsigned long long>(
+                      SpecFingerprint(options.spec)));
+    registry
+        .GetGauge(std::string("build.info|git_sha=") + ALCOP_GIT_SHA +
+                      "|build_type=" + ALCOP_BUILD_TYPE +
+                      "|spec_fingerprint=" + fingerprint,
+                  "Build identity (value is always 1; the labels carry the "
+                  "git SHA, build type and GPU spec fingerprint).")
+        .Set(1.0);
   }
 
   void RequestStop() {
@@ -1098,16 +1551,42 @@ bool Server::Start(std::string* error) {
 
   impl.RegisterMetrics();
   impl.start_ns = obs::NowNanos();
+  if (impl.options.flight_depth > 0) {
+    impl.flight =
+        std::make_unique<obs::FlightRecorder>(impl.options.flight_depth);
+  }
+  if (impl.options.snapshot_depth > 0 && impl.options.snapshot_interval_ms > 0) {
+    impl.timeseries =
+        std::make_unique<obs::MetricsTimeSeries>(impl.options.snapshot_depth);
+  }
+  // /debug/trace drains the span rings, so spans must be recorded while
+  // the daemon runs; the previous switch state is restored at Stop.
+  impl.prev_trace_enabled = obs::TraceEnabled();
+  obs::SetTraceEnabled(true);
 
   // Warm-start the process from the persisted cache when one matches.
   if (!impl.options.cache_path.empty()) {
-    LoadCache(impl.options.cache_path, impl.options.spec);  // best-effort
+    PersistStats loaded = LoadCache(impl.options.cache_path,
+                                    impl.options.spec);  // best-effort
+    obs::Log(obs::LogLevel::kInfo, "serving", "cache load",
+             obs::LogFields()
+                 .Str("path", impl.options.cache_path)
+                 .Bool("ok", loaded.ok)
+                 .Uint("bytes", loaded.ok ? loaded.bytes : 0));
   }
 
   impl.io_thread = std::thread([&impl] { impl.IoLoop(); });
   impl.fast_thread = std::thread([&impl] { impl.FastLoop(); });
   impl.slow_thread = std::thread([&impl] { impl.SlowLoop(); });
   impl.started = true;
+  obs::Log(obs::LogLevel::kInfo, "serving", "started",
+           obs::LogFields()
+               .Str("socket", impl.options.socket_path)
+               .Int("http_port", impl.http_listen_fd >= 0
+                                     ? impl.bound_http_port
+                                     : -1)
+               .Uint("flight_depth", impl.options.flight_depth)
+               .Int("watchdog_stall_ms", impl.options.watchdog_stall_ms));
   return true;
 }
 
@@ -1148,8 +1627,18 @@ void Server::Stop() {
   if (impl.access_log.is_open()) impl.access_log.close();
   ::unlink(impl.options.socket_path.c_str());
   if (impl.options.persist_on_shutdown && !impl.options.cache_path.empty()) {
-    SaveCache(impl.options.cache_path, impl.options.spec);  // best-effort
+    PersistStats saved =
+        SaveCache(impl.options.cache_path, impl.options.spec);  // best-effort
+    obs::Log(obs::LogLevel::kInfo, "serving", "cache save",
+             obs::LogFields()
+                 .Str("path", impl.options.cache_path)
+                 .Bool("ok", saved.ok)
+                 .Uint("bytes", saved.ok ? saved.bytes : 0));
   }
+  obs::SetTraceEnabled(impl.prev_trace_enabled);
+  obs::Log(obs::LogLevel::kInfo, "serving", "stopped",
+           obs::LogFields().Uint(
+               "requests", impl.served.load(std::memory_order_relaxed)));
   impl.started = false;
 }
 

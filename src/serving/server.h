@@ -68,9 +68,30 @@ struct ServerOptions {
   // JSON payloads as the socket protocol.
   int http_port = -1;
   // JSONL access log: one line per completed request (request id,
-  // method, op_key, lane, cache outcome, queue/service/total micros).
-  // Empty = no access log.
+  // attributed client, method, op_key, lane, cache outcome,
+  // queue/service/total micros). Empty = no access log.
   std::string access_log_path;
+  // Flight recorder: ring of the last N completed request records,
+  // served by GET /debug/requests and the socket `debug` method. 0
+  // disables retention.
+  size_t flight_depth = 512;
+  // Periodic registry snapshots for GET /debug/timeseries: every
+  // `snapshot_interval_ms` the IO thread samples the registry into a
+  // ring of `snapshot_depth` flattened snapshots. interval <= 0 or
+  // depth 0 disables sampling.
+  size_t snapshot_depth = 120;
+  int snapshot_interval_ms = 1000;
+  // Watchdog: when the oldest queued request in a lane has waited more
+  // than this, emit a one-shot diagnostic dump (flight tail + metrics)
+  // to the structured log and bump serving.watchdog.stalls. Re-arms
+  // when the lane drains. <= 0 disables the watchdog.
+  int watchdog_stall_ms = 10000;
+  // Per-client attribution: peer uid on the unix socket, X-Alcop-Client
+  // header (or a "client" body field) on HTTP, else "anon". At most
+  // `max_clients` distinct identities get their own labeled series;
+  // later ones share the `other` bucket so cardinality stays bounded.
+  bool client_metrics = true;
+  size_t max_clients = 16;
 };
 
 class Server {

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -224,6 +225,65 @@ TEST(ObsMetricsTest, JsonDumpIsDeterministic) {
   std::string a = obs::Registry::Global().RenderJson();
   std::string b = obs::Registry::Global().RenderJson();
   EXPECT_EQ(a, b);
+}
+
+// Regression table for HistogramQuantile edge cases: the estimate must
+// never leave the populated bucket range, q=0/q=1 must report the
+// min/max bucket edges (max-clamped), and degenerate inputs answer 0.
+TEST(ObsMetricsTest, QuantileEdgeCaseTable) {
+  // Empty histogram: every q answers 0.
+  obs::HistogramData empty;
+  EXPECT_EQ(obs::HistogramQuantile(empty, 0.0), 0.0);
+  EXPECT_EQ(obs::HistogramQuantile(empty, 0.5), 0.0);
+  EXPECT_EQ(obs::HistogramQuantile(empty, 1.0), 0.0);
+
+  // Racing snapshot: count ticked before any bucket did. Answer 0
+  // rather than inventing a value from unpopulated buckets.
+  obs::HistogramData racing;
+  racing.count = 5;
+  EXPECT_EQ(obs::HistogramQuantile(racing, 0.5), 0.0);
+
+  // Single populated bucket [4, 8) with observed max 6: q=0 reports the
+  // lower edge, q=1 the observed max (not the bucket's upper edge), and
+  // everything between stays inside [4, 6].
+  obs::Histogram single;
+  single.Observe(4.0);
+  single.Observe(5.0);
+  single.Observe(6.0);
+  obs::HistogramData data = single.Data();
+  EXPECT_EQ(obs::HistogramQuantile(data, 0.0), 4.0);
+  EXPECT_EQ(obs::HistogramQuantile(data, 1.0), 6.0);
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    double estimate = obs::HistogramQuantile(data, q);
+    EXPECT_GE(estimate, 4.0) << "q=" << q;
+    EXPECT_LE(estimate, 6.0) << "q=" << q;
+  }
+
+  // q outside [0,1] clamps; NaN answers 0.
+  EXPECT_EQ(obs::HistogramQuantile(data, -3.0),
+            obs::HistogramQuantile(data, 0.0));
+  EXPECT_EQ(obs::HistogramQuantile(data, 7.0),
+            obs::HistogramQuantile(data, 1.0));
+  EXPECT_EQ(obs::HistogramQuantile(data, std::nan("")), 0.0);
+
+  // Bucket 0 only ([0, 1)): the topmost upper edge clamps to the
+  // observed max, so q=1 cannot exceed it.
+  obs::Histogram tiny;
+  tiny.Observe(0.25);
+  tiny.Observe(0.5);
+  obs::HistogramData tiny_data = tiny.Data();
+  EXPECT_EQ(obs::HistogramQuantile(tiny_data, 0.0), 0.0);
+  EXPECT_EQ(obs::HistogramQuantile(tiny_data, 1.0), 0.5);
+  EXPECT_LE(obs::HistogramQuantile(tiny_data, 0.5), 0.5);
+
+  // Two populated buckets with a gap: q=1 clamps to the max even when
+  // the last bucket's nominal range extends far beyond it.
+  obs::Histogram gap;
+  gap.Observe(0.5);
+  gap.Observe(100.0);  // bucket [64, 128), max 100
+  obs::HistogramData gap_data = gap.Data();
+  EXPECT_EQ(obs::HistogramQuantile(gap_data, 0.0), 0.0);
+  EXPECT_EQ(obs::HistogramQuantile(gap_data, 1.0), 100.0);
 }
 
 // --------------------------------------------------------- trace exporter
